@@ -1,0 +1,41 @@
+"""Fig. 2 — inference latency: static staircase vs dynamic compilation.
+
+Paper values: BERT-Base lat(512) = 4.86 ms at 4.22× lat(64); BERT-Large
+ratio 5.25×; dynamic-shape inflation between 1.22× and 3.56×; Dolly's
+tuned TVM dynamic runtime averages 2.86× the untuned static.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig2_latency_curves
+
+
+@pytest.mark.parametrize("model,ratio", [("bert-base", 4.22),
+                                         ("bert-large", 5.25)])
+def test_fig2_bert_staircase(benchmark, record, model, ratio):
+    data = run_once(benchmark, fig2_latency_curves, model)
+    record(f"fig02_{model}", data)
+    static = np.asarray(data["static_ms"])
+    dynamic = np.asarray(data["dynamic_ms"])
+    lengths = np.asarray(data["lengths"])
+    # Ratio lat(512)/lat(64) matches the paper's staircase.
+    l64 = static[lengths == 64][0]
+    l512 = static[lengths == 512][0]
+    assert l512 / l64 == pytest.approx(ratio, rel=0.05)
+    # Dynamic never beats static; inflation within the paper's band.
+    inflation = dynamic / static
+    assert inflation.min() >= 1.15
+    assert inflation.max() <= 3.8
+    # Padding penalty: a short request on the 512 runtime is ~4x slower.
+    padded = np.asarray(data["padded_512_ms"])
+    short = lengths <= 64
+    assert (padded[short] / static[short]).mean() > 3.0
+
+
+def test_fig2_dolly_tvm(benchmark, record):
+    data = run_once(benchmark, fig2_latency_curves, "dolly")
+    record("fig02_dolly", data)
+    inflation = np.asarray(data["dynamic_ms"]) / np.asarray(data["static_ms"])
+    assert inflation.mean() == pytest.approx(2.86, rel=0.15)

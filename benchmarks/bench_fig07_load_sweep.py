@@ -1,0 +1,30 @@
+"""Fig. 7 — mean latency vs request load, BERT-Base, 10 GPUs.
+
+Paper shape: below ~1k req/s all schemes are close; as load rises, ST
+deteriorates first and hardest (full padding shrinks its capacity),
+while Arlo's curve stays lowest throughout.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_duration, bench_scale, run_once
+from repro.experiments.figures import fig7
+
+
+def test_fig7_load_sweep(benchmark, record):
+    data = run_once(
+        benchmark, fig7,
+        rates=(600, 1_000, 1_400, 1_800),
+        scale=bench_scale(1.0), duration_s=bench_duration(15.0),
+    )
+    record("fig07_load_sweep", data)
+    means = data["mean_ms"]
+    st, arlo, dt = map(np.asarray, (means["st"], means["arlo"], means["dt"]))
+    # Arlo lowest at every load point.
+    assert np.all(arlo <= dt + 1e-9)
+    assert np.all(arlo < st)
+    # ST deteriorates fastest with load.
+    assert st[-1] / st[0] > arlo[-1] / arlo[0]
+    # Under high load the gap is pronounced (paper: "particularly
+    # pronounced for ST ... elongated queuing").
+    assert st[-1] > 2.0 * arlo[-1]

@@ -1,0 +1,50 @@
+"""§2.2 — FLOPs wasted on zero-padding.
+
+Paper values: one Twitter trace clip served by a single
+``max_length=125`` runtime wastes 80.6 % of its FLOPs. We also report
+the recalibrated-512 workload under ST (one 512 runtime) and under the
+polymorph set — the quantity Arlo's whole design minimises.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.padding import (
+    polymorph_padding_report,
+    uniform_padding_report,
+)
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+from repro.units import minutes
+from repro.workload.twitter import (
+    RECALIBRATION_FACTOR,
+    TwitterTraceConfig,
+    generate_twitter_trace,
+)
+
+
+def _measure():
+    raw = generate_twitter_trace(
+        TwitterTraceConfig(rate_per_s=300, duration_ms=minutes(5),
+                           recalibrate_to_512=False, seed=2)
+    )
+    recalibrated = raw.scale_lengths(RECALIBRATION_FACTOR, 512)
+    registry = build_polymorph_set(bert_base())
+    return {
+        "raw_trace_max125_waste_%": 100
+        * uniform_padding_report(raw, 125).wasted_flops_fraction,
+        "recalibrated_st512_waste_%": 100
+        * uniform_padding_report(recalibrated, 512).wasted_flops_fraction,
+        "recalibrated_polymorph_waste_%": 100
+        * polymorph_padding_report(recalibrated, registry).wasted_flops_fraction,
+    }
+
+
+def test_padding_waste(benchmark, record):
+    data = run_once(benchmark, _measure)
+    record("padding_waste", data)
+    # Paper §2.2: ~80.6 % wasted at max_length 125.
+    assert abs(data["raw_trace_max125_waste_%"] - 80.6) < 3.0
+    # The polymorph set eliminates most of ST's waste.
+    assert (
+        data["recalibrated_polymorph_waste_%"]
+        < 0.4 * data["recalibrated_st512_waste_%"]
+    )

@@ -1,0 +1,54 @@
+"""Extension ablation — allocation solver choices (DESIGN.md §6.1).
+
+Compares the exact Pareto-DP, the local-search heuristic and the MILP
+encoding on identical Eqs. 1–7 instances: objective parity and the
+time/quality trade-off that justifies the ``auto`` dispatch policy.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.allocation import (
+    solve_dp,
+    solve_local_search,
+    solve_milp_encoding,
+)
+from repro.experiments.figures import table2_problem
+
+
+def test_dp_vs_local_quality(benchmark, record):
+    def compare():
+        rows = []
+        for gpus, runtimes, seed in ((20, 8, 1), (50, 8, 2), (80, 12, 3)):
+            problem = table2_problem(gpus, runtimes, seed=seed)
+            dp = solve_dp(problem, relax=True)
+            local = solve_local_search(problem, relax=True)
+            rows.append({
+                "gpus": gpus, "runtimes": runtimes,
+                "dp_objective": dp.objective,
+                "local_objective": local.objective,
+                "dp_time_s": dp.solve_time_s,
+                "local_time_s": local.solve_time_s,
+                "gap_%": 100 * (local.objective - dp.objective)
+                / max(dp.objective, 1e-9),
+            })
+        return rows
+
+    rows = run_once(benchmark, compare)
+    record("solver_comparison", rows)
+    for row in rows:
+        assert row["gap_%"] <= 2.0  # local search is near-optimal
+        assert row["local_objective"] >= row["dp_objective"] - 1e-6
+
+
+def test_milp_encoding_agrees_on_small_instance(benchmark):
+    problem = table2_problem(6, 4, seed=4)
+    dp = solve_dp(problem, relax=True)
+    milp = benchmark.pedantic(
+        solve_milp_encoding, args=(problem,),
+        kwargs={"relax": True, "tangents_per_choice": 8},
+        rounds=1, iterations=1,
+    )
+    assert milp.objective == pytest.approx(dp.objective, rel=0.05)
+    assert milp.stats["lower_bound"] <= dp.objective + 1e-6

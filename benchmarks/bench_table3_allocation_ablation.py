@@ -1,0 +1,27 @@
+"""Table 3 — periodic allocation vs offline even / global allocation.
+
+Paper shape: "both offline schemes fail to achieve optimal performance
+with dynamic workloads, highlighting the need for periodic
+allocation" — Arlo's periodically re-solved allocation beats the
+static even split and the static global-distribution split on a
+drifting Twitter-Bursty trace.
+"""
+
+from benchmarks.conftest import bench_duration, bench_scale, run_once
+from repro.experiments.figures import table3
+
+
+def test_table3_allocation_ablation(benchmark, record):
+    rows = run_once(
+        benchmark, table3,
+        scale=bench_scale(1.0), duration_s=bench_duration(90.0),
+    )
+    record("table3_allocation_ablation", rows)
+    by_name = {r["scheme"]: r for r in rows}
+    periodic = by_name["arlo"]
+    even = by_name["arlo-even"]
+    glob = by_name["arlo-global"]
+    assert periodic["mean_ms"] <= even["mean_ms"]
+    assert periodic["mean_ms"] <= glob["mean_ms"]
+    assert periodic["mean_ms"] < max(even["mean_ms"], glob["mean_ms"])
+    assert periodic["p98_ms"] <= 1.1 * min(even["p98_ms"], glob["p98_ms"])

@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure: it runs the
+corresponding experiment once under ``pytest-benchmark`` timing,
+prints the paper-style rows, and persists them as JSON under
+``benchmarks/out/`` so results survive the terminal.
+
+Scale: benchmarks default to reduced-scale runs (same per-GPU load,
+fewer GPUs/requests) so the suite finishes in minutes. Set
+``REPRO_BENCH_SCALE=1.0`` for full-size runs where applicable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_scale(default: float) -> float:
+    """Experiment scale factor, overridable via REPRO_BENCH_SCALE."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def bench_duration(default: float) -> float:
+    """Trace duration in seconds, overridable via REPRO_BENCH_DURATION."""
+    return float(os.environ.get("REPRO_BENCH_DURATION", default))
+
+
+@pytest.fixture
+def record():
+    """Persist + print one experiment's output rows."""
+
+    def _record(name: str, payload: Any) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, default=str))
+        print(f"\n=== {name} ===")
+        print(json.dumps(payload, indent=2, default=str)[:4000])
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (simulations are deterministic and slow)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Capacity planning with the analytical queueing model — no simulation.
+
+Answers the operator question "how many GPUs do I need for X req/s?"
+for each serving scheme using the Erlang-C M/D/c predictions from
+:mod:`repro.analysis`, then spot-checks one configuration against the
+discrete-event simulator.
+
+Run:  python examples/capacity_planning.py [rate_per_s]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import predict_allocation, predict_uniform_scheme
+from repro.baselines.allocators import even_allocation
+from repro.baselines.schemes import build_scheme
+from repro.core.allocation import AllocationProblem, solve_allocation
+from repro.core.bins import LengthBins
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+from repro.sim.simulation import run_simulation
+from repro.units import seconds
+from repro.workload.generator import poisson_trace
+from repro.workload.lengths import LogNormalLengths
+
+
+def arlo_allocation(registry, lengths, rate, gpus, slo_ms):
+    """Solve Eqs. 1-7 for the expected per-bin demand."""
+    bins = LengthBins.from_registry(registry)
+    rng = np.random.default_rng(0)
+    sample = np.clip(lengths.sample(rng, 100_000), 1, bins.max_length)
+    share = bins.histogram(sample) / 100_000
+    demand = share * rate * slo_ms / 1_000.0
+    problem = AllocationProblem.from_profiles(gpus, demand, list(registry))
+    return solve_allocation(problem, relax=True).allocation
+
+
+def main() -> None:
+    rate = float(sys.argv[1]) if len(sys.argv) > 1 else 1_200.0
+    model = bert_base()
+    registry = build_polymorph_set(model)
+    lengths = LogNormalLengths.from_quantiles(
+        86, 295, max_length=model.max_length
+    )
+
+    print(f"target: {rate:g} req/s of Twitter-like traffic, "
+          f"SLO {model.slo_ms:.0f} ms\n")
+    print(f"{'GPUs':>4}  {'ST mean':>9}  {'DT mean':>9}  "
+          f"{'Arlo(even)':>10}  {'Arlo(ILP)':>10}")
+    chosen = None
+    for gpus in (4, 6, 8, 10, 14, 20):
+        st = predict_uniform_scheme(model, gpus, lengths, rate)
+        dt = predict_uniform_scheme(model, gpus, lengths, rate, dynamic=True)
+        even = predict_allocation(
+            registry, even_allocation(len(registry), gpus), lengths, rate
+        )
+        ilp_alloc = arlo_allocation(registry, lengths, rate, gpus,
+                                    model.slo_ms)
+        ilp = predict_allocation(registry, ilp_alloc, lengths, rate)
+
+        def fmt(p):
+            return f"{p.mean_latency_ms:8.2f}ms" if p.is_stable else "  unstable"
+
+        print(f"{gpus:>4}  {fmt(st)}  {fmt(dt)}  {fmt(even):>10}  "
+              f"{fmt(ilp):>10}")
+        if chosen is None and ilp.is_stable and \
+                ilp.mean_latency_ms < model.slo_ms / 10:
+            chosen = (gpus, ilp_alloc, ilp)
+
+    if chosen is None:
+        print("\nno configuration satisfied the planning target")
+        return
+    gpus, alloc, predicted = chosen
+    print(f"\nplanning pick: {gpus} GPUs, allocation {alloc.tolist()}")
+    trace = poisson_trace(lengths, rate, seconds(20), seed=1)
+    scheme = build_scheme("arlo", "bert-base", gpus,
+                          trace_hint=trace.slice_time(0, seconds(4)))
+    result = run_simulation(scheme, trace)
+    print(f"prediction {predicted.mean_latency_ms:.2f} ms vs "
+          f"simulation {result.mean_ms:.2f} ms "
+          f"(gap {abs(result.mean_ms - predicted.mean_latency_ms) / result.mean_ms:.0%})")
+
+
+if __name__ == "__main__":
+    main()

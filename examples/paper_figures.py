@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Regenerate every paper figure/table in one run, with ASCII plots.
+
+The benchmark suite (`pytest benchmarks/ --benchmark-only`) is the
+asserted, timed path; this script is the human-friendly one — it calls
+the same `repro.experiments.figures` entry points at a configurable
+scale, renders terminal plots, and prints the paper-vs-measured
+summary lines.
+
+Run:  python examples/paper_figures.py [scale]
+      (scale 0.3 ≈ two minutes; 1.0 reproduces the full setup)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.experiments import figures
+from repro.experiments.plots import cdf_plot, line_plot, sparkline
+
+
+def show_fig1():
+    data = figures.fig1_length_distributions(rate_per_s=300)
+    o = data["overall"]
+    print("Fig. 1 — length distribution "
+          f"(paper: median 21, p98 72, max ~125)")
+    print(f"  measured: median {o['median']:.0f}, p98 {o['p98']:.0f}, "
+          f"max {o['max']:.0f}")
+    medians = [w["median"] for w in data["per_minute"]]
+    print(f"  per-minute medians: {sparkline(medians, 40)}  "
+          f"(σ={np.std(medians):.2f})\n")
+
+
+def show_fig2():
+    for model, ratio in (("bert-base", 4.22), ("bert-large", 5.25)):
+        data = figures.fig2_latency_curves(model)
+        lengths = np.asarray(data["lengths"], dtype=float)
+        print(f"Fig. 2 — {model} (paper ratio {ratio}x; dynamic 1.22-3.56x)")
+        print(line_plot(
+            {
+                "static": (lengths, np.asarray(data["static_ms"])),
+                "dyn": (lengths, np.asarray(data["dynamic_ms"])),
+                "padded512": (lengths, np.asarray(data["padded_512_ms"])),
+            },
+            width=56, height=10, xlabel="sequence length",
+            ylabel="latency ms",
+        ))
+        print()
+
+
+def show_fig4_fig5():
+    f4 = figures.fig4_motivating_scenario()
+    print("Fig. 4 — motivating scenario (SLO violations / 39 requests)")
+    for k, v in f4.items():
+        print(f"  {k:20s}: {v['slo_violations']}")
+    f5 = figures.fig5_worked_example()
+    print(f"Fig. 5 — worked example: len-200 request lands on "
+          f"max_length {f5['chosen_max_length']} after "
+          f"{f5['levels_peeked']} peeks (demoted={f5['demoted']})\n")
+
+
+def show_serving(scale):
+    print(f"Fig. 6 — testbed comparison (scale {scale})")
+    for scenario, rows in figures.fig6(scale=scale, duration_s=30.0).items():
+        by = {r["scheme"]: r for r in rows}
+        arlo = by["arlo"]["mean_ms"]
+        print(f"  {scenario}: " + "  ".join(
+            f"{name}={by[name]['mean_ms']:.2f}ms" for name in
+            ("st", "dt", "infaas", "arlo")))
+        print(f"    Arlo mean reductions vs ST/DT/INFaaS: " + " / ".join(
+            f"{100 * (1 - arlo / by[n]['mean_ms']):.0f}%"
+            for n in ("st", "dt", "infaas")))
+    print()
+    data = figures.fig7(rates=(600, 1_000, 1_400, 1_800), scale=scale,
+                        duration_s=12.0)
+    print("Fig. 7 — mean latency vs load (paper: ST deteriorates first)")
+    rates = np.asarray(data["rates"], dtype=float)
+    print(line_plot(
+        {name: (rates, np.minimum(np.asarray(vals), 100.0))
+         for name, vals in data["mean_ms"].items()},
+        width=48, height=10, xlabel="req/s", ylabel="mean ms (clipped)",
+    ))
+    print()
+
+
+def show_fig8(scale):
+    data = figures.fig8(scale=scale, duration_s=90.0)
+    print("Fig. 8 — auto-scaling (paper: Arlo 5.49 GPUs < DT 6.38 < "
+          "INFaaS 6.80 < ST 8.13)")
+    for name in ("arlo", "dt", "infaas", "st"):
+        d = data[name]
+        print(f"  {name:7s} time-weighted GPUs {d['time_weighted_gpus']:5.2f}"
+              f"  p98 {d['p98_ms']:8.1f} ms")
+    print()
+
+
+def show_fig10_11_12(scale):
+    print(f"Fig. 10 — large-scale bursty (scale {scale})")
+    for scenario, rows in figures.fig10(scale=scale, duration_s=20.0).items():
+        by = {r["scheme"]: r for r in rows}
+        print(f"  {scenario}: " + "  ".join(
+            f"{n}={by[n]['mean_ms']:.1f}ms" for n in
+            ("st", "dt", "infaas", "arlo")))
+    print()
+    data = figures.fig11(counts=(2, 4, 8, 16), scale=0.3, duration_s=20.0)
+    print("Fig. 11 — runtime count (paper: 2 unusable, 8 ≈ 16)")
+    for n, d in data.items():
+        print(f"  N={n:2d}: mean {d['mean_ms']:8.2f} ms   "
+              f"violations {d['slo_violation_%']:5.1f}%")
+    print()
+    data = figures.fig12(scale=0.6, duration_s=60.0)
+    allocs = np.asarray(data["allocations"])
+    print("Fig. 12 — GPUs per runtime across scheduler decisions")
+    for j, ml in enumerate(data["max_lengths"]):
+        print(f"  max_len {ml:4d}: {sparkline(allocs[:, j], 32)}")
+    print()
+
+
+def show_tables(scale):
+    rows = figures.table2(repeats=3)
+    print("Table 2 — solve time (paper: 0.156 / 0.623 / 2.612 s)")
+    for r in rows:
+        print(f"  {r.num_gpus:5d} GPUs, {r.num_runtimes:2d} runtimes "
+              f"[{r.solver}]: {r.solve_time_s:.3f} s")
+    print()
+    t3 = figures.table3(scale=scale, duration_s=45.0)
+    by = {r["scheme"]: r for r in t3}
+    print("Table 3 — allocation ablation (paper: offline schemes fail)")
+    for name in ("arlo", "arlo-even", "arlo-global"):
+        print(f"  {name:12s}: mean {by[name]['mean_ms']:9.1f} ms")
+    print()
+    # Dispatch differences need a minimum cluster size to materialise.
+    t4 = figures.table4(scale=max(min(scale, 0.6), 0.5), duration_s=30.0)
+    print("Table 4 — dispatch ablation (paper: RS never loses)")
+    for trace, schemes in t4.items():
+        print(f"  {trace}: " + "  ".join(
+            f"{n.replace('arlo', 'RS').replace('RS-', '')}="
+            f"{d['mean_ms']:.1f}ms" for n, d in schemes.items()))
+    print()
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    show_fig1()
+    show_fig2()
+    show_fig4_fig5()
+    show_serving(scale)
+    show_fig8(scale)
+    show_fig10_11_12(min(scale, 0.1))
+    show_tables(scale)
+    print("done — see EXPERIMENTS.md for the asserted paper-vs-measured "
+          "comparison.")
+
+
+if __name__ == "__main__":
+    main()

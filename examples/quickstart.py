@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: serve variable-length requests with Arlo.
+
+Builds the offline stage (polymorph set compilation + profiling) for
+BERT-Base on a 6-GPU cluster, then pushes a handful of requests through
+the Request Scheduler and prints where each one went and why.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ArloSystem
+
+
+def main() -> None:
+    arlo = ArloSystem.build("bert-base", num_gpus=6)
+
+    print(f"model: {arlo.model.name}  SLO: {arlo.slo_ms:.0f} ms")
+    print("polymorph set (max_length -> profiled service, capacity M):")
+    for profile in arlo.registry:
+        print(
+            f"  {profile.max_length:4d} tokens -> "
+            f"{profile.service_ms:6.2f} ms, M={profile.capacity}"
+        )
+    print(f"initial allocation: {arlo.cluster.allocation().tolist()}")
+    print()
+
+    requests = [(0.0, 20), (0.5, 87), (1.0, 300), (1.5, 505), (2.0, 64),
+                (2.5, 130), (3.0, 130), (3.5, 130)]
+    for now_ms, length in requests:
+        decision, start, finish = arlo.handle(now_ms, length)
+        runtime = arlo.registry[decision.level]
+        note = "demoted" if decision.demoted else "ideal"
+        print(
+            f"t={now_ms:4.1f} ms  len={length:3d} -> runtime "
+            f"max_length={runtime.max_length:3d} ({note}), "
+            f"instance {decision.instance.instance_id}, "
+            f"finishes at {finish:6.2f} ms"
+        )
+
+    print()
+    print("snapshot:", arlo.snapshot())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so the package installs in offline environments.
+
+``pip install -e .`` requires the ``wheel`` package for PEP 660 editable
+installs; environments without it can run ``python setup.py develop``
+instead. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,95 @@
+"""repro — a reproduction of *Arlo: Serving Transformer-based Language
+Models with Dynamic Input Lengths* (ICPP 2024).
+
+Arlo handles variable-length inference requests by *polymorphing*:
+compiling one model into several static-shape runtimes at staircase
+length boundaries, allocating GPUs across them with an integer program
+driven by the observed length distribution (Runtime Scheduler, §3.3),
+and dispatching each request through a multi-level queue with decaying
+congestion thresholds (Request Scheduler, Algorithm 1, §3.4).
+
+Quickstart::
+
+    from repro import ArloSystem
+    arlo = ArloSystem.build("bert-base", num_gpus=10)
+    decision, start_ms, finish_ms = arlo.handle(now_ms=0.0, length=37)
+
+Trace-driven evaluation::
+
+    from repro import build_scheme, generate_twitter_trace, run_simulation
+    trace = generate_twitter_trace(rate_per_s=1000, duration_ms=60_000)
+    result = run_simulation(build_scheme("arlo", "bert-base", 10), trace)
+    print(result.stats)
+"""
+
+from repro.baselines import Scheme, build_scheme
+from repro.core import (
+    AllocationProblem,
+    ArloConfig,
+    ArloRequestScheduler,
+    ArloSystem,
+    RequestSchedulerConfig,
+    RuntimeScheduler,
+    RuntimeSchedulerConfig,
+    solve_allocation,
+)
+from repro.runtimes import (
+    MODEL_ZOO,
+    ModelProfile,
+    OfflineProfiler,
+    RuntimeRegistry,
+    bert_base,
+    bert_large,
+    build_polymorph_set,
+)
+from repro.multistream import (
+    MultiStreamConfig,
+    StreamInput,
+    run_multistream,
+)
+from repro.serve import ArloServer, VirtualClock, WallClock
+from repro.sim import (
+    SimulationConfig,
+    SimulationResult,
+    run_simulation,
+)
+from repro.workload import (
+    Trace,
+    TwitterTraceConfig,
+    generate_twitter_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MODEL_ZOO",
+    "AllocationProblem",
+    "ArloConfig",
+    "ArloRequestScheduler",
+    "ArloServer",
+    "ArloSystem",
+    "MultiStreamConfig",
+    "StreamInput",
+    "VirtualClock",
+    "WallClock",
+    "ModelProfile",
+    "OfflineProfiler",
+    "RequestSchedulerConfig",
+    "RuntimeRegistry",
+    "RuntimeScheduler",
+    "RuntimeSchedulerConfig",
+    "Scheme",
+    "SimulationConfig",
+    "SimulationResult",
+    "Trace",
+    "TwitterTraceConfig",
+    "bert_base",
+    "bert_large",
+    "build_polymorph_set",
+    "build_scheme",
+    "generate_twitter_trace",
+    "run_multistream",
+    "run_simulation",
+    "solve_allocation",
+    "__version__",
+]

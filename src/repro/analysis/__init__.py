@@ -1,0 +1,57 @@
+"""Analytical queueing models for capacity planning and validation.
+
+Each runtime instance is a batch-1 FIFO server with (near-)
+deterministic service time, so a runtime level with ``N`` instances
+under Poisson arrivals behaves like ``N`` parallel M/D/1 queues. This
+subpackage provides closed-form predictions used three ways:
+
+1. **capacity planning** — what arrival rate saturates ST / DT / a
+   polymorph allocation (used to choose the experiment operating
+   points documented in EXPERIMENTS.md);
+2. **simulator validation** — tests compare M/D/1 predictions against
+   the discrete-event simulator at moderate utilisation;
+3. **what-if analysis** — downstream users can size clusters without
+   running the simulator.
+"""
+
+from repro.analysis.batching import (
+    BatchLatencyModel,
+    BatchOperatingPoint,
+    best_batch_size,
+    sweep_batch_sizes,
+)
+from repro.analysis.padding import (
+    PaddingReport,
+    dynamic_padding_report,
+    polymorph_padding_report,
+    uniform_padding_report,
+)
+from repro.analysis.queueing import (
+    MD1Prediction,
+    erlang_c,
+    md1_mean_latency_ms,
+    md1_mean_wait_ms,
+    mgc_mean_wait_ms,
+    predict_allocation,
+    predict_uniform_scheme,
+    saturation_rate_per_s,
+)
+
+__all__ = [
+    "BatchLatencyModel",
+    "BatchOperatingPoint",
+    "MD1Prediction",
+    "PaddingReport",
+    "best_batch_size",
+    "dynamic_padding_report",
+    "erlang_c",
+    "md1_mean_latency_ms",
+    "md1_mean_wait_ms",
+    "mgc_mean_wait_ms",
+    "polymorph_padding_report",
+    "predict_allocation",
+    "predict_uniform_scheme",
+    "saturation_rate_per_s",
+    "sweep_batch_sizes",
+    "uniform_padding_report",
+]

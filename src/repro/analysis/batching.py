@@ -1,0 +1,140 @@
+"""Dynamic batch execution analysis — the paper's §6 future work.
+
+The paper fixes batch size to 1 ("conservative and reasonable in
+latency-sensitive scenarios") and leaves joint (batch, length)
+scheduling as future work, noting that "ideally, batch size should be
+dynamic in response to traffic load". This module provides the
+quantitative side of that discussion:
+
+- a batched extension of the staircase latency model (GPU batching is
+  sub-linear: doubling the batch costs less than double the time);
+- per-runtime throughput/latency trade-off curves;
+- :func:`best_batch_size` — the largest batch that still meets an SLO
+  under a given load, the decision rule a batching-aware Arlo would
+  add to its Runtime Scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.queueing import mgc_mean_wait_ms
+from repro.errors import ConfigurationError
+from repro.runtimes.latency import StaircaseLatencyModel
+from repro.units import PER_REQUEST_OVERHEAD_MS, SECOND
+
+
+@dataclass(frozen=True)
+class BatchLatencyModel:
+    """Batched execution time on top of a single-request staircase.
+
+    ``batch_ms(b, len) = single(len) · (overlap + (1 − overlap) · b)``:
+    with ``overlap = 1`` batching is free (perfect parallelism), with
+    ``overlap = 0`` it is pure serialisation. Real accelerators sit in
+    between; 0.45 reflects the ~1.8× cost of batch 2 the paper's
+    latency-sensitive setting worries about.
+    """
+
+    single: StaircaseLatencyModel
+    overlap: float = 0.45
+    max_batch: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.overlap < 1.0:
+            raise ConfigurationError("overlap must be in [0, 1)")
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be ≥ 1")
+
+    def batch_ms(self, batch: int, length: int) -> float:
+        """Execution time of one batch of ``batch`` same-shape requests."""
+        if not 1 <= batch <= self.max_batch:
+            raise ConfigurationError(
+                f"batch {batch} outside [1, {self.max_batch}]"
+            )
+        single = self.single.compute_ms(length)
+        return single * (self.overlap + (1.0 - self.overlap) * batch)
+
+    def per_request_ms(self, batch: int, length: int) -> float:
+        """Amortised GPU time per request inside a batch."""
+        return self.batch_ms(batch, length) / batch
+
+    def throughput_per_s(self, batch: int, length: int) -> float:
+        """Steady-state requests/s of one instance running this batch."""
+        return batch * SECOND / self.batch_ms(batch, length)
+
+
+@dataclass(frozen=True)
+class BatchOperatingPoint:
+    """One (batch size) candidate's predicted behaviour under load."""
+
+    batch: int
+    batch_ms: float
+    throughput_per_s: float
+    mean_latency_ms: float
+    meets_slo: bool
+
+
+def sweep_batch_sizes(
+    model: BatchLatencyModel,
+    length: int,
+    rate_per_s: float,
+    slo_ms: float,
+    overhead_ms: float = PER_REQUEST_OVERHEAD_MS,
+) -> list[BatchOperatingPoint]:
+    """Predict latency at every batch size for one instance under load.
+
+    A batch-``b`` server is approximated as an M/G/1 queue whose
+    "customers" are batches: arrival rate ``λ/b``, service
+    ``batch_ms(b)``; a request additionally waits on average half a
+    batch-accumulation period ``(b−1)/(2λ)`` for its batch to fill.
+    """
+    if rate_per_s <= 0 or slo_ms <= 0:
+        raise ConfigurationError("rate and SLO must be positive")
+    points = []
+    for b in range(1, model.max_batch + 1):
+        service = model.batch_ms(b, length) + overhead_ms
+        batch_rate = rate_per_s / b
+        wait = mgc_mean_wait_ms(batch_rate, service, servers=1)
+        accumulation = (b - 1) / (2.0 * rate_per_s) * SECOND
+        latency = accumulation + wait + service
+        points.append(
+            BatchOperatingPoint(
+                batch=b,
+                batch_ms=service,
+                throughput_per_s=model.throughput_per_s(b, length),
+                mean_latency_ms=latency,
+                meets_slo=bool(np.isfinite(latency) and latency <= slo_ms),
+            )
+        )
+    return points
+
+
+def best_batch_size(
+    model: BatchLatencyModel,
+    length: int,
+    rate_per_s: float,
+    slo_ms: float,
+    headroom: float = 1.2,
+) -> BatchOperatingPoint:
+    """The batch size a load-adaptive batcher would run.
+
+    Chooses the *smallest* SLO-feasible batch whose throughput covers
+    the offered rate with ``headroom`` — batching only as much as the
+    load demands, which keeps latency minimal at a trickle and grows
+    the batch under pressure. Falls back to the largest-throughput
+    feasible point when nothing sustains the rate, and to the lowest-
+    latency point when nothing meets the SLO at all (overload — the
+    autoscaler's job, not the batcher's).
+    """
+    points = sweep_batch_sizes(model, length, rate_per_s, slo_ms)
+    feasible = [p for p in points if p.meets_slo]
+    sustaining = [
+        p for p in feasible if p.throughput_per_s >= rate_per_s * headroom
+    ]
+    if sustaining:
+        return min(sustaining, key=lambda p: p.batch)
+    if feasible:
+        return max(feasible, key=lambda p: (p.throughput_per_s, -p.batch))
+    return min(points, key=lambda p: p.mean_latency_ms)

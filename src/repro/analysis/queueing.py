@@ -1,0 +1,226 @@
+"""M/D/c queueing predictions for polymorph serving.
+
+A runtime level holding ``N`` instances behind least-loaded dispatch
+behaves like an ``M/D/c`` system (join-shortest-queue is close to a
+central queue). We use the classic approximations:
+
+- ``M/M/c`` waiting time via the Erlang-C formula;
+- ``M/D/c ≈ ½ · M/M/c`` (deterministic service halves the wait);
+- ``M/G/c ≈ (1 + CV²)/2 · M/M/c`` for variable service (DT).
+
+For ``c = 1`` these reduce to the exact Pollaczek–Khinchine results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bins import LengthBins
+from repro.errors import ConfigurationError
+from repro.runtimes.models import ModelProfile
+from repro.runtimes.registry import RuntimeRegistry
+from repro.units import PER_REQUEST_OVERHEAD_MS, SECOND
+from repro.workload.lengths import LengthDistribution
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability of waiting in an M/M/c queue.
+
+    ``offered_load`` is ``a = λ·s`` in Erlangs; requires ``a < c``.
+    Computed with the numerically stable iterative form.
+    """
+    if servers < 1:
+        raise ConfigurationError("need at least one server")
+    if offered_load < 0:
+        raise ConfigurationError("offered load cannot be negative")
+    if offered_load >= servers:
+        return 1.0
+    # Iterate the Erlang-B recursion, then convert to Erlang C.
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    rho = offered_load / servers
+    return b / (1.0 - rho + rho * b)
+
+
+def mgc_mean_wait_ms(
+    rate_per_s: float,
+    service_ms: float,
+    servers: int = 1,
+    service_cv2: float = 0.0,
+) -> float:
+    """Mean wait of an M/G/c queue (Erlang-C with the Allen–Cunneen
+    variability correction); ``service_cv2`` is the squared coefficient
+    of variation of the service time (0 = deterministic).
+    """
+    if rate_per_s < 0 or service_ms <= 0:
+        raise ConfigurationError("need rate ≥ 0 and positive service time")
+    if service_cv2 < 0:
+        raise ConfigurationError("CV² cannot be negative")
+    offered = rate_per_s * service_ms / SECOND
+    if offered >= servers:
+        return float("inf")
+    c_wait = erlang_c(servers, offered)
+    mmc_wait = c_wait * service_ms / (servers - offered)
+    return mmc_wait * (1.0 + service_cv2) / 2.0
+
+
+def md1_mean_wait_ms(rate_per_s: float, service_ms: float,
+                     servers: int = 1) -> float:
+    """Mean queueing delay of an M/D/c level; inf at/over saturation."""
+    return mgc_mean_wait_ms(rate_per_s, service_ms, servers, service_cv2=0.0)
+
+
+def md1_mean_latency_ms(rate_per_s: float, service_ms: float,
+                        servers: int = 1) -> float:
+    """Mean sojourn time (wait + service) of an M/D/c level."""
+    return service_ms + md1_mean_wait_ms(rate_per_s, service_ms, servers)
+
+
+@dataclass(frozen=True)
+class MD1Prediction:
+    """Predicted steady-state behaviour of one serving configuration."""
+
+    mean_latency_ms: float
+    mean_wait_ms: float
+    utilization: float
+    per_runtime_latency_ms: tuple[float, ...]
+    per_runtime_utilization: tuple[float, ...]
+
+    @property
+    def is_stable(self) -> bool:
+        return self.utilization < 1.0 and np.isfinite(self.mean_latency_ms)
+
+
+def _expected_rates_per_bin(
+    lengths: LengthDistribution,
+    bins: LengthBins,
+    rate_per_s: float,
+    samples: int = 200_000,
+    seed: int = 0,
+) -> np.ndarray:
+    """Split a total arrival rate across length bins by Monte Carlo."""
+    rng = np.random.default_rng(seed)
+    sample = lengths.sample(rng, samples)
+    sample = np.clip(sample, 1, bins.max_length)
+    hist = bins.histogram(sample)
+    return rate_per_s * hist / hist.sum()
+
+
+def predict_allocation(
+    registry: RuntimeRegistry,
+    allocation: np.ndarray,
+    lengths: LengthDistribution,
+    rate_per_s: float,
+    overhead_ms: float = PER_REQUEST_OVERHEAD_MS,
+) -> MD1Prediction:
+    """Predict mean latency of a polymorph allocation under ideal
+    (least-padding) dispatch with intra-level balance.
+
+    Bins with zero instances contribute their traffic to the next
+    populated longer runtime — the static analogue of demotion.
+    """
+    allocation = np.asarray(allocation, dtype=np.int64)
+    if allocation.shape != (len(registry),):
+        raise ConfigurationError("allocation arity mismatch")
+    if np.any(allocation < 0) or allocation[-1] < 1:
+        raise ConfigurationError("allocation must be ≥ 0 with Eq. 7 held")
+    bins = LengthBins.from_registry(registry)
+    bin_rates = _expected_rates_per_bin(lengths, bins, rate_per_s)
+    # Cascade traffic from empty levels up to the next populated one.
+    served_rates = np.zeros(len(registry))
+    carry = 0.0
+    for i in range(len(registry)):
+        total = bin_rates[i] + carry
+        if allocation[i] > 0:
+            served_rates[i] = total
+            carry = 0.0
+        else:
+            carry = total
+    if carry > 0:  # pragma: no cover - Eq. 7 guarantees a last level
+        served_rates[-1] += carry
+
+    per_latency, per_util = [], []
+    weighted = 0.0
+    for i, profile in enumerate(registry):
+        if allocation[i] == 0 or served_rates[i] == 0:
+            per_latency.append(0.0)
+            per_util.append(0.0)
+            continue
+        service = profile.service_ms + overhead_ms
+        servers = int(allocation[i])
+        per_util.append(served_rates[i] * service / SECOND / servers)
+        latency = md1_mean_latency_ms(served_rates[i], service, servers)
+        per_latency.append(latency)
+        weighted += latency * served_rates[i]
+    total_rate = served_rates.sum()
+    mean = weighted / total_rate if total_rate > 0 else 0.0
+    util = float(
+        sum(r * (registry[i].service_ms + overhead_ms)
+            for i, r in enumerate(served_rates)) / SECOND
+        / max(int(allocation.sum()), 1)
+    )
+    mean_service = float(
+        sum(served_rates[i] * (registry[i].service_ms + overhead_ms)
+            for i in range(len(registry))) / max(total_rate, 1e-12)
+    )
+    return MD1Prediction(
+        mean_latency_ms=mean,
+        mean_wait_ms=mean - mean_service,
+        utilization=util,
+        per_runtime_latency_ms=tuple(per_latency),
+        per_runtime_utilization=tuple(per_util),
+    )
+
+
+def predict_uniform_scheme(
+    model: ModelProfile,
+    num_gpus: int,
+    lengths: LengthDistribution,
+    rate_per_s: float,
+    dynamic: bool = False,
+    overhead_ms: float = PER_REQUEST_OVERHEAD_MS,
+    samples: int = 200_000,
+    seed: int = 0,
+) -> MD1Prediction:
+    """Predict ST (padded) or DT (dynamic) with load balancing.
+
+    The uniform fleet behaves as one M/G/c pool under least-loaded
+    dispatch; DT's service-time variability enters through its squared
+    coefficient of variation.
+    """
+    if num_gpus < 1:
+        raise ConfigurationError("need at least one GPU")
+    rng = np.random.default_rng(seed)
+    sample = np.clip(lengths.sample(rng, samples), 1, model.max_length)
+    if dynamic:
+        unique, counts = np.unique(sample, return_counts=True)
+        services = np.array(
+            [model.dynamic_latency.compute_ms(int(u)) for u in unique]
+        ) + overhead_ms
+        weights = counts / counts.sum()
+        s1 = float((services * weights).sum())
+        s2 = float((services**2 * weights).sum())
+        cv2 = max(s2 / (s1 * s1) - 1.0, 0.0)
+    else:
+        s1 = model.static_latency.compute_ms(model.max_length) + overhead_ms
+        cv2 = 0.0
+    rho = rate_per_s * s1 / SECOND / num_gpus
+    wait = mgc_mean_wait_ms(rate_per_s, s1, num_gpus, service_cv2=cv2)
+    latency = s1 + wait
+    return MD1Prediction(
+        mean_latency_ms=latency,
+        mean_wait_ms=wait,
+        utilization=float(rho),
+        per_runtime_latency_ms=(latency,),
+        per_runtime_utilization=(float(rho),),
+    )
+
+
+def saturation_rate_per_s(service_ms: float, num_instances: int) -> float:
+    """Max sustainable arrival rate for ``num_instances`` FIFO servers."""
+    if service_ms <= 0 or num_instances < 1:
+        raise ConfigurationError("invalid saturation query")
+    return num_instances * SECOND / service_ms

@@ -1,0 +1,35 @@
+"""Comparison schemes and ablations from the paper's evaluation.
+
+- :mod:`repro.baselines.dispatchers` — request dispatch strategies:
+  uniform load balance (ST/DT), Intra-group Load Balance and
+  Inter-groups Greedy (Table 4 ablations), INFaaS-style bin-packing.
+- :mod:`repro.baselines.allocators` — offline GPU allocators: even
+  split and global-trace-distribution (Table 3 ablations).
+- :mod:`repro.baselines.schemes` — fully wired serving schemes (ST, DT,
+  INFaaS, Arlo and its ablated variants) consumed by the simulator.
+"""
+
+from repro.baselines.allocators import (
+    even_allocation,
+    global_distribution_allocation,
+)
+from repro.baselines.dispatchers import (
+    Dispatcher,
+    INFaaSBinPacking,
+    InterGroupGreedy,
+    IntraGroupLoadBalance,
+    UniformLoadBalance,
+)
+from repro.baselines.schemes import Scheme, build_scheme
+
+__all__ = [
+    "Dispatcher",
+    "INFaaSBinPacking",
+    "InterGroupGreedy",
+    "IntraGroupLoadBalance",
+    "Scheme",
+    "UniformLoadBalance",
+    "build_scheme",
+    "even_allocation",
+    "global_distribution_allocation",
+]

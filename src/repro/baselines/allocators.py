@@ -1,0 +1,60 @@
+"""Offline GPU allocators — the Table 3 ablation baselines.
+
+The paper compares the Runtime Scheduler's *periodic* allocation
+against two offline schemes:
+
+- **even** — the same number of GPUs per runtime, remainder to the
+  longest runtimes (so Eq. 7 always holds);
+- **global** — solve Eqs. 1–7 once using the length distribution of
+  the *entire* trace, then never update.
+
+Both are static for the whole run; only Arlo re-solves per period.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocation import AllocationProblem, solve_allocation
+from repro.core.bins import LengthBins
+from repro.core.demand import DemandEstimator
+from repro.errors import ConfigurationError
+from repro.runtimes.registry import RuntimeRegistry
+from repro.workload.trace import Trace
+
+
+def even_allocation(num_runtimes: int, num_gpus: int) -> np.ndarray:
+    """Spread GPUs evenly; leftovers go to the longest runtimes."""
+    if num_runtimes < 1 or num_gpus < 1:
+        raise ConfigurationError("need positive runtime and GPU counts")
+    if num_gpus < num_runtimes:
+        # Too few GPUs to cover every runtime: fill from the longest
+        # down so every request length stays servable (Eq. 7 first).
+        alloc = np.zeros(num_runtimes, dtype=np.int64)
+        alloc[-num_gpus:] = 1
+        return alloc
+    base, extra = divmod(num_gpus, num_runtimes)
+    alloc = np.full(num_runtimes, base, dtype=np.int64)
+    if extra:
+        alloc[-extra:] += 1
+    return alloc
+
+
+def global_distribution_allocation(
+    registry: RuntimeRegistry,
+    trace: Trace,
+    num_gpus: int,
+    slo_ms: float,
+    method: str = "auto",
+) -> np.ndarray:
+    """One-shot Eqs. 1–7 solve on the whole trace's length histogram."""
+    if not len(trace):
+        raise ConfigurationError("cannot allocate for an empty trace")
+    bins = LengthBins.from_registry(registry)
+    demand = DemandEstimator.from_trace_slice(
+        bins, trace.length, span_ms=max(trace.duration_ms, slo_ms), slo_ms=slo_ms
+    )
+    problem = AllocationProblem.from_profiles(
+        num_gpus=num_gpus, demand=demand, profiles=list(registry)
+    )
+    return solve_allocation(problem, method=method, relax=True).allocation

@@ -1,0 +1,218 @@
+"""Fully wired serving schemes: Arlo, ST, DT, INFaaS and ablations.
+
+A :class:`Scheme` is the unit the simulator executes: a cluster, a
+dispatcher and (for Arlo) a periodic runtime scheduler. Builders:
+
+==============  =============================================================
+``arlo``        polymorph set + Algorithm 1 + periodic ILP allocation
+``st``          one static runtime at the model's max length, load balance
+``dt``          one dynamic-shape runtime, load balance
+``infaas``      polymorph variants, even allocation, bin-packing dispatch
+``arlo-ilb``    Arlo allocation + Intra-group Load Balance (Table 4)
+``arlo-ig``     Arlo allocation + Inter-groups Greedy (Table 4)
+``arlo-even``   Algorithm 1 + static even allocation (Table 3)
+``arlo-global`` Algorithm 1 + static global-trace allocation (Table 3)
+==============  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.allocators import even_allocation, global_distribution_allocation
+from repro.baselines.dispatchers import (
+    ArloDispatcher,
+    Dispatcher,
+    INFaaSBinPacking,
+    InterGroupGreedy,
+    IntraGroupLoadBalance,
+    UniformLoadBalance,
+)
+from repro.cluster.state import ClusterState
+from repro.core.bins import LengthBins
+from repro.core.demand import DemandEstimator
+from repro.core.mlq import MultiLevelQueue
+from repro.core.request_scheduler import ArloRequestScheduler, RequestSchedulerConfig
+from repro.core.runtime_scheduler import RuntimeScheduler, RuntimeSchedulerConfig
+from repro.errors import ConfigurationError
+from repro.runtimes.compiler import SimulatedCompiler
+from repro.runtimes.models import ModelProfile, get_model
+from repro.runtimes.profiler import OfflineProfiler
+from repro.runtimes.registry import RuntimeRegistry, build_polymorph_set
+from repro.workload.trace import Trace
+
+SCHEME_NAMES = (
+    "arlo",
+    "st",
+    "dt",
+    "infaas",
+    "arlo-ilb",
+    "arlo-ig",
+    "arlo-even",
+    "arlo-global",
+)
+
+
+@dataclass
+class Scheme:
+    """One serving scheme, ready for the simulator."""
+
+    name: str
+    model: ModelProfile
+    registry: RuntimeRegistry
+    cluster: ClusterState
+    mlq: MultiLevelQueue
+    dispatcher: Dispatcher
+    #: Periodic allocation; None for static-allocation schemes.
+    runtime_scheduler: RuntimeScheduler | None = None
+    #: Demand feed, kept even for static schemes (reports use it).
+    demand_estimator: DemandEstimator | None = None
+
+    @property
+    def slo_ms(self) -> float:
+        return self.model.slo_ms
+
+    @property
+    def scale_out_runtime_index(self) -> int:
+        """§4: new workers load the maximum-length runtime."""
+        return len(self.registry) - 1
+
+    def observe_arrival(self, now_ms: float, length: int) -> None:
+        if self.demand_estimator is not None:
+            self.demand_estimator.observe(now_ms, length)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "allocation": self.cluster.allocation().tolist(),
+            "gpus": self.cluster.num_gpus,
+            "outstanding": self.cluster.total_outstanding(),
+        }
+
+
+def _single_runtime_registry(model: ModelProfile, dynamic: bool) -> RuntimeRegistry:
+    compiler = SimulatedCompiler()
+    profiler = OfflineProfiler()
+    runtime = (
+        compiler.compile_dynamic(model)
+        if dynamic
+        else compiler.compile_static(model, model.max_length)
+    )
+    return RuntimeRegistry(profiles=profiler.profile_set([runtime], model.slo_ms))
+
+
+def _mlq_scheme(
+    name: str,
+    model: ModelProfile,
+    registry: RuntimeRegistry,
+    allocation: np.ndarray,
+    dispatcher_cls,
+    runtime_scheduler: RuntimeScheduler | None = None,
+    estimator: DemandEstimator | None = None,
+) -> Scheme:
+    cluster = ClusterState.bootstrap(registry, allocation)
+    mlq = MultiLevelQueue.from_cluster(cluster)
+    dispatcher = dispatcher_cls(registry=registry, mlq=mlq)
+    return Scheme(
+        name=name,
+        model=model,
+        registry=registry,
+        cluster=cluster,
+        mlq=mlq,
+        dispatcher=dispatcher,
+        runtime_scheduler=runtime_scheduler,
+        demand_estimator=estimator,
+    )
+
+
+def build_scheme(
+    name: str,
+    model: str | ModelProfile,
+    num_gpus: int,
+    *,
+    trace_hint: Trace | None = None,
+    registry: RuntimeRegistry | None = None,
+    request_scheduler_config: RequestSchedulerConfig | None = None,
+    runtime_scheduler_config: RuntimeSchedulerConfig | None = None,
+) -> Scheme:
+    """Construct any of the paper's serving schemes by name.
+
+    ``trace_hint`` (typically a short warm-up slice, *not* the
+    evaluation trace) seeds initial allocations for the length-aware
+    schemes and is mandatory for ``arlo-global``.
+    """
+    if isinstance(model, str):
+        model = get_model(model)
+    if num_gpus < 1:
+        raise ConfigurationError("need at least one GPU")
+    rs_cfg = request_scheduler_config or RequestSchedulerConfig()
+    rt_cfg = runtime_scheduler_config or RuntimeSchedulerConfig()
+
+    if name == "st":
+        reg = registry or _single_runtime_registry(model, dynamic=False)
+        return _mlq_scheme(name, model, reg, np.array([num_gpus]),
+                           UniformLoadBalance)
+    if name == "dt":
+        reg = registry or _single_runtime_registry(model, dynamic=True)
+        return _mlq_scheme(name, model, reg, np.array([num_gpus]),
+                           UniformLoadBalance)
+
+    reg = registry or build_polymorph_set(model)
+    bins = LengthBins.from_registry(reg)
+
+    def initial_allocation() -> np.ndarray:
+        if trace_hint is not None and len(trace_hint):
+            return global_distribution_allocation(
+                reg, trace_hint, num_gpus, model.slo_ms
+            )
+        return even_allocation(len(reg), num_gpus)
+
+    if name == "infaas":
+        return _mlq_scheme(name, model, reg,
+                           even_allocation(len(reg), num_gpus), INFaaSBinPacking)
+
+    if name in ("arlo-ilb", "arlo-ig"):
+        estimator = DemandEstimator(
+            bins=bins, slo_ms=model.slo_ms, window_ms=rt_cfg.period_ms
+        )
+        scheduler = RuntimeScheduler(registry=reg, estimator=estimator,
+                                     config=rt_cfg)
+        cls = IntraGroupLoadBalance if name == "arlo-ilb" else InterGroupGreedy
+        return _mlq_scheme(name, model, reg, initial_allocation(), cls,
+                           runtime_scheduler=scheduler, estimator=estimator)
+
+    if name in ("arlo", "arlo-even", "arlo-global"):
+        if name == "arlo-global" and trace_hint is None:
+            raise ConfigurationError("arlo-global needs a trace_hint")
+        if name == "arlo-even":
+            allocation = even_allocation(len(reg), num_gpus)
+        else:
+            allocation = initial_allocation()
+        cluster = ClusterState.bootstrap(reg, allocation)
+        mlq = MultiLevelQueue.from_cluster(cluster)
+        request_scheduler = ArloRequestScheduler(
+            registry=reg, mlq=mlq, config=rs_cfg
+        )
+        estimator = DemandEstimator(
+            bins=bins, slo_ms=model.slo_ms, window_ms=rt_cfg.period_ms
+        )
+        scheduler = None
+        if name == "arlo":
+            scheduler = RuntimeScheduler(registry=reg, estimator=estimator,
+                                         config=rt_cfg)
+        return Scheme(
+            name=name,
+            model=model,
+            registry=reg,
+            cluster=cluster,
+            mlq=mlq,
+            dispatcher=ArloDispatcher(scheduler=request_scheduler),
+            runtime_scheduler=scheduler,
+            demand_estimator=estimator,
+        )
+
+    raise ConfigurationError(
+        f"unknown scheme {name!r}; options: {', '.join(SCHEME_NAMES)}"
+    )

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``trace``     generate a Twitter-like trace and write it to ``.npz``
+``profile``   run the offline stage (compile + profile) for a model and
+              write the polymorph-set JSON document
+``simulate``  serve a trace with one scheme and print/save the summary
+``compare``   run several schemes on one trace and print the paper-style
+              comparison table and ASCII latency CDF
+``solve``     solve one Eqs. 1–7 allocation instance from JSON input
+``experiment`` run an ExperimentSpec from a JSON file (optionally a
+              sweep over listed fields, optionally in parallel)
+
+Every command is a thin shell over the public library API, so anything
+the CLI does is equally scriptable from Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.baselines.schemes import SCHEME_NAMES, build_scheme
+from repro.core.allocation import AllocationProblem, solve_allocation
+from repro.experiments.plots import cdf_plot
+from repro.experiments.report import comparison_table, format_table
+from repro.io.profiles import save_registry
+from repro.io.results import result_to_dict, save_result_summary
+from repro.io.traces import load_trace, save_trace
+from repro.runtimes.models import MODEL_ZOO
+from repro.runtimes.registry import build_polymorph_set
+from repro.sim.simulation import SimulationConfig, run_simulation
+from repro.units import seconds
+from repro.workload.twitter import TwitterTraceConfig, generate_twitter_trace
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rate", type=float, default=1_000.0,
+                        help="mean arrival rate (req/s)")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="trace duration (seconds)")
+    parser.add_argument("--pattern", choices=("stable", "bursty"),
+                        default="stable")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _make_trace(args: argparse.Namespace):
+    return generate_twitter_trace(
+        TwitterTraceConfig(
+            rate_per_s=args.rate,
+            duration_ms=seconds(args.duration),
+            pattern=args.pattern,
+            seed=args.seed,
+        )
+    )
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    trace = _make_trace(args)
+    path = save_trace(trace, args.output)
+    print(f"wrote {trace} to {path}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    registry = build_polymorph_set(MODEL_ZOO[args.model])
+    path = save_registry(registry, args.output)
+    print(f"profiled {len(registry)} runtimes for {args.model} -> {path}")
+    for p in registry:
+        print(f"  max_length {p.max_length:4d}: {p.service_ms:6.2f} ms, "
+              f"M={p.capacity}")
+    return 0
+
+
+def _trace_from_args(args: argparse.Namespace):
+    if getattr(args, "trace", None):
+        return load_trace(args.trace)
+    return _make_trace(args)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    trace = _trace_from_args(args)
+    hint = trace.slice_time(0, min(seconds(5), trace.duration_ms / 4))
+    scheme = build_scheme(args.scheme, args.model, args.gpus,
+                          trace_hint=hint if len(hint) else None)
+    result = run_simulation(scheme, trace, SimulationConfig(
+        warmup_ms=seconds(args.warmup)))
+    summary = result_to_dict(result)
+    print(json.dumps(summary, indent=2))
+    if args.output:
+        save_result_summary(result, args.output)
+        print(f"saved summary to {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    trace = _trace_from_args(args)
+    hint = trace.slice_time(0, min(seconds(5), trace.duration_ms / 4))
+    results = {}
+    for name in args.schemes:
+        scheme = build_scheme(name, args.model, args.gpus,
+                              trace_hint=hint if len(hint) else None)
+        results[name] = run_simulation(
+            scheme, trace, SimulationConfig(warmup_ms=seconds(args.warmup))
+        )
+    rows = comparison_table(results, reference=args.reference)
+    print(format_table(
+        rows, title=f"{args.model} @ {trace.mean_rate_per_s:.0f} req/s, "
+        f"{args.gpus} GPUs"))
+    if args.cdf:
+        print()
+        print(cdf_plot(
+            {name: res.latencies() for name, res in results.items()},
+            title="latency CDF",
+            x_max=float(np.percentile(
+                results[args.reference].latencies(), 99.5)) * 3,
+        ))
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    payload = json.loads(sys.stdin.read() if args.input == "-"
+                         else open(args.input).read())
+    problem = AllocationProblem(
+        num_gpus=int(payload["num_gpus"]),
+        demand=np.asarray(payload["demand"], dtype=float),
+        capacity=np.asarray(payload["capacity"]),
+        service_ms=np.asarray(payload["service_ms"], dtype=float),
+        overhead_ms=float(payload.get("overhead_ms", 0.8)),
+    )
+    result = solve_allocation(problem, method=args.method,
+                              relax=args.relax)
+    print(json.dumps({
+        "allocation": result.allocation.tolist(),
+        "objective": result.objective,
+        "solver": result.solver,
+        "solve_time_s": result.solve_time_s,
+        "relaxed": result.relaxed,
+    }, indent=2))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import ExperimentSpec
+    from repro.experiments.sweep import expand_grid, run_sweep
+
+    payload = json.loads(sys.stdin.read() if args.spec == "-"
+                         else open(args.spec).read())
+    axes = payload.pop("sweep", {})
+    if "schemes" in payload:
+        payload["schemes"] = tuple(payload["schemes"])
+    spec = ExperimentSpec(**payload)
+    specs = expand_grid(spec, **axes)
+    results = run_sweep(specs, workers=args.workers)
+    print(json.dumps(results, indent=2))
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(json.dumps(results, indent=2))
+        print(f"saved results to {args.output}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Arlo reproduction: polymorph serving experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="generate a Twitter-like trace")
+    _add_trace_args(p_trace)
+    p_trace.add_argument("--output", required=True)
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_profile = sub.add_parser("profile", help="offline compile+profile")
+    p_profile.add_argument("--model", choices=sorted(MODEL_ZOO),
+                           default="bert-base")
+    p_profile.add_argument("--output", required=True)
+    p_profile.set_defaults(fn=cmd_profile)
+
+    p_sim = sub.add_parser("simulate", help="serve a trace with one scheme")
+    _add_trace_args(p_sim)
+    p_sim.add_argument("--trace", help="trace .npz (otherwise synthesise)")
+    p_sim.add_argument("--model", choices=sorted(MODEL_ZOO),
+                       default="bert-base")
+    p_sim.add_argument("--scheme", choices=SCHEME_NAMES, default="arlo")
+    p_sim.add_argument("--gpus", type=int, default=10)
+    p_sim.add_argument("--warmup", type=float, default=0.0,
+                       help="seconds excluded from statistics")
+    p_sim.add_argument("--output", help="write JSON summary here")
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="run several schemes on one trace")
+    _add_trace_args(p_cmp)
+    p_cmp.add_argument("--trace")
+    p_cmp.add_argument("--model", choices=sorted(MODEL_ZOO),
+                       default="bert-base")
+    p_cmp.add_argument("--schemes", nargs="+", default=list(SCHEME_NAMES[:4]),
+                       choices=SCHEME_NAMES)
+    p_cmp.add_argument("--gpus", type=int, default=10)
+    p_cmp.add_argument("--warmup", type=float, default=0.0)
+    p_cmp.add_argument("--reference", default="arlo")
+    p_cmp.add_argument("--cdf", action="store_true",
+                       help="render an ASCII latency CDF")
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_exp = sub.add_parser(
+        "experiment",
+        help="run an ExperimentSpec JSON (fields of "
+        "repro.experiments.runner.ExperimentSpec, plus an optional "
+        "'sweep' object mapping field -> list of values)",
+    )
+    p_exp.add_argument("--spec", default="-",
+                       help="JSON spec file ('-' = stdin)")
+    p_exp.add_argument("--workers", type=int, default=1)
+    p_exp.add_argument("--output", help="also write results JSON here")
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_solve = sub.add_parser("solve", help="solve one Eqs. 1-7 instance")
+    p_solve.add_argument("--input", default="-",
+                         help="JSON file with the problem ('-' = stdin)")
+    p_solve.add_argument("--method", default="auto",
+                         choices=("auto", "dp", "local", "brute", "milp"))
+    p_solve.add_argument("--relax", action="store_true")
+    p_solve.set_defaults(fn=cmd_solve)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""GPU cluster substrate: devices, runtime instances, scaling, replacement.
+
+The paper's testbed is ten RTX 3090s behind Triton; here a cluster is a
+set of simulated GPU workers, each hosting exactly one runtime instance
+(Arlo deliberately avoids co-locating instances of the same stream on
+one GPU, §3.3). Instances are single-slot FIFO servers (batch size 1).
+"""
+
+from repro.cluster.autoscaler import (
+    AutoscalerConfig,
+    HeadroomAutoscaler,
+    HeadroomConfig,
+    ScaleAction,
+    TargetTrackingAutoscaler,
+)
+from repro.cluster.gpu import Gpu
+from repro.cluster.instance import InstanceStatus, RuntimeInstance
+from repro.cluster.replacement import ReplacementPlan, ReplacementStep, plan_replacement
+from repro.cluster.state import ClusterState
+
+__all__ = [
+    "AutoscalerConfig",
+    "ClusterState",
+    "Gpu",
+    "HeadroomAutoscaler",
+    "HeadroomConfig",
+    "InstanceStatus",
+    "ReplacementPlan",
+    "ReplacementStep",
+    "RuntimeInstance",
+    "ScaleAction",
+    "TargetTrackingAutoscaler",
+    "plan_replacement",
+]

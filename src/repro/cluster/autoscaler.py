@@ -1,0 +1,211 @@
+"""Target-tracking auto-scaling (paper §4).
+
+The policy, verbatim from the implementation section:
+
+- **Scale out** when the p98 latency of recently executed requests
+  reaches 95 % of the SLO; the new worker loads a runtime instance
+  compiled for the maximum sequence length (so it can absorb anything).
+- **Scale in** when the p98 of recently completed requests stays below
+  50 % of the SLO over a full decision period (60 s): release the least
+  busy instance.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import SECOND
+
+
+class ScaleAction(enum.Enum):
+    """What the autoscaler wants done right now."""
+
+    NONE = "none"
+    OUT = "out"
+    IN = "in"
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Knobs of the target-tracking policy."""
+
+    slo_ms: float
+    scale_out_fraction: float = 0.95
+    scale_in_fraction: float = 0.50
+    #: Sliding window of recent request latencies examined.
+    window_size: int = 512
+    #: Scale-in requires the condition to hold for this long (§4: 60 s).
+    scale_in_period_ms: float = 60 * SECOND
+    #: Minimum gap between consecutive scale-out actions.
+    scale_out_cooldown_ms: float = 5 * SECOND
+    min_gpus: int = 1
+    max_gpus: int = 10_000
+    percentile: float = 98.0
+
+    def __post_init__(self) -> None:
+        if self.slo_ms <= 0:
+            raise ConfigurationError("SLO must be positive")
+        if not 0 < self.scale_in_fraction < self.scale_out_fraction <= 1.0:
+            raise ConfigurationError(
+                "need 0 < scale_in_fraction < scale_out_fraction <= 1"
+            )
+        if self.window_size < 8:
+            raise ConfigurationError("window too small to estimate a p98")
+        if self.min_gpus < 1 or self.max_gpus < self.min_gpus:
+            raise ConfigurationError("need 1 <= min_gpus <= max_gpus")
+        if not 50 <= self.percentile <= 100:
+            raise ConfigurationError("percentile must be in [50, 100]")
+
+
+@dataclass
+class TargetTrackingAutoscaler:
+    """Streaming implementation fed one completed request at a time."""
+
+    config: AutoscalerConfig
+    _latencies: deque = field(init=False)
+    _below_since_ms: float | None = field(default=None, init=False)
+    _last_scale_out_ms: float = field(default=float("-inf"), init=False)
+    _last_scale_in_ms: float = field(default=float("-inf"), init=False)
+
+    def __post_init__(self) -> None:
+        self._latencies = deque(maxlen=self.config.window_size)
+
+    def observe(self, latency_ms: float) -> None:
+        """Record one completed request's end-to-end latency."""
+        if latency_ms < 0:
+            raise ConfigurationError("latency cannot be negative")
+        self._latencies.append(latency_ms)
+
+    def observe_utilization(self, utilization: float) -> None:
+        """Ignored — this policy tracks latency, not load headroom."""
+
+    def tail_latency(self) -> float | None:
+        """Current windowed p98, or None before enough data arrived."""
+        if len(self._latencies) < max(8, self.config.window_size // 8):
+            return None
+        return float(
+            np.percentile(np.asarray(self._latencies), self.config.percentile)
+        )
+
+    def decide(self, now_ms: float, current_gpus: int) -> ScaleAction:
+        """Evaluate the policy; call at completion times or periodically."""
+        cfg = self.config
+        tail = self.tail_latency()
+        if tail is None:
+            return ScaleAction.NONE
+
+        if tail >= cfg.scale_out_fraction * cfg.slo_ms:
+            self._below_since_ms = None
+            if current_gpus >= cfg.max_gpus:
+                return ScaleAction.NONE
+            if now_ms - self._last_scale_out_ms < cfg.scale_out_cooldown_ms:
+                return ScaleAction.NONE
+            self._last_scale_out_ms = now_ms
+            return ScaleAction.OUT
+
+        if tail < cfg.scale_in_fraction * cfg.slo_ms:
+            if self._below_since_ms is None:
+                self._below_since_ms = now_ms
+            sustained = now_ms - self._below_since_ms >= cfg.scale_in_period_ms
+            recent_in = now_ms - self._last_scale_in_ms < cfg.scale_in_period_ms
+            if sustained and not recent_in and current_gpus > cfg.min_gpus:
+                self._last_scale_in_ms = now_ms
+                self._below_since_ms = now_ms
+                return ScaleAction.IN
+            return ScaleAction.NONE
+
+        # In the comfortable band: reset the scale-in timer.
+        self._below_since_ms = None
+        return ScaleAction.NONE
+
+
+@dataclass(frozen=True)
+class HeadroomConfig:
+    """Knobs of the INFaaS-style load-headroom policy.
+
+    The paper's baselines (§5 "Compared schemes") scale on *load
+    headroom* rather than latency: add a worker when cluster
+    utilisation exceeds ``scale_out_utilization``, remove one when it
+    stays below ``scale_in_utilization`` for a full decision period.
+    """
+
+    scale_out_utilization: float = 0.8
+    scale_in_utilization: float = 0.3
+    window_size: int = 64
+    scale_in_period_ms: float = 60 * SECOND
+    scale_out_cooldown_ms: float = 5 * SECOND
+    min_gpus: int = 1
+    max_gpus: int = 10_000
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale_in_utilization < self.scale_out_utilization <= 1:
+            raise ConfigurationError(
+                "need 0 < scale_in_utilization < scale_out_utilization <= 1"
+            )
+        if self.window_size < 4:
+            raise ConfigurationError("window too small")
+        if self.min_gpus < 1 or self.max_gpus < self.min_gpus:
+            raise ConfigurationError("need 1 <= min_gpus <= max_gpus")
+
+
+@dataclass
+class HeadroomAutoscaler:
+    """Utilisation-threshold scaling (the INFaaS-style baseline policy).
+
+    Shares the :class:`TargetTrackingAutoscaler` interface so the
+    simulator's control plane can host either: ``observe`` (latency)
+    is accepted and ignored; ``observe_utilization`` feeds the policy.
+    """
+
+    config: HeadroomConfig
+    _utilizations: deque = field(init=False)
+    _below_since_ms: float | None = field(default=None, init=False)
+    _last_scale_out_ms: float = field(default=float("-inf"), init=False)
+    _last_scale_in_ms: float = field(default=float("-inf"), init=False)
+
+    def __post_init__(self) -> None:
+        self._utilizations = deque(maxlen=self.config.window_size)
+
+    def observe(self, latency_ms: float) -> None:
+        """Ignored — this policy tracks headroom, not latency."""
+
+    def observe_utilization(self, utilization: float) -> None:
+        if utilization < 0:
+            raise ConfigurationError("utilization cannot be negative")
+        self._utilizations.append(utilization)
+
+    def current_utilization(self) -> float | None:
+        if len(self._utilizations) < max(4, self.config.window_size // 8):
+            return None
+        return float(np.mean(self._utilizations))
+
+    def decide(self, now_ms: float, current_gpus: int) -> ScaleAction:
+        cfg = self.config
+        util = self.current_utilization()
+        if util is None:
+            return ScaleAction.NONE
+        if util >= cfg.scale_out_utilization:
+            self._below_since_ms = None
+            if current_gpus >= cfg.max_gpus:
+                return ScaleAction.NONE
+            if now_ms - self._last_scale_out_ms < cfg.scale_out_cooldown_ms:
+                return ScaleAction.NONE
+            self._last_scale_out_ms = now_ms
+            return ScaleAction.OUT
+        if util < cfg.scale_in_utilization:
+            if self._below_since_ms is None:
+                self._below_since_ms = now_ms
+            sustained = now_ms - self._below_since_ms >= cfg.scale_in_period_ms
+            recent_in = now_ms - self._last_scale_in_ms < cfg.scale_in_period_ms
+            if sustained and not recent_in and current_gpus > cfg.min_gpus:
+                self._last_scale_in_ms = now_ms
+                self._below_since_ms = now_ms
+                return ScaleAction.IN
+            return ScaleAction.NONE
+        self._below_since_ms = None
+        return ScaleAction.NONE

@@ -1,0 +1,64 @@
+"""GPU device model.
+
+A GPU is a slot that hosts at most one runtime instance at a time.
+The model is intentionally thin — compute behaviour lives in the
+runtime latency models, and Arlo never co-locates instances — but it
+keeps the bookkeeping (which device is free, cumulative busy time for
+utilisation reports) in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+
+
+@dataclass
+class Gpu:
+    """One GPU worker in the cluster."""
+
+    gpu_id: int
+    instance_id: int | None = None
+    #: Total GPU-milliseconds spent executing requests (utilisation metric).
+    busy_ms: float = 0.0
+    #: When this worker was provisioned (for GPU-time accounting).
+    provisioned_at_ms: float = 0.0
+    released_at_ms: float | None = field(default=None)
+
+    @property
+    def is_free(self) -> bool:
+        return self.instance_id is None
+
+    @property
+    def is_released(self) -> bool:
+        return self.released_at_ms is not None
+
+    def attach(self, instance_id: int) -> None:
+        if self.is_released:
+            raise SchedulingError(f"GPU {self.gpu_id} has been released")
+        if not self.is_free:
+            raise SchedulingError(
+                f"GPU {self.gpu_id} already hosts instance {self.instance_id}"
+            )
+        self.instance_id = instance_id
+
+    def detach(self) -> None:
+        if self.is_free:
+            raise SchedulingError(f"GPU {self.gpu_id} hosts no instance")
+        self.instance_id = None
+
+    def release(self, now_ms: float) -> None:
+        """Return the worker to the provider (auto-scale-in)."""
+        if not self.is_free:
+            raise SchedulingError(
+                f"cannot release GPU {self.gpu_id} while it hosts an instance"
+            )
+        if self.is_released:
+            raise SchedulingError(f"GPU {self.gpu_id} already released")
+        self.released_at_ms = now_ms
+
+    def lifetime_ms(self, now_ms: float) -> float:
+        """Wall-clock this worker has been provisioned so far."""
+        end = self.released_at_ms if self.is_released else now_ms
+        return max(0.0, end - self.provisioned_at_ms)

@@ -1,0 +1,133 @@
+"""Runtime instances: single-slot FIFO servers with batch size 1.
+
+An instance executes one request at a time (the paper fixes batch size
+to 1 for latency-sensitive serving); queued requests wait in FIFO
+order. The instance tracks ``outstanding`` (queued + in service) and
+``busy_until_ms`` so the simulator can schedule completions without
+materialising the queue.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, SchedulingError
+from repro.runtimes.profiler import RuntimeProfile
+
+
+class InstanceStatus(enum.Enum):
+    """Lifecycle of a runtime instance."""
+
+    ACTIVE = "active"
+    #: Finishing outstanding work; accepts no new requests (replacement).
+    DRAINING = "draining"
+    #: Gone — kept only so stale references fail loudly.
+    RETIRED = "retired"
+
+
+@dataclass
+class RuntimeInstance:
+    """One runtime deployed on one GPU."""
+
+    instance_id: int
+    gpu_id: int
+    runtime_index: int
+    profile: RuntimeProfile
+    status: InstanceStatus = InstanceStatus.ACTIVE
+    outstanding: int = 0
+    busy_until_ms: float = 0.0
+    #: Cumulative requests served (report metric).
+    served: int = 0
+    _epoch: int = field(default=0, repr=False)
+
+    @property
+    def max_length(self) -> int:
+        return self.profile.max_length
+
+    @property
+    def capacity(self) -> int:
+        """``M_i`` of the hosted runtime."""
+        return self.profile.capacity
+
+    @property
+    def is_active(self) -> bool:
+        return self.status is InstanceStatus.ACTIVE
+
+    def congestion(self) -> float:
+        """Algorithm 1's ``P = outstanding / max_capacity``."""
+        return self.outstanding / self.capacity
+
+    def accepts(self, length: int) -> bool:
+        return self.is_active and self.profile.runtime.spec.accepts(length)
+
+    def enqueue(self, now_ms: float, length: int) -> tuple[float, float]:
+        """Admit a request; returns (service start, completion time).
+
+        Service time is the runtime's padded execution time plus the
+        fixed per-request overhead from §5.2.1.
+        """
+        if not self.is_active:
+            raise SchedulingError(
+                f"instance {self.instance_id} is {self.status.value}"
+            )
+        if not self.profile.runtime.spec.accepts(length):
+            raise CapacityError(
+                f"length {length} > max_length {self.max_length} "
+                f"on instance {self.instance_id}"
+            )
+        service = self.profile.runtime.service_ms(length) + self.profile.overhead_ms
+        start = max(now_ms, self.busy_until_ms)
+        finish = start + service
+        self.busy_until_ms = finish
+        self.outstanding += 1
+        self._epoch += 1
+        return start, finish
+
+    def complete(self) -> None:
+        """Mark one request finished (called by the completion event)."""
+        if self.outstanding <= 0:
+            raise SchedulingError(
+                f"instance {self.instance_id} completed with empty queue"
+            )
+        self.outstanding -= 1
+        self.served += 1
+        self._epoch += 1
+
+    def begin_drain(self) -> None:
+        if self.status is InstanceStatus.RETIRED:
+            raise SchedulingError("cannot drain a retired instance")
+        self.status = InstanceStatus.DRAINING
+        self._epoch += 1
+
+    def retire(self) -> None:
+        if self.outstanding:
+            raise SchedulingError(
+                f"instance {self.instance_id} retired with work outstanding"
+            )
+        self.status = InstanceStatus.RETIRED
+        self._epoch += 1
+
+    def crash(self) -> int:
+        """Abrupt failure: drop all outstanding work and retire.
+
+        Returns the number of requests lost (the caller re-dispatches
+        them). Unlike :meth:`retire`, crashing is legal at any time.
+        """
+        if self.status is InstanceStatus.RETIRED:
+            raise SchedulingError(
+                f"instance {self.instance_id} already retired"
+            )
+        lost = self.outstanding
+        self.outstanding = 0
+        self.busy_until_ms = 0.0
+        self.status = InstanceStatus.RETIRED
+        self._epoch += 1
+        return lost
+
+    def drained(self) -> bool:
+        """True once a draining instance has finished all its work."""
+        return self.status is InstanceStatus.DRAINING and self.outstanding == 0
+
+    def idle_at(self, now_ms: float) -> bool:
+        return self.outstanding == 0 and self.busy_until_ms <= now_ms

@@ -1,0 +1,152 @@
+"""Mutable cluster state: GPUs, deployed instances, allocation view.
+
+The :class:`ClusterState` is the single source of truth shared by the
+runtime scheduler (which changes allocations), the request scheduler
+(which reads instance load), the autoscaler (which adds/removes GPUs)
+and the simulator (which drives completions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.gpu import Gpu
+from repro.cluster.instance import RuntimeInstance
+from repro.errors import SchedulingError
+from repro.runtimes.registry import RuntimeRegistry
+
+
+@dataclass
+class ClusterState:
+    """All GPUs and runtime instances of one serving stream."""
+
+    registry: RuntimeRegistry
+    gpus: dict[int, Gpu] = field(default_factory=dict)
+    instances: dict[int, RuntimeInstance] = field(default_factory=dict)
+    #: Active instances per runtime index (the multi-level-queue levels).
+    levels: list[list[RuntimeInstance]] = field(default_factory=list)
+    _next_gpu_id: int = 0
+    _next_instance_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            self.levels = [[] for _ in range(len(self.registry))]
+
+    # -- provisioning -------------------------------------------------------
+    def add_gpu(self, now_ms: float = 0.0) -> Gpu:
+        gpu = Gpu(gpu_id=self._next_gpu_id, provisioned_at_ms=now_ms)
+        self._next_gpu_id += 1
+        self.gpus[gpu.gpu_id] = gpu
+        return gpu
+
+    def release_gpu(self, gpu_id: int, now_ms: float) -> None:
+        gpu = self.gpus[gpu_id]
+        gpu.release(now_ms)
+
+    def deploy(self, runtime_index: int, gpu: Gpu) -> RuntimeInstance:
+        """Load runtime ``runtime_index`` onto a free GPU."""
+        if not 0 <= runtime_index < len(self.registry):
+            raise SchedulingError(f"no runtime with index {runtime_index}")
+        instance = RuntimeInstance(
+            instance_id=self._next_instance_id,
+            gpu_id=gpu.gpu_id,
+            runtime_index=runtime_index,
+            profile=self.registry[runtime_index],
+        )
+        self._next_instance_id += 1
+        gpu.attach(instance.instance_id)
+        self.instances[instance.instance_id] = instance
+        self.levels[runtime_index].append(instance)
+        return instance
+
+    def deploy_on_new_gpu(self, runtime_index: int, now_ms: float = 0.0) -> RuntimeInstance:
+        return self.deploy(runtime_index, self.add_gpu(now_ms))
+
+    def retire_instance(self, instance: RuntimeInstance) -> Gpu:
+        """Remove a fully drained instance; returns its freed GPU."""
+        if instance.instance_id not in self.instances:
+            raise SchedulingError(f"unknown instance {instance.instance_id}")
+        instance.retire()
+        return self._unlink(instance)
+
+    def crash_instance(self, instance: RuntimeInstance) -> tuple[Gpu, int]:
+        """Abrupt failure: drop the instance and its outstanding work.
+
+        Returns (freed GPU, number of requests lost).
+        """
+        if instance.instance_id not in self.instances:
+            raise SchedulingError(f"unknown instance {instance.instance_id}")
+        lost = instance.crash()
+        return self._unlink(instance), lost
+
+    def _unlink(self, instance: RuntimeInstance) -> Gpu:
+        del self.instances[instance.instance_id]
+        self.levels[instance.runtime_index].remove(instance)
+        gpu = self.gpus[instance.gpu_id]
+        gpu.detach()
+        return gpu
+
+    # -- views ---------------------------------------------------------------
+    def active_instances(self, runtime_index: int | None = None) -> list[RuntimeInstance]:
+        if runtime_index is None:
+            pools = self.levels
+        else:
+            pools = [self.levels[runtime_index]]
+        return [i for pool in pools for i in pool if i.is_active]
+
+    def allocation(self) -> np.ndarray:
+        """Active instance count per runtime (the ILP's ``N`` vector)."""
+        return np.array(
+            [sum(1 for i in lvl if i.is_active) for lvl in self.levels],
+            dtype=np.int64,
+        )
+
+    @property
+    def num_gpus(self) -> int:
+        """Provisioned, unreleased GPU workers."""
+        return sum(1 for g in self.gpus.values() if not g.is_released)
+
+    @property
+    def num_active_instances(self) -> int:
+        return sum(1 for i in self.instances.values() if i.is_active)
+
+    def free_gpus(self) -> list[Gpu]:
+        return [g for g in self.gpus.values() if g.is_free and not g.is_released]
+
+    def total_outstanding(self) -> int:
+        return sum(i.outstanding for i in self.instances.values())
+
+    def gpu_time_ms(self, now_ms: float) -> float:
+        """Σ provisioned lifetime over all GPUs (the Fig. 8 integral)."""
+        return sum(g.lifetime_ms(now_ms) for g in self.gpus.values())
+
+    def time_weighted_gpus(self, now_ms: float) -> float:
+        """Time-weighted GPU count (paper reports e.g. 5.49 for Arlo)."""
+        if now_ms <= 0:
+            return float(self.num_gpus)
+        return self.gpu_time_ms(now_ms) / now_ms
+
+    # -- bootstrap -------------------------------------------------------------
+    @classmethod
+    def bootstrap(
+        cls,
+        registry: RuntimeRegistry,
+        allocation: np.ndarray | list[int],
+        now_ms: float = 0.0,
+    ) -> "ClusterState":
+        """Build a cluster already deployed with a given allocation."""
+        allocation = np.asarray(allocation, dtype=np.int64)
+        if allocation.shape != (len(registry),):
+            raise SchedulingError(
+                f"allocation has {allocation.shape} entries, registry has "
+                f"{len(registry)} runtimes"
+            )
+        if np.any(allocation < 0) or allocation.sum() == 0:
+            raise SchedulingError("allocation must be non-negative and non-empty")
+        state = cls(registry=registry)
+        for idx, count in enumerate(allocation):
+            for _ in range(int(count)):
+                state.deploy_on_new_gpu(idx, now_ms)
+        return state

@@ -1,0 +1,40 @@
+"""Arlo's core: the polymorphing schedulers (the paper's contribution).
+
+- :mod:`repro.core.bins` — length-span fragmentation (workflow step ①).
+- :mod:`repro.core.demand` — request length distribution estimation,
+  producing the per-bin demand ``Q_i`` the ILP consumes.
+- :mod:`repro.core.allocation` — the Eqs. 1–7 optimisation problem and
+  four solvers (exact DP, local search, brute force, MILP validation).
+- :mod:`repro.core.runtime_scheduler` — the periodic Runtime Scheduler
+  (§3.3): demand → allocation → minimal replacement plan.
+- :mod:`repro.core.mlq` — the multi-level queue over runtime instances.
+- :mod:`repro.core.request_scheduler` — Algorithm 1 (§3.4).
+- :mod:`repro.core.arlo` — the user-facing system facade.
+"""
+
+from repro.core.allocation import (
+    AllocationProblem,
+    AllocationResult,
+    solve_allocation,
+)
+from repro.core.arlo import ArloConfig, ArloSystem
+from repro.core.bins import LengthBins
+from repro.core.demand import DemandEstimator
+from repro.core.mlq import MultiLevelQueue
+from repro.core.request_scheduler import ArloRequestScheduler, RequestSchedulerConfig
+from repro.core.runtime_scheduler import RuntimeScheduler, RuntimeSchedulerConfig
+
+__all__ = [
+    "AllocationProblem",
+    "AllocationResult",
+    "ArloConfig",
+    "ArloRequestScheduler",
+    "ArloSystem",
+    "DemandEstimator",
+    "LengthBins",
+    "MultiLevelQueue",
+    "RequestSchedulerConfig",
+    "RuntimeScheduler",
+    "RuntimeSchedulerConfig",
+    "solve_allocation",
+]

@@ -1,0 +1,159 @@
+"""The Arlo system facade — the public entry point of the library.
+
+Wires the offline stage (polymorph-set compilation and profiling) and
+the two online schedulers into one object:
+
+>>> from repro import ArloSystem
+>>> arlo = ArloSystem.build("bert-base", num_gpus=10)
+>>> decision, start, finish = arlo.handle(now_ms=0.0, length=37)
+
+For trace-driven evaluation use :mod:`repro.sim.simulation`, which
+drives an :class:`ArloSystem` (and the baselines) through a discrete-
+event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.replacement import ReplacementPlan
+from repro.cluster.state import ClusterState
+from repro.core.allocation import AllocationProblem, AllocationResult, solve_allocation
+from repro.core.bins import LengthBins
+from repro.core.demand import DemandEstimator
+from repro.core.mlq import MultiLevelQueue
+from repro.core.request_scheduler import (
+    ArloRequestScheduler,
+    DispatchDecision,
+    RequestSchedulerConfig,
+)
+from repro.core.runtime_scheduler import RuntimeScheduler, RuntimeSchedulerConfig
+from repro.errors import ConfigurationError
+from repro.runtimes.models import ModelProfile, get_model
+from repro.runtimes.registry import RuntimeRegistry, build_polymorph_set
+from repro.units import MINUTE
+
+
+@dataclass(frozen=True)
+class ArloConfig:
+    """Top-level configuration of one Arlo deployment."""
+
+    num_gpus: int
+    request_scheduler: RequestSchedulerConfig = field(
+        default_factory=RequestSchedulerConfig
+    )
+    runtime_scheduler: RuntimeSchedulerConfig = field(
+        default_factory=RuntimeSchedulerConfig
+    )
+    demand_window_ms: float = 2 * MINUTE
+    demand_ewma_alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigurationError("need at least one GPU")
+
+
+@dataclass
+class ArloSystem:
+    """A fully wired Arlo deployment for one request stream."""
+
+    model: ModelProfile
+    registry: RuntimeRegistry
+    cluster: ClusterState
+    mlq: MultiLevelQueue
+    request_scheduler: ArloRequestScheduler
+    runtime_scheduler: RuntimeScheduler
+    config: ArloConfig
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        model: str | ModelProfile,
+        num_gpus: int,
+        *,
+        config: ArloConfig | None = None,
+        registry: RuntimeRegistry | None = None,
+        initial_demand: np.ndarray | None = None,
+    ) -> "ArloSystem":
+        """Offline stage + initial deployment.
+
+        Without an ``initial_demand`` hint, the first allocation spreads
+        GPUs using a mildly short-biased uniform demand guess; the first
+        scheduling period replaces it with the observed distribution.
+        """
+        if isinstance(model, str):
+            model = get_model(model)
+        config = config or ArloConfig(num_gpus=num_gpus)
+        if config.num_gpus != num_gpus:
+            raise ConfigurationError("num_gpus mismatch between args and config")
+        registry = registry or build_polymorph_set(model)
+        bins = LengthBins.from_registry(registry)
+        estimator = DemandEstimator(
+            bins=bins,
+            slo_ms=model.slo_ms,
+            window_ms=config.demand_window_ms,
+            ewma_alpha=config.demand_ewma_alpha,
+        )
+        if initial_demand is None:
+            # Uniform-by-bin prior scaled to roughly one SLO of capacity.
+            per_bin = np.array([p.capacity for p in registry], dtype=float)
+            initial_demand = per_bin * num_gpus / (2.0 * len(registry))
+        problem = AllocationProblem.from_profiles(
+            num_gpus=num_gpus,
+            demand=np.asarray(initial_demand, dtype=float),
+            profiles=list(registry),
+        )
+        allocation = solve_allocation(problem, relax=True).allocation
+        cluster = ClusterState.bootstrap(registry, allocation)
+        mlq = MultiLevelQueue.from_cluster(cluster)
+        request_scheduler = ArloRequestScheduler(
+            registry=registry, mlq=mlq, config=config.request_scheduler
+        )
+        runtime_scheduler = RuntimeScheduler(
+            registry=registry, estimator=estimator, config=config.runtime_scheduler
+        )
+        return cls(
+            model=model,
+            registry=registry,
+            cluster=cluster,
+            mlq=mlq,
+            request_scheduler=request_scheduler,
+            runtime_scheduler=runtime_scheduler,
+            config=config,
+        )
+
+    # -- online serving ------------------------------------------------------
+    def handle(
+        self, now_ms: float, length: int
+    ) -> tuple[DispatchDecision, float, float]:
+        """Admit one request: record demand, dispatch, enqueue."""
+        self.runtime_scheduler.estimator.observe(now_ms, length)
+        return self.request_scheduler.dispatch(now_ms, length)
+
+    def complete(self, instance_id: int) -> None:
+        """Acknowledge a completion (keeps the MLQ keys fresh)."""
+        instance = self.cluster.instances.get(instance_id)
+        if instance is None:
+            raise ConfigurationError(f"unknown instance {instance_id}")
+        instance.complete()
+        self.mlq.refresh(instance)
+
+    def reschedule(self, now_ms: float) -> tuple[AllocationResult, ReplacementPlan]:
+        """Run one Runtime Scheduler period (§3.3)."""
+        return self.runtime_scheduler.step(now_ms, self.cluster)
+
+    @property
+    def slo_ms(self) -> float:
+        return self.model.slo_ms
+
+    def snapshot(self) -> dict[str, object]:
+        """Operational snapshot for dashboards and tests."""
+        return {
+            "allocation": self.cluster.allocation().tolist(),
+            "outstanding": self.cluster.total_outstanding(),
+            "gpus": self.cluster.num_gpus,
+            "dispatch": self.request_scheduler.stats(),
+        }

@@ -1,0 +1,71 @@
+"""Length-span fragmentation (paper workflow step ①).
+
+A :class:`LengthBins` maps request lengths to bins whose upper edges
+are the polymorph set's ``max_length`` values: bin ``i`` holds the
+requests whose *ideal* runtime is runtime ``i``. It is the pure-data
+counterpart of :class:`repro.runtimes.registry.RuntimeRegistry` used by
+components (demand estimation, trace analytics) that must not depend
+on compiled runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class LengthBins:
+    """Right-closed length bins: bin i covers (edges[i-1], edges[i]]."""
+
+    edges: np.ndarray
+
+    def __post_init__(self) -> None:
+        edges = np.asarray(self.edges, dtype=np.int64)
+        if edges.ndim != 1 or edges.size == 0:
+            raise ConfigurationError("need at least one bin edge")
+        if edges[0] <= 0 or np.any(np.diff(edges) <= 0):
+            raise ConfigurationError("edges must be positive and increasing")
+        edges.setflags(write=False)
+        object.__setattr__(self, "edges", edges)
+
+    @classmethod
+    def from_registry(cls, registry) -> "LengthBins":
+        """Bins induced by a polymorph set's max_lengths."""
+        return cls(edges=registry.bin_edges())
+
+    @classmethod
+    def uniform(cls, max_length: int, step: int) -> "LengthBins":
+        """Bins at every multiple of ``step`` up to ``max_length``."""
+        from repro.runtimes.staircase import polymorph_lengths
+
+        return cls(edges=np.asarray(polymorph_lengths(max_length, step)))
+
+    def __len__(self) -> int:
+        return int(self.edges.size)
+
+    @property
+    def max_length(self) -> int:
+        return int(self.edges[-1])
+
+    def bin_of(self, length: int) -> int:
+        """Bin index of a single length."""
+        if length <= 0 or length > self.max_length:
+            raise CapacityError(f"length {length} outside (0, {self.max_length}]")
+        return int(np.searchsorted(self.edges, length, side="left"))
+
+    def bins_of(self, lengths: np.ndarray) -> np.ndarray:
+        """Vectorised bin lookup."""
+        lengths = np.asarray(lengths)
+        if lengths.size and (lengths.min() <= 0 or lengths.max() > self.max_length):
+            raise CapacityError("lengths outside the binned span")
+        return np.searchsorted(self.edges, lengths, side="left")
+
+    def histogram(self, lengths: np.ndarray) -> np.ndarray:
+        """Requests per bin."""
+        return np.bincount(self.bins_of(lengths), minlength=len(self)).astype(
+            np.int64
+        )

@@ -1,0 +1,106 @@
+"""Per-bin demand estimation (the ``Q_i`` fed into Eqs. 1–7).
+
+The Runtime Scheduler assumes the request length distribution is
+observable "over a coarse time scale (e.g. every 10 minutes)" (§1).
+The estimator keeps a trailing window of (arrival time, bin) pairs and
+reports, per bin, the *average number of arrivals within one SLO
+window* — exactly the unit ``Q_i`` is expressed in (Eq. 3 divides it
+by the per-SLO capacity ``M_i``).
+
+An optional EWMA mode blends successive window estimates for workloads
+whose distribution drifts faster than the scheduler period.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bins import LengthBins
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class DemandEstimator:
+    """Streaming Q-vector estimator over a trailing time window."""
+
+    bins: LengthBins
+    slo_ms: float
+    window_ms: float
+    #: EWMA factor on successive estimates; 1.0 = pure trailing window.
+    ewma_alpha: float = 1.0
+    _events: deque = field(init=False)  # (time_ms, bin)
+    _counts: np.ndarray = field(init=False)
+    _smoothed: np.ndarray | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.slo_ms <= 0:
+            raise ConfigurationError("SLO must be positive")
+        if self.window_ms < self.slo_ms:
+            raise ConfigurationError("window must cover at least one SLO period")
+        if not 0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError("ewma_alpha must be in (0, 1]")
+        self._events = deque()
+        self._counts = np.zeros(len(self.bins), dtype=np.int64)
+
+    def observe(self, now_ms: float, length: int) -> None:
+        """Record one arrival."""
+        b = self.bins.bin_of(length)
+        self._events.append((now_ms, b))
+        self._counts[b] += 1
+        self._evict(now_ms)
+
+    def observe_batch(self, times_ms: np.ndarray, lengths: np.ndarray) -> None:
+        """Record many arrivals at once (trace replay)."""
+        bins = self.bins.bins_of(lengths)
+        for t, b in zip(times_ms, bins):
+            self._events.append((float(t), int(b)))
+        self._counts += np.bincount(bins, minlength=len(self.bins))
+        if len(self._events):
+            self._evict(self._events[-1][0])
+
+    def _evict(self, now_ms: float) -> None:
+        horizon = now_ms - self.window_ms
+        while self._events and self._events[0][0] < horizon:
+            _, b = self._events.popleft()
+            self._counts[b] -= 1
+
+    @property
+    def observed(self) -> int:
+        """Arrivals currently inside the window."""
+        return int(self._counts.sum())
+
+    def raw_histogram(self) -> np.ndarray:
+        """Current per-bin counts inside the window."""
+        return self._counts.copy()
+
+    def demand(self, now_ms: float) -> np.ndarray:
+        """``Q_i``: expected arrivals per bin within one SLO window."""
+        self._evict(now_ms)
+        if self._events:
+            span = max(now_ms - self._events[0][0], self.slo_ms)
+        else:
+            span = self.window_ms
+        estimate = self._counts * (self.slo_ms / span)
+        if self.ewma_alpha < 1.0:
+            if self._smoothed is None:
+                self._smoothed = estimate
+            else:
+                self._smoothed = (
+                    self.ewma_alpha * estimate
+                    + (1.0 - self.ewma_alpha) * self._smoothed
+                )
+            return self._smoothed.copy()
+        return estimate
+
+    @staticmethod
+    def from_trace_slice(
+        bins: LengthBins, lengths: np.ndarray, span_ms: float, slo_ms: float
+    ) -> np.ndarray:
+        """One-shot Q-vector from a trace slice (offline allocators)."""
+        if span_ms <= 0:
+            raise ConfigurationError("span must be positive")
+        hist = bins.histogram(lengths)
+        return hist * (slo_ms / span_ms)

@@ -1,0 +1,146 @@
+"""The multi-level queue maintained by the Request Scheduler (Fig. 5).
+
+One level per runtime, ordered by increasing ``max_length``. Within a
+level, a priority queue keeps the instance with the least outstanding
+work at the head. Instance load changes constantly (every enqueue and
+completion), so the heap uses *lazy invalidation*: every entry carries
+the instance's epoch counter at push time, and stale entries are
+discarded on pop. This keeps head queries O(log n) amortised — the
+property behind the paper's O(L) + O(log(N/K)) dispatch complexity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.instance import RuntimeInstance
+from repro.errors import SchedulingError
+
+
+@dataclass
+class InstanceHeap:
+    """Min-heap of instances keyed by outstanding load, lazily updated."""
+
+    _heap: list[tuple[int, int, int, RuntimeInstance]] = field(default_factory=list)
+    _members: dict[int, RuntimeInstance] = field(default_factory=dict)
+    _counter: itertools.count = field(default_factory=itertools.count)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def add(self, instance: RuntimeInstance) -> None:
+        if instance.instance_id in self._members:
+            raise SchedulingError(
+                f"instance {instance.instance_id} already in this level"
+            )
+        self._members[instance.instance_id] = instance
+        self._push(instance)
+
+    def remove(self, instance: RuntimeInstance) -> None:
+        """Remove an instance (stale heap entries expire lazily)."""
+        if self._members.pop(instance.instance_id, None) is None:
+            raise SchedulingError(
+                f"instance {instance.instance_id} not in this level"
+            )
+
+    def refresh(self, instance: RuntimeInstance) -> None:
+        """Re-key an instance after its load changed."""
+        if instance.instance_id in self._members:
+            self._push(instance)
+
+    def _push(self, instance: RuntimeInstance) -> None:
+        heapq.heappush(
+            self._heap,
+            (instance.outstanding, next(self._counter), instance._epoch, instance),
+        )
+
+    def head(self) -> RuntimeInstance | None:
+        """Least-loaded *active* member, or None when the level is empty.
+
+        Stale entries (superseded by a later ``refresh``, removed, or
+        inactive) are simply discarded on pop — never re-pushed. Every
+        load change pushes exactly one fresh entry via :meth:`refresh`,
+        so each member's newest entry is always present and valid;
+        discarding keeps the total work amortised O(log n) per update
+        (re-pushing here instead makes dispatch quadratic under deep
+        queues).
+        """
+        while self._heap:
+            _outstanding, _, epoch, instance = self._heap[0]
+            stale = (
+                instance.instance_id not in self._members
+                or epoch != instance._epoch
+                or not instance.is_active
+            )
+            if stale:
+                heapq.heappop(self._heap)
+                continue
+            return instance
+        return None
+
+    def instances(self) -> list[RuntimeInstance]:
+        return list(self._members.values())
+
+
+class MultiLevelQueue:
+    """Per-runtime instance heaps plus cross-level operations."""
+
+    def __init__(self, num_levels: int):
+        if num_levels < 1:
+            raise SchedulingError("need at least one level")
+        self.levels: list[InstanceHeap] = [InstanceHeap() for _ in range(num_levels)]
+        self._level_of: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def add(self, instance: RuntimeInstance) -> None:
+        level = instance.runtime_index
+        if not 0 <= level < len(self.levels):
+            raise SchedulingError(f"instance targets unknown level {level}")
+        self.levels[level].add(instance)
+        self._level_of[instance.instance_id] = level
+
+    def remove(self, instance: RuntimeInstance) -> None:
+        level = self._level_of.pop(instance.instance_id, None)
+        if level is None:
+            raise SchedulingError(
+                f"instance {instance.instance_id} is not tracked"
+            )
+        self.levels[level].remove(instance)
+
+    def refresh(self, instance: RuntimeInstance) -> None:
+        level = self._level_of.get(instance.instance_id)
+        if level is not None:
+            self.levels[level].refresh(instance)
+
+    def contains(self, instance: RuntimeInstance) -> bool:
+        return instance.instance_id in self._level_of
+
+    def head(self, level: int) -> RuntimeInstance | None:
+        return self.levels[level].head()
+
+    def total_instances(self) -> int:
+        return sum(len(lvl) for lvl in self.levels)
+
+    def least_loaded(self, levels: range | list[int]) -> RuntimeInstance | None:
+        """Globally least-loaded head across the given levels (IG policy)."""
+        best: RuntimeInstance | None = None
+        for lv in levels:
+            head = self.levels[lv].head()
+            if head is not None and (
+                best is None or head.outstanding < best.outstanding
+            ):
+                best = head
+        return best
+
+    @classmethod
+    def from_cluster(cls, state) -> "MultiLevelQueue":
+        """Build and populate from a :class:`ClusterState`."""
+        mlq = cls(num_levels=len(state.levels))
+        for instance in state.instances.values():
+            if instance.is_active:
+                mlq.add(instance)
+        return mlq

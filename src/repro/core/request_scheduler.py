@@ -1,0 +1,145 @@
+"""The Request Scheduler — Algorithm 1 of the paper (§3.4).
+
+On each arrival the scheduler walks the candidate runtimes (those whose
+``max_length`` fits the request) in increasing ``max_length`` order,
+peeking at most ``L`` levels. A level's head instance is accepted when
+its congestion ``P = outstanding / capacity`` is below the threshold
+``λ``; every rejection decays the threshold by ``α``, making demotion
+progressively *harder* — the conservative-demotion intuition that keeps
+larger runtimes free for the longer requests only they can serve. When
+no candidate passes, the request falls back to the head of its ideal
+(top candidate) runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.instance import RuntimeInstance
+from repro.core.mlq import MultiLevelQueue
+from repro.errors import CapacityError, ConfigurationError
+from repro.runtimes.registry import RuntimeRegistry
+
+
+@dataclass(frozen=True)
+class RequestSchedulerConfig:
+    """Algorithm 1 parameters (paper defaults: λ=0.85, α=0.9, L=6)."""
+
+    lam: float = 0.85
+    alpha: float = 0.9
+    max_peek_levels: int = 6
+
+    def __post_init__(self) -> None:
+        if not 0 < self.lam <= 1.0:
+            raise ConfigurationError("λ must be in (0, 1]")
+        if not 0 < self.alpha <= 1.0:
+            raise ConfigurationError("α must be in (0, 1]")
+        if self.max_peek_levels < 1:
+            raise ConfigurationError("L must be >= 1")
+
+
+@dataclass
+class DispatchDecision:
+    """Where a request went and why (for tests and deep-dive reports)."""
+
+    instance: RuntimeInstance
+    level: int
+    ideal_level: int
+    levels_peeked: int
+    fell_back: bool
+
+    @property
+    def demoted(self) -> bool:
+        return self.level > self.ideal_level
+
+
+@dataclass
+class ArloRequestScheduler:
+    """Stateful dispatcher over a multi-level queue."""
+
+    registry: RuntimeRegistry
+    mlq: MultiLevelQueue
+    config: RequestSchedulerConfig = field(default_factory=RequestSchedulerConfig)
+    #: Dispatch counters for the deep-dive reports.
+    dispatched: int = 0
+    demotions: int = 0
+    fallbacks: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.mlq) != len(self.registry):
+            raise ConfigurationError(
+                "multi-level queue arity must match the polymorph set"
+            )
+
+    def select(self, length: int) -> DispatchDecision:
+        """Algorithm 1: pick the runtime instance for one request.
+
+        Levels that currently have no instances are skipped without
+        consuming a peek or decaying the threshold (there is nothing to
+        evaluate); the paper's cluster always has a populated top level
+        thanks to Eq. 7.
+        """
+        cfg = self.config
+        candidates = self.registry.candidate_indexes(length)  # sorted ascending
+        ideal = candidates.start
+        lam = cfg.lam
+        peeked = 0
+        first_nonempty: tuple[int, RuntimeInstance] | None = None
+        for level in candidates:
+            if peeked >= cfg.max_peek_levels:
+                break
+            head = self.mlq.head(level)
+            if head is None:
+                continue
+            if first_nonempty is None:
+                first_nonempty = (level, head)
+            peeked += 1
+            if head.congestion() < lam:
+                return self._done(head, level, ideal, peeked, fell_back=False)
+            lam *= cfg.alpha
+        if first_nonempty is None:
+            raise CapacityError(
+                f"no deployed runtime can serve a request of length {length}"
+            )
+        level, head = first_nonempty
+        return self._done(head, level, ideal, peeked, fell_back=True)
+
+    def _done(
+        self,
+        instance: RuntimeInstance,
+        level: int,
+        ideal: int,
+        peeked: int,
+        fell_back: bool,
+    ) -> DispatchDecision:
+        self.dispatched += 1
+        if level > ideal:
+            self.demotions += 1
+        if fell_back:
+            self.fallbacks += 1
+        return DispatchDecision(
+            instance=instance,
+            level=level,
+            ideal_level=ideal,
+            levels_peeked=peeked,
+            fell_back=fell_back,
+        )
+
+    def dispatch(self, now_ms: float, length: int) -> tuple[DispatchDecision, float, float]:
+        """Select, enqueue, and refresh the queue (Algorithm 1 lines 21–22).
+
+        Returns (decision, service start, completion time).
+        """
+        decision = self.select(length)
+        start, finish = decision.instance.enqueue(now_ms, length)
+        self.mlq.refresh(decision.instance)
+        return decision, start, finish
+
+    def stats(self) -> dict[str, float]:
+        """Aggregate dispatch statistics."""
+        d = max(self.dispatched, 1)
+        return {
+            "dispatched": float(self.dispatched),
+            "demotion_rate": self.demotions / d,
+            "fallback_rate": self.fallbacks / d,
+        }

@@ -1,0 +1,114 @@
+"""The periodic Runtime Scheduler (§3.3).
+
+Every decision period (120 s by default) the scheduler:
+
+1. reads the demand estimate ``Q`` from the :class:`DemandEstimator`;
+2. solves Eqs. 1–7 for the optimal allocation ``N`` given the GPUs
+   currently provisioned;
+3. emits a minimal-change :class:`ReplacementPlan` moving the cluster
+   from its current deployment to ``N``.
+
+It owns no clock — the simulator (or a real control loop) calls
+:meth:`RuntimeScheduler.step` on its schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.replacement import ReplacementPlan, plan_replacement
+from repro.cluster.state import ClusterState
+from repro.core.allocation import AllocationProblem, AllocationResult, solve_allocation
+from repro.core.demand import DemandEstimator
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.runtimes.registry import RuntimeRegistry
+from repro.units import SECOND
+
+
+@dataclass(frozen=True)
+class RuntimeSchedulerConfig:
+    """Runtime Scheduler knobs (paper default period: 120 s)."""
+
+    period_ms: float = 120 * SECOND
+    solver: str = "auto"
+    replacement_batch_size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.period_ms <= 0:
+            raise ConfigurationError("period must be positive")
+        if self.replacement_batch_size < 1:
+            raise ConfigurationError("replacement batch size must be >= 1")
+
+
+@dataclass
+class RuntimeScheduler:
+    """Demand → allocation → replacement plan, once per period."""
+
+    registry: RuntimeRegistry
+    estimator: DemandEstimator
+    config: RuntimeSchedulerConfig = field(default_factory=RuntimeSchedulerConfig)
+    #: History of (time, demand, allocation) decisions, for Fig. 12.
+    history: list[tuple[float, np.ndarray, np.ndarray]] = field(default_factory=list)
+
+    def decide(self, now_ms: float, num_gpus: int) -> AllocationResult:
+        """Solve the allocation for the current demand estimate.
+
+        Falls back to relaxed Eq. 3 bounds when demand outstrips the
+        provisioned GPUs (the autoscaler, not this solver, fixes
+        sustained overload).
+        """
+        demand = self.estimator.demand(now_ms)
+        problem = AllocationProblem.from_profiles(
+            num_gpus=num_gpus, demand=demand, profiles=list(self.registry)
+        )
+        try:
+            result = solve_allocation(problem, method=self.config.solver)
+        except InfeasibleError:
+            result = solve_allocation(
+                problem, method=self.config.solver, relax=True
+            )
+        self.history.append((now_ms, demand, result.allocation.copy()))
+        return result
+
+    def step(
+        self, now_ms: float, state: ClusterState
+    ) -> tuple[AllocationResult, ReplacementPlan]:
+        """One scheduling period: decide and plan the deployment change.
+
+        The allocation is solved for the instances currently deployable
+        (active instances), since GPUs amid replacement or draining
+        rejoin through their own lifecycle.
+        """
+        deployable = int(state.allocation().sum())
+        if deployable < 1:
+            raise ConfigurationError("cluster has no active instances")
+        if self.estimator.observed == 0:
+            # Zero demand makes every allocation optimal (cost 0); keep
+            # the current deployment instead of churning replacements
+            # toward an arbitrary tie-broken optimum.
+            current = state.allocation()
+            result = AllocationResult(
+                allocation=current,
+                objective=0.0,
+                solver="hold",
+                solve_time_s=0.0,
+            )
+            self.history.append(
+                (now_ms, self.estimator.demand(now_ms), current.copy())
+            )
+            return result, plan_replacement(state, current)
+        result = self.decide(now_ms, deployable)
+        plan = plan_replacement(
+            state, result.allocation, batch_size=self.config.replacement_batch_size
+        )
+        return result, plan
+
+    def allocation_timeline(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, allocations) from the decision history (Fig. 12 series)."""
+        if not self.history:
+            return np.empty(0), np.empty((0, len(self.registry)), dtype=np.int64)
+        times = np.array([h[0] for h in self.history])
+        allocs = np.stack([h[2] for h in self.history])
+        return times, allocs

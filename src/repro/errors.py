@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Arlo reproduction.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch package failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SolverError(ReproError):
+    """The LP/MILP solver failed (infeasible, unbounded, or iteration cap)."""
+
+
+class InfeasibleError(SolverError):
+    """The optimisation problem has no feasible solution."""
+
+
+class UnboundedError(SolverError):
+    """The LP relaxation is unbounded."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling component was asked to do something impossible."""
+
+
+class CapacityError(SchedulingError):
+    """A request cannot be served by any deployed runtime."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ProfileError(ReproError):
+    """A runtime profile is missing or malformed."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed (unsorted, negative, empty...)."""

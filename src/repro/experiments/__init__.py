@@ -1,0 +1,46 @@
+"""Experiment harness: canonical scenarios for every paper table/figure.
+
+- :mod:`repro.experiments.runner` — run (scheme × trace × cluster) and
+  collect :class:`repro.sim.simulation.SimulationResult` per scheme.
+- :mod:`repro.experiments.scenarios` — the paper's parameterisations
+  (GPU counts, rates, traces), with a ``scale`` knob that shrinks rate
+  and GPUs proportionally so benchmark runs stay fast while preserving
+  per-GPU load.
+- :mod:`repro.experiments.report` — row/series formatting that mirrors
+  what the paper prints (means, p98s, reductions, CDF grids).
+- :mod:`repro.experiments.figures` — one entry point per table/figure.
+"""
+
+from repro.experiments.report import (
+    cdf_series,
+    format_table,
+    reduction_percent,
+)
+from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.sweep import expand_grid, run_sweep
+from repro.experiments.scenarios import (
+    fig6_scenarios,
+    fig7_scenario,
+    fig8_scenario,
+    fig10_scenarios,
+    fig11_scenario,
+    table3_scenario,
+    table4_scenarios,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "cdf_series",
+    "expand_grid",
+    "fig6_scenarios",
+    "fig7_scenario",
+    "fig8_scenario",
+    "fig10_scenarios",
+    "fig11_scenario",
+    "format_table",
+    "reduction_percent",
+    "run_experiment",
+    "run_sweep",
+    "table3_scenario",
+    "table4_scenarios",
+]

@@ -1,0 +1,153 @@
+"""Terminal (ASCII) rendering of the paper's figures.
+
+The benchmark environment has no plotting stack, so figures render as
+monospace text: latency CDFs (Figs. 6/10/11), line series (Fig. 7),
+stacked allocation timelines (Fig. 12) and step timelines (Fig. 8).
+Every renderer takes plain arrays and returns a string — no I/O — so
+they are unit-testable and compose with any pager or log file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """One-line magnitude sketch of a series."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("nothing to sparkline")
+    if values.size > width:
+        # Down-sample by block means.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array([
+            values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a
+        ])
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo
+    if span <= 0:
+        return _BARS[4] * values.size
+    idx = ((values - lo) / span * (len(_BARS) - 1)).round().astype(int)
+    return "".join(_BARS[i] for i in idx)
+
+
+def line_plot(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    ``series`` maps a label to (x, y) arrays; each series is drawn with
+    its label's first letter.
+    """
+    if not series:
+        raise ConfigurationError("no series to plot")
+    xs = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if xs.size == 0:
+        raise ConfigurationError("empty series")
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for label, (x, y) in series.items():
+        mark = label[0].upper()
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        cols = ((x - x_lo) / x_span * (width - 1)).round().astype(int)
+        rows = ((y - y_lo) / y_span * (height - 1)).round().astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_val = y_hi - i * y_span / (height - 1)
+        lines.append(f"{y_val:10.2f} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':11s} {x_lo:<10.2f}{xlabel:^{max(width - 20, 0)}}{x_hi:>10.2f}")
+    legend = "   ".join(f"{label[0].upper()}={label}" for label in series)
+    lines.append(f"{'':11s} {legend}")
+    if ylabel:
+        lines.insert(1 if title else 0, f"[{ylabel}]")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    populations: dict[str, np.ndarray],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_max: float | None = None,
+) -> str:
+    """Latency CDFs of several schemes on one grid (Fig. 6/10 style)."""
+    if not populations:
+        raise ConfigurationError("no populations to plot")
+    series = {}
+    for label, values in populations.items():
+        values = np.sort(np.asarray(values, dtype=float))
+        if values.size == 0:
+            raise ConfigurationError(f"population {label!r} is empty")
+        probs = np.arange(1, values.size + 1) / values.size
+        if x_max is not None:
+            keep = values <= x_max
+            # Keep at least two points so the series stays drawable.
+            if keep.sum() >= 2:
+                values, probs = values[keep], probs[keep]
+        series[label] = (values, probs)
+    return line_plot(series, width=width, height=height, title=title,
+                     xlabel="latency (ms)", ylabel="CDF")
+
+
+def allocation_timeline(
+    times_s: np.ndarray,
+    allocations: np.ndarray,
+    max_lengths: list[int],
+    width: int = 64,
+) -> str:
+    """Fig. 12: per-runtime GPU counts over time as sparkline rows."""
+    allocations = np.asarray(allocations)
+    if allocations.ndim != 2 or allocations.shape[1] != len(max_lengths):
+        raise ConfigurationError("allocations must be (T, runtimes)")
+    if allocations.shape[0] == 0:
+        raise ConfigurationError("no decisions to draw")
+    lines = [
+        f"allocation over {len(times_s)} scheduler decisions "
+        f"({times_s[0]:.0f}s..{times_s[-1]:.0f}s)"
+    ]
+    for j, ml in enumerate(max_lengths):
+        counts = allocations[:, j]
+        lines.append(
+            f"  max_len {ml:4d}: {sparkline(counts, width)}  "
+            f"(min {counts.min()}, max {counts.max()})"
+        )
+    return "\n".join(lines)
+
+
+def step_timeline(
+    timeline: list[tuple[float, int]],
+    horizon_ms: float,
+    width: int = 64,
+    label: str = "GPUs",
+) -> str:
+    """Fig. 8: a step function (e.g. GPU count) sampled onto a line."""
+    if not timeline:
+        raise ConfigurationError("empty timeline")
+    times = np.array([t for t, _ in timeline])
+    counts = np.array([c for _, c in timeline])
+    grid_t = np.linspace(times[0], max(horizon_ms, times[-1]), width)
+    idx = np.searchsorted(times, grid_t, side="right") - 1
+    series = counts[np.clip(idx, 0, counts.size - 1)]
+    return (
+        f"{label}: {sparkline(series, width)} "
+        f"(start {counts[0]}, peak {counts.max()}, end {counts[-1]})"
+    )

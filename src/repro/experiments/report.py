@@ -1,0 +1,84 @@
+"""Formatting helpers producing the paper's rows and series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.simulation import SimulationResult
+
+
+def reduction_percent(baseline: float, value: float) -> float:
+    """Paper-style "X% mean latency reduction" of ``value`` vs baseline."""
+    if baseline <= 0:
+        raise ConfigurationError("baseline must be positive")
+    return 100.0 * (1.0 - value / baseline)
+
+
+def cdf_series(
+    latencies: np.ndarray, points: int = 200
+) -> tuple[np.ndarray, np.ndarray]:
+    """Down-sampled latency CDF for plotting/printing (Fig. 6/10/11)."""
+    if latencies.size == 0:
+        raise ConfigurationError("empty latency population")
+    qs = np.linspace(0.0, 1.0, points)
+    return np.quantile(latencies, qs), qs
+
+
+def summary_row(result: SimulationResult) -> dict[str, float]:
+    """One scheme's headline numbers."""
+    return {
+        "scheme": result.scheme_name,
+        "mean_ms": result.mean_ms,
+        "p98_ms": result.p98_ms,
+        "p50_ms": result.stats.p50_ms,
+        "slo_violation_%": 100.0 * result.stats.slo_violation_rate,
+        "requests": result.stats.count,
+    }
+
+
+def comparison_table(
+    results: dict[str, SimulationResult], reference: str = "arlo"
+) -> list[dict[str, float]]:
+    """Rows for every scheme with reductions relative to ``reference``."""
+    if reference not in results:
+        raise ConfigurationError(f"reference scheme {reference!r} missing")
+    ref = results[reference]
+    rows = []
+    for name, res in results.items():
+        row = summary_row(res)
+        if name != reference:
+            row["arlo_mean_reduction_%"] = reduction_percent(
+                res.mean_ms, ref.mean_ms
+            )
+            row["arlo_p98_reduction_%"] = reduction_percent(
+                res.p98_ms, ref.p98_ms
+            )
+        rows.append(row)
+    return rows
+
+
+def format_table(rows: list[dict], title: str = "") -> str:
+    """Plain-text table, aligned, one row per scheme/configuration."""
+    if not rows:
+        raise ConfigurationError("no rows to format")
+    columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [
+        [
+            f"{row.get(c, ''):.2f}" if isinstance(row.get(c), float) else str(row.get(c, ""))
+            for c in columns
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

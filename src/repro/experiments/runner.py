@@ -1,0 +1,135 @@
+"""Run one experiment: several schemes over one trace and cluster size."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.baselines.schemes import Scheme, build_scheme
+from repro.cluster.autoscaler import AutoscalerConfig
+from repro.core.request_scheduler import RequestSchedulerConfig
+from repro.core.runtime_scheduler import RuntimeSchedulerConfig
+from repro.errors import ConfigurationError
+from repro.runtimes.models import get_model
+from repro.runtimes.registry import RuntimeRegistry, build_polymorph_set
+from repro.runtimes.staircase import polymorph_lengths_for_count
+from repro.sim.simulation import SimulationConfig, SimulationResult, run_simulation
+from repro.units import seconds
+from repro.workload.trace import Trace
+from repro.workload.twitter import TwitterTraceConfig, generate_twitter_trace
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete experiment definition (one paper sub-figure)."""
+
+    name: str
+    model: str
+    num_gpus: int
+    rate_per_s: float
+    duration_s: float
+    pattern: str = "stable"
+    schemes: tuple[str, ...] = ("st", "dt", "infaas", "arlo")
+    seed: int = 0
+    #: Leading slice used to warm-start length-aware allocations.
+    hint_s: float = 5.0
+    #: Requests arriving before this are excluded from the statistics.
+    warmup_s: float = 0.0
+    #: Runtime Scheduler period; the paper's 120 s assumes ≥10-minute
+    #: traces, so scaled-down runs shrink it proportionally.
+    scheduler_period_s: float = 20.0
+    #: Number of polymorph runtimes (None = the model's staircase count).
+    num_runtimes: int | None = None
+    #: Auto-scaling (Fig. 8): None disables it.
+    autoscaler: AutoscalerConfig | None = None
+    trace_drift_scale: float = 0.08
+    #: Drift window of the length distribution; scaled-down experiments
+    #: compress the paper's one-minute drift together with everything
+    #: else (trace duration, scheduler period) so the Runtime Scheduler
+    #: has several distribution shifts to chase.
+    trace_drift_window_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1 or self.rate_per_s <= 0 or self.duration_s <= 0:
+            raise ConfigurationError("invalid experiment dimensions")
+        if self.hint_s >= self.duration_s:
+            raise ConfigurationError("hint slice must be shorter than the trace")
+
+    def scaled(self, factor: float) -> "ExperimentSpec":
+        """Proportionally shrink rate and GPUs (constant per-GPU load)."""
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return replace(
+            self,
+            num_gpus=max(2, int(round(self.num_gpus * factor))),
+            rate_per_s=self.rate_per_s * factor,
+        )
+
+    def make_trace(self) -> Trace:
+        return generate_twitter_trace(
+            TwitterTraceConfig(
+                rate_per_s=self.rate_per_s,
+                duration_ms=seconds(self.duration_s),
+                pattern=self.pattern,
+                seed=self.seed,
+                drift_scale=self.trace_drift_scale,
+                drift_window_ms=seconds(self.trace_drift_window_s),
+            )
+        )
+
+    def make_registry(self) -> RuntimeRegistry | None:
+        if self.num_runtimes is None:
+            return None
+        model = get_model(self.model)
+        return build_polymorph_set(
+            model,
+            max_lengths=polymorph_lengths_for_count(
+                model.max_length, self.num_runtimes
+            ),
+        )
+
+    def make_scheme(self, scheme_name: str, trace: Trace) -> Scheme:
+        # Table 3's "global" baseline is an oracle over the *entire*
+        # trace distribution; everything else warms up on a short slice.
+        if scheme_name == "arlo-global":
+            hint = trace
+        else:
+            hint = trace.slice_time(0, seconds(self.hint_s))
+        return build_scheme(
+            scheme_name,
+            self.model,
+            self.num_gpus,
+            trace_hint=hint if len(hint) else None,
+            registry=self.make_registry(),
+            request_scheduler_config=RequestSchedulerConfig(),
+            runtime_scheduler_config=RuntimeSchedulerConfig(
+                period_ms=seconds(self.scheduler_period_s)
+            ),
+        )
+
+    def sim_config(self) -> SimulationConfig:
+        return SimulationConfig(
+            enable_autoscaler=self.autoscaler is not None,
+            autoscaler=self.autoscaler,
+            warmup_ms=seconds(self.warmup_s),
+        )
+
+
+def run_experiment(
+    spec: ExperimentSpec, schemes: tuple[str, ...] | None = None
+) -> dict[str, SimulationResult]:
+    """Run every scheme of ``spec`` on one shared trace."""
+    trace = spec.make_trace()
+    results: dict[str, SimulationResult] = {}
+    for name in schemes or spec.schemes:
+        scheme = spec.make_scheme(name, trace)
+        results[name] = run_simulation(scheme, trace, spec.sim_config())
+    return results
+
+
+def run_single(
+    spec: ExperimentSpec, scheme_name: str
+) -> tuple[Scheme, SimulationResult]:
+    """Run one scheme, returning the scheme for post-hoc inspection."""
+    trace = spec.make_trace()
+    scheme = spec.make_scheme(scheme_name, trace)
+    return scheme, run_simulation(scheme, trace, spec.sim_config())

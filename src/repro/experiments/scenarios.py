@@ -1,0 +1,155 @@
+"""Canonical scenario definitions for every evaluation table/figure.
+
+GPU counts are the paper's. Trace durations are shortened (the paper
+uses many-minute traces; a pure-Python simulator serves ~10k events/s)
+and the Runtime Scheduler period shrinks proportionally, preserving
+the periods-per-trace ratio. Two request rates deviate from the paper
+and are documented in EXPERIMENTS.md: our BERT-Large latency anchor is
+back-solved from the ratio 5.25 (the paper never states the absolute
+value), so the equivalent-pressure rate for the BERT-Large stream is
+700 req/s rather than 1.5k (Fig. 6b) and 12k rather than 25k
+(Fig. 10b) — per-GPU utilisation, which is what shapes the results,
+matches the paper's regime.
+
+``scale`` shrinks GPUs and rate together (constant per-GPU load) so CI
+runs finish quickly; ``scale=1.0`` reproduces the full setup.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.autoscaler import AutoscalerConfig
+from repro.experiments.runner import ExperimentSpec
+from repro.runtimes.models import get_model
+
+FULL_SCHEMES = ("st", "dt", "infaas", "arlo")
+
+
+def fig6_scenarios(scale: float = 1.0, duration_s: float = 60.0) -> list[ExperimentSpec]:
+    """Fig. 6: testbed latency CDFs, Twitter-Stable, 10 GPUs.
+
+    (a) BERT-Base at the paper's 1k req/s; (b) BERT-Large at 700 req/s
+    (equivalent-pressure substitution for the paper's 1.5k — see module
+    docstring and EXPERIMENTS.md).
+    """
+    return [
+        ExperimentSpec(
+            name="fig6a", model="bert-base", num_gpus=10, rate_per_s=1_000,
+            duration_s=duration_s, pattern="stable", schemes=FULL_SCHEMES,
+            seed=61, warmup_s=2.0,
+        ).scaled(scale),
+        ExperimentSpec(
+            name="fig6b", model="bert-large", num_gpus=10, rate_per_s=700,
+            duration_s=duration_s, pattern="stable", schemes=FULL_SCHEMES,
+            seed=62, warmup_s=2.0,
+        ).scaled(scale),
+    ]
+
+
+def fig7_scenario(
+    rate_per_s: float, scale: float = 1.0, duration_s: float = 20.0
+) -> ExperimentSpec:
+    """Fig. 7: mean latency vs request load, BERT-Base, 10 GPUs.
+
+    The paper sweeps the arrival rate under Twitter-Stable; callers
+    sweep ``rate_per_s`` (paper range roughly 0.5k–2k req/s).
+    """
+    return ExperimentSpec(
+        name=f"fig7@{rate_per_s:g}", model="bert-base", num_gpus=10,
+        rate_per_s=rate_per_s, duration_s=duration_s, pattern="stable",
+        schemes=FULL_SCHEMES, seed=70, warmup_s=2.0,
+    ).scaled(scale)
+
+
+def fig8_scenario(scale: float = 1.0, duration_s: float = 180.0) -> ExperimentSpec:
+    """Fig. 8: auto-scaling under a highly varying Twitter-Bursty load,
+    BERT-Large, initially 5 GPUs.
+
+    The autoscaler may not shrink below the initial provision (the
+    paper's time-weighted GPU counts all exceed 5), and may grow to 3×.
+    """
+    model = get_model("bert-large")
+    num_gpus = max(2, int(round(5 * scale)))
+    return ExperimentSpec(
+        name="fig8", model="bert-large", num_gpus=num_gpus,
+        rate_per_s=450 * scale,
+        duration_s=duration_s, pattern="bursty", schemes=FULL_SCHEMES,
+        seed=80, warmup_s=0.0, trace_drift_scale=0.12,
+        autoscaler=AutoscalerConfig(
+            slo_ms=model.slo_ms,
+            min_gpus=num_gpus,
+            max_gpus=3 * num_gpus,
+            window_size=256,
+            scale_in_period_ms=30_000.0,
+        ),
+    )
+
+
+def fig10_scenarios(scale: float = 0.1, duration_s: float = 30.0) -> list[ExperimentSpec]:
+    """Fig. 10: large-scale simulation CDFs, Twitter-Bursty.
+
+    (a) BERT-Base on 90 GPUs at the paper's 8k req/s; (b) BERT-Large on
+    300 GPUs at 17k req/s (equivalent pressure for the paper's 25k) —
+    picked so full-padding ST saturates during bursts while DT and
+    INFaaS are stressed-but-stable, the regime the paper's reductions
+    describe. Default ``scale=0.1`` keeps per-GPU load identical at a
+    tractable size; pass ``scale=1.0`` for the full-size clusters.
+    """
+    return [
+        ExperimentSpec(
+            name="fig10a", model="bert-base", num_gpus=90, rate_per_s=8_000,
+            duration_s=duration_s, pattern="bursty", schemes=FULL_SCHEMES,
+            seed=101, warmup_s=2.0,
+        ).scaled(scale),
+        ExperimentSpec(
+            name="fig10b", model="bert-large", num_gpus=300, rate_per_s=17_000,
+            duration_s=duration_s, pattern="bursty", schemes=FULL_SCHEMES,
+            seed=102, warmup_s=2.0,
+        ).scaled(scale),
+    ]
+
+
+def fig11_scenario(
+    num_runtimes: int, scale: float = 0.25, duration_s: float = 30.0
+) -> ExperimentSpec:
+    """Fig. 11: Arlo with N ∈ {2, 4, 8, 16} runtimes, 40 GPUs,
+    BERT-Large stream; each runtime's max_length has a step of 512/N."""
+    return ExperimentSpec(
+        name=f"fig11@N{num_runtimes}", model="bert-large", num_gpus=40,
+        rate_per_s=2_800, duration_s=duration_s, pattern="bursty",
+        schemes=("arlo",), seed=110, warmup_s=2.0,
+        num_runtimes=num_runtimes,
+    ).scaled(scale)
+
+
+def table3_scenario(scale: float = 1.0, duration_s: float = 90.0) -> ExperimentSpec:
+    """Table 3: periodic vs even vs global-offline allocation.
+
+    Longer trace with stronger distribution drift so the periodic
+    scheduler has something to chase.
+    """
+    return ExperimentSpec(
+        name="table3", model="bert-large", num_gpus=10, rate_per_s=1_400,
+        duration_s=duration_s, pattern="bursty",
+        schemes=("arlo", "arlo-even", "arlo-global"), seed=30,
+        warmup_s=2.0, trace_drift_scale=0.20, scheduler_period_s=12.0,
+        trace_drift_window_s=12.0,
+    ).scaled(scale)
+
+
+def table4_scenarios(scale: float = 1.0, duration_s: float = 45.0) -> list[ExperimentSpec]:
+    """Table 4: RS vs ILB vs IG on three Twitter-Bursty BERT-Large
+    traces at different scales; the third trace has deliberately weak
+    short-term length fluctuation (paper §5.2.3)."""
+    base = dict(
+        model="bert-large", duration_s=duration_s, pattern="bursty",
+        schemes=("arlo", "arlo-ilb", "arlo-ig"), warmup_s=2.0,
+        scheduler_period_s=15.0, trace_drift_window_s=10.0,
+    )
+    return [
+        ExperimentSpec(name="table4-trace1", num_gpus=10, rate_per_s=1_500,
+                       seed=41, trace_drift_scale=0.25, **base).scaled(scale),
+        ExperimentSpec(name="table4-trace2", num_gpus=20, rate_per_s=3_600,
+                       seed=42, trace_drift_scale=0.20, **base).scaled(scale),
+        ExperimentSpec(name="table4-trace3", num_gpus=15, rate_per_s=2_500,
+                       seed=43, trace_drift_scale=0.01, **base).scaled(scale),
+    ]

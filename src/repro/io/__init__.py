@@ -1,0 +1,29 @@
+"""Persistence: traces, profiles and experiment results on disk.
+
+Real deployments re-use traces and offline profiles across runs; this
+subpackage gives them stable on-disk formats:
+
+- traces — NumPy ``.npz`` (compact, mmap-able);
+- runtime profiles / polymorph sets — JSON (human-auditable, the file
+  a profiler job would publish);
+- experiment results — JSON rows identical to what the benchmark
+  harness prints.
+"""
+
+from repro.io.profiles import (
+    load_registry,
+    registry_to_dict,
+    save_registry,
+)
+from repro.io.results import load_result_summary, save_result_summary
+from repro.io.traces import load_trace, save_trace
+
+__all__ = [
+    "load_registry",
+    "load_result_summary",
+    "load_trace",
+    "registry_to_dict",
+    "save_registry",
+    "save_result_summary",
+    "save_trace",
+]

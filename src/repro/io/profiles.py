@@ -1,0 +1,102 @@
+"""Polymorph-set persistence: the offline profiler's published artifact.
+
+The offline stage (compile → profile) is expensive in the real world
+(TensorRT engine builds, measurement campaigns); its output is a small
+JSON document that the serving stage loads. This module defines that
+document: one entry per runtime with its spec, measured service time
+and the SLO it was profiled under.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import ProfileError
+from repro.runtimes.compiler import CompiledRuntime
+from repro.runtimes.models import get_model
+from repro.runtimes.profiler import RuntimeProfile
+from repro.runtimes.registry import RuntimeRegistry
+from repro.runtimes.spec import CompilerKind, RuntimeSpec
+
+_FORMAT_VERSION = 1
+
+
+def registry_to_dict(registry: RuntimeRegistry) -> dict:
+    """JSON-ready representation of a profiled polymorph set."""
+    return {
+        "version": _FORMAT_VERSION,
+        "runtimes": [
+            {
+                "model": p.runtime.spec.model_name,
+                "compiler": p.runtime.spec.compiler.value,
+                "max_length": p.runtime.spec.max_length,
+                "dynamic_shape": p.runtime.spec.dynamic_shape,
+                "service_ms": p.service_ms,
+                "overhead_ms": p.overhead_ms,
+                "slo_ms": p.slo_ms,
+                "build_cost_s": p.runtime.build_cost_s,
+            }
+            for p in registry
+        ],
+    }
+
+
+def _profile_from_dict(entry: dict) -> RuntimeProfile:
+    try:
+        model = get_model(entry["model"])
+        spec = RuntimeSpec(
+            max_length=int(entry["max_length"]),
+            model_name=entry["model"],
+            compiler=CompilerKind(entry["compiler"]),
+            dynamic_shape=bool(entry["dynamic_shape"]),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ProfileError(f"malformed profile entry: {exc}") from exc
+    latency_model = (
+        model.dynamic_latency if spec.dynamic_shape else model.static_latency
+    )
+    runtime = CompiledRuntime(
+        spec=spec,
+        latency_model=latency_model,
+        build_cost_s=float(entry.get("build_cost_s", 0.0)),
+    )
+    return RuntimeProfile(
+        runtime=runtime,
+        slo_ms=float(entry["slo_ms"]),
+        service_ms=float(entry["service_ms"]),
+        overhead_ms=float(entry.get("overhead_ms", 0.8)),
+    )
+
+
+def registry_from_dict(payload: dict) -> RuntimeRegistry:
+    """Rebuild a registry from :func:`registry_to_dict` output."""
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ProfileError(f"profile format v{version} unsupported")
+    entries = payload.get("runtimes", [])
+    if not entries:
+        raise ProfileError("profile document lists no runtimes")
+    return RuntimeRegistry(
+        profiles=[_profile_from_dict(e) for e in entries]
+    )
+
+
+def save_registry(
+    registry: RuntimeRegistry, path: str | pathlib.Path
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(registry_to_dict(registry), indent=2))
+    return path
+
+
+def load_registry(path: str | pathlib.Path) -> RuntimeRegistry:
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ProfileError(f"no profile document at {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ProfileError(f"{path} is not valid JSON: {exc}") from exc
+    return registry_from_dict(payload)

@@ -1,0 +1,56 @@
+"""Experiment result persistence: the harness's printable rows as JSON."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import SimulationError
+from repro.sim.simulation import SimulationResult
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Summary (not the raw latency population) of one simulation."""
+    stats = result.stats
+    return {
+        "version": _FORMAT_VERSION,
+        "scheme": result.scheme_name,
+        "requests": stats.count,
+        "mean_ms": stats.mean_ms,
+        "p50_ms": stats.p50_ms,
+        "p98_ms": stats.p98_ms,
+        "p99_ms": stats.p99_ms,
+        "max_ms": stats.max_ms,
+        "slo_violation_rate": stats.slo_violation_rate,
+        "end_ms": result.end_ms,
+        "events_processed": result.events_processed,
+        "time_weighted_gpus": result.time_weighted_gpus,
+        "dispatch_stats": result.dispatch_stats,
+        "control_stats": result.control_stats,
+    }
+
+
+def save_result_summary(
+    result: SimulationResult, path: str | pathlib.Path
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2))
+    return path
+
+
+def load_result_summary(path: str | pathlib.Path) -> dict:
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise SimulationError(f"no result summary at {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SimulationError(f"{path} is not valid JSON: {exc}") from exc
+    if payload.get("version") != _FORMAT_VERSION:
+        raise SimulationError(
+            f"result format v{payload.get('version')} unsupported"
+        )
+    return payload

@@ -1,0 +1,45 @@
+"""Trace persistence as compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workload.trace import Trace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a trace to ``path`` (``.npz`` appended if missing)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        arrival_ms=trace.arrival_ms,
+        length=trace.length,
+    )
+    return path
+
+
+def load_trace(path: str | pathlib.Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise TraceError(f"no trace file at {path}")
+    with np.load(path) as data:
+        missing = {"version", "arrival_ms", "length"} - set(data.files)
+        if missing:
+            raise TraceError(f"{path} is not a trace archive (missing {missing})")
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise TraceError(
+                f"trace format v{version} unsupported (expected "
+                f"v{_FORMAT_VERSION})"
+            )
+        return Trace(data["arrival_ms"].copy(), data["length"].copy())

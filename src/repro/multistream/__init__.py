@@ -1,0 +1,39 @@
+"""Multi-stream serving — the paper's §6 extension.
+
+The paper sketches how Arlo extends beyond a single request stream:
+"deploying a dedicated Arlo for each stream and employing resource
+sharing among them". This subpackage implements the practical variant:
+a :class:`StreamPoolCoordinator` that periodically re-partitions a
+shared GPU pool across streams in proportion to each stream's measured
+GPU demand (its Eq. 3 lower bounds plus queueing headroom), with per-
+stream minimum guarantees so Eq. 7 always holds inside every stream.
+
+True time-multiplexed co-location of different models on one GPU is
+explicitly future work in the paper; partitioning keeps Arlo's
+no-co-location invariant (§3.3) while still letting idle capacity flow
+between streams at the coordinator period.
+"""
+
+from repro.multistream.coordinator import (
+    StreamDemand,
+    StreamPoolCoordinator,
+    StreamSpec,
+)
+from repro.multistream.simulation import (
+    MultiStreamConfig,
+    MultiStreamResult,
+    StreamInput,
+    StreamResult,
+    run_multistream,
+)
+
+__all__ = [
+    "MultiStreamConfig",
+    "MultiStreamResult",
+    "StreamDemand",
+    "StreamInput",
+    "StreamPoolCoordinator",
+    "StreamResult",
+    "StreamSpec",
+    "run_multistream",
+]

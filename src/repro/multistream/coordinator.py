@@ -1,0 +1,154 @@
+"""Demand-proportional GPU partitioning across request streams (§6).
+
+Each stream reports its demand vector ``Q`` (arrivals per SLO window
+per bin) and its runtimes' capacities ``M``. The coordinator computes
+the stream's *GPU requirement*::
+
+    need_s = Σ_i Q_i / M_i          (utilisation in instances)
+
+and splits the pool so every stream gets its minimum guarantee (enough
+for Eq. 7 plus its Eq. 3 lower bounds where possible) and the surplus
+is divided proportionally to unmet need — a max-min-fair style share
+that flows idle capacity towards loaded streams at every coordinator
+period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InfeasibleError
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Static description of one request stream."""
+
+    name: str
+    #: Minimum GPUs this stream must always hold (≥ 1 for Eq. 7).
+    min_gpus: int = 1
+    #: Relative priority weight for surplus distribution.
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.min_gpus < 1:
+            raise ConfigurationError("every stream needs at least one GPU")
+        if self.weight <= 0:
+            raise ConfigurationError("weights must be positive")
+
+
+@dataclass(frozen=True)
+class StreamDemand:
+    """One stream's measured demand at a coordinator period."""
+
+    spec: StreamSpec
+    demand: np.ndarray  # Q_i per bin
+    capacity: np.ndarray  # M_i per runtime
+
+    def __post_init__(self) -> None:
+        demand = np.asarray(self.demand, dtype=float)
+        capacity = np.asarray(self.capacity, dtype=np.int64)
+        if demand.shape != capacity.shape or demand.ndim != 1:
+            raise ConfigurationError("demand and capacity must align")
+        if np.any(demand < 0) or np.any(capacity < 1):
+            raise ConfigurationError("demand ≥ 0 and capacity ≥ 1 required")
+        object.__setattr__(self, "demand", demand)
+        object.__setattr__(self, "capacity", capacity)
+
+    @property
+    def gpu_need(self) -> float:
+        """Instances of work per SLO window — fractional GPU demand."""
+        return float((self.demand / self.capacity).sum())
+
+    @property
+    def hard_minimum(self) -> int:
+        """Eq. 3 lower bounds + Eq. 7 — GPUs below which SLOs break."""
+        lb = np.floor(self.demand / self.capacity).astype(np.int64)
+        lb[-1] = max(lb[-1], 1)
+        return int(lb.sum())
+
+
+@dataclass
+class StreamPoolCoordinator:
+    """Splits a GPU pool across streams once per coordinator period."""
+
+    total_gpus: int
+    #: Headroom multiplier on fractional need before surplus division.
+    headroom: float = 1.25
+    history: list[dict[str, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_gpus < 1:
+            raise ConfigurationError("pool needs at least one GPU")
+        if self.headroom < 1.0:
+            raise ConfigurationError("headroom must be >= 1")
+
+    def partition(self, demands: list[StreamDemand]) -> dict[str, int]:
+        """GPUs per stream; deterministic, sums to ``total_gpus``.
+
+        Guarantees: every stream gets ``max(spec.min_gpus, 1)``; if the
+        pool can cover every stream's hard minimum it does; remaining
+        GPUs go to streams with unmet (headroom-inflated) need,
+        proportionally to ``weight × unmet``; any final surplus is
+        spread round-robin by weight.
+        """
+        if not demands:
+            raise ConfigurationError("no streams to partition between")
+        names = [d.spec.name for d in demands]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("stream names must be unique")
+        floors = np.array(
+            [max(d.spec.min_gpus, 1) for d in demands], dtype=np.int64
+        )
+        if floors.sum() > self.total_gpus:
+            raise InfeasibleError(
+                f"pool of {self.total_gpus} cannot give {len(demands)} "
+                f"streams their minimum guarantees ({floors.sum()})"
+            )
+        # Raise floors towards hard minimums while the pool allows.
+        wanted = np.array([d.hard_minimum for d in demands], dtype=np.int64)
+        alloc = floors.copy()
+        spare = self.total_gpus - int(alloc.sum())
+        deficit = np.maximum(wanted - alloc, 0)
+        while spare > 0 and deficit.sum() > 0:
+            i = int(np.argmax(deficit))
+            alloc[i] += 1
+            deficit[i] -= 1
+            spare -= 1
+        # Distribute the surplus by weighted unmet fractional need.
+        targets = np.array(
+            [d.gpu_need * self.headroom for d in demands]
+        )
+        weights = np.array([d.spec.weight for d in demands])
+        for _ in range(spare):
+            unmet = np.maximum(targets - alloc, 0.0) * weights
+            if unmet.sum() <= 0:
+                # Everyone satisfied: spread remaining by weight, least
+                # loaded (relative to weight) first.
+                i = int(np.argmin(alloc / weights))
+            else:
+                i = int(np.argmax(unmet))
+            alloc[i] += 1
+        result = {name: int(n) for name, n in zip(names, alloc)}
+        self.history.append(result)
+        return result
+
+    def rebalance_moves(
+        self, current: dict[str, int], target: dict[str, int]
+    ) -> list[tuple[str, str]]:
+        """(donor, receiver) GPU moves turning ``current`` into ``target``."""
+        if set(current) != set(target):
+            raise ConfigurationError("stream sets differ")
+        if sum(current.values()) != sum(target.values()):
+            raise ConfigurationError("partitions use different pool sizes")
+        donors: list[str] = []
+        receivers: list[str] = []
+        for name in sorted(current):
+            delta = current[name] - target[name]
+            if delta > 0:
+                donors.extend([name] * delta)
+            elif delta < 0:
+                receivers.extend([name] * (-delta))
+        return list(zip(donors, receivers))

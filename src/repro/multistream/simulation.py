@@ -1,0 +1,398 @@
+"""Co-simulation of several request streams sharing one GPU pool (§6).
+
+Each stream is a full Arlo (or baseline) deployment with its own
+polymorph set, Request Scheduler and periodic Runtime Scheduler. On
+top, a :class:`StreamPoolCoordinator` runs every coordinator period:
+it reads each stream's demand estimate, re-partitions the pool, and
+executes GPU *transfers* — the donor stream drains its least busy
+instance, the freed worker moves to the receiver stream and comes up
+with the receiver's maximum-length runtime (the §4 scale-out rule);
+the receiver's next scheduling period folds it into its allocation.
+
+All streams share one deterministic event queue, so cross-stream
+interactions (a transfer landing mid-burst, one stream's drain delaying
+another's relief) play out exactly once, in order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.schemes import Scheme
+from repro.cluster.instance import RuntimeInstance
+from repro.cluster.replacement import REPLACEMENT_DURATION_MS
+from repro.errors import CapacityError, ConfigurationError, SimulationError
+from repro.multistream.coordinator import (
+    StreamDemand,
+    StreamPoolCoordinator,
+    StreamSpec,
+)
+from repro.sim.controller import ControlPlane
+from repro.sim.engine import EventQueue
+from repro.sim.events import ArrivalPayload, CompletionPayload, EventKind
+from repro.sim.metrics import LatencyStats, MetricsCollector
+from repro.units import SECOND
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class StreamInput:
+    """One stream to co-simulate."""
+
+    name: str
+    scheme: Scheme
+    trace: Trace
+    weight: float = 1.0
+    min_gpus: int = 1
+
+    def __post_init__(self) -> None:
+        if not len(self.trace):
+            raise ConfigurationError(f"stream {self.name!r} has an empty trace")
+        if self.scheme.demand_estimator is None:
+            raise ConfigurationError(
+                f"stream {self.name!r} needs a demand estimator "
+                "(use an arlo-family scheme)"
+            )
+
+
+@dataclass(frozen=True)
+class MultiStreamConfig:
+    coordinator_period_ms: float = 30 * SECOND
+    headroom: float = 1.25
+    warmup_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.coordinator_period_ms <= 0:
+            raise ConfigurationError("coordinator period must be positive")
+        if self.warmup_ms < 0:
+            raise ConfigurationError("warmup cannot be negative")
+
+
+@dataclass(frozen=True)
+class _TransferDrain:
+    """Coordinator-initiated drain of a donor instance."""
+
+    donor: int  # stream index
+    receiver: int
+    instance_id: int
+
+
+@dataclass
+class StreamResult:
+    """Per-stream outcome of a co-simulation."""
+
+    name: str
+    stats: LatencyStats
+    metrics: MetricsCollector
+    gpus_final: int
+    transfers_out: int
+    transfers_in: int
+
+
+@dataclass
+class MultiStreamResult:
+    streams: dict[str, StreamResult]
+    partition_timeline: list[tuple[float, dict[str, int]]]
+    events_processed: int
+    end_ms: float
+
+
+@dataclass
+class _StreamState:
+    """Mutable per-stream bookkeeping inside the loop."""
+
+    inp: StreamInput
+    metrics: MetricsCollector
+    control: ControlPlane
+    next_arrival: int = 0
+    outstanding: int = 0
+    completed: int = 0
+    deferred: list[tuple[int, float, int]] = field(default_factory=list)
+    inflight: dict[int, deque] = field(default_factory=dict)
+    transfers_out: int = 0
+    transfers_in: int = 0
+    #: instance_id -> receiver stream index, for coordinator drains.
+    pending_transfers: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def scheme(self) -> Scheme:
+        return self.inp.scheme
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.inp.trace)
+
+
+def run_multistream(
+    streams: list[StreamInput],
+    config: MultiStreamConfig | None = None,
+) -> MultiStreamResult:
+    """Serve every stream's trace concurrently over the shared pool."""
+    if not streams:
+        raise ConfigurationError("need at least one stream")
+    names = [s.name for s in streams]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("stream names must be unique")
+    config = config or MultiStreamConfig()
+
+    queue = EventQueue()
+    states: list[_StreamState] = []
+    for inp in streams:
+        states.append(
+            _StreamState(
+                inp=inp,
+                metrics=MetricsCollector(slo_ms=inp.scheme.slo_ms),
+                control=ControlPlane(scheme=inp.scheme, queue=queue,
+                                     payload_tag=len(states)),
+            )
+        )
+    total_gpus = sum(st.scheme.cluster.num_gpus for st in states)
+    coordinator = StreamPoolCoordinator(
+        total_gpus=total_gpus, headroom=config.headroom
+    )
+    partition_timeline: list[tuple[float, dict[str, int]]] = []
+
+    # -- helpers ----------------------------------------------------------
+    def push_arrival(s: int) -> None:
+        st = states[s]
+        if st.next_arrival < st.n_requests:
+            trace = st.inp.trace
+            queue.push(
+                float(trace.arrival_ms[st.next_arrival]),
+                EventKind.ARRIVAL,
+                (s, ArrivalPayload(st.next_arrival,
+                                   int(trace.length[st.next_arrival]))),
+            )
+            st.next_arrival += 1
+
+    def admit(s: int, now: float, request_id: int, arrival: float,
+              length: int) -> bool:
+        st = states[s]
+        try:
+            instance, _start, finish = st.scheme.dispatcher.dispatch(
+                now, length
+            )
+        except CapacityError:
+            return False
+        st.outstanding += 1
+        st.inflight.setdefault(instance.instance_id, deque()).append(
+            (request_id, arrival, length)
+        )
+        queue.push(
+            finish,
+            EventKind.COMPLETION,
+            (s, CompletionPayload(
+                request_id=request_id,
+                instance_id=instance.instance_id,
+                arrival_ms=arrival,
+                length=length,
+                runtime_index=instance.runtime_index,
+            )),
+        )
+        return True
+
+    def flush_deferred(s: int, now: float) -> None:
+        st = states[s]
+        if not st.deferred:
+            return
+        still = [
+            item for item in st.deferred if not admit(s, now, *item)
+        ]
+        st.deferred[:] = still
+
+    def work_remaining() -> bool:
+        return any(
+            st.next_arrival < st.n_requests
+            or st.outstanding
+            or st.deferred
+            or st.control.has_pending_work
+            or st.pending_transfers
+            for st in states
+        )
+
+    # -- coordinator ---------------------------------------------------------
+    def least_busy_transferable(st: _StreamState) -> RuntimeInstance | None:
+        active = st.scheme.cluster.active_instances()
+        top = len(st.scheme.registry) - 1
+        top_count = sum(1 for i in active if i.runtime_index == top)
+        candidates = [
+            i for i in active
+            if (i.runtime_index != top or top_count > 1)
+            and i.instance_id not in st.pending_transfers
+        ]
+        if len(active) <= 1 or not candidates:
+            return None
+        return min(candidates, key=lambda i: (i.outstanding, i.instance_id))
+
+    def begin_transfer(now: float, donor: int, receiver: int) -> None:
+        st = states[donor]
+        victim = least_busy_transferable(st)
+        if victim is None:
+            return
+        victim.begin_drain()
+        st.scheme.mlq.remove(victim)
+        st.pending_transfers[victim.instance_id] = receiver
+        if victim.outstanding == 0:
+            schedule_transfer_ready(now, donor, victim.instance_id)
+
+    def schedule_transfer_ready(now: float, donor: int,
+                                instance_id: int) -> None:
+        receiver = states[donor].pending_transfers[instance_id]
+        queue.push(
+            now + REPLACEMENT_DURATION_MS,
+            EventKind.REPLACEMENT_READY,
+            _TransferDrain(donor=donor, receiver=receiver,
+                           instance_id=instance_id),
+        )
+
+    def complete_transfer(now: float, td: _TransferDrain) -> None:
+        donor_st = states[td.donor]
+        receiver_st = states[td.receiver]
+        instance = donor_st.scheme.cluster.instances.get(td.instance_id)
+        if instance is None:  # pragma: no cover - transfers are not raced
+            raise SimulationError("transfer fired for unknown instance")
+        donor_st.pending_transfers.pop(td.instance_id, None)
+        gpu = donor_st.scheme.cluster.retire_instance(instance)
+        donor_st.scheme.cluster.release_gpu(gpu.gpu_id, now)
+        new_instance = receiver_st.scheme.cluster.deploy_on_new_gpu(
+            receiver_st.scheme.scale_out_runtime_index, now
+        )
+        receiver_st.scheme.mlq.add(new_instance)
+        donor_st.transfers_out += 1
+        receiver_st.transfers_in += 1
+        flush_deferred(td.receiver, now)
+
+    def coordinate(now: float) -> None:
+        demands = []
+        for st in states:
+            estimator = st.scheme.demand_estimator
+            demands.append(
+                StreamDemand(
+                    spec=StreamSpec(
+                        name=st.inp.name,
+                        min_gpus=st.inp.min_gpus,
+                        weight=st.inp.weight,
+                    ),
+                    demand=estimator.demand(now),
+                    capacity=np.array(
+                        [p.capacity for p in st.scheme.registry]
+                    ),
+                )
+            )
+        target = coordinator.partition(demands)
+        # Account for in-flight transfers: a draining donor still holds
+        # its GPU, but that GPU is already promised — without this
+        # adjustment a slow drain makes the next period re-issue the
+        # same move and overshoot the target.
+        current = {
+            st.inp.name: st.scheme.cluster.num_gpus
+            - len(st.pending_transfers)
+            for st in states
+        }
+        for st in states:
+            for receiver_idx in st.pending_transfers.values():
+                current[states[receiver_idx].inp.name] += 1
+        partition_timeline.append((now, dict(current)))
+        index_of = {st.inp.name: i for i, st in enumerate(states)}
+        for donor_name, receiver_name in coordinator.rebalance_moves(
+            current, target
+        ):
+            begin_transfer(now, index_of[donor_name], index_of[receiver_name])
+
+    # -- main loop -----------------------------------------------------------
+    for s in range(len(states)):
+        push_arrival(s)
+        scheduler = states[s].scheme.runtime_scheduler
+        if scheduler is not None:
+            queue.push(scheduler.config.period_ms, EventKind.RESCHEDULE, s)
+    queue.push(config.coordinator_period_ms, EventKind.COORDINATE)
+
+    while queue:
+        event = queue.pop()
+        now = event.time_ms
+
+        if event.kind is EventKind.ARRIVAL:
+            s, ap = event.payload
+            st = states[s]
+            st.scheme.observe_arrival(now, ap.length)
+            if not admit(s, now, ap.request_id, now, ap.length):
+                st.deferred.append((ap.request_id, now, ap.length))
+                st.metrics.deferred_requests += 1
+            push_arrival(s)
+
+        elif event.kind is EventKind.COMPLETION:
+            s, cp = event.payload
+            st = states[s]
+            instance = st.scheme.cluster.instances.get(cp.instance_id)
+            if instance is None:
+                raise SimulationError(
+                    f"completion for retired instance {cp.instance_id}"
+                )
+            st.inflight[cp.instance_id].popleft()
+            instance.complete()
+            st.scheme.dispatcher.on_complete(instance)
+            st.outstanding -= 1
+            st.completed += 1
+            if cp.arrival_ms >= config.warmup_ms:
+                st.metrics.record(now - cp.arrival_ms, cp.runtime_index)
+            st.control.on_completion(now, instance)
+            if (
+                cp.instance_id in st.pending_transfers
+                and instance.drained()
+            ):
+                schedule_transfer_ready(now, s, cp.instance_id)
+            flush_deferred(s, now)
+
+        elif event.kind is EventKind.RESCHEDULE:
+            s = event.payload
+            st = states[s]
+            scheduler = st.scheme.runtime_scheduler
+            if scheduler is not None and work_remaining():
+                _result, plan = scheduler.step(now, st.scheme.cluster)
+                st.control.start_plan(now, plan)
+                queue.push(now + scheduler.config.period_ms,
+                           EventKind.RESCHEDULE, s)
+
+        elif event.kind is EventKind.REPLACEMENT_READY:
+            if isinstance(event.payload, _TransferDrain):
+                complete_transfer(now, event.payload)
+            else:
+                s, inner = event.payload
+                states[s].control.on_replacement_event(now, inner)
+                flush_deferred(s, now)
+
+        elif event.kind is EventKind.COORDINATE:
+            if work_remaining():
+                coordinate(now)
+                queue.push(now + config.coordinator_period_ms,
+                           EventKind.COORDINATE)
+
+        else:  # pragma: no cover - closed enum in this loop
+            raise SimulationError(f"unhandled event kind {event.kind}")
+
+    for st in states:
+        if st.completed != st.n_requests:
+            raise SimulationError(
+                f"stream {st.inp.name!r} left "
+                f"{st.n_requests - st.completed} requests unserved"
+            )
+
+    return MultiStreamResult(
+        streams={
+            st.inp.name: StreamResult(
+                name=st.inp.name,
+                stats=st.metrics.stats(),
+                metrics=st.metrics,
+                gpus_final=st.scheme.cluster.num_gpus,
+                transfers_out=st.transfers_out,
+                transfers_in=st.transfers_in,
+            )
+            for st in states
+        },
+        partition_timeline=partition_timeline,
+        events_processed=queue.events_processed,
+        end_ms=queue.now_ms,
+    )

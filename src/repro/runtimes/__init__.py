@@ -1,0 +1,59 @@
+"""Polymorphing substrate: model latency profiles, compilation, profiling.
+
+The paper compiles BERT-Base/Large with TensorRT (and Dolly with TVM
+Unity) into *static-shape* runtimes at several ``max_length`` values,
+plus *dynamic-shape* runtimes for the DT baseline. This subpackage
+reproduces that world analytically:
+
+- :mod:`repro.runtimes.latency` — staircase static-shape latency models
+  and inflated dynamic-shape models (Fig. 2 calibration).
+- :mod:`repro.runtimes.models` — the calibrated model zoo.
+- :mod:`repro.runtimes.compiler` — a simulated compiler producing
+  :class:`CompiledRuntime` objects.
+- :mod:`repro.runtimes.profiler` — the offline profiler measuring each
+  runtime's service time and within-SLO capacity ``M_i``.
+- :mod:`repro.runtimes.staircase` — step-size detection (§3.3).
+- :mod:`repro.runtimes.registry` — polymorph-set construction.
+"""
+
+from repro.runtimes.compiler import CompiledRuntime, SimulatedCompiler
+from repro.runtimes.hardware import (
+    HARDWARE_ZOO,
+    HardwareProfile,
+    retarget_model,
+)
+from repro.runtimes.latency import (
+    DynamicShapeLatencyModel,
+    LatencyModel,
+    StaircaseLatencyModel,
+    TunedDynamicLatencyModel,
+)
+from repro.runtimes.models import MODEL_ZOO, ModelProfile, bert_base, bert_large, dolly
+from repro.runtimes.profiler import OfflineProfiler, RuntimeProfile
+from repro.runtimes.registry import RuntimeRegistry, build_polymorph_set
+from repro.runtimes.spec import CompilerKind, RuntimeSpec
+from repro.runtimes.staircase import detect_step_size
+
+__all__ = [
+    "HARDWARE_ZOO",
+    "MODEL_ZOO",
+    "CompiledRuntime",
+    "CompilerKind",
+    "HardwareProfile",
+    "retarget_model",
+    "DynamicShapeLatencyModel",
+    "LatencyModel",
+    "ModelProfile",
+    "OfflineProfiler",
+    "RuntimeProfile",
+    "RuntimeRegistry",
+    "RuntimeSpec",
+    "SimulatedCompiler",
+    "StaircaseLatencyModel",
+    "TunedDynamicLatencyModel",
+    "bert_base",
+    "bert_large",
+    "build_polymorph_set",
+    "detect_step_size",
+    "dolly",
+]

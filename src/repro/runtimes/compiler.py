@@ -1,0 +1,134 @@
+"""Simulated DL compiler producing executable runtime objects.
+
+Compilation here is instantaneous but records the *simulated* cost a
+real compiler would incur (TensorRT engine builds take minutes; TVM
+dynamic-shape tuning takes hours), so experiments can account for the
+offline budget the paper discusses in §2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.runtimes.latency import (
+    DynamicShapeLatencyModel,
+    LatencyModel,
+    StaircaseLatencyModel,
+    TunedDynamicLatencyModel,
+)
+from repro.runtimes.models import ModelProfile
+from repro.runtimes.spec import RuntimeSpec
+
+#: Simulated offline build cost per static engine (seconds).
+STATIC_BUILD_COST_S = 90.0
+#: Simulated cost of a dynamic-shape build (profile ranges, more tactics).
+DYNAMIC_BUILD_COST_S = 420.0
+#: Simulated kernel-tuning cost for TVM dynamic shape (paper: "time-intensive").
+TVM_TUNING_COST_S = 3_600.0 * 4
+
+
+@dataclass(frozen=True)
+class CompiledRuntime:
+    """An executable runtime: spec + the latency law it obeys.
+
+    Static-shape runtimes *pad*: every request executes at the runtime's
+    compiled ``max_length``, regardless of its true length. Dynamic
+    runtimes execute at the request's own length but pay the
+    dynamic-shape inflation.
+    """
+
+    spec: RuntimeSpec
+    latency_model: LatencyModel
+    build_cost_s: float = 0.0
+
+    def service_ms(self, length: int) -> float:
+        """GPU time to serve one request of ``length`` tokens."""
+        if not self.spec.accepts(length):
+            raise CapacityError(
+                f"length {length} exceeds {self.spec.key} (max "
+                f"{self.spec.max_length})"
+            )
+        if self.spec.dynamic_shape:
+            return self.latency_model.compute_ms(length)
+        # Static shape: the kernel always runs at the compiled length.
+        return self.latency_model.compute_ms(self.spec.max_length)
+
+    def padded_tokens(self, length: int) -> int:
+        """Zero-padding this runtime adds to a request (0 when dynamic)."""
+        if not self.spec.accepts(length):
+            raise CapacityError(f"length {length} exceeds {self.spec.key}")
+        return 0 if self.spec.dynamic_shape else self.spec.max_length - length
+
+    @property
+    def max_length(self) -> int:
+        return self.spec.max_length
+
+
+@dataclass
+class SimulatedCompiler:
+    """Builds :class:`CompiledRuntime` objects from a model profile."""
+
+    total_build_cost_s: float = field(default=0.0, init=False)
+
+    def compile_static(self, model: ModelProfile, max_length: int) -> CompiledRuntime:
+        """Statically compile ``model`` for a fixed ``max_length``."""
+        if max_length <= 0 or max_length > model.max_length:
+            raise ConfigurationError(
+                f"max_length {max_length} outside (0, {model.max_length}] "
+                f"for {model.name}"
+            )
+        spec = RuntimeSpec(
+            max_length=max_length,
+            model_name=model.name,
+            compiler=model.compiler,
+            dynamic_shape=False,
+        )
+        self.total_build_cost_s += STATIC_BUILD_COST_S
+        return CompiledRuntime(
+            spec=spec,
+            latency_model=model.static_latency,
+            build_cost_s=STATIC_BUILD_COST_S,
+        )
+
+    def compile_dynamic(self, model: ModelProfile) -> CompiledRuntime:
+        """Compile ``model`` with dynamic-shape support (the DT baseline)."""
+        spec = RuntimeSpec(
+            max_length=model.max_length,
+            model_name=model.name,
+            compiler=model.compiler,
+            dynamic_shape=True,
+        )
+        if isinstance(model.dynamic_latency, TunedDynamicLatencyModel):
+            cost = TVM_TUNING_COST_S
+        elif isinstance(model.dynamic_latency, DynamicShapeLatencyModel):
+            cost = DYNAMIC_BUILD_COST_S
+        else:  # pragma: no cover - zoo only contains the two kinds
+            cost = DYNAMIC_BUILD_COST_S
+        self.total_build_cost_s += cost
+        return CompiledRuntime(
+            spec=spec, latency_model=model.dynamic_latency, build_cost_s=cost
+        )
+
+    def compile_polymorph_set(
+        self, model: ModelProfile, max_lengths: list[int]
+    ) -> list[CompiledRuntime]:
+        """Compile one static runtime per requested ``max_length``.
+
+        Lengths are validated, deduplicated and returned sorted ascending
+        — the order every scheduler component expects.
+        """
+        if not max_lengths:
+            raise ConfigurationError("polymorph set needs at least one max_length")
+        unique = sorted(set(max_lengths))
+        return [self.compile_static(model, ml) for ml in unique]
+
+
+def staircase_of(runtime: CompiledRuntime) -> StaircaseLatencyModel:
+    """The underlying staircase model of a static runtime (for analysis)."""
+    model = runtime.latency_model
+    if isinstance(model, StaircaseLatencyModel):
+        return model
+    if isinstance(model, (DynamicShapeLatencyModel, TunedDynamicLatencyModel)):
+        return model.static
+    raise ConfigurationError(f"no staircase behind {type(model).__name__}")

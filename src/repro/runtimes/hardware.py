@@ -1,0 +1,100 @@
+"""Hardware what-if profiles.
+
+The paper measures on RTX 3090s and notes (§3.3) that the staircase
+step "may vary and [is] not necessarily uniform" across hardware and
+compilers. This module re-targets a calibrated :class:`ModelProfile`
+to a different accelerator: compute scales by a speed factor, and the
+staircase step follows the device's matmul tile efficiency — coarser
+steps mean fewer distinct runtimes for Arlo to exploit, which is
+exactly the trade-off worth studying before porting.
+
+Factors are rough public-benchmark ratios for BERT-class FP32/FP16
+inference; they parameterise studies, they are not measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.runtimes.latency import (
+    DynamicShapeLatencyModel,
+    StaircaseLatencyModel,
+    TunedDynamicLatencyModel,
+)
+from repro.runtimes.models import ModelProfile
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """One accelerator target."""
+
+    name: str
+    #: Throughput relative to the calibration device (RTX 3090 = 1.0).
+    speed_factor: float
+    #: Sequence-length staircase step on this device/compiler.
+    step: int = 64
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise ConfigurationError("speed factor must be positive")
+        if self.step <= 0:
+            raise ConfigurationError("step must be positive")
+
+
+RTX_3090 = HardwareProfile(name="rtx-3090", speed_factor=1.0, step=64)
+V100 = HardwareProfile(name="v100", speed_factor=0.8, step=64)
+A100 = HardwareProfile(name="a100", speed_factor=2.2, step=64)
+#: A hypothetical device whose tiles flatten latency over 128 tokens —
+#: halves the useful polymorph count for a 512-token model.
+COARSE_TILE = HardwareProfile(name="coarse-tile", speed_factor=1.5, step=128)
+
+HARDWARE_ZOO: dict[str, HardwareProfile] = {
+    hw.name: hw for hw in (RTX_3090, V100, A100, COARSE_TILE)
+}
+
+
+def retarget_model(model: ModelProfile, hardware: HardwareProfile) -> ModelProfile:
+    """``model`` as it would behave on ``hardware``.
+
+    The device keeps the model's underlying per-token cost curve
+    (``base + per_step_per_token · L``) but *samples* it at its own
+    tile boundary — coarser tiles mean every request executes at the
+    next multiple of a larger step, so short requests genuinely pay
+    more. Everything then divides by the speed factor. Latency at the
+    model's maximum length is preserved up to speed, so SLO arithmetic
+    stays comparable.
+    """
+    if model.max_length % hardware.step != 0:
+        raise ConfigurationError(
+            f"max_length {model.max_length} is not a multiple of "
+            f"{hardware.name}'s step {hardware.step}"
+        )
+    old = model.static_latency
+    speed = hardware.speed_factor
+    # Same cost-per-token line, coarser sampling: per_step scales with
+    # the tile size ratio, base is a fixed kernel overhead.
+    step_ratio = hardware.step / old.step
+    static = StaircaseLatencyModel(
+        step=hardware.step,
+        base_ms=old.base_ms / speed,
+        per_step_ms=old.per_step_ms * step_ratio / speed,
+        in_step_slope=old.in_step_slope,
+    )
+    dynamic = model.dynamic_latency
+    if isinstance(dynamic, TunedDynamicLatencyModel):
+        new_dynamic = dataclasses.replace(dynamic, static=static)
+    elif isinstance(dynamic, DynamicShapeLatencyModel):
+        new_dynamic = dataclasses.replace(dynamic, static=static)
+    else:  # pragma: no cover - zoo has only the two kinds
+        raise ConfigurationError("unknown dynamic latency model")
+    return ModelProfile(
+        name=f"{model.name}@{hardware.name}",
+        max_length=model.max_length,
+        step=hardware.step,
+        static_latency=static,
+        dynamic_latency=new_dynamic,
+        slo_ms=model.slo_ms,
+        compiler=model.compiler,
+    )

@@ -1,0 +1,125 @@
+"""Calibrated model zoo: BERT-Base, BERT-Large and Dolly.
+
+Calibration targets, all taken verbatim from the paper:
+
+========================  =======================================
+BERT-Base (TRT, FP32)     lat(512) = 4.86 ms; lat(512)/lat(64) = 4.22;
+                          SLO 150 ms; staircase step 64.
+BERT-Large (TRT, FP32)    lat(512)/lat(64) = 5.25; SLO 450 ms.
+Dolly (TVM Unity, FP16)   tuned dynamic averages 2.86× the untuned
+                          static runtime.
+Dynamic TRT               1.22×–3.56× inflation over static.
+========================  =======================================
+
+Solving ``base + 8·per_step = 4.86`` and ``(base + 8·p)/(base + p) =
+4.22`` gives BERT-Base ``base = 0.624, per_step = 0.530``. For
+BERT-Large the paper gives only the 5.25 ratio; the lat(64) = 2.0 ms
+anchor is back-solved from the serving operating points (see
+:func:`bert_large`), giving ``base = 0.786, per_step = 1.214``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.runtimes.latency import (
+    DynamicShapeLatencyModel,
+    StaircaseLatencyModel,
+    TunedDynamicLatencyModel,
+)
+from repro.runtimes.spec import CompilerKind
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """A servable model: its latency behaviour and serving SLO."""
+
+    name: str
+    max_length: int
+    step: int
+    static_latency: StaircaseLatencyModel
+    dynamic_latency: DynamicShapeLatencyModel | TunedDynamicLatencyModel
+    slo_ms: float
+    compiler: CompilerKind = CompilerKind.TENSORRT
+
+    def __post_init__(self) -> None:
+        if self.max_length % self.step != 0:
+            raise ConfigurationError(
+                f"max_length {self.max_length} must be a multiple of step {self.step}"
+            )
+        if self.slo_ms <= 0:
+            raise ConfigurationError("SLO must be positive")
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of staircase buckets, e.g. 512/64 = 8."""
+        return self.max_length // self.step
+
+
+def bert_base() -> ModelProfile:
+    """BERT-Base compiled with TensorRT FP32 (Fig. 2a)."""
+    static = StaircaseLatencyModel(step=64, base_ms=0.624, per_step_ms=0.530)
+    return ModelProfile(
+        name="bert-base",
+        max_length=512,
+        step=64,
+        static_latency=static,
+        dynamic_latency=DynamicShapeLatencyModel(static=static),
+        slo_ms=150.0,
+        compiler=CompilerKind.TENSORRT,
+    )
+
+
+def bert_large() -> ModelProfile:
+    """BERT-Large compiled with TensorRT FP32 (Fig. 2b).
+
+    The paper gives the 5.25× lat(512)/lat(64) ratio but no absolute
+    number; the lat(64)=2.0 ms anchor is back-solved from the serving
+    experiments' operating points (Fig. 6b/10b: 1.5k req/s on 10 GPUs
+    must be within Arlo's capacity at batch size 1 while exceeding
+    full-padding ST's ~88 req/s/GPU).
+    """
+    static = StaircaseLatencyModel(step=64, base_ms=0.786, per_step_ms=1.214)
+    return ModelProfile(
+        name="bert-large",
+        max_length=512,
+        step=64,
+        static_latency=static,
+        dynamic_latency=DynamicShapeLatencyModel(static=static),
+        slo_ms=450.0,
+        compiler=CompilerKind.TENSORRT,
+    )
+
+
+def dolly() -> ModelProfile:
+    """Dolly compiled with TVM Unity FP16 (Fig. 2c).
+
+    Used only in the motivation experiment — Dolly is generative, so the
+    serving evaluation sticks to the BERT models like the paper does.
+    """
+    static = StaircaseLatencyModel(step=64, base_ms=8.0, per_step_ms=6.0)
+    return ModelProfile(
+        name="dolly",
+        max_length=512,
+        step=64,
+        static_latency=static,
+        dynamic_latency=TunedDynamicLatencyModel(static=static),
+        slo_ms=2_000.0,
+        compiler=CompilerKind.TVM_UNITY,
+    )
+
+
+MODEL_ZOO: dict[str, ModelProfile] = {
+    m.name: m for m in (bert_base(), bert_large(), dolly())
+}
+
+
+def get_model(name: str) -> ModelProfile:
+    """Look up a model profile by name, with a helpful error."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}"
+        ) from None

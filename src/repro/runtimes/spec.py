@@ -1,0 +1,56 @@
+"""Runtime specifications: what a compiled runtime *is*.
+
+A runtime is a (model, compiler, shape policy) triple. Static-shape
+runtimes carry the ``max_length`` they were compiled for; dynamic-shape
+runtimes accept any length up to the model's maximum.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class CompilerKind(enum.Enum):
+    """The DL compiler a runtime was produced with."""
+
+    TENSORRT = "tensorrt"
+    TVM_UNITY = "tvm_unity"
+    XLA = "xla"
+
+
+@dataclass(frozen=True, order=True)
+class RuntimeSpec:
+    """Identity of one compiled runtime.
+
+    Ordering sorts by ``max_length`` first (the order the multi-level
+    queue and the ILP iterate runtimes in), which is why ``max_length``
+    is the first field.
+    """
+
+    max_length: int
+    model_name: str
+    compiler: CompilerKind = CompilerKind.TENSORRT
+    dynamic_shape: bool = False
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_length <= 0:
+            raise ConfigurationError("max_length must be positive")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+
+    def accepts(self, length: int) -> bool:
+        """Whether a request of ``length`` tokens fits this runtime."""
+        return 0 < length <= self.max_length
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``bert-base/trt/static-128``."""
+        shape = "dyn" if self.dynamic_shape else f"static-{self.max_length}"
+        return f"{self.model_name}/{self.compiler.value}/{shape}"
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.key

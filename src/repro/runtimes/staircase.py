@@ -1,0 +1,108 @@
+"""Staircase step-size detection (paper §3.3).
+
+Arlo picks its runtime ``max_length`` values from the *staircase
+pattern* in static-compile latency: latency jumps at multiples of the
+GPU tile size (64 for TensorRT/BERT) and is nearly flat in between.
+Rather than hard-coding 64, this module recovers the step from profiled
+(length, latency) measurements, as the paper notes the step "may vary
+and not necessarily [be] uniform" for other models/compilers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProfileError
+
+#: Relative latency change below which two adjacent lengths are "flat".
+_FLAT_THRESHOLD = 0.05
+
+
+def detect_step_size(
+    lengths: np.ndarray, latencies: np.ndarray, candidates: tuple[int, ...] = (8, 16, 32, 64, 128)
+) -> int:
+    """Infer the staircase step from a measured latency curve.
+
+    For each candidate step ``s`` we score how well jumps align with
+    multiples of ``s``: the latency increase crossing a multiple of
+    ``s`` should be large, the increase elsewhere small. The candidate
+    maximising (cross-boundary jump) − (in-step jump) wins.
+
+    Parameters
+    ----------
+    lengths:
+        Strictly increasing sequence lengths at which latency was
+        measured (need ≥ 3 points spanning at least two steps).
+    latencies:
+        Measured latency at each length, same shape.
+    """
+    lengths = np.asarray(lengths, dtype=int)
+    latencies = np.asarray(latencies, dtype=float)
+    if lengths.shape != latencies.shape or lengths.size < 3:
+        raise ProfileError("need ≥3 aligned (length, latency) measurements")
+    if np.any(np.diff(lengths) <= 0):
+        raise ProfileError("lengths must be strictly increasing")
+    if np.any(latencies <= 0):
+        raise ProfileError("latencies must be positive")
+
+    rel_jump = np.diff(latencies) / latencies[:-1]
+    best_step, best_score = 0, -np.inf
+    for step in candidates:
+        if lengths[-1] < 2 * step:
+            continue  # cannot observe even one boundary crossing
+        # Does the interval (lengths[i], lengths[i+1]] cross a multiple of step?
+        crosses = (lengths[1:] - 1) // step != (lengths[:-1] - 1) // step
+        if not crosses.any() or crosses.all():
+            continue
+        score = float(rel_jump[crosses].mean() - rel_jump[~crosses].mean())
+        if score > best_score:
+            best_step, best_score = step, score
+    if best_step == 0:
+        raise ProfileError(
+            "no candidate step size is observable in the measured range"
+        )
+    return best_step
+
+
+def is_staircase(
+    lengths: np.ndarray, latencies: np.ndarray, step: int
+) -> bool:
+    """Check the <5 % in-step flatness property for a claimed step."""
+    lengths = np.asarray(lengths, dtype=int)
+    latencies = np.asarray(latencies, dtype=float)
+    rel_jump = np.diff(latencies) / latencies[:-1]
+    crosses = (lengths[1:] - 1) // step != (lengths[:-1] - 1) // step
+    in_step = rel_jump[~crosses]
+    return bool(in_step.size == 0 or np.all(np.abs(in_step) < _FLAT_THRESHOLD))
+
+
+def polymorph_lengths(max_length: int, step: int) -> list[int]:
+    """The ``max_length`` ladder Arlo compiles: step, 2·step, …, max.
+
+    ``max_length`` need not be a multiple of ``step``; the final rung is
+    always ``max_length`` itself so every request remains servable.
+    """
+    if max_length <= 0 or step <= 0:
+        raise ProfileError("max_length and step must be positive")
+    if step > max_length:
+        return [max_length]
+    rungs = list(range(step, max_length + 1, step))
+    if rungs[-1] != max_length:
+        rungs.append(max_length)
+    return rungs
+
+
+def polymorph_lengths_for_count(max_length: int, count: int) -> list[int]:
+    """Evenly spaced ladder with exactly ``count`` rungs (Fig. 11 sweeps).
+
+    Used by the runtime-count ablation where the paper gives each of the
+    ``N`` runtimes a span of ``512/N``.
+    """
+    if count <= 0:
+        raise ProfileError("count must be positive")
+    if count > max_length:
+        raise ProfileError("cannot have more runtimes than token lengths")
+    span = max_length / count
+    rungs = sorted({int(round(span * (i + 1))) for i in range(count)})
+    rungs[-1] = max_length
+    return rungs

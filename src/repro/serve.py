@@ -1,0 +1,185 @@
+"""Embedding Arlo in a live serving loop.
+
+The paper positions Arlo as a scheduler that "works with existing
+serving systems" (§1) — its prototype sits on top of Triton. This
+module is the corresponding integration surface for this library: an
+:class:`ArloServer` accepts requests one at a time, dispatches them
+through the Request Scheduler, tracks completions against a pluggable
+clock, and runs Runtime Scheduler periods on schedule.
+
+Two clocks are provided:
+
+- :class:`VirtualClock` — time advances only when told to; used by
+  tests and by anyone embedding the server in their own event loop;
+- :class:`WallClock` — ``time.monotonic``-backed for soak-style demos
+  (completions are applied lazily on the next API call, so no threads
+  are involved).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass
+
+from repro.core.arlo import ArloSystem
+from repro.errors import ConfigurationError
+from repro.units import SECOND
+
+
+class VirtualClock:
+    """Manually advanced clock (deterministic tests, external loops)."""
+
+    def __init__(self, start_ms: float = 0.0):
+        self._now = float(start_ms)
+
+    def now_ms(self) -> float:
+        return self._now
+
+    def advance(self, delta_ms: float) -> float:
+        if delta_ms < 0:
+            raise ConfigurationError("cannot advance time backwards")
+        self._now += delta_ms
+        return self._now
+
+
+class WallClock:
+    """Real time, in milliseconds since construction."""
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+
+    def now_ms(self) -> float:
+        return (time.monotonic() - self._t0) * 1_000.0
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """Receipt for one submitted request."""
+
+    request_id: int
+    length: int
+    submitted_ms: float
+    expected_finish_ms: float
+    instance_id: int
+    runtime_max_length: int
+    demoted: bool
+
+    @property
+    def expected_latency_ms(self) -> float:
+        return self.expected_finish_ms - self.submitted_ms
+
+
+@dataclass
+class ServerStats:
+    submitted: int = 0
+    completed: int = 0
+    reschedules: int = 0
+    latency_sum_ms: float = 0.0
+    latency_max_ms: float = 0.0
+
+    @property
+    def in_flight(self) -> int:
+        return self.submitted - self.completed
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.latency_sum_ms / self.completed if self.completed else 0.0
+
+
+class ArloServer:
+    """Synchronous serving facade over an :class:`ArloSystem`.
+
+    Completions are applied lazily: every public call first settles all
+    work whose (simulated) finish time has passed. This makes the class
+    trivially embeddable — the host system owns the loop and the
+    threads; Arlo owns the scheduling.
+    """
+
+    def __init__(self, arlo: ArloSystem, clock=None):
+        self.arlo = arlo
+        self.clock = clock or VirtualClock()
+        self.stats = ServerStats()
+        self._pending: list[tuple[float, int, Ticket]] = []  # (finish, seq, t)
+        self._seq = itertools.count()
+        self._next_reschedule_ms = (
+            arlo.runtime_scheduler.config.period_ms
+        )
+        self._completed_log: list[Ticket] = []
+
+    # -- internal ----------------------------------------------------------
+    def _settle(self) -> None:
+        now = self.clock.now_ms()
+        while self._pending and self._pending[0][0] <= now:
+            finish, _, ticket = heapq.heappop(self._pending)
+            self.arlo.complete(ticket.instance_id)
+            latency = finish - ticket.submitted_ms
+            self.stats.completed += 1
+            self.stats.latency_sum_ms += latency
+            self.stats.latency_max_ms = max(self.stats.latency_max_ms,
+                                            latency)
+            self._completed_log.append(ticket)
+        if now >= self._next_reschedule_ms:
+            self.arlo.reschedule(now)
+            self.stats.reschedules += 1
+            period = self.arlo.runtime_scheduler.config.period_ms
+            while self._next_reschedule_ms <= now:
+                self._next_reschedule_ms += period
+
+    # -- API -----------------------------------------------------------------
+    def submit(self, length: int) -> Ticket:
+        """Dispatch one request; returns its expected completion."""
+        self._settle()
+        now = self.clock.now_ms()
+        decision, _start, finish = self.arlo.handle(now, length)
+        ticket = Ticket(
+            request_id=self.stats.submitted,
+            length=length,
+            submitted_ms=now,
+            expected_finish_ms=finish,
+            instance_id=decision.instance.instance_id,
+            runtime_max_length=decision.instance.max_length,
+            demoted=decision.demoted,
+        )
+        self.stats.submitted += 1
+        heapq.heappush(self._pending, (finish, next(self._seq), ticket))
+        return ticket
+
+    def poll(self) -> list[Ticket]:
+        """Settle due work; returns tickets completed since last poll."""
+        before = len(self._completed_log)
+        self._settle()
+        return self._completed_log[before:]
+
+    def drain(self, max_wait_ms: float = 60 * SECOND) -> int:
+        """Advance/wait until all in-flight work completes.
+
+        With a :class:`VirtualClock` the clock jumps straight to each
+        pending finish time; with a wall clock this sleeps in short
+        increments up to ``max_wait_ms``.
+        """
+        deadline_waited = 0.0
+        while self._pending:
+            finish = self._pending[0][0]
+            if isinstance(self.clock, VirtualClock):
+                if finish > self.clock.now_ms():
+                    self.clock.advance(finish - self.clock.now_ms())
+            else:
+                wait = max((finish - self.clock.now_ms()) / 1_000.0, 0.001)
+                if deadline_waited + wait * 1_000.0 > max_wait_ms:
+                    break
+                time.sleep(wait)
+                deadline_waited += wait * 1_000.0
+            self._settle()
+        return self.stats.in_flight
+
+    def snapshot(self) -> dict[str, object]:
+        self._settle()
+        return {
+            **self.arlo.snapshot(),
+            "in_flight": self.stats.in_flight,
+            "completed": self.stats.completed,
+            "mean_latency_ms": self.stats.mean_latency_ms,
+            "reschedules": self.stats.reschedules,
+        }

@@ -1,0 +1,27 @@
+"""Discrete-event cluster simulator (the paper's §4 simulator, ~2k LoC).
+
+Models, "with great care" as the paper puts it: request arrival and
+dispatch, per-instance FIFO execution at batch size 1, periodic
+resource allocation with batched instance replacement (~1 s per swap),
+target-tracking auto-scaling, and the fixed 0.8 ms per-request
+overhead used for calibration (§5.2.1).
+
+Entry point: :func:`repro.sim.simulation.run_simulation`.
+"""
+
+from repro.sim.engine import EventQueue
+from repro.sim.events import EventKind
+from repro.sim.metrics import LatencyStats, MetricsCollector
+from repro.sim.replay import replay_trace
+from repro.sim.simulation import SimulationConfig, SimulationResult, run_simulation
+
+__all__ = [
+    "EventKind",
+    "EventQueue",
+    "LatencyStats",
+    "MetricsCollector",
+    "SimulationConfig",
+    "SimulationResult",
+    "replay_trace",
+    "run_simulation",
+]

@@ -1,0 +1,188 @@
+"""Control plane: replacement execution and auto-scaling inside the sim.
+
+The Runtime Scheduler only *plans*; this module executes plans against
+the simulated cluster with the paper's timing model: donors drain
+(finish outstanding work while accepting nothing new), then the swap
+takes ~1 s, then the receiver runtime goes live on the same GPU.
+Replacement batches start staggered so uninvolved instances never see
+a capacity cliff. Auto-scaling follows §4: scale-out provisions a new
+worker with the maximum-length runtime; scale-in drains and releases
+the least busy instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.schemes import Scheme
+from repro.cluster.autoscaler import ScaleAction, TargetTrackingAutoscaler
+from repro.cluster.instance import RuntimeInstance
+from repro.cluster.replacement import REPLACEMENT_DURATION_MS, ReplacementPlan
+from repro.errors import SimulationError
+from repro.sim.engine import EventQueue
+from repro.sim.events import EventKind
+
+#: Time to provision a fresh GPU worker and load a runtime (scale-out).
+PROVISION_DELAY_MS = 1_000.0
+
+
+@dataclass(frozen=True)
+class DrainTrigger:
+    """Start draining an instance (staggered replacement batch)."""
+
+    instance_id: int
+    to_runtime: int | None  # None = scale-in: release the GPU afterwards
+
+
+@dataclass(frozen=True)
+class SwapReady:
+    """A drained instance finished its ~1 s swap window."""
+
+    instance_id: int
+    to_runtime: int | None
+
+
+@dataclass
+class ControlPlane:
+    """Executes replacement plans and scaling actions event-by-event."""
+
+    scheme: Scheme
+    queue: EventQueue
+    autoscaler: TargetTrackingAutoscaler | None = None
+    #: When set, every event payload this plane pushes is wrapped as
+    #: ``(payload_tag, payload)`` — used by the multi-stream simulator
+    #: to route shared-queue events back to the owning stream.
+    payload_tag: int | None = None
+    #: instance_id -> target runtime (None = scale-in).
+    _pending: dict[int, int | None] = field(default_factory=dict)
+    #: Instances that crashed; their stale swap events are ignored.
+    _failed: set[int] = field(default_factory=set)
+    replacements_executed: int = 0
+    scale_outs: int = 0
+    scale_ins: int = 0
+
+    def note_failure(self, instance_id: int) -> None:
+        """Record a crash so stale control events for it are dropped."""
+        self._failed.add(instance_id)
+        self._pending.pop(instance_id, None)
+
+    def _wrap(self, payload):
+        return payload if self.payload_tag is None else (self.payload_tag,
+                                                         payload)
+
+    # -- replacement -----------------------------------------------------
+    def start_plan(self, now_ms: float, plan: ReplacementPlan) -> None:
+        """Begin draining plan donors, batch by batch."""
+        for batch_no, batch in enumerate(plan.batches()):
+            start = now_ms + batch_no * REPLACEMENT_DURATION_MS
+            for step in batch:
+                if batch_no == 0:
+                    self._try_begin_drain(now_ms, step.instance_id, step.to_runtime)
+                else:
+                    self.queue.push(
+                        start,
+                        EventKind.REPLACEMENT_READY,
+                        self._wrap(
+                            DrainTrigger(step.instance_id, step.to_runtime)
+                        ),
+                    )
+
+    def _try_begin_drain(
+        self, now_ms: float, instance_id: int, target: int | None
+    ) -> None:
+        instance = self.scheme.cluster.instances.get(instance_id)
+        if instance is None or not instance.is_active:
+            return  # raced with scaling or an earlier plan; skip
+        instance.begin_drain()
+        self.scheme.mlq.remove(instance)
+        self._pending[instance.instance_id] = target
+        if instance.outstanding == 0:
+            self._schedule_swap(now_ms, instance)
+
+    def _schedule_swap(self, now_ms: float, instance: RuntimeInstance) -> None:
+        target = self._pending[instance.instance_id]
+        self.queue.push(
+            now_ms + REPLACEMENT_DURATION_MS,
+            EventKind.REPLACEMENT_READY,
+            self._wrap(SwapReady(instance.instance_id, target)),
+        )
+
+    def on_completion(self, now_ms: float, instance: RuntimeInstance) -> None:
+        """Hook from the simulator: a draining donor may now be empty."""
+        if instance.instance_id in self._pending and instance.drained():
+            self._schedule_swap(now_ms, instance)
+
+    def on_replacement_event(self, now_ms: float, payload) -> RuntimeInstance | None:
+        """Handle REPLACEMENT_READY events; returns any new instance."""
+        if isinstance(payload, DrainTrigger):
+            self._try_begin_drain(now_ms, payload.instance_id, payload.to_runtime)
+            return None
+        if not isinstance(payload, SwapReady):
+            raise SimulationError(f"unexpected replacement payload {payload!r}")
+        instance = self.scheme.cluster.instances.get(payload.instance_id)
+        if instance is None:
+            if payload.instance_id in self._failed:
+                return None  # the donor crashed mid-swap; plan abandoned
+            raise SimulationError(
+                f"swap fired for unknown instance {payload.instance_id}"
+            )
+        self._pending.pop(payload.instance_id, None)
+        gpu = self.scheme.cluster.retire_instance(instance)
+        if payload.to_runtime is None:
+            self.scheme.cluster.release_gpu(gpu.gpu_id, now_ms)
+            self.scale_ins += 1
+            return None
+        new_instance = self.scheme.cluster.deploy(payload.to_runtime, gpu)
+        self.scheme.mlq.add(new_instance)
+        self.replacements_executed += 1
+        return new_instance
+
+    # -- auto-scaling ------------------------------------------------------
+    def _cluster_utilization(self) -> float:
+        """Outstanding work over total within-SLO capacity (can exceed 1)."""
+        active = self.scheme.cluster.active_instances()
+        capacity = sum(i.capacity for i in active)
+        if capacity == 0:
+            return 1.0
+        return sum(i.outstanding for i in active) / capacity
+
+    def autoscale_check(self, now_ms: float) -> None:
+        if self.autoscaler is None:
+            return
+        self.autoscaler.observe_utilization(self._cluster_utilization())
+        action = self.autoscaler.decide(now_ms, self.scheme.cluster.num_gpus)
+        if action is ScaleAction.OUT:
+            self.queue.push(
+                now_ms + PROVISION_DELAY_MS,
+                EventKind.SCALE_OUT_READY,
+                self._wrap(self.scheme.scale_out_runtime_index),
+            )
+        elif action is ScaleAction.IN:
+            victim = self._scale_in_victim()
+            if victim is not None:
+                self._try_begin_drain(now_ms, victim.instance_id, None)
+
+    def on_scale_out_ready(self, now_ms: float, runtime_index: int) -> RuntimeInstance:
+        gpu = self.scheme.cluster.add_gpu(now_ms)
+        instance = self.scheme.cluster.deploy(runtime_index, gpu)
+        self.scheme.mlq.add(instance)
+        self.scale_outs += 1
+        return instance
+
+    def _scale_in_victim(self) -> RuntimeInstance | None:
+        """Least busy active instance, preserving Eq. 7's top level."""
+        top = len(self.scheme.registry) - 1
+        active = self.scheme.cluster.active_instances()
+        if len(active) <= 1:
+            return None
+        top_count = sum(1 for i in active if i.runtime_index == top)
+        candidates = [
+            i for i in active if i.runtime_index != top or top_count > 1
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda i: (i.outstanding, i.instance_id))
+
+    @property
+    def has_pending_work(self) -> bool:
+        return bool(self._pending)

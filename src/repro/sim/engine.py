@@ -1,0 +1,62 @@
+"""The event queue: a deterministic time-ordered heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventKind
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with monotonic pop times.
+
+    Determinism: ties on time break by :class:`EventKind` (completions
+    before arrivals), then by insertion order. Pushing an event earlier
+    than the last popped time is a logic error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._popped = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def now_ms(self) -> float:
+        """Time of the most recently popped event."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._popped
+
+    def push(self, time_ms: float, kind: EventKind, payload: Any = None) -> Event:
+        if time_ms < self._now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule {kind.name} at {time_ms} before the "
+                f"current time {self._now}"
+            )
+        event = Event(time_ms=float(time_ms), kind=kind, seq=self._seq,
+                      payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._now = event.time_ms
+        self._popped += 1
+        return event
+
+    def peek_time(self) -> float | None:
+        return self._heap[0].time_ms if self._heap else None

@@ -1,0 +1,68 @@
+"""Event taxonomy of the cluster simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class EventKind(enum.IntEnum):
+    """Ordered so same-timestamp events resolve deterministically:
+    completions free capacity before new arrivals claim it, and control
+    actions run before the traffic they affect."""
+
+    COMPLETION = 0
+    REPLACEMENT_READY = 1
+    SCALE_OUT_READY = 2
+    RESCHEDULE = 3
+    AUTOSCALE_CHECK = 4
+    INSTANCE_FAILURE = 5
+    #: Multi-stream pool coordination (repro.multistream.simulation).
+    COORDINATE = 6
+    ARRIVAL = 7
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled simulator event.
+
+    Ordering key: (time, kind, seq). ``payload`` is excluded from the
+    ordering to keep comparisons cheap and total.
+    """
+
+    time_ms: float
+    kind: EventKind
+    seq: int
+    payload: Any = field(compare=False, default=None)
+
+
+@dataclass(frozen=True)
+class ArrivalPayload:
+    request_id: int
+    length: int
+
+
+@dataclass(frozen=True)
+class CompletionPayload:
+    request_id: int
+    instance_id: int
+    arrival_ms: float
+    length: int
+    runtime_index: int
+
+
+@dataclass(frozen=True)
+class ReplacementPayload:
+    """A drained donor instance becoming a receiver runtime."""
+
+    instance_id: int
+    to_runtime: int
+
+
+@dataclass(frozen=True)
+class RecoveryPayload:
+    """A failed instance's GPU rejoining with a fresh runtime."""
+
+    gpu_id: int
+    runtime_index: int

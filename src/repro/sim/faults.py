@@ -1,0 +1,71 @@
+"""Failure injection: abrupt instance crashes during serving.
+
+The paper motivates the Request Scheduler partly by "idiosyncratic
+factors such as failures and bugs [that] lead to imbalanced load even
+across instances of the same runtime" (§1). This module injects such
+events into the simulator: at a scheduled time an instance dies
+abruptly — its queued and in-flight requests are lost and must be
+re-dispatched, and its GPU comes back with a fresh instance of the
+same runtime after a recovery delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import SECOND
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """Kill the ``victim_rank``-th busiest instance at ``time_ms``."""
+
+    time_ms: float
+    #: 0 = busiest instance, 1 = second busiest, ... (rank at fire time).
+    victim_rank: int = 0
+    #: GPU comes back with the same runtime after this long; None = gone.
+    recovery_ms: float | None = 5 * SECOND
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise ConfigurationError("failure time cannot be negative")
+        if self.victim_rank < 0:
+            raise ConfigurationError("victim_rank cannot be negative")
+        if self.recovery_ms is not None and self.recovery_ms <= 0:
+            raise ConfigurationError("recovery must be positive (or None)")
+
+
+@dataclass
+class FailurePlan:
+    """A schedule of failures to inject into one simulation."""
+
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def sorted_events(self) -> list[FailureEvent]:
+        return sorted(self.events, key=lambda e: e.time_ms)
+
+    @classmethod
+    def random(
+        cls,
+        count: int,
+        horizon_ms: float,
+        seed: int = 0,
+        recovery_ms: float | None = 5 * SECOND,
+    ) -> "FailurePlan":
+        """Uniformly random failure times over (10 % .. 90 %) of the run."""
+        if count < 0 or horizon_ms <= 0:
+            raise ConfigurationError("invalid failure plan dimensions")
+        rng = np.random.default_rng(seed)
+        times = np.sort(rng.uniform(0.1 * horizon_ms, 0.9 * horizon_ms,
+                                    size=count))
+        return cls(events=[
+            FailureEvent(time_ms=float(t), victim_rank=0,
+                         recovery_ms=recovery_ms)
+            for t in times
+        ])

@@ -1,0 +1,120 @@
+"""Metrics collection: latency records, SLO accounting, GPU timelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency population (the paper's headline metrics)."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p98_ms: float
+    p99_ms: float
+    max_ms: float
+    slo_violation_rate: float
+
+    @classmethod
+    def from_array(cls, latencies: np.ndarray, slo_ms: float) -> "LatencyStats":
+        if latencies.size == 0:
+            raise SimulationError("no completed requests to summarise")
+        return cls(
+            count=int(latencies.size),
+            mean_ms=float(latencies.mean()),
+            p50_ms=float(np.percentile(latencies, 50)),
+            p98_ms=float(np.percentile(latencies, 98)),
+            p99_ms=float(np.percentile(latencies, 99)),
+            max_ms=float(latencies.max()),
+            slo_violation_rate=float(np.mean(latencies > slo_ms)),
+        )
+
+
+class MetricsCollector:
+    """Streaming per-request records plus step timelines.
+
+    Latencies are appended to growing chunked buffers (amortised O(1),
+    no per-request Python object retention) and exposed as one NumPy
+    array at summary time.
+    """
+
+    _CHUNK = 65_536
+
+    def __init__(self, slo_ms: float):
+        if slo_ms <= 0:
+            raise SimulationError("SLO must be positive")
+        self.slo_ms = slo_ms
+        self._chunks: list[np.ndarray] = []
+        self._current = np.empty(self._CHUNK)
+        self._runtime_chunks: list[np.ndarray] = []
+        self._current_runtime = np.empty(self._CHUNK, dtype=np.int32)
+        self._fill = 0
+        #: (time, gpu_count) step samples for the Fig. 8 timeline.
+        self.gpu_timeline: list[tuple[float, int]] = []
+        #: (time, allocation) samples for the Fig. 12 timeline.
+        self.allocation_timeline: list[tuple[float, np.ndarray]] = []
+        self.deferred_requests = 0
+
+    # -- per-request ------------------------------------------------------
+    def record(self, latency_ms: float, runtime_index: int) -> None:
+        if latency_ms < 0:
+            raise SimulationError("negative latency recorded")
+        if self._fill == self._CHUNK:
+            self._chunks.append(self._current)
+            self._runtime_chunks.append(self._current_runtime)
+            self._current = np.empty(self._CHUNK)
+            self._current_runtime = np.empty(self._CHUNK, dtype=np.int32)
+            self._fill = 0
+        self._current[self._fill] = latency_ms
+        self._current_runtime[self._fill] = runtime_index
+        self._fill += 1
+
+    @property
+    def completed(self) -> int:
+        return len(self._chunks) * self._CHUNK + self._fill
+
+    def latencies(self) -> np.ndarray:
+        parts = self._chunks + [self._current[: self._fill]]
+        return np.concatenate(parts) if parts else np.empty(0)
+
+    def runtime_indexes(self) -> np.ndarray:
+        parts = self._runtime_chunks + [self._current_runtime[: self._fill]]
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int32)
+
+    def stats(self) -> LatencyStats:
+        return LatencyStats.from_array(self.latencies(), self.slo_ms)
+
+    def per_runtime_mean(self) -> dict[int, float]:
+        """Mean latency by serving runtime (deep-dive reports)."""
+        lat = self.latencies()
+        idx = self.runtime_indexes()
+        return {
+            int(r): float(lat[idx == r].mean()) for r in np.unique(idx)
+        }
+
+    # -- timelines --------------------------------------------------------
+    def sample_gpus(self, now_ms: float, count: int) -> None:
+        self.gpu_timeline.append((now_ms, count))
+
+    def sample_allocation(self, now_ms: float, allocation: np.ndarray) -> None:
+        self.allocation_timeline.append((now_ms, allocation.copy()))
+
+    def time_weighted_gpus(self, end_ms: float) -> float:
+        """Integral of the GPU-count step function divided by the horizon."""
+        if not self.gpu_timeline:
+            raise SimulationError("no GPU samples collected")
+        total = 0.0
+        for (t0, n), (t1, _) in zip(self.gpu_timeline, self.gpu_timeline[1:]):
+            total += n * (t1 - t0)
+        last_t, last_n = self.gpu_timeline[-1]
+        total += last_n * max(end_ms - last_t, 0.0)
+        horizon = end_ms - self.gpu_timeline[0][0]
+        if horizon <= 0:
+            return float(last_n)
+        return total / horizon

@@ -1,0 +1,355 @@
+"""The simulator's main loop: trace in, latency population out.
+
+Arrivals are streamed from the trace one at a time (the heap never
+holds more than one future arrival), so memory stays flat even for
+multi-million-request traces. Completions, periodic rescheduling,
+replacement execution and auto-scaling checks interleave on the same
+deterministic event queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from collections import deque
+
+from repro.baselines.schemes import Scheme
+from repro.cluster.autoscaler import (
+    AutoscalerConfig,
+    HeadroomAutoscaler,
+    HeadroomConfig,
+    TargetTrackingAutoscaler,
+)
+from repro.errors import CapacityError, ConfigurationError, SimulationError
+from repro.sim.controller import ControlPlane
+from repro.sim.engine import EventQueue
+from repro.sim.events import (
+    ArrivalPayload,
+    CompletionPayload,
+    EventKind,
+    RecoveryPayload,
+)
+from repro.sim.faults import FailureEvent, FailurePlan
+from repro.sim.metrics import LatencyStats, MetricsCollector
+from repro.units import SECOND
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Simulator knobs."""
+
+    #: Enable auto-scaling (Fig. 8 experiments). Pass an
+    #: :class:`AutoscalerConfig` for the §4 target-tracking policy or a
+    #: :class:`HeadroomConfig` for the INFaaS-style load-headroom one.
+    enable_autoscaler: bool = False
+    autoscaler: AutoscalerConfig | HeadroomConfig | None = None
+    autoscale_check_ms: float = 1 * SECOND
+    #: Safety cap on processed events (0 disables the cap).
+    max_events: int = 0
+    #: Drop requests arriving before this time from the statistics
+    #: (lets the first scheduling period converge).
+    warmup_ms: float = 0.0
+    #: Instance crashes to inject (None = fault-free run).
+    failures: FailurePlan | None = None
+    #: Record the first N dispatch decisions (Arlo-family schemes only;
+    #: 0 disables). Each entry: time, length, ideal/chosen level,
+    #: demoted, fell_back, chosen instance's queue depth.
+    trace_decisions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.autoscale_check_ms <= 0:
+            raise ConfigurationError("autoscale check period must be positive")
+        if self.warmup_ms < 0:
+            raise ConfigurationError("warmup cannot be negative")
+        if self.trace_decisions < 0:
+            raise ConfigurationError("trace_decisions cannot be negative")
+        if self.enable_autoscaler and self.autoscaler is None:
+            raise ConfigurationError(
+                "enable_autoscaler requires an AutoscalerConfig"
+            )
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark needs to print a paper row."""
+
+    scheme_name: str
+    stats: LatencyStats
+    metrics: MetricsCollector
+    end_ms: float
+    events_processed: int
+    time_weighted_gpus: float
+    dispatch_stats: dict[str, float] = field(default_factory=dict)
+    control_stats: dict[str, int] = field(default_factory=dict)
+    #: First N dispatch decisions when SimulationConfig.trace_decisions
+    #: is set (Arlo-family schemes).
+    decision_log: list[dict] = field(default_factory=list)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.stats.mean_ms
+
+    @property
+    def p98_ms(self) -> float:
+        return self.stats.p98_ms
+
+    def latencies(self) -> np.ndarray:
+        return self.metrics.latencies()
+
+
+def run_simulation(
+    scheme: Scheme,
+    trace: Trace,
+    config: SimulationConfig | None = None,
+) -> SimulationResult:
+    """Serve ``trace`` with ``scheme`` and collect latency statistics."""
+    if not len(trace):
+        raise SimulationError("cannot simulate an empty trace")
+    config = config or SimulationConfig()
+
+    queue = EventQueue()
+    metrics = MetricsCollector(slo_ms=scheme.slo_ms)
+    autoscaler = None
+    if config.enable_autoscaler:
+        if isinstance(config.autoscaler, HeadroomConfig):
+            autoscaler = HeadroomAutoscaler(config.autoscaler)
+        else:
+            autoscaler = TargetTrackingAutoscaler(config.autoscaler)
+    control = ControlPlane(scheme=scheme, queue=queue, autoscaler=autoscaler)
+
+    arrivals_ms = trace.arrival_ms
+    lengths = trace.length
+    n_requests = len(trace)
+    next_arrival = 0
+    deferred: list[tuple[int, float, int]] = []  # (request_id, arrival, length)
+    outstanding = 0
+    completed = 0
+    last_gpu_count = scheme.cluster.num_gpus
+    metrics.sample_gpus(0.0, last_gpu_count)
+    #: FIFO of (request_id, arrival, length) per instance — consulted
+    #: when an instance crashes and its work must be re-dispatched.
+    inflight: dict[int, deque] = {}
+    failed_instances: set[int] = set()
+    failures_injected = 0
+    requests_lost = 0
+
+    def push_next_arrival() -> None:
+        nonlocal next_arrival
+        if next_arrival < n_requests:
+            queue.push(
+                float(arrivals_ms[next_arrival]),
+                EventKind.ARRIVAL,
+                ArrivalPayload(next_arrival, int(lengths[next_arrival])),
+            )
+            next_arrival += 1
+
+    def work_remaining() -> bool:
+        return (
+            next_arrival < n_requests
+            or outstanding > 0
+            or bool(deferred)
+            or control.has_pending_work
+        )
+
+    decision_log: list[dict] = []
+
+    def admit(now_ms: float, request_id: int, arrival_ms: float, length: int) -> bool:
+        nonlocal outstanding
+        try:
+            instance, _start, finish = scheme.dispatcher.dispatch(now_ms, length)
+        except CapacityError:
+            return False
+        if len(decision_log) < config.trace_decisions:
+            decision = getattr(scheme.dispatcher, "last_decision", None)
+            if decision is not None:
+                decision_log.append({
+                    "time_ms": now_ms,
+                    "request_id": request_id,
+                    "length": length,
+                    "ideal_level": decision.ideal_level,
+                    "chosen_level": decision.level,
+                    "demoted": decision.demoted,
+                    "fell_back": decision.fell_back,
+                    "queue_depth": instance.outstanding - 1,
+                })
+        outstanding += 1
+        inflight.setdefault(instance.instance_id, deque()).append(
+            (request_id, arrival_ms, length)
+        )
+        queue.push(
+            finish,
+            EventKind.COMPLETION,
+            CompletionPayload(
+                request_id=request_id,
+                instance_id=instance.instance_id,
+                arrival_ms=arrival_ms,
+                length=length,
+                runtime_index=instance.runtime_index,
+            ),
+        )
+        return True
+
+    def flush_deferred(now_ms: float) -> None:
+        if not deferred:
+            return
+        still: list[tuple[int, float, int]] = []
+        for request_id, arrival, length in deferred:
+            if not admit(now_ms, request_id, arrival, length):
+                still.append((request_id, arrival, length))
+        deferred[:] = still
+
+    def sample_gpus(now_ms: float) -> None:
+        nonlocal last_gpu_count
+        count = scheme.cluster.num_gpus
+        if count != last_gpu_count:
+            metrics.sample_gpus(now_ms, count)
+            last_gpu_count = count
+
+    push_next_arrival()
+    if scheme.runtime_scheduler is not None:
+        queue.push(scheme.runtime_scheduler.config.period_ms, EventKind.RESCHEDULE)
+    if autoscaler is not None:
+        queue.push(config.autoscale_check_ms, EventKind.AUTOSCALE_CHECK)
+    if config.failures is not None:
+        for failure in config.failures.sorted_events():
+            queue.push(failure.time_ms, EventKind.INSTANCE_FAILURE, failure)
+
+    while queue:
+        if config.max_events and queue.events_processed >= config.max_events:
+            raise SimulationError(
+                f"event cap {config.max_events} hit with work remaining"
+            )
+        event = queue.pop()
+        now = event.time_ms
+
+        if event.kind is EventKind.ARRIVAL:
+            payload: ArrivalPayload = event.payload
+            scheme.observe_arrival(now, payload.length)
+            if not admit(now, payload.request_id, now, payload.length):
+                deferred.append((payload.request_id, now, payload.length))
+                metrics.deferred_requests += 1
+            push_next_arrival()
+
+        elif event.kind is EventKind.COMPLETION:
+            cp: CompletionPayload = event.payload
+            if cp.instance_id in failed_instances:
+                continue  # the instance crashed; the request was re-sent
+            instance = scheme.cluster.instances.get(cp.instance_id)
+            if instance is None:
+                raise SimulationError(
+                    f"completion for retired instance {cp.instance_id}"
+                )
+            served = inflight[cp.instance_id].popleft()
+            if served[0] != cp.request_id:  # pragma: no cover - FIFO invariant
+                raise SimulationError("completion order diverged from FIFO")
+            instance.complete()
+            scheme.dispatcher.on_complete(instance)
+            outstanding -= 1
+            completed += 1
+            latency = now - cp.arrival_ms
+            if cp.arrival_ms >= config.warmup_ms:
+                metrics.record(latency, cp.runtime_index)
+            if autoscaler is not None:
+                autoscaler.observe(latency)
+            control.on_completion(now, instance)
+            flush_deferred(now)
+
+        elif event.kind is EventKind.RESCHEDULE:
+            if scheme.runtime_scheduler is not None and work_remaining():
+                _result, plan = scheme.runtime_scheduler.step(now, scheme.cluster)
+                control.start_plan(now, plan)
+                metrics.sample_allocation(now, scheme.cluster.allocation())
+                queue.push(
+                    now + scheme.runtime_scheduler.config.period_ms,
+                    EventKind.RESCHEDULE,
+                )
+
+        elif event.kind is EventKind.REPLACEMENT_READY:
+            control.on_replacement_event(now, event.payload)
+            sample_gpus(now)
+            flush_deferred(now)
+
+        elif event.kind is EventKind.AUTOSCALE_CHECK:
+            if autoscaler is not None and work_remaining():
+                control.autoscale_check(now)
+                queue.push(now + config.autoscale_check_ms,
+                           EventKind.AUTOSCALE_CHECK)
+
+        elif event.kind is EventKind.SCALE_OUT_READY:
+            control.on_scale_out_ready(now, event.payload)
+            sample_gpus(now)
+            flush_deferred(now)
+
+        elif event.kind is EventKind.INSTANCE_FAILURE:
+            if isinstance(event.payload, RecoveryPayload):
+                rp: RecoveryPayload = event.payload
+                gpu = scheme.cluster.gpus[rp.gpu_id]
+                recovered = scheme.cluster.deploy(rp.runtime_index, gpu)
+                scheme.mlq.add(recovered)
+                flush_deferred(now)
+                continue
+            failure: FailureEvent = event.payload
+            active = sorted(
+                scheme.cluster.active_instances(),
+                key=lambda i: (-i.outstanding, i.instance_id),
+            )
+            if not active:
+                continue  # nothing left to kill
+            victim = active[min(failure.victim_rank, len(active) - 1)]
+            lost_requests = list(inflight.pop(victim.instance_id, ()))
+            if scheme.mlq.contains(victim):
+                scheme.mlq.remove(victim)
+            control.note_failure(victim.instance_id)
+            gpu, lost = scheme.cluster.crash_instance(victim)
+            failed_instances.add(victim.instance_id)
+            failures_injected += 1
+            requests_lost += lost
+            outstanding -= len(lost_requests)
+            if failure.recovery_ms is not None:
+                queue.push(
+                    now + failure.recovery_ms,
+                    EventKind.INSTANCE_FAILURE,
+                    RecoveryPayload(gpu_id=gpu.gpu_id,
+                                    runtime_index=victim.runtime_index),
+                )
+            else:
+                scheme.cluster.release_gpu(gpu.gpu_id, now)
+                sample_gpus(now)
+            for request_id, arrival, length in lost_requests:
+                if not admit(now, request_id, arrival, length):
+                    deferred.append((request_id, arrival, length))
+
+        else:  # pragma: no cover - the enum is closed
+            raise SimulationError(f"unhandled event kind {event.kind}")
+
+    if completed != n_requests:
+        raise SimulationError(
+            f"simulation ended with {n_requests - completed} unserved requests"
+        )
+
+    end_ms = queue.now_ms
+    return SimulationResult(
+        scheme_name=scheme.name,
+        stats=metrics.stats(),
+        metrics=metrics,
+        end_ms=end_ms,
+        events_processed=queue.events_processed,
+        time_weighted_gpus=metrics.time_weighted_gpus(end_ms),
+        dispatch_stats=(
+            scheme.dispatcher.scheduler.stats()
+            if hasattr(scheme.dispatcher, "scheduler")
+            else {}
+        ),
+        control_stats={
+            "replacements": control.replacements_executed,
+            "scale_outs": control.scale_outs,
+            "scale_ins": control.scale_ins,
+            "deferred": metrics.deferred_requests,
+            "failures": failures_injected,
+            "requests_lost": requests_lost,
+        },
+        decision_log=decision_log,
+    )

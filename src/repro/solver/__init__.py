@@ -1,0 +1,33 @@
+"""Optimisation substrate: a self-contained LP/MILP solver.
+
+The paper solves its runtime-allocation integer program with GUROBI.
+This subpackage provides the open substitute used by the reproduction:
+
+- :mod:`repro.solver.simplex` — dense two-phase primal simplex for LPs.
+- :mod:`repro.solver.branch_bound` — best-first branch & bound MILP
+  solver layered on the simplex.
+- :mod:`repro.solver.model` — a small modeling layer (variables, linear
+  expressions, constraints) so problem encodings read like algebra.
+- :mod:`repro.solver.piecewise` — piecewise-linear under-approximation
+  helpers used to linearise convex objective terms.
+
+The Arlo-specific exact dynamic program for Eqs. 1-7 lives in
+:mod:`repro.core.allocation`; it uses this subpackage only for the MILP
+cross-validation path.
+"""
+
+from repro.solver.branch_bound import MilpResult, solve_milp
+from repro.solver.model import LinExpr, Model, Var
+from repro.solver.simplex import LinearProgram, LpResult, LpStatus, solve_lp
+
+__all__ = [
+    "LinExpr",
+    "LinearProgram",
+    "LpResult",
+    "LpStatus",
+    "MilpResult",
+    "Model",
+    "Var",
+    "solve_lp",
+    "solve_milp",
+]

@@ -1,0 +1,91 @@
+"""Piecewise-linear helpers for linearising convex cost terms.
+
+The allocation objective (paper Eq. 1) contains terms ``L_i(B_i)·C_i``
+that are convex quadratics in the served request count. To validate the
+exact dynamic program against an independent MILP encoding, we
+under-approximate each convex term by the maximum of tangent lines
+(an epigraph formulation), which is exact in the limit of many tangents
+and a valid lower bound otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+@dataclass(frozen=True)
+class Tangent:
+    """A supporting line ``y = slope * x + intercept`` of a convex function."""
+
+    slope: float
+    intercept: float
+
+    def __call__(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def tangent_lines(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    count: int,
+    derivative: Callable[[float], float] | None = None,
+) -> list[Tangent]:
+    """Supporting tangents of convex ``fn`` at ``count`` points in [lo, hi].
+
+    When ``derivative`` is omitted it is estimated by central differences,
+    which is adequate for the smooth quadratics used here.
+    """
+    if count < 1:
+        raise SolverError("need at least one tangent")
+    if hi < lo:
+        raise SolverError("empty tangent interval")
+    xs = np.linspace(lo, hi, count)
+    h = max((hi - lo) * 1e-6, 1e-9)
+    tangents = []
+    for x in xs:
+        if derivative is not None:
+            slope = derivative(float(x))
+        else:
+            slope = (fn(float(x) + h) - fn(max(lo, float(x) - h))) / (
+                float(x) + h - max(lo, float(x) - h)
+            )
+        tangents.append(Tangent(slope=float(slope),
+                                intercept=float(fn(float(x)) - slope * x)))
+    return tangents
+
+
+def lower_envelope_value(tangents: Sequence[Tangent], x: float) -> float:
+    """Evaluate ``max_k tangent_k(x)`` — the epigraph lower bound."""
+    if not tangents:
+        raise SolverError("no tangents supplied")
+    return max(t(x) for t in tangents)
+
+
+def chord_segments(
+    fn: Callable[[float], float], lo: float, hi: float, count: int
+) -> list[tuple[float, float]]:
+    """Breakpoint list ``[(x, fn(x)), ...]`` for chord (upper) approximations.
+
+    For a convex function the chords over-approximate; combined with
+    tangent under-approximation this brackets the true optimum, which the
+    test suite uses to bound the DP-vs-MILP comparison error.
+    """
+    if count < 2:
+        raise SolverError("need at least two breakpoints")
+    xs = np.linspace(lo, hi, count)
+    return [(float(x), float(fn(float(x)))) for x in xs]
+
+
+def interpolate_chords(points: Sequence[tuple[float, float]], x: float) -> float:
+    """Evaluate the piecewise-linear chord interpolation at ``x``."""
+    xs = np.asarray([p[0] for p in points])
+    ys = np.asarray([p[1] for p in points])
+    if x < xs[0] - 1e-9 or x > xs[-1] + 1e-9:
+        raise SolverError(f"x={x} outside chord domain [{xs[0]}, {xs[-1]}]")
+    return float(np.interp(x, xs, ys))

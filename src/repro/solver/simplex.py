@@ -1,0 +1,287 @@
+"""Dense two-phase primal simplex LP solver.
+
+Solves::
+
+    min  c @ x
+    s.t. a_ub @ x <= b_ub
+         a_eq @ x == b_eq
+         lb <= x <= ub
+
+with finite lower bounds (default 0) and optional finite upper bounds.
+Lower bounds are handled by shifting, upper bounds by explicit rows.
+
+The implementation is a classic dense tableau with Bland's anti-cycling
+rule engaged after a degeneracy streak. It is meant for the small and
+medium problems produced by :mod:`repro.core.allocation` (tens to a few
+hundred variables), not as a general-purpose LP package; correctness is
+cross-checked against ``scipy.optimize.linprog`` in the test suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SolverError
+
+_EPS = 1e-9
+#: Consecutive degenerate pivots tolerated before switching to Bland's rule.
+_DEGENERATE_STREAK = 12
+
+
+class LpStatus(enum.Enum):
+    """Terminal status of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+
+@dataclass(frozen=True)
+class LinearProgram:
+    """A linear program in the canonical form documented in the module."""
+
+    c: np.ndarray
+    a_ub: np.ndarray | None = None
+    b_ub: np.ndarray | None = None
+    a_eq: np.ndarray | None = None
+    b_eq: np.ndarray | None = None
+    lb: np.ndarray | None = None
+    ub: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        c = np.asarray(self.c, dtype=float)
+        object.__setattr__(self, "c", c)
+        n = c.shape[0]
+        for name in ("a_ub", "a_eq"):
+            mat = getattr(self, name)
+            if mat is not None:
+                mat = np.atleast_2d(np.asarray(mat, dtype=float))
+                if mat.shape[1] != n:
+                    raise SolverError(
+                        f"{name} has {mat.shape[1]} columns, expected {n}"
+                    )
+                object.__setattr__(self, name, mat)
+        for mat_name, vec_name in (("a_ub", "b_ub"), ("a_eq", "b_eq")):
+            mat, vec = getattr(self, mat_name), getattr(self, vec_name)
+            if (mat is None) != (vec is None):
+                raise SolverError(f"{mat_name} and {vec_name} must come together")
+            if vec is not None:
+                vec = np.atleast_1d(np.asarray(vec, dtype=float))
+                if vec.shape[0] != mat.shape[0]:
+                    raise SolverError(f"{vec_name} length mismatch")
+                object.__setattr__(self, vec_name, vec)
+        lb = np.zeros(n) if self.lb is None else np.asarray(self.lb, dtype=float)
+        ub = np.full(n, np.inf) if self.ub is None else np.asarray(self.ub, dtype=float)
+        if lb.shape != (n,) or ub.shape != (n,):
+            raise SolverError("bound vectors must match the number of variables")
+        if not np.all(np.isfinite(lb)):
+            raise SolverError("lower bounds must be finite (shift your variables)")
+        if np.any(ub < lb - _EPS):
+            raise SolverError("upper bound below lower bound")
+        object.__setattr__(self, "lb", lb)
+        object.__setattr__(self, "ub", ub)
+
+    @property
+    def num_vars(self) -> int:
+        return self.c.shape[0]
+
+
+@dataclass
+class LpResult:
+    """Outcome of :func:`solve_lp`."""
+
+    status: LpStatus
+    x: np.ndarray | None = None
+    objective: float = float("nan")
+    iterations: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is LpStatus.OPTIMAL
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    """Gaussian pivot of the dense tableau on (row, col), in place."""
+    tableau[row] /= tableau[row, col]
+    factors = tableau[:, col].copy()
+    factors[row] = 0.0
+    tableau -= np.outer(factors, tableau[row])
+
+
+def _run_simplex(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    num_structural: int,
+    max_iter: int,
+) -> tuple[LpStatus, int]:
+    """Iterate the tableau to optimality.
+
+    The tableau layout is ``[A | b]`` with the objective (reduced-cost)
+    row last. Returns the terminal status and iteration count.
+    """
+    m = tableau.shape[0] - 1
+    degenerate_streak = 0
+    for iteration in range(max_iter):
+        cost_row = tableau[-1, :-1]
+        use_bland = degenerate_streak >= _DEGENERATE_STREAK
+        if use_bland:
+            candidates = np.flatnonzero(cost_row < -_EPS)
+            if candidates.size == 0:
+                return LpStatus.OPTIMAL, iteration
+            col = int(candidates[0])
+        else:
+            col = int(np.argmin(cost_row))
+            if cost_row[col] >= -_EPS:
+                return LpStatus.OPTIMAL, iteration
+        column = tableau[:m, col]
+        positive = column > _EPS
+        if not np.any(positive):
+            return LpStatus.UNBOUNDED, iteration
+        ratios = np.full(m, np.inf)
+        ratios[positive] = tableau[:m, -1][positive] / column[positive]
+        min_ratio = ratios.min()
+        if use_bland:
+            # Among minimum-ratio rows, leave the smallest basis index.
+            tied = np.flatnonzero(ratios <= min_ratio + _EPS)
+            row = int(tied[np.argmin(basis[tied])])
+        else:
+            row = int(np.argmin(ratios))
+        degenerate_streak = degenerate_streak + 1 if min_ratio < _EPS else 0
+        _pivot(tableau, row, col)
+        basis[row] = col
+    return LpStatus.ITERATION_LIMIT, max_iter
+
+
+def solve_lp(lp: LinearProgram, max_iter: int = 20_000) -> LpResult:
+    """Solve a :class:`LinearProgram` with two-phase primal simplex."""
+    n = lp.num_vars
+    # Shift x = y + lb so y >= 0.
+    shift = lp.lb
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    senses: list[int] = []  # -1: <=, 0: ==
+    if lp.a_ub is not None:
+        for coeffs, b in zip(lp.a_ub, lp.b_ub):
+            rows.append(coeffs)
+            rhs.append(float(b - coeffs @ shift))
+            senses.append(-1)
+    if lp.a_eq is not None:
+        for coeffs, b in zip(lp.a_eq, lp.b_eq):
+            rows.append(coeffs)
+            rhs.append(float(b - coeffs @ shift))
+            senses.append(0)
+    finite_ub = np.flatnonzero(np.isfinite(lp.ub))
+    for j in finite_ub:
+        row = np.zeros(n)
+        row[j] = 1.0
+        rows.append(row)
+        rhs.append(float(lp.ub[j] - shift[j]))
+        senses.append(-1)
+
+    m = len(rows)
+    if m == 0:
+        # Unconstrained over y >= 0: optimum at 0 unless some cost negative.
+        if np.any(lp.c < -_EPS):
+            return LpResult(LpStatus.UNBOUNDED)
+        x = shift.copy()
+        return LpResult(LpStatus.OPTIMAL, x=x, objective=float(lp.c @ x))
+
+    a = np.vstack(rows)
+    b = np.asarray(rhs, dtype=float)
+    sense = np.asarray(senses)
+    # Normalise to b >= 0.
+    flip = b < 0
+    a[flip] *= -1.0
+    b[flip] *= -1.0
+    # <= rows that were flipped become >= rows (need surplus + artificial).
+    geq = flip & (sense == -1)
+    leq = (~flip) & (sense == -1)
+    eq = sense == 0
+
+    num_slack = int(leq.sum()) + int(geq.sum())
+    slack_of_row = np.full(m, -1)
+    col = n
+    slack_sign = np.zeros(m)
+    for i in range(m):
+        if leq[i]:
+            slack_of_row[i] = col
+            slack_sign[i] = 1.0
+            col += 1
+        elif geq[i]:
+            slack_of_row[i] = col
+            slack_sign[i] = -1.0
+            col += 1
+    # Artificial variables for >= and == rows, and for <= rows whose
+    # slack cannot start basic (none here: slack of a <= row is basic).
+    needs_artificial = geq | eq
+    num_art = int(needs_artificial.sum())
+    total = n + num_slack + num_art
+
+    tableau = np.zeros((m + 1, total + 1))
+    tableau[:m, :n] = a
+    tableau[:m, -1] = b
+    basis = np.empty(m, dtype=int)
+    art_col = n + num_slack
+    for i in range(m):
+        if slack_of_row[i] >= 0:
+            tableau[i, slack_of_row[i]] = slack_sign[i]
+        if needs_artificial[i]:
+            tableau[i, art_col] = 1.0
+            basis[i] = art_col
+            art_col += 1
+        else:
+            basis[i] = slack_of_row[i]
+
+    iterations = 0
+    if num_art:
+        # Phase 1: minimise the sum of artificials.
+        tableau[-1, :] = 0.0
+        tableau[-1, n + num_slack : n + num_slack + num_art] = 1.0
+        for i in range(m):
+            if basis[i] >= n + num_slack:
+                tableau[-1] -= tableau[i]
+        status, it1 = _run_simplex(tableau, basis, n, max_iter)
+        iterations += it1
+        if status is LpStatus.ITERATION_LIMIT:
+            return LpResult(status, iterations=iterations)
+        if tableau[-1, -1] < -1e-7:
+            return LpResult(LpStatus.INFEASIBLE, iterations=iterations)
+        # Drive any artificial still in the basis out (degenerate rows).
+        for i in range(m):
+            if basis[i] >= n + num_slack:
+                row = tableau[i, : n + num_slack]
+                pivot_candidates = np.flatnonzero(np.abs(row) > _EPS)
+                if pivot_candidates.size:
+                    _pivot(tableau, i, int(pivot_candidates[0]))
+                    basis[i] = int(pivot_candidates[0])
+        # Excise artificial columns.
+        keep = np.r_[np.arange(n + num_slack), [total]]
+        tableau = tableau[:, keep]
+
+    # Phase 2 objective row.
+    tableau[-1, :] = 0.0
+    tableau[-1, :n] = lp.c
+    for i in range(m):
+        if basis[i] < n + num_slack and abs(tableau[-1, basis[i]]) > _EPS:
+            tableau[-1] -= tableau[-1, basis[i]] * tableau[i]
+    status, it2 = _run_simplex(tableau, basis, n, max_iter)
+    iterations += it2
+    if status is not LpStatus.OPTIMAL:
+        return LpResult(status, iterations=iterations)
+
+    y = np.zeros(n + num_slack)
+    for i in range(m):
+        if basis[i] < n + num_slack:
+            y[basis[i]] = tableau[i, -1]
+    x = y[:n] + shift
+    return LpResult(
+        LpStatus.OPTIMAL,
+        x=x,
+        objective=float(lp.c @ x),
+        iterations=iterations,
+    )

@@ -1,0 +1,33 @@
+"""Time and size units used throughout the reproduction.
+
+All simulation timestamps and durations are expressed in **milliseconds**
+as ``float``. Request lengths are expressed in **tokens** as ``int``.
+These helpers exist so that call sites can say what they mean
+(``seconds(120)``) instead of sprinkling ``120_000.0`` literals.
+"""
+
+from __future__ import annotations
+
+MS: float = 1.0
+SECOND: float = 1_000.0
+MINUTE: float = 60_000.0
+
+
+def seconds(value: float) -> float:
+    """Convert seconds to simulation milliseconds."""
+    return float(value) * SECOND
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to simulation milliseconds."""
+    return float(value) * MINUTE
+
+
+def to_seconds(value_ms: float) -> float:
+    """Convert simulation milliseconds back to seconds."""
+    return float(value_ms) / SECOND
+
+
+#: Fixed per-request overhead (network + host-to-device copy) added by the
+#: simulator, from paper §5.2.1.
+PER_REQUEST_OVERHEAD_MS: float = 0.8

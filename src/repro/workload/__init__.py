@@ -1,0 +1,62 @@
+"""Workload substrate: synthetic production-like request traces.
+
+The paper evaluates on Twitter's production trace (archive.org), which
+we cannot ship; this subpackage generates synthetic traces that match
+the statistics the paper reports and exploits — the length quantiles
+(median 21, p98 72, max ≈125 tokens), the long-term-stable /
+short-term-fluctuating length distribution (Fig. 1), and the two
+arrival patterns (Poisson "Twitter-Stable", Markov-modulated Poisson
+"Twitter-Bursty").
+"""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    MMPPArrivals,
+    PoissonArrivals,
+    RateProfile,
+)
+from repro.workload.generator import WorkloadSpec, generate_trace
+from repro.workload.lengths import (
+    EmpiricalLengths,
+    LengthDistribution,
+    LogNormalLengths,
+    fit_lognormal_quantiles,
+)
+from repro.workload.stats import (
+    empirical_cdf,
+    lengths_in_windows,
+    trace_rate_per_second,
+    windowed_quantiles,
+)
+from repro.workload.trace import Request, Trace
+from repro.workload.twitter import (
+    TWITTER_MAX_LENGTH,
+    TWITTER_MEDIAN_LENGTH,
+    TWITTER_P98_LENGTH,
+    TwitterTraceConfig,
+    generate_twitter_trace,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "EmpiricalLengths",
+    "LengthDistribution",
+    "LogNormalLengths",
+    "MMPPArrivals",
+    "PoissonArrivals",
+    "RateProfile",
+    "Request",
+    "TWITTER_MAX_LENGTH",
+    "TWITTER_MEDIAN_LENGTH",
+    "TWITTER_P98_LENGTH",
+    "Trace",
+    "TwitterTraceConfig",
+    "WorkloadSpec",
+    "empirical_cdf",
+    "fit_lognormal_quantiles",
+    "generate_trace",
+    "generate_twitter_trace",
+    "lengths_in_windows",
+    "trace_rate_per_second",
+    "windowed_quantiles",
+]

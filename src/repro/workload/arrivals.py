@@ -1,0 +1,147 @@
+"""Arrival processes: Poisson (Twitter-Stable) and MMPP (Twitter-Bursty).
+
+The Twitter trace only carries per-second counts; the paper fills in
+sub-second arrivals with a Poisson process ("stable") or a
+Markov-modulated Poisson process ("bursty"), following MArk and
+SHEPHERD. We reproduce both, plus a time-varying rate profile used by
+the auto-scaling experiment (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import SECOND
+
+
+class ArrivalProcess(ABC):
+    """Generates sorted arrival timestamps over a horizon."""
+
+    @abstractmethod
+    def generate(
+        self, rng: np.random.Generator, rate_per_s: float, duration_ms: float
+    ) -> np.ndarray:
+        """Arrival times in ms, sorted ascending, within [0, duration)."""
+
+
+def _check_args(rate_per_s: float, duration_ms: float) -> None:
+    if rate_per_s < 0:
+        raise ConfigurationError("rate must be non-negative")
+    if duration_ms < 0:
+        raise ConfigurationError("duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson process — the Twitter-Stable pattern."""
+
+    def generate(
+        self, rng: np.random.Generator, rate_per_s: float, duration_ms: float
+    ) -> np.ndarray:
+        _check_args(rate_per_s, duration_ms)
+        if rate_per_s == 0 or duration_ms == 0:
+            return np.empty(0)
+        count = rng.poisson(rate_per_s * duration_ms / SECOND)
+        return np.sort(rng.uniform(0.0, duration_ms, size=count))
+
+
+@dataclass(frozen=True)
+class MMPPArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process — Twitter-Bursty.
+
+    The process alternates between a *calm* state and a *burst* state
+    with exponentially distributed sojourns. Rates in the two states are
+    chosen so the long-run average equals the requested rate:
+    ``calm = rate·calm_factor``, ``burst = rate·burst_factor``, with the
+    stationary mix determined by the mean sojourn times.
+    """
+
+    burst_factor: float = 2.2
+    calm_factor: float = 0.7
+    mean_burst_ms: float = 2_000.0
+    mean_calm_ms: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.burst_factor <= 1.0:
+            raise ConfigurationError("burst_factor must exceed 1")
+        if not 0 < self.calm_factor <= 1.0:
+            raise ConfigurationError("calm_factor must be in (0, 1]")
+        if self.mean_burst_ms <= 0 or self.mean_calm_ms <= 0:
+            raise ConfigurationError("sojourn means must be positive")
+
+    def _normaliser(self) -> float:
+        """Stationary mean of the factor process (to preserve the rate)."""
+        pi_burst = self.mean_burst_ms / (self.mean_burst_ms + self.mean_calm_ms)
+        return pi_burst * self.burst_factor + (1 - pi_burst) * self.calm_factor
+
+    def generate(
+        self, rng: np.random.Generator, rate_per_s: float, duration_ms: float
+    ) -> np.ndarray:
+        _check_args(rate_per_s, duration_ms)
+        if rate_per_s == 0 or duration_ms == 0:
+            return np.empty(0)
+        norm = self._normaliser()
+        arrivals: list[np.ndarray] = []
+        t = 0.0
+        # Start from the stationary state distribution so short traces
+        # are unbiased in expectation.
+        pi_burst = self.mean_burst_ms / (self.mean_burst_ms + self.mean_calm_ms)
+        bursting = bool(rng.random() < pi_burst)
+        while t < duration_ms:
+            sojourn = rng.exponential(
+                self.mean_burst_ms if bursting else self.mean_calm_ms
+            )
+            end = min(t + sojourn, duration_ms)
+            factor = self.burst_factor if bursting else self.calm_factor
+            local_rate = rate_per_s * factor / norm
+            count = rng.poisson(local_rate * (end - t) / SECOND)
+            if count:
+                arrivals.append(rng.uniform(t, end, size=count))
+            t = end
+            bursting = not bursting
+        if not arrivals:
+            return np.empty(0)
+        return np.sort(np.concatenate(arrivals))
+
+
+@dataclass(frozen=True)
+class RateProfile(ArrivalProcess):
+    """Piecewise-constant time-varying rate wrapped around a base process.
+
+    ``segments`` is a list of (duration_ms, rate_multiplier); the pattern
+    cycles until the horizon is filled. Used to create the "highly
+    varying load" of the Fig. 8 auto-scaling experiment.
+    """
+
+    base: ArrivalProcess
+    segments: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ConfigurationError("rate profile needs at least one segment")
+        for dur, mult in self.segments:
+            if dur <= 0 or mult < 0:
+                raise ConfigurationError("segments need positive duration, rate ≥ 0")
+
+    def generate(
+        self, rng: np.random.Generator, rate_per_s: float, duration_ms: float
+    ) -> np.ndarray:
+        _check_args(rate_per_s, duration_ms)
+        out: list[np.ndarray] = []
+        t = 0.0
+        i = 0
+        while t < duration_ms:
+            seg_dur, mult = self.segments[i % len(self.segments)]
+            seg_dur = min(seg_dur, duration_ms - t)
+            chunk = self.base.generate(rng, rate_per_s * mult, seg_dur)
+            if chunk.size:
+                out.append(chunk + t)
+            t += seg_dur
+            i += 1
+        if not out:
+            return np.empty(0)
+        return np.sort(np.concatenate(out))

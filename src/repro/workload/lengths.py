@@ -1,0 +1,127 @@
+"""Request length distributions.
+
+The Twitter trace's length CDF (paper Fig. 1a) is well described by a
+truncated log-normal: median 21 tokens, p98 at 72, hard maximum ≈125.
+:func:`fit_lognormal_quantiles` recovers (μ, σ) from any two quantiles
+so alternative workloads can be dialled in the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.special import ndtri
+
+from repro.errors import ConfigurationError
+
+
+def fit_lognormal_quantiles(
+    q1: float, p1: float, q2: float, p2: float
+) -> tuple[float, float]:
+    """(μ, σ) of a log-normal hitting value ``q1`` at probability ``p1``
+    and ``q2`` at ``p2``.
+
+    Solves ``μ + z(p)·σ = ln q`` for the two points.
+    """
+    if not (0 < p1 < 1 and 0 < p2 < 1 and p1 != p2):
+        raise ConfigurationError("probabilities must be distinct and in (0,1)")
+    if q1 <= 0 or q2 <= 0:
+        raise ConfigurationError("quantile values must be positive")
+    z1, z2 = ndtri(p1), ndtri(p2)
+    sigma = (math.log(q2) - math.log(q1)) / (z2 - z1)
+    if sigma <= 0:
+        raise ConfigurationError("quantiles imply non-increasing CDF")
+    mu = math.log(q1) - z1 * sigma
+    return mu, sigma
+
+
+class LengthDistribution(ABC):
+    """Samples integer request lengths."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` lengths as an int64 array."""
+
+    @property
+    @abstractmethod
+    def max_length(self) -> int:
+        """Largest length this distribution can emit."""
+
+
+@dataclass(frozen=True)
+class LogNormalLengths(LengthDistribution):
+    """Truncated log-normal lengths with quantile-based construction."""
+
+    mu: float
+    sigma: float
+    min_length: int = 1
+    _max_length: int = 125
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ConfigurationError("sigma must be positive")
+        if not 1 <= self.min_length <= self._max_length:
+            raise ConfigurationError("need 1 <= min_length <= max_length")
+
+    @classmethod
+    def from_quantiles(
+        cls,
+        median: float,
+        p98: float,
+        max_length: int = 125,
+        min_length: int = 1,
+    ) -> "LogNormalLengths":
+        """Build from the two quantiles the paper reports."""
+        if p98 <= median:
+            raise ConfigurationError("p98 must exceed the median")
+        mu, sigma = fit_lognormal_quantiles(median, 0.5, p98, 0.98)
+        return cls(mu=mu, sigma=sigma, min_length=min_length,
+                   _max_length=max_length)
+
+    @property
+    def max_length(self) -> int:
+        return self._max_length
+
+    def shifted(self, mu_delta: float, sigma_scale: float = 1.0) -> "LogNormalLengths":
+        """A drifted copy — used for per-minute distribution dynamics."""
+        return LogNormalLengths(
+            mu=self.mu + mu_delta,
+            sigma=self.sigma * sigma_scale,
+            min_length=self.min_length,
+            _max_length=self._max_length,
+        )
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        raw = rng.lognormal(self.mu, self.sigma, size=count)
+        return np.clip(
+            np.round(raw).astype(np.int64), self.min_length, self._max_length
+        )
+
+
+@dataclass(frozen=True)
+class EmpiricalLengths(LengthDistribution):
+    """Bootstrap sampling from observed lengths (replay a real trace)."""
+
+    values: np.ndarray = field(default_factory=lambda: np.array([1]))
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.int64)
+        if values.size == 0:
+            raise ConfigurationError("empirical distribution needs samples")
+        if values.min() <= 0:
+            raise ConfigurationError("lengths must be positive")
+        object.__setattr__(self, "values", values)
+
+    @property
+    def max_length(self) -> int:
+        return int(self.values.max())
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        return rng.choice(self.values, size=count, replace=True)

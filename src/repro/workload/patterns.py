@@ -1,0 +1,117 @@
+"""Extra workload patterns beyond the paper's Twitter traces.
+
+Useful for what-if studies with the analysis module and for stressing
+the schedulers outside the calibrated regime:
+
+- :class:`DiurnalRateProfile` — smooth day/night load curve;
+- :class:`BimodalLengths` — a short-chat + long-document mixture, the
+  adversarial shape for padding-based serving;
+- :class:`ZipfLengths` — heavy-tailed lengths from a Zipf law over
+  templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.arrivals import ArrivalProcess, PoissonArrivals
+from repro.workload.lengths import LengthDistribution
+
+
+@dataclass(frozen=True)
+class DiurnalRateProfile(ArrivalProcess):
+    """Sinusoidal rate modulation around the mean (period = one "day").
+
+    ``rate(t) = rate · (1 + amplitude · sin(2πt/period))`` — generated
+    by thinning a Poisson process at the peak rate, which is exact.
+    """
+
+    period_ms: float
+    amplitude: float = 0.5
+    base: ArrivalProcess = PoissonArrivals()
+
+    def __post_init__(self) -> None:
+        if self.period_ms <= 0:
+            raise ConfigurationError("period must be positive")
+        if not 0 <= self.amplitude < 1:
+            raise ConfigurationError("amplitude must be in [0, 1)")
+
+    def generate(
+        self, rng: np.random.Generator, rate_per_s: float, duration_ms: float
+    ) -> np.ndarray:
+        if rate_per_s < 0 or duration_ms < 0:
+            raise ConfigurationError("rate and duration must be non-negative")
+        peak = rate_per_s * (1.0 + self.amplitude)
+        candidates = self.base.generate(rng, peak, duration_ms)
+        if candidates.size == 0:
+            return candidates
+        instantaneous = rate_per_s * (
+            1.0 + self.amplitude * np.sin(2 * np.pi * candidates / self.period_ms)
+        )
+        keep = rng.random(candidates.size) < instantaneous / peak
+        return candidates[keep]
+
+
+@dataclass(frozen=True)
+class BimodalLengths(LengthDistribution):
+    """Mixture of a short mode and a long mode (chat + documents)."""
+
+    short_mean: float = 20.0
+    long_mean: float = 400.0
+    long_fraction: float = 0.2
+    spread: float = 0.25
+    _max_length: int = 512
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.long_fraction <= 1:
+            raise ConfigurationError("long_fraction must be in [0, 1]")
+        if self.short_mean <= 0 or self.long_mean <= self.short_mean:
+            raise ConfigurationError("need 0 < short_mean < long_mean")
+        if self.spread <= 0:
+            raise ConfigurationError("spread must be positive")
+
+    @property
+    def max_length(self) -> int:
+        return self._max_length
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        is_long = rng.random(count) < self.long_fraction
+        means = np.where(is_long, self.long_mean, self.short_mean)
+        raw = rng.normal(means, means * self.spread)
+        return np.clip(np.round(raw).astype(np.int64), 1, self._max_length)
+
+
+@dataclass(frozen=True)
+class ZipfLengths(LengthDistribution):
+    """Lengths drawn from a Zipf law over ``num_templates`` templates
+    whose lengths grow linearly — a heavy-tailed, discrete workload."""
+
+    exponent: float = 1.5
+    num_templates: int = 64
+    _max_length: int = 512
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 1.0:
+            raise ConfigurationError("Zipf exponent must exceed 1")
+        if self.num_templates < 1:
+            raise ConfigurationError("need at least one template")
+
+    @property
+    def max_length(self) -> int:
+        return self._max_length
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        ranks = np.minimum(
+            rng.zipf(self.exponent, size=count), self.num_templates
+        )
+        lengths = np.round(
+            ranks / self.num_templates * self._max_length
+        ).astype(np.int64)
+        return np.clip(lengths, 1, self._max_length)

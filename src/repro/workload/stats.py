@@ -1,0 +1,89 @@
+"""Trace statistics: CDFs, windowed quantiles, rates (Fig. 1 analytics)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.units import SECOND
+from repro.workload.trace import Trace
+
+
+def empirical_cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(sorted values, cumulative probability) — ready to plot or compare."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise TraceError("cannot compute the CDF of nothing")
+    x = np.sort(values)
+    p = np.arange(1, x.size + 1) / x.size
+    return x, p
+
+
+def cdf_at(values: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Empirical CDF evaluated at arbitrary points."""
+    values = np.sort(np.asarray(values))
+    if values.size == 0:
+        raise TraceError("cannot compute the CDF of nothing")
+    return np.searchsorted(values, np.asarray(points), side="right") / values.size
+
+
+def lengths_in_windows(trace: Trace, window_ms: float) -> list[np.ndarray]:
+    """Split a trace's lengths into consecutive time windows.
+
+    Fig. 1 draws length CDFs for one-minute and one-second windows; this
+    is the slicing primitive behind both.
+    """
+    if window_ms <= 0:
+        raise TraceError("window must be positive")
+    if not len(trace):
+        return []
+    edges = np.arange(0.0, trace.duration_ms + window_ms, window_ms)
+    out: list[np.ndarray] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        i = np.searchsorted(trace.arrival_ms, lo, side="left")
+        j = np.searchsorted(trace.arrival_ms, hi, side="left")
+        out.append(trace.length[i:j])
+    return out
+
+
+def windowed_quantiles(
+    trace: Trace, window_ms: float, quantiles: tuple[float, ...] = (0.5, 0.98)
+) -> np.ndarray:
+    """Per-window length quantiles, shape (windows, len(quantiles)).
+
+    Windows with no arrivals yield NaN rows (kept so window indexes stay
+    aligned with wall time).
+    """
+    windows = lengths_in_windows(trace, window_ms)
+    out = np.full((len(windows), len(quantiles)), np.nan)
+    for i, lens in enumerate(windows):
+        if lens.size:
+            out[i] = np.quantile(lens, quantiles)
+    return out
+
+
+def trace_rate_per_second(trace: Trace, window_ms: float = SECOND) -> np.ndarray:
+    """Arrival rate (req/s) per window — the load series of Fig. 8."""
+    if window_ms <= 0:
+        raise TraceError("window must be positive")
+    if not len(trace):
+        return np.empty(0)
+    counts = np.histogram(
+        trace.arrival_ms,
+        bins=np.arange(0.0, trace.duration_ms + window_ms, window_ms),
+    )[0]
+    return counts / (window_ms / SECOND)
+
+
+def summarize_lengths(trace: Trace) -> dict[str, float]:
+    """Headline statistics used in assertions and reports."""
+    if not len(trace):
+        raise TraceError("empty trace")
+    lens = trace.length
+    return {
+        "count": float(lens.size),
+        "median": float(np.median(lens)),
+        "p98": float(np.quantile(lens, 0.98)),
+        "max": float(lens.max()),
+        "mean": float(lens.mean()),
+    }

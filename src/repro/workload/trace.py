@@ -1,0 +1,132 @@
+"""Request trace containers.
+
+A :class:`Trace` is a struct-of-arrays (arrival time, length) — the
+memory layout that keeps trace analytics and the simulator's arrival
+feed vectorised, per the HPC guideline of preferring contiguous NumPy
+arrays over per-request objects. Individual :class:`Request` records
+are materialised only at the simulator boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.units import SECOND
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request (materialised from a trace row)."""
+
+    request_id: int
+    arrival_ms: float
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise TraceError(f"request {self.request_id} has length {self.length}")
+        if self.arrival_ms < 0:
+            raise TraceError(f"request {self.request_id} arrives before t=0")
+
+
+class Trace:
+    """An immutable, time-sorted request trace."""
+
+    __slots__ = ("arrival_ms", "length")
+
+    def __init__(self, arrival_ms: np.ndarray, length: np.ndarray):
+        arrival_ms = np.asarray(arrival_ms, dtype=np.float64)
+        length = np.asarray(length, dtype=np.int64)
+        if arrival_ms.ndim != 1 or arrival_ms.shape != length.shape:
+            raise TraceError("arrival and length arrays must be 1-D and aligned")
+        if arrival_ms.size:
+            if np.any(np.diff(arrival_ms) < 0):
+                raise TraceError("trace must be sorted by arrival time")
+            if arrival_ms[0] < 0:
+                raise TraceError("arrivals cannot be negative")
+            if np.any(length <= 0):
+                raise TraceError("lengths must be positive")
+        arrival_ms.setflags(write=False)
+        length.setflags(write=False)
+        self.arrival_ms = arrival_ms
+        self.length = length
+
+    # -- basic protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.arrival_ms.size)
+
+    def __iter__(self) -> Iterator[Request]:
+        for i in range(len(self)):
+            yield Request(i, float(self.arrival_ms[i]), int(self.length[i]))
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        if not len(self):
+            return "Trace(empty)"
+        return (
+            f"Trace({len(self)} requests over "
+            f"{self.duration_ms / SECOND:.1f}s, "
+            f"median len {int(np.median(self.length))})"
+        )
+
+    # -- derived quantities ------------------------------------------------
+    @property
+    def duration_ms(self) -> float:
+        """Span from t=0 to the last arrival."""
+        return float(self.arrival_ms[-1]) if len(self) else 0.0
+
+    @property
+    def mean_rate_per_s(self) -> float:
+        """Average arrival rate over the trace span."""
+        if len(self) < 2 or self.duration_ms == 0:
+            return 0.0
+        return len(self) / (self.duration_ms / SECOND)
+
+    # -- transformations ----------------------------------------------------
+    def slice_time(self, start_ms: float, end_ms: float) -> "Trace":
+        """Sub-trace with arrivals in ``[start_ms, end_ms)``, re-zeroed."""
+        if end_ms < start_ms:
+            raise TraceError("slice end before start")
+        lo = int(np.searchsorted(self.arrival_ms, start_ms, side="left"))
+        hi = int(np.searchsorted(self.arrival_ms, end_ms, side="left"))
+        return Trace(self.arrival_ms[lo:hi] - start_ms, self.length[lo:hi])
+
+    def shift(self, offset_ms: float) -> "Trace":
+        """Trace with all arrivals moved by ``offset_ms`` (≥ 0 result)."""
+        if len(self) and self.arrival_ms[0] + offset_ms < 0:
+            raise TraceError("shift would move arrivals before t=0")
+        return Trace(self.arrival_ms + offset_ms, self.length)
+
+    def scale_lengths(self, factor: float, max_length: int) -> "Trace":
+        """Recalibrated trace: lengths multiplied by ``factor`` then
+        clipped to ``[1, max_length]`` (the paper's 125 → 512 stretch)."""
+        if factor <= 0:
+            raise TraceError("scale factor must be positive")
+        scaled = np.clip(
+            np.round(self.length * factor).astype(np.int64), 1, max_length
+        )
+        return Trace(self.arrival_ms, scaled)
+
+    @staticmethod
+    def merge(traces: list["Trace"]) -> "Trace":
+        """Interleave several traces into one sorted trace."""
+        traces = [t for t in traces if len(t)]
+        if not traces:
+            return Trace(np.empty(0), np.empty(0, dtype=np.int64))
+        arrival = np.concatenate([t.arrival_ms for t in traces])
+        length = np.concatenate([t.length for t in traces])
+        order = np.argsort(arrival, kind="stable")
+        return Trace(arrival[order], length[order])
+
+    @staticmethod
+    def concat(traces: list["Trace"]) -> "Trace":
+        """Play traces back-to-back (each shifted after the previous)."""
+        out: list[Trace] = []
+        offset = 0.0
+        for t in traces:
+            out.append(t.shift(offset))
+            offset += t.duration_ms
+        return Trace.merge(out)

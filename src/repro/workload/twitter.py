@@ -1,0 +1,136 @@
+"""Synthetic Twitter-like traces (paper §5 "Workloads").
+
+The generator reproduces the three properties of the production trace
+the paper relies on:
+
+1. **Length quantiles** — median 21 tokens, p98 = 72, max ≈125
+   (Fig. 1a), recalibrated ×(512/125) for serving experiments.
+2. **Long-term-stable, short-term-noisy length distribution** — the
+   per-minute distribution drifts slowly (AR(1) on the log-normal μ),
+   so 10-minute windows look alike while 1-second windows fluctuate
+   (Fig. 1b and §3.2's "short-term request length distribution").
+3. **Arrival patterns** — Poisson within each minute for
+   Twitter-Stable, MMPP for Twitter-Bursty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import MINUTE
+from repro.workload.arrivals import ArrivalProcess, MMPPArrivals, PoissonArrivals
+from repro.workload.lengths import LogNormalLengths
+from repro.workload.trace import Trace
+
+#: Statistics of the production trace quoted in the paper (Fig. 1 / §2.1).
+TWITTER_MEDIAN_LENGTH = 21
+TWITTER_P98_LENGTH = 72
+TWITTER_MAX_LENGTH = 125
+#: §5: "we recalibrate the sentence length distribution to span up to 512".
+RECALIBRATED_MAX_LENGTH = 512
+RECALIBRATION_FACTOR = RECALIBRATED_MAX_LENGTH / TWITTER_MAX_LENGTH
+
+
+@dataclass(frozen=True)
+class TwitterTraceConfig:
+    """Parameters of a synthetic Twitter-like trace."""
+
+    rate_per_s: float = 1_000.0
+    duration_ms: float = 10 * MINUTE
+    pattern: str = "stable"  # "stable" (Poisson) | "bursty" (MMPP)
+    recalibrate_to_512: bool = True
+    #: AR(1) coefficient of the per-window drift of the log-normal μ.
+    drift_rho: float = 0.8
+    #: Innovation std-dev of the drift (0 disables short-term dynamics).
+    drift_scale: float = 0.08
+    #: How often the length distribution drifts. The production trace
+    #: drifts per minute (Fig. 1); time-compressed experiments shrink
+    #: this together with trace duration and scheduler period.
+    drift_window_ms: float = MINUTE
+    seed: int = 0
+    base_lengths: LogNormalLengths = field(
+        default_factory=lambda: LogNormalLengths.from_quantiles(
+            median=TWITTER_MEDIAN_LENGTH,
+            p98=TWITTER_P98_LENGTH,
+            max_length=TWITTER_MAX_LENGTH,
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ConfigurationError("rate must be positive")
+        if self.duration_ms <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.pattern not in ("stable", "bursty"):
+            raise ConfigurationError("pattern must be 'stable' or 'bursty'")
+        if not 0 <= self.drift_rho < 1:
+            raise ConfigurationError("drift_rho must be in [0, 1)")
+        if self.drift_scale < 0:
+            raise ConfigurationError("drift_scale must be non-negative")
+        if self.drift_window_ms <= 0:
+            raise ConfigurationError("drift_window_ms must be positive")
+
+    @property
+    def arrival_process(self) -> ArrivalProcess:
+        return PoissonArrivals() if self.pattern == "stable" else MMPPArrivals()
+
+    @property
+    def max_length(self) -> int:
+        return (
+            RECALIBRATED_MAX_LENGTH
+            if self.recalibrate_to_512
+            else self.base_lengths.max_length
+        )
+
+
+def generate_twitter_trace(config: TwitterTraceConfig | None = None, **kwargs) -> Trace:
+    """Generate a synthetic Twitter-like trace.
+
+    Keyword arguments override :class:`TwitterTraceConfig` fields, so
+    ``generate_twitter_trace(rate_per_s=8000, pattern="bursty")`` works
+    without building a config first.
+    """
+    if config is None:
+        config = TwitterTraceConfig(**kwargs)
+    elif kwargs:
+        raise ConfigurationError("pass either a config or kwargs, not both")
+    rng = np.random.default_rng(config.seed)
+
+    window = config.drift_window_ms
+    windows = int(np.ceil(config.duration_ms / window))
+    pieces: list[Trace] = []
+    mu_drift = 0.0
+    for index in range(windows):
+        start = index * window
+        span = min(window, config.duration_ms - start)
+        # AR(1) drift of the length distribution location parameter.
+        mu_drift = config.drift_rho * mu_drift + rng.normal(
+            0.0, config.drift_scale
+        )
+        window_dist = config.base_lengths.shifted(mu_drift)
+        arrivals = config.arrival_process.generate(rng, config.rate_per_s, span)
+        lengths = window_dist.sample(rng, arrivals.size)
+        pieces.append(Trace(arrivals + start, lengths))
+    trace = Trace.merge(pieces)
+    if config.recalibrate_to_512:
+        trace = trace.scale_lengths(RECALIBRATION_FACTOR, RECALIBRATED_MAX_LENGTH)
+    return trace
+
+
+def three_bursty_traces(
+    rate_per_s: float, duration_ms: float, base_seed: int = 100
+) -> list[Trace]:
+    """The paper's Table 4 uses "three different Twitter-Bursty traces";
+    the third has deliberately weak short-term length fluctuation."""
+    configs = [
+        TwitterTraceConfig(rate_per_s=rate_per_s, duration_ms=duration_ms,
+                           pattern="bursty", seed=base_seed, drift_scale=0.10),
+        TwitterTraceConfig(rate_per_s=rate_per_s, duration_ms=duration_ms,
+                           pattern="bursty", seed=base_seed + 1, drift_scale=0.16),
+        TwitterTraceConfig(rate_per_s=rate_per_s, duration_ms=duration_ms,
+                           pattern="bursty", seed=base_seed + 2, drift_scale=0.01),
+    ]
+    return [generate_twitter_trace(c) for c in configs]

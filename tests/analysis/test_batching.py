@@ -1,0 +1,79 @@
+"""Dynamic-batching analysis (§6 future-work extension)."""
+
+import pytest
+
+from repro.analysis.batching import (
+    BatchLatencyModel,
+    best_batch_size,
+    sweep_batch_sizes,
+)
+from repro.errors import ConfigurationError
+from repro.runtimes.models import bert_base
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BatchLatencyModel(single=bert_base().static_latency)
+
+
+def test_batching_sublinear_but_increasing(model):
+    b1 = model.batch_ms(1, 128)
+    b2 = model.batch_ms(2, 128)
+    b4 = model.batch_ms(4, 128)
+    assert b1 < b2 < b4
+    assert b2 < 2 * b1  # sub-linear: batching amortises
+    assert b4 < 4 * b1
+
+
+def test_throughput_monotone_in_batch(model):
+    tps = [model.throughput_per_s(b, 128) for b in (1, 2, 4, 8, 16)]
+    assert tps == sorted(tps)
+    # per-request time shrinks towards the overlap asymptote
+    assert model.per_request_ms(32, 128) < model.per_request_ms(1, 128)
+
+
+def test_batch_model_validation(model):
+    with pytest.raises(ConfigurationError):
+        BatchLatencyModel(single=bert_base().static_latency, overlap=1.0)
+    with pytest.raises(ConfigurationError):
+        BatchLatencyModel(single=bert_base().static_latency, max_batch=0)
+    with pytest.raises(ConfigurationError):
+        model.batch_ms(0, 128)
+    with pytest.raises(ConfigurationError):
+        model.batch_ms(33, 128)
+
+
+def test_sweep_shapes(model):
+    points = sweep_batch_sizes(model, length=128, rate_per_s=300.0,
+                               slo_ms=150.0)
+    assert len(points) == model.max_batch
+    assert [p.batch for p in points] == list(range(1, 33))
+    with pytest.raises(ConfigurationError):
+        sweep_batch_sizes(model, 128, 0.0, 150.0)
+    with pytest.raises(ConfigurationError):
+        sweep_batch_sizes(model, 128, 100.0, 0.0)
+
+
+def test_low_load_prefers_small_batches(model):
+    # At a trickle, batch 1 already sustains the load — no reason to
+    # make anyone wait for batch-mates.
+    best = best_batch_size(model, length=128, rate_per_s=10.0, slo_ms=150.0)
+    assert best.batch == 1
+
+
+def test_high_load_prefers_larger_batches(model):
+    # Batch 1 saturates (service ~2.1 ms -> ~480/s); the batcher must
+    # grow the batch to gain throughput while meeting the SLO.
+    best = best_batch_size(model, length=128, rate_per_s=700.0, slo_ms=150.0)
+    assert best.batch > 1
+    assert best.meets_slo
+    assert best.throughput_per_s > 700.0
+
+
+def test_overload_falls_back_to_min_latency(model):
+    # No batch size sustains this rate on one instance: the advisor
+    # returns the least-bad point instead of a feasible one.
+    points = sweep_batch_sizes(model, 128, 50_000.0, 150.0)
+    assert not any(p.meets_slo for p in points)
+    best = best_batch_size(model, 128, 50_000.0, 150.0)
+    assert best.mean_latency_ms == min(p.mean_latency_ms for p in points)

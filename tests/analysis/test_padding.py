@@ -1,0 +1,86 @@
+"""FLOPs-waste accounting (§2.2 claims)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.padding import (
+    PaddingReport,
+    dynamic_padding_report,
+    polymorph_padding_report,
+    uniform_padding_report,
+)
+from repro.errors import ConfigurationError
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+from repro.workload.trace import Trace
+
+REGISTRY = build_polymorph_set(bert_base())
+
+
+def make_trace(lengths):
+    return Trace(np.arange(len(lengths), dtype=float),
+                 np.asarray(lengths))
+
+
+def test_uniform_padding_arithmetic():
+    trace = make_trace([25, 50, 100])
+    report = uniform_padding_report(trace, 100, quadratic_ratio=0.0)
+    assert report.total_tokens == 175
+    assert report.padded_tokens == 75 + 50 + 0
+    assert report.wasted_flops_fraction == pytest.approx(1 - 175 / 300)
+    assert report.padded_token_fraction == pytest.approx(125 / 300)
+
+
+def test_dynamic_has_zero_waste():
+    trace = make_trace([25, 50, 100])
+    report = dynamic_padding_report(trace)
+    assert report.padded_tokens == 0
+    assert report.wasted_flops_fraction == 0.0
+
+
+def test_polymorph_between_uniform_and_dynamic():
+    rng = np.random.default_rng(5)
+    trace = make_trace(rng.integers(1, 513, size=2000))
+    uniform = uniform_padding_report(trace, 512)
+    poly = polymorph_padding_report(trace, REGISTRY)
+    assert 0 < poly.wasted_flops_fraction < uniform.wasted_flops_fraction
+    # Polymorph padding is bounded by one staircase step per request.
+    assert poly.padded_tokens < 64 * len(trace)
+
+
+def test_quadratic_term_increases_waste():
+    trace = make_trace([10, 10, 10])
+    linear = uniform_padding_report(trace, 512, quadratic_ratio=0.0)
+    quad = uniform_padding_report(trace, 512, quadratic_ratio=0.01)
+    assert quad.wasted_flops_fraction > linear.wasted_flops_fraction
+
+
+def test_paper_80_percent_claim():
+    """§2.2: one Twitter clip wastes ~80.6 % of FLOPs at max_length 125."""
+    from repro.units import minutes
+    from repro.workload.twitter import TwitterTraceConfig, generate_twitter_trace
+
+    trace = generate_twitter_trace(
+        TwitterTraceConfig(rate_per_s=300, duration_ms=minutes(5),
+                           recalibrate_to_512=False, seed=2)
+    )
+    report = uniform_padding_report(trace, 125)
+    assert report.wasted_flops_fraction == pytest.approx(0.806, abs=0.03)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        uniform_padding_report(Trace(np.empty(0), np.empty(0, int)), 125)
+    with pytest.raises(ConfigurationError):
+        uniform_padding_report(make_trace([200]), 125)  # too long
+    with pytest.raises(ConfigurationError):
+        polymorph_padding_report(make_trace([600]), REGISTRY)
+    with pytest.raises(ConfigurationError):
+        dynamic_padding_report(Trace(np.empty(0), np.empty(0, int)))
+
+
+def test_report_zero_division_guards():
+    empty_exec = PaddingReport(requests=0, total_tokens=0, padded_tokens=0,
+                               useful_flops=0.0, executed_flops=0.0)
+    assert empty_exec.wasted_flops_fraction == 0.0
+    assert empty_exec.padded_token_fraction == 0.0

@@ -1,0 +1,92 @@
+"""Offline allocators and scheme construction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.allocators import even_allocation, global_distribution_allocation
+from repro.baselines.schemes import SCHEME_NAMES, build_scheme
+from repro.errors import ConfigurationError
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+from repro.units import seconds
+from repro.workload.trace import Trace
+from repro.workload.twitter import generate_twitter_trace
+
+REGISTRY = build_polymorph_set(bert_base())
+
+
+def test_even_allocation_split():
+    assert even_allocation(8, 16).tolist() == [2] * 8
+    assert even_allocation(8, 10).tolist() == [1, 1, 1, 1, 1, 1, 2, 2]
+    assert even_allocation(4, 2).tolist() == [0, 0, 1, 1]
+    assert even_allocation(3, 1).tolist() == [0, 0, 1]  # Eq. 7 preserved
+    with pytest.raises(ConfigurationError):
+        even_allocation(0, 5)
+    with pytest.raises(ConfigurationError):
+        even_allocation(5, 0)
+
+
+def test_global_allocation_tracks_trace_distribution():
+    short = Trace(np.linspace(0, seconds(10), 2000), np.full(2000, 30))
+    alloc = global_distribution_allocation(REGISTRY, short, 8, 150.0)
+    assert alloc.sum() == 8
+    assert alloc[0] >= 4  # demand lives entirely in bin 0
+    assert alloc[-1] >= 1
+    with pytest.raises(ConfigurationError):
+        global_distribution_allocation(
+            REGISTRY, Trace(np.empty(0), np.empty(0, int)), 8, 150.0
+        )
+
+
+def test_every_scheme_builds():
+    trace = generate_twitter_trace(rate_per_s=100, duration_ms=seconds(5), seed=0)
+    for name in SCHEME_NAMES:
+        scheme = build_scheme(name, "bert-base", 4, trace_hint=trace)
+        assert scheme.cluster.allocation().sum() == 4
+        assert scheme.name == name
+        assert scheme.slo_ms == 150.0
+
+
+def test_st_dt_single_runtime():
+    st = build_scheme("st", "bert-base", 3)
+    dt = build_scheme("dt", "bert-base", 3)
+    assert len(st.registry) == 1 and not st.registry[0].runtime.spec.dynamic_shape
+    assert len(dt.registry) == 1 and dt.registry[0].runtime.spec.dynamic_shape
+    assert st.runtime_scheduler is None and dt.runtime_scheduler is None
+
+
+def test_arlo_has_periodic_scheduler_ablations_do_not():
+    trace = generate_twitter_trace(rate_per_s=100, duration_ms=seconds(5), seed=0)
+    arlo = build_scheme("arlo", "bert-base", 4, trace_hint=trace)
+    even = build_scheme("arlo-even", "bert-base", 4)
+    glob = build_scheme("arlo-global", "bert-base", 4, trace_hint=trace)
+    assert arlo.runtime_scheduler is not None
+    assert even.runtime_scheduler is None
+    assert glob.runtime_scheduler is None
+    # Table-4 dispatch ablations keep the periodic scheduler.
+    assert build_scheme("arlo-ilb", "bert-base", 4).runtime_scheduler is not None
+    assert build_scheme("arlo-ig", "bert-base", 4).runtime_scheduler is not None
+
+
+def test_arlo_global_requires_hint():
+    with pytest.raises(ConfigurationError):
+        build_scheme("arlo-global", "bert-base", 4)
+
+
+def test_unknown_scheme_and_bad_gpus():
+    with pytest.raises(ConfigurationError):
+        build_scheme("magic", "bert-base", 4)
+    with pytest.raises(ConfigurationError):
+        build_scheme("arlo", "bert-base", 0)
+
+
+def test_scale_out_runtime_is_max_length():
+    scheme = build_scheme("arlo", "bert-base", 4)
+    assert scheme.scale_out_runtime_index == len(scheme.registry) - 1
+
+
+def test_snapshot_shape():
+    scheme = build_scheme("infaas", "bert-base", 4)
+    snap = scheme.snapshot()
+    assert snap["gpus"] == 4
+    assert sum(snap["allocation"]) == 4

@@ -1,0 +1,134 @@
+"""Dispatch strategies: ILB, IG, uniform LB, INFaaS bin-packing."""
+
+import pytest
+
+from repro.baselines.dispatchers import (
+    INFaaSBinPacking,
+    InterGroupGreedy,
+    IntraGroupLoadBalance,
+    UniformLoadBalance,
+)
+from repro.cluster.state import ClusterState
+from repro.core.mlq import MultiLevelQueue
+from repro.errors import CapacityError
+from tests.core.helpers import make_registry
+
+
+def setup(alloc, max_lengths=(128, 256, 384, 512), capacities=(80, 60, 48, 40)):
+    registry = make_registry(list(max_lengths), list(capacities))
+    state = ClusterState.bootstrap(registry, alloc)
+    mlq = MultiLevelQueue.from_cluster(state)
+    return registry, state, mlq
+
+
+def load(mlq, instance, n):
+    for _ in range(n):
+        instance.enqueue(0.0, 1)
+    mlq.refresh(instance)
+
+
+def test_ilb_uses_ideal_level_despite_congestion():
+    registry, state, mlq = setup([2, 1, 1, 1])
+    disp = IntraGroupLoadBalance(registry=registry, mlq=mlq)
+    a, b = state.active_instances(0)
+    load(mlq, a, 50)
+    load(mlq, b, 70)
+    # ILB never demotes: a 100-token request goes to the less-loaded
+    # ideal-level instance even though other levels are idle.
+    assert disp.select(100) is a
+
+
+def test_ilb_falls_through_empty_ideal_level():
+    registry, state, mlq = setup([0, 1, 1, 1])
+    disp = IntraGroupLoadBalance(registry=registry, mlq=mlq)
+    assert disp.select(100).runtime_index == 1
+
+
+def test_ig_takes_globally_least_loaded():
+    registry, state, mlq = setup([1, 1, 1, 1])
+    disp = InterGroupGreedy(registry=registry, mlq=mlq)
+    load(mlq, state.active_instances(0)[0], 3)
+    load(mlq, state.active_instances(1)[0], 2)
+    load(mlq, state.active_instances(2)[0], 1)
+    # 100-token request: the idle 512 instance wins despite max padding.
+    assert disp.select(100).runtime_index == 3
+
+
+def test_uniform_lb_least_loaded():
+    registry, state, mlq = setup([2, 0, 0, 1])
+    disp = UniformLoadBalance(registry=registry, mlq=mlq)
+    a, b = state.active_instances(0)
+    load(mlq, a, 2)
+    assert disp.select(50) is b
+
+
+def test_infaas_packs_within_cheapest_level():
+    registry, state, mlq = setup([2, 1, 1, 1])
+    disp = INFaaSBinPacking(registry=registry, mlq=mlq)
+    a, b = state.active_instances(0)
+    load(mlq, a, 3)  # below pack_depth (4)
+    # Packs onto the *most* loaded headroom-positive ideal instance.
+    assert disp.select(100) is a
+
+
+def test_infaas_spills_when_level_saturated():
+    registry, state, mlq = setup([1, 1, 1, 1])
+    disp = INFaaSBinPacking(registry=registry, mlq=mlq)
+    i0 = state.active_instances(0)[0]
+    load(mlq, i0, 4)  # at pack depth
+    chosen = disp.select(100)
+    assert chosen.runtime_index == 1  # next level up
+
+
+def test_infaas_keeps_packing_cheapest_level_past_depth():
+    """Tier 2: with every instance beyond pack depth but below SLO
+    capacity, stale-rate packing stays on the cheapest variant."""
+    registry, state, mlq = setup([1, 1, 1, 1])
+    disp = INFaaSBinPacking(registry=registry, mlq=mlq)
+    loads = (9, 7, 5, 4)  # all at/above pack depth, below capacity
+    for lvl, n in enumerate(loads):
+        load(mlq, state.active_instances(lvl)[0], n)
+    assert disp.select(100).runtime_index == 0
+
+
+def test_infaas_global_spill_when_everything_at_capacity():
+    registry, state, mlq = setup([1, 1, 1, 1])
+    disp = INFaaSBinPacking(registry=registry, mlq=mlq)
+    loads = (80, 60, 48, 39)  # levels 0-2 at capacity, level 3 one below
+    for lvl, n in enumerate(loads):
+        load(mlq, state.active_instances(lvl)[0], n)
+    # Tier 2 finds headroom only at level 3; fill it and tier 3 takes
+    # the least-loaded candidate.
+    assert disp.select(100).runtime_index == 3
+    load(mlq, state.active_instances(3)[0], 2)  # now at/over capacity
+    chosen = disp.select(100)
+    assert chosen.outstanding == min(
+        state.active_instances(l)[0].outstanding for l in range(4)
+    )
+
+
+def test_dispatch_enqueues_and_reports_times():
+    registry, state, mlq = setup([1, 1, 1, 1])
+    disp = UniformLoadBalance(registry=registry, mlq=mlq)
+    inst, start, finish = disp.dispatch(7.0, 100)
+    assert start == 7.0 and finish > 7.0
+    assert inst.outstanding == 1
+
+
+def test_unservable_raises_everywhere():
+    registry, state, mlq = setup([1, 1, 1, 1])
+    for cls in (UniformLoadBalance, IntraGroupLoadBalance, InterGroupGreedy,
+                INFaaSBinPacking):
+        with pytest.raises(CapacityError):
+            cls(registry=registry, mlq=mlq).select(600)
+
+
+def test_no_instances_raises():
+    registry, state, mlq = setup([1, 0, 0, 1])
+    for inst in state.active_instances(0) + state.active_instances(3):
+        inst.begin_drain()
+        mlq.refresh(inst)
+    for cls in (UniformLoadBalance, IntraGroupLoadBalance, InterGroupGreedy,
+                INFaaSBinPacking):
+        with pytest.raises(CapacityError):
+            cls(registry=registry, mlq=mlq).select(100)

@@ -1,0 +1,109 @@
+"""Target-tracking autoscaler policy (§4)."""
+
+import pytest
+
+from repro.cluster.autoscaler import (
+    AutoscalerConfig,
+    ScaleAction,
+    TargetTrackingAutoscaler,
+)
+from repro.errors import ConfigurationError
+from repro.units import seconds
+
+
+def make(slo=150.0, **kwargs):
+    defaults = dict(slo_ms=slo, window_size=64)
+    defaults.update(kwargs)
+    return TargetTrackingAutoscaler(AutoscalerConfig(**defaults))
+
+
+def fill(scaler, latency, count=64):
+    for _ in range(count):
+        scaler.observe(latency)
+
+
+def test_no_decision_without_data():
+    scaler = make()
+    assert scaler.tail_latency() is None
+    assert scaler.decide(0.0, 5) is ScaleAction.NONE
+
+
+def test_scale_out_at_95_percent_of_slo():
+    scaler = make()
+    fill(scaler, 150.0 * 0.96)
+    assert scaler.decide(seconds(10), 5) is ScaleAction.OUT
+
+
+def test_scale_out_cooldown():
+    scaler = make()
+    fill(scaler, 149.0)
+    assert scaler.decide(seconds(10), 5) is ScaleAction.OUT
+    assert scaler.decide(seconds(11), 6) is ScaleAction.NONE  # cooling down
+    assert scaler.decide(seconds(16), 6) is ScaleAction.OUT
+
+
+def test_scale_out_capped_at_max():
+    scaler = make(max_gpus=5)
+    fill(scaler, 149.0)
+    assert scaler.decide(seconds(10), 5) is ScaleAction.NONE
+
+
+def test_scale_in_requires_sustained_low_latency():
+    scaler = make()
+    fill(scaler, 10.0)  # way below 50% of SLO
+    assert scaler.decide(seconds(0), 5) is ScaleAction.NONE  # timer starts
+    assert scaler.decide(seconds(30), 5) is ScaleAction.NONE  # not yet 60s
+    assert scaler.decide(seconds(61), 5) is ScaleAction.IN
+    # immediately after, the timer restarts
+    assert scaler.decide(seconds(62), 4) is ScaleAction.NONE
+
+
+def test_scale_in_respects_min_gpus():
+    scaler = make(min_gpus=3)
+    fill(scaler, 10.0)
+    scaler.decide(seconds(0), 3)
+    assert scaler.decide(seconds(61), 3) is ScaleAction.NONE
+
+
+def test_comfortable_band_resets_scale_in_timer():
+    scaler = make()
+    fill(scaler, 10.0)
+    scaler.decide(seconds(0), 5)
+    # Latency rises into the comfortable band: timer must reset.
+    fill(scaler, 100.0)
+    scaler.decide(seconds(30), 5)
+    fill(scaler, 10.0)
+    assert scaler.decide(seconds(61), 5) is ScaleAction.NONE  # only 31s below
+
+
+def test_spike_resets_scale_in_timer():
+    scaler = make()
+    fill(scaler, 10.0)
+    scaler.decide(seconds(0), 5)
+    fill(scaler, 149.0)
+    scaler.decide(seconds(30), 5)  # OUT and resets below-timer
+    fill(scaler, 10.0)
+    assert scaler.decide(seconds(62), 5) is ScaleAction.NONE
+
+
+def test_windowed_percentile():
+    scaler = make()
+    fill(scaler, 10.0, count=62)
+    fill(scaler, 1000.0, count=2)  # top 2% outliers lift the windowed p98
+    assert scaler.tail_latency() > 10.0
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(slo_ms=0.0)
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(slo_ms=100, scale_in_fraction=0.96)
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(slo_ms=100, window_size=2)
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(slo_ms=100, min_gpus=0)
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(slo_ms=100, percentile=10)
+    scaler = make()
+    with pytest.raises(ConfigurationError):
+        scaler.observe(-1.0)

@@ -1,0 +1,106 @@
+"""HeadroomAutoscaler — the INFaaS-style utilisation policy."""
+
+import pytest
+
+from repro.cluster.autoscaler import (
+    HeadroomAutoscaler,
+    HeadroomConfig,
+    ScaleAction,
+)
+from repro.errors import ConfigurationError
+from repro.units import seconds
+
+
+def make(**kwargs):
+    defaults = dict(window_size=8)
+    defaults.update(kwargs)
+    return HeadroomAutoscaler(HeadroomConfig(**defaults))
+
+
+def fill(scaler, util, count=8):
+    for _ in range(count):
+        scaler.observe_utilization(util)
+
+
+def test_no_decision_without_data():
+    scaler = make()
+    assert scaler.current_utilization() is None
+    assert scaler.decide(0.0, 4) is ScaleAction.NONE
+
+
+def test_scale_out_above_threshold():
+    scaler = make()
+    fill(scaler, 0.85)
+    assert scaler.decide(seconds(10), 4) is ScaleAction.OUT
+    # cooldown blocks the immediate follow-up...
+    assert scaler.decide(seconds(11), 5) is ScaleAction.NONE
+    # ...but a still-hot window scales again once the cooldown passes.
+    assert scaler.decide(seconds(16), 5) is ScaleAction.OUT
+
+
+def test_scale_out_capped():
+    scaler = make(max_gpus=4)
+    fill(scaler, 0.95)
+    assert scaler.decide(seconds(10), 4) is ScaleAction.NONE
+
+
+def test_scale_in_sustained_low_util():
+    scaler = make(scale_in_period_ms=seconds(30))
+    fill(scaler, 0.1)
+    assert scaler.decide(seconds(0), 4) is ScaleAction.NONE
+    assert scaler.decide(seconds(31), 4) is ScaleAction.IN
+    assert scaler.decide(seconds(32), 3) is ScaleAction.NONE  # timer reset
+
+
+def test_scale_in_respects_min():
+    scaler = make(min_gpus=4, scale_in_period_ms=seconds(10))
+    fill(scaler, 0.05)
+    scaler.decide(seconds(0), 4)
+    assert scaler.decide(seconds(11), 4) is ScaleAction.NONE
+
+
+def test_comfort_band_resets_timer():
+    scaler = make(scale_in_period_ms=seconds(30))
+    fill(scaler, 0.1)
+    scaler.decide(seconds(0), 4)
+    fill(scaler, 0.5)  # comfortable
+    scaler.decide(seconds(15), 4)
+    fill(scaler, 0.1)
+    assert scaler.decide(seconds(31), 4) is ScaleAction.NONE
+
+
+def test_latency_observe_is_noop():
+    scaler = make()
+    scaler.observe(10_000.0)  # must not crash or influence anything
+    assert scaler.current_utilization() is None
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        HeadroomConfig(scale_out_utilization=0.2, scale_in_utilization=0.3)
+    with pytest.raises(ConfigurationError):
+        HeadroomConfig(window_size=2)
+    with pytest.raises(ConfigurationError):
+        HeadroomConfig(min_gpus=0)
+    scaler = make()
+    with pytest.raises(ConfigurationError):
+        scaler.observe_utilization(-0.1)
+
+
+def test_simulation_with_headroom_policy():
+    """End-to-end: an overloaded ST fleet scales out under headroom."""
+    from repro.baselines.schemes import build_scheme
+    from repro.sim.simulation import SimulationConfig, run_simulation
+    from repro.workload.twitter import generate_twitter_trace
+
+    trace = generate_twitter_trace(rate_per_s=500, duration_ms=seconds(20),
+                                   seed=17)
+    scheme = build_scheme("st", "bert-base", 1)
+    config = SimulationConfig(
+        enable_autoscaler=True,
+        autoscaler=HeadroomConfig(max_gpus=12, window_size=8),
+    )
+    result = run_simulation(scheme, trace, config)
+    assert result.control_stats["scale_outs"] > 0
+    assert scheme.cluster.num_gpus > 1
+    assert result.stats.count == len(trace)

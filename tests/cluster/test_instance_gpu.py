@@ -1,0 +1,109 @@
+"""RuntimeInstance and Gpu lifecycle semantics."""
+
+import pytest
+
+from repro.cluster.gpu import Gpu
+from repro.cluster.instance import InstanceStatus, RuntimeInstance
+from repro.errors import CapacityError, SchedulingError
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_polymorph_set(bert_base())
+
+
+@pytest.fixture
+def instance(registry):
+    return RuntimeInstance(
+        instance_id=0, gpu_id=0, runtime_index=1, profile=registry[1]
+    )
+
+
+def test_enqueue_fifo_timing(instance):
+    service = instance.profile.runtime.service_ms(100) + instance.profile.overhead_ms
+    s1, f1 = instance.enqueue(0.0, 100)
+    assert s1 == 0.0 and f1 == pytest.approx(service)
+    s2, f2 = instance.enqueue(0.0, 50)
+    assert s2 == pytest.approx(f1)  # waits behind the first
+    assert f2 == pytest.approx(f1 + service)  # static shape: same padded time
+    assert instance.outstanding == 2
+
+
+def test_enqueue_after_idle_gap(instance):
+    _, f1 = instance.enqueue(0.0, 10)
+    s2, _ = instance.enqueue(f1 + 100.0, 10)
+    assert s2 == pytest.approx(f1 + 100.0)
+
+
+def test_congestion_is_load_over_capacity(instance):
+    assert instance.congestion() == 0.0
+    instance.enqueue(0.0, 10)
+    assert instance.congestion() == pytest.approx(1 / instance.capacity)
+
+
+def test_complete_decrements(instance):
+    instance.enqueue(0.0, 10)
+    instance.complete()
+    assert instance.outstanding == 0
+    assert instance.served == 1
+    with pytest.raises(SchedulingError):
+        instance.complete()
+
+
+def test_rejects_oversized_requests(instance):
+    with pytest.raises(CapacityError):
+        instance.enqueue(0.0, instance.max_length + 1)
+
+
+def test_drain_and_retire(instance):
+    instance.enqueue(0.0, 10)
+    instance.begin_drain()
+    assert instance.status is InstanceStatus.DRAINING
+    assert not instance.accepts(10)
+    with pytest.raises(SchedulingError):
+        instance.enqueue(1.0, 10)
+    assert not instance.drained()
+    with pytest.raises(SchedulingError):
+        instance.retire()
+    instance.complete()
+    assert instance.drained()
+    instance.retire()
+    with pytest.raises(SchedulingError):
+        instance.begin_drain()
+
+
+def test_idle_check(instance):
+    assert instance.idle_at(0.0)
+    _, f = instance.enqueue(0.0, 10)
+    assert not instance.idle_at(0.0)
+    instance.complete()
+    assert not instance.idle_at(f - 0.1)
+    assert instance.idle_at(f)
+
+
+def test_gpu_attach_detach():
+    gpu = Gpu(gpu_id=0)
+    gpu.attach(7)
+    assert not gpu.is_free
+    with pytest.raises(SchedulingError):
+        gpu.attach(8)
+    gpu.detach()
+    assert gpu.is_free
+    with pytest.raises(SchedulingError):
+        gpu.detach()
+
+
+def test_gpu_release_rules():
+    gpu = Gpu(gpu_id=0, provisioned_at_ms=100.0)
+    gpu.attach(1)
+    with pytest.raises(SchedulingError):
+        gpu.release(200.0)
+    gpu.detach()
+    gpu.release(600.0)
+    assert gpu.lifetime_ms(10_000.0) == 500.0
+    with pytest.raises(SchedulingError):
+        gpu.release(700.0)
+    with pytest.raises(SchedulingError):
+        gpu.attach(2)

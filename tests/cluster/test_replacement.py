@@ -1,0 +1,85 @@
+"""Replacement planning: minimality, donor choice, batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.replacement import (
+    REPLACEMENT_DURATION_MS,
+    plan_replacement,
+)
+from repro.cluster.state import ClusterState
+from repro.errors import SchedulingError
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+
+REGISTRY = build_polymorph_set(bert_base())
+
+
+def test_empty_plan_when_allocation_matches():
+    state = ClusterState.bootstrap(REGISTRY, [2, 1, 0, 0, 0, 0, 0, 1])
+    plan = plan_replacement(state, np.array([2, 1, 0, 0, 0, 0, 0, 1]))
+    assert plan.is_empty
+    assert plan.duration_ms == 0.0
+
+
+def test_plan_is_minimal():
+    state = ClusterState.bootstrap(REGISTRY, [3, 0, 0, 0, 0, 0, 0, 1])
+    target = np.array([1, 2, 0, 0, 0, 0, 0, 1])
+    plan = plan_replacement(state, target)
+    assert len(plan) == 2  # exactly the surplus
+    assert all(s.from_runtime == 0 and s.to_runtime == 1 for s in plan.steps)
+
+
+def test_least_busy_donors_first():
+    state = ClusterState.bootstrap(REGISTRY, [3, 0, 0, 0, 0, 0, 0, 1])
+    instances = state.active_instances(0)
+    instances[0].enqueue(0.0, 10)
+    instances[0].enqueue(0.0, 10)
+    instances[1].enqueue(0.0, 10)
+    # instances[2] idle -> must be the first donor
+    plan = plan_replacement(state, np.array([2, 1, 0, 0, 0, 0, 0, 1]))
+    assert plan.steps[0].instance_id == instances[2].instance_id
+
+
+def test_batching_and_duration():
+    state = ClusterState.bootstrap(REGISTRY, [5, 0, 0, 0, 0, 0, 0, 1])
+    plan = plan_replacement(
+        state, np.array([0, 5, 0, 0, 0, 0, 0, 1]), batch_size=2
+    )
+    batches = plan.batches()
+    assert [len(b) for b in batches] == [2, 2, 1]
+    assert plan.duration_ms == 3 * REPLACEMENT_DURATION_MS
+
+
+def test_validation():
+    state = ClusterState.bootstrap(REGISTRY, [1, 0, 0, 0, 0, 0, 0, 1])
+    with pytest.raises(SchedulingError):
+        plan_replacement(state, np.array([1, 1]))  # arity
+    with pytest.raises(SchedulingError):
+        plan_replacement(state, np.array([2, 0, 0, 0, 0, 0, 0, 1]))  # GPU count
+    with pytest.raises(SchedulingError):
+        plan_replacement(state, np.array([-1, 1, 0, 0, 0, 0, 0, 2]))
+    with pytest.raises(SchedulingError):
+        plan_replacement(state, np.array([0, 1, 0, 0, 0, 0, 0, 1]), batch_size=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=8, max_size=8),
+       st.lists(st.integers(min_value=0, max_value=4), min_size=8, max_size=8))
+def test_plan_reaches_target(current, target):
+    total = sum(current)
+    if total == 0 or sum(target) != total:
+        return  # only same-size allocations are plannable
+    state = ClusterState.bootstrap(REGISTRY, current)
+    plan = plan_replacement(state, np.asarray(target))
+    # Applying the plan yields the target allocation.
+    result = np.asarray(current)
+    for step in plan.steps:
+        result[step.from_runtime] -= 1
+        result[step.to_runtime] += 1
+    assert result.tolist() == list(target)
+    # Minimality: steps == total positive surplus.
+    surplus = np.maximum(np.asarray(current) - np.asarray(target), 0).sum()
+    assert len(plan) == surplus

@@ -1,0 +1,81 @@
+"""ClusterState bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.errors import SchedulingError
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_polymorph_set(bert_base())
+
+
+def test_bootstrap_allocation(registry):
+    alloc = [2, 1, 0, 0, 0, 0, 0, 1]
+    state = ClusterState.bootstrap(registry, alloc)
+    assert state.allocation().tolist() == alloc
+    assert state.num_gpus == 4
+    assert state.num_active_instances == 4
+    assert len(state.free_gpus()) == 0
+
+
+def test_bootstrap_validation(registry):
+    with pytest.raises(SchedulingError):
+        ClusterState.bootstrap(registry, [1, 2])  # wrong arity
+    with pytest.raises(SchedulingError):
+        ClusterState.bootstrap(registry, [0] * 8)  # empty
+    with pytest.raises(SchedulingError):
+        ClusterState.bootstrap(registry, [-1, 1, 0, 0, 0, 0, 0, 1])
+
+
+def test_deploy_and_retire_roundtrip(registry):
+    state = ClusterState.bootstrap(registry, [1, 0, 0, 0, 0, 0, 0, 1])
+    inst = state.active_instances(0)[0]
+    gpu = state.retire_instance(inst)
+    assert gpu.is_free
+    assert state.allocation().tolist() == [0, 0, 0, 0, 0, 0, 0, 1]
+    redeployed = state.deploy(3, gpu)
+    assert state.allocation().tolist() == [0, 0, 0, 1, 0, 0, 0, 1]
+    assert redeployed.gpu_id == gpu.gpu_id
+    with pytest.raises(SchedulingError):
+        state.retire_instance(inst)  # already gone
+    with pytest.raises(SchedulingError):
+        state.deploy(99, state.add_gpu())
+
+
+def test_draining_instances_not_active(registry):
+    state = ClusterState.bootstrap(registry, [2, 0, 0, 0, 0, 0, 0, 1])
+    inst = state.active_instances(0)[0]
+    inst.begin_drain()
+    assert state.allocation().tolist() == [1, 0, 0, 0, 0, 0, 0, 1]
+    assert inst not in state.active_instances()
+    assert state.num_active_instances == 2
+
+
+def test_gpu_time_accounting(registry):
+    state = ClusterState.bootstrap(registry, [1, 0, 0, 0, 0, 0, 0, 1])
+    assert state.time_weighted_gpus(1000.0) == pytest.approx(2.0)
+    # Add a GPU halfway: weighted count between 2 and 3.
+    state.add_gpu(now_ms=500.0)
+    assert state.time_weighted_gpus(1000.0) == pytest.approx(2.5)
+    assert state.time_weighted_gpus(0.0) == 3.0
+
+
+def test_release_reduces_count(registry):
+    state = ClusterState.bootstrap(registry, [1, 0, 0, 0, 0, 0, 0, 1])
+    inst = state.active_instances(0)[0]
+    gpu = state.retire_instance(inst)
+    state.release_gpu(gpu.gpu_id, now_ms=100.0)
+    assert state.num_gpus == 1
+    assert gpu not in state.free_gpus()
+
+
+def test_total_outstanding(registry):
+    state = ClusterState.bootstrap(registry, [1, 0, 0, 0, 0, 0, 0, 1])
+    state.active_instances(0)[0].enqueue(0.0, 10)
+    state.active_instances(7)[0].enqueue(0.0, 500)
+    assert state.total_outstanding() == 2

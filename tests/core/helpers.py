@@ -1,0 +1,49 @@
+"""Shared fixtures for core tests: registries with controlled capacities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtimes.compiler import SimulatedCompiler
+from repro.runtimes.models import bert_base
+from repro.runtimes.profiler import RuntimeProfile
+from repro.runtimes.registry import RuntimeRegistry
+from repro.units import PER_REQUEST_OVERHEAD_MS
+
+
+def make_registry(
+    max_lengths: list[int],
+    capacities: list[int] | None = None,
+    slo_ms: float = 450.0,
+    model=None,
+) -> RuntimeRegistry:
+    """Registry with controlled per-runtime capacities.
+
+    With explicit ``capacities``, profiled service times are fabricated
+    so runtime i reports exactly ``capacities[i]`` as M_i (useful for
+    congestion-threshold tests; the *true* execution model remains the
+    BERT staircase). With ``capacities=None``, profiles are measured
+    noiselessly from the true latency model, so scheduling decisions and
+    actual execution agree exactly.
+    """
+    compiler = SimulatedCompiler()
+    model = model or bert_base()
+    profiles = []
+    for i, ml in enumerate(max_lengths):
+        runtime = compiler.compile_static(model, ml)
+        if capacities is None:
+            service = runtime.service_ms(ml)
+        else:
+            service = slo_ms / capacities[i] - PER_REQUEST_OVERHEAD_MS - 1e-6
+        profiles.append(
+            RuntimeProfile(runtime=runtime, slo_ms=slo_ms, service_ms=service)
+        )
+    registry = RuntimeRegistry(profiles=profiles)
+    if capacities is not None:
+        got = [p.capacity for p in registry]
+        assert got == list(capacities), f"capacity fabrication failed: {got}"
+    return registry
+
+
+def uniform_demand(registry: RuntimeRegistry, per_bin: float) -> np.ndarray:
+    return np.full(len(registry), per_bin)

@@ -1,0 +1,98 @@
+"""Property-based verification of Algorithm 1's decision invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.state import ClusterState
+from repro.core.mlq import MultiLevelQueue
+from repro.core.request_scheduler import ArloRequestScheduler, RequestSchedulerConfig
+from tests.core.helpers import make_registry
+
+MAX_LENGTHS = [64, 128, 192, 256, 320, 384, 448, 512]
+CAPACITIES = [90, 80, 70, 60, 50, 45, 42, 40]
+
+
+@st.composite
+def scenario(draw):
+    alloc = draw(st.lists(st.integers(0, 3), min_size=8, max_size=8))
+    alloc[-1] = max(alloc[-1], 1)  # Eq. 7
+    loads = draw(st.lists(st.integers(0, 100), min_size=sum(alloc),
+                          max_size=sum(alloc)))
+    length = draw(st.integers(1, 512))
+    lam = draw(st.floats(0.3, 1.0))
+    alpha = draw(st.floats(0.3, 1.0))
+    peek = draw(st.integers(1, 8))
+    return alloc, loads, length, lam, alpha, peek
+
+
+@settings(max_examples=120, deadline=None)
+@given(scenario())
+def test_algorithm1_decision_invariants(params):
+    alloc, loads, length, lam, alpha, peek = params
+    registry = make_registry(MAX_LENGTHS, CAPACITIES)
+    state = ClusterState.bootstrap(registry, alloc)
+    mlq = MultiLevelQueue.from_cluster(state)
+    instances = state.active_instances()
+    for inst, load in zip(instances, loads):
+        for _ in range(load):
+            inst.enqueue(0.0, 1)
+        mlq.refresh(inst)
+    scheduler = ArloRequestScheduler(
+        registry=registry, mlq=mlq,
+        config=RequestSchedulerConfig(lam=lam, alpha=alpha,
+                                      max_peek_levels=peek),
+    )
+    ideal = registry.ideal_index(length)
+    decision = scheduler.select(length)
+
+    # (1) Never a runtime that cannot hold the request.
+    assert decision.instance.max_length >= length
+    assert decision.level >= ideal
+    # (2) The chosen instance is its level's least-loaded active one.
+    level_loads = [
+        i.outstanding for i in state.active_instances(decision.level)
+    ]
+    assert decision.instance.outstanding == min(level_loads)
+    # (3) Accepted (non-fallback) dispatches beat their decayed threshold.
+    if not decision.fell_back:
+        threshold = lam * alpha ** (decision.levels_peeked - 1)
+        assert decision.instance.congestion() < threshold + 1e-12
+        # Every populated level between ideal and the chosen one was
+        # peeked and rejected at its own (higher) threshold.
+        k = 0
+        for lvl in range(ideal, decision.level):
+            head = mlq.head(lvl)
+            if head is None:
+                continue
+            assert head.congestion() >= lam * alpha**k - 1e-12
+            k += 1
+    # (4) The peek budget is honoured.
+    assert decision.levels_peeked <= peek
+    # (5) Fallback lands on the first populated candidate level.
+    if decision.fell_back:
+        for lvl in range(ideal, decision.level):
+            assert mlq.head(lvl) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(1, 512), min_size=1, max_size=80),
+       st.integers(0, 10_000))
+def test_dispatch_sequence_conserves_and_balances(lengths, seed):
+    """Many dispatches: totals conserve; per-level load stays balanced
+    (max-min spread within a level never exceeds 1 under equal traffic)."""
+    rng = np.random.default_rng(seed)
+    registry = make_registry(MAX_LENGTHS, CAPACITIES)
+    alloc = [2, 2, 2, 2, 2, 2, 2, 2]
+    state = ClusterState.bootstrap(registry, alloc)
+    mlq = MultiLevelQueue.from_cluster(state)
+    scheduler = ArloRequestScheduler(registry=registry, mlq=mlq)
+    for i, ln in enumerate(lengths):
+        scheduler.dispatch(float(i), int(ln))
+    assert state.total_outstanding() == len(lengths)
+    assert scheduler.dispatched == len(lengths)
+    # Within each level, the head choice keeps instances within 1 of
+    # each other as long as requests only ever *join* (no completions).
+    for lvl in range(8):
+        loads = [i.outstanding for i in state.active_instances(lvl)]
+        assert max(loads) - min(loads) <= 1

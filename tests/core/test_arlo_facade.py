@@ -1,0 +1,72 @@
+"""ArloSystem facade: end-to-end request handling without the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.arlo import ArloConfig, ArloSystem
+from repro.errors import ConfigurationError
+from repro.runtimes.models import bert_base
+
+
+@pytest.fixture
+def arlo():
+    return ArloSystem.build("bert-base", num_gpus=6)
+
+
+def test_build_deploys_all_gpus(arlo):
+    assert arlo.cluster.allocation().sum() == 6
+    assert arlo.cluster.allocation()[-1] >= 1
+    assert arlo.mlq.total_instances() == 6
+    assert arlo.slo_ms == 150.0
+
+
+def test_build_by_profile_object():
+    arlo = ArloSystem.build(bert_base(), num_gpus=4)
+    assert arlo.model.name == "bert-base"
+
+
+def test_build_with_demand_hint():
+    demand = np.zeros(8)
+    demand[0] = 100.0
+    arlo = ArloSystem.build("bert-base", num_gpus=6, initial_demand=demand)
+    assert arlo.cluster.allocation()[0] >= 3
+
+
+def test_handle_and_complete_roundtrip(arlo):
+    decision, start, finish = arlo.handle(0.0, length=37)
+    assert finish > start >= 0.0
+    assert arlo.cluster.total_outstanding() == 1
+    arlo.complete(decision.instance.instance_id)
+    assert arlo.cluster.total_outstanding() == 0
+    with pytest.raises(ConfigurationError):
+        arlo.complete(10_000)
+
+
+def test_handle_feeds_demand_estimator(arlo):
+    for i in range(50):
+        arlo.handle(float(i), length=30)
+    assert arlo.runtime_scheduler.estimator.observed == 50
+
+
+def test_reschedule_adapts_to_observed_lengths(arlo):
+    # Saturate demand with long requests, then reschedule.
+    for i in range(600):
+        arlo.runtime_scheduler.estimator.observe(float(i * 20), 500)
+    result, plan = arlo.reschedule(now_ms=12_000.0)
+    assert result.allocation[-1] >= 2
+    assert result.allocation.sum() == 6
+
+
+def test_snapshot_shape(arlo):
+    arlo.handle(0.0, 100)
+    snap = arlo.snapshot()
+    assert snap["gpus"] == 6
+    assert snap["outstanding"] == 1
+    assert len(snap["allocation"]) == 8
+
+
+def test_config_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        ArloSystem.build("bert-base", num_gpus=4, config=ArloConfig(num_gpus=5))
+    with pytest.raises(ConfigurationError):
+        ArloConfig(num_gpus=0)

@@ -1,0 +1,126 @@
+"""Length bins and demand estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.bins import LengthBins
+from repro.core.demand import DemandEstimator
+from repro.errors import CapacityError, ConfigurationError
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+from repro.units import seconds
+
+
+@pytest.fixture(scope="module")
+def bins():
+    return LengthBins(edges=np.array([64, 128, 256, 512]))
+
+
+def test_bin_lookup(bins):
+    assert bins.bin_of(1) == 0
+    assert bins.bin_of(64) == 0
+    assert bins.bin_of(65) == 1
+    assert bins.bin_of(512) == 3
+    with pytest.raises(CapacityError):
+        bins.bin_of(513)
+    with pytest.raises(CapacityError):
+        bins.bin_of(0)
+
+
+def test_vectorised_matches_scalar(bins):
+    lengths = np.array([1, 64, 65, 200, 512])
+    assert bins.bins_of(lengths).tolist() == [bins.bin_of(int(x)) for x in lengths]
+    with pytest.raises(CapacityError):
+        bins.bins_of(np.array([600]))
+
+
+def test_histogram(bins):
+    hist = bins.histogram(np.array([10, 20, 100, 300, 300]))
+    assert hist.tolist() == [2, 1, 0, 2]  # 300 > 256 lands in the 512 bin
+
+
+def test_bins_from_registry_match():
+    registry = build_polymorph_set(bert_base())
+    bins = LengthBins.from_registry(registry)
+    for length in (1, 64, 65, 300, 512):
+        assert bins.bin_of(length) == registry.ideal_index(length)
+
+
+def test_uniform_constructor():
+    bins = LengthBins.uniform(512, 64)
+    assert len(bins) == 8
+
+
+def test_bins_validation():
+    with pytest.raises(ConfigurationError):
+        LengthBins(edges=np.array([], dtype=int))
+    with pytest.raises(ConfigurationError):
+        LengthBins(edges=np.array([64, 64]))
+    with pytest.raises(ConfigurationError):
+        LengthBins(edges=np.array([0, 64]))
+
+
+# -- demand estimator ---------------------------------------------------------
+
+def make_estimator(bins, slo=150.0, window=seconds(10), **kw):
+    return DemandEstimator(bins=bins, slo_ms=slo, window_ms=window, **kw)
+
+
+def test_demand_units(bins):
+    """100 arrivals/s in bin 0 with a 150 ms SLO → Q_0 = 15."""
+    est = make_estimator(bins)
+    times = np.arange(0, seconds(10), 10.0)  # 100/s for 10 s
+    est.observe_batch(times, np.full(times.size, 10))
+    q = est.demand(seconds(10))
+    assert q[0] == pytest.approx(15.0, rel=0.05)
+    assert q[1:].sum() == 0
+
+
+def test_window_eviction(bins):
+    est = make_estimator(bins, window=seconds(5))
+    est.observe(0.0, 10)
+    est.observe(seconds(1), 10)
+    assert est.observed == 2
+    est.observe(seconds(6.5), 10)
+    assert est.observed == 1  # both events before t=1.5s fell out
+    q = est.demand(seconds(20))  # everything expired
+    assert q.sum() == 0
+
+
+def test_observe_batch_equivalent_to_loop(bins):
+    a = make_estimator(bins)
+    b = make_estimator(bins)
+    times = np.linspace(0, seconds(5), 100)
+    lengths = np.tile(np.array([10, 100, 300, 500]), 25)
+    a.observe_batch(times, lengths)
+    for t, ln in zip(times, lengths):
+        b.observe(float(t), int(ln))
+    assert np.array_equal(a.raw_histogram(), b.raw_histogram())
+    assert a.demand(seconds(5)) == pytest.approx(b.demand(seconds(5)))
+
+
+def test_ewma_smoothing(bins):
+    est = make_estimator(bins, ewma_alpha=0.5)
+    est.observe_batch(np.linspace(0, seconds(9.9), 1000), np.full(1000, 10))
+    q1 = est.demand(seconds(10))
+    # Demand vanishes, but EWMA remembers half.
+    q2 = est.demand(seconds(25))
+    assert 0 < q2[0] == pytest.approx(q1[0] / 2, rel=0.01)
+
+
+def test_estimator_validation(bins):
+    with pytest.raises(ConfigurationError):
+        DemandEstimator(bins=bins, slo_ms=0, window_ms=seconds(1))
+    with pytest.raises(ConfigurationError):
+        DemandEstimator(bins=bins, slo_ms=100, window_ms=50)
+    with pytest.raises(ConfigurationError):
+        DemandEstimator(bins=bins, slo_ms=100, window_ms=seconds(1), ewma_alpha=0)
+
+
+def test_from_trace_slice(bins):
+    q = DemandEstimator.from_trace_slice(
+        bins, np.array([10, 10, 100, 500]), span_ms=seconds(2), slo_ms=150.0
+    )
+    assert q.tolist() == pytest.approx([2 * 0.075, 0.075, 0.0, 0.075])
+    with pytest.raises(ConfigurationError):
+        DemandEstimator.from_trace_slice(bins, np.array([10]), 0.0, 150.0)

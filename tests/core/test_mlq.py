@@ -1,0 +1,139 @@
+"""Multi-level queue: heads, lazy invalidation, cross-level queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.state import ClusterState
+from repro.core.mlq import InstanceHeap, MultiLevelQueue
+from repro.errors import SchedulingError
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+
+REGISTRY = build_polymorph_set(bert_base())
+
+
+def make_cluster(alloc):
+    return ClusterState.bootstrap(REGISTRY, alloc)
+
+
+def test_head_is_least_loaded():
+    state = make_cluster([3, 0, 0, 0, 0, 0, 0, 1])
+    mlq = MultiLevelQueue.from_cluster(state)
+    a, b, c = state.active_instances(0)
+    a.enqueue(0.0, 10)
+    a.enqueue(0.0, 10)
+    b.enqueue(0.0, 10)
+    for inst in (a, b):
+        mlq.refresh(inst)
+    assert mlq.head(0) is c
+    c.enqueue(0.0, 10)
+    c.enqueue(0.0, 10)
+    c.enqueue(0.0, 10)
+    mlq.refresh(c)
+    assert mlq.head(0) is b
+
+
+def test_head_empty_level():
+    state = make_cluster([1, 0, 0, 0, 0, 0, 0, 1])
+    mlq = MultiLevelQueue.from_cluster(state)
+    assert mlq.head(3) is None
+
+
+def test_completion_updates_head():
+    state = make_cluster([2, 0, 0, 0, 0, 0, 0, 1])
+    mlq = MultiLevelQueue.from_cluster(state)
+    a, b = state.active_instances(0)
+    for _ in range(3):
+        a.enqueue(0.0, 10)
+    b.enqueue(0.0, 10)
+    mlq.refresh(a)
+    mlq.refresh(b)
+    assert mlq.head(0) is b
+    for _ in range(3):
+        a.complete()
+    mlq.refresh(a)
+    assert mlq.head(0) is a
+
+
+def test_draining_instance_leaves_head():
+    state = make_cluster([2, 0, 0, 0, 0, 0, 0, 1])
+    mlq = MultiLevelQueue.from_cluster(state)
+    a, b = state.active_instances(0)
+    b.enqueue(0.0, 10)
+    mlq.refresh(b)
+    assert mlq.head(0) is a
+    a.begin_drain()
+    mlq.refresh(a)
+    assert mlq.head(0) is b
+
+
+def test_remove_and_readd():
+    state = make_cluster([2, 0, 0, 0, 0, 0, 0, 1])
+    mlq = MultiLevelQueue.from_cluster(state)
+    a, _ = state.active_instances(0)
+    mlq.remove(a)
+    assert mlq.head(0) is not a
+    with pytest.raises(SchedulingError):
+        mlq.remove(a)
+    mlq.add(a)
+    assert len(mlq.levels[0]) == 2
+
+
+def test_duplicate_add_rejected():
+    state = make_cluster([1, 0, 0, 0, 0, 0, 0, 1])
+    mlq = MultiLevelQueue.from_cluster(state)
+    with pytest.raises(SchedulingError):
+        mlq.add(state.active_instances(0)[0])
+
+
+def test_least_loaded_across_levels():
+    state = make_cluster([1, 1, 0, 0, 0, 0, 0, 1])
+    mlq = MultiLevelQueue.from_cluster(state)
+    i0 = state.active_instances(0)[0]
+    i1 = state.active_instances(1)[0]
+    i0.enqueue(0.0, 10)
+    i0.enqueue(0.0, 10)
+    i1.enqueue(0.0, 10)
+    mlq.refresh(i0)
+    mlq.refresh(i1)
+    # The idle max-length instance (level 7, outstanding 0) wins globally.
+    assert mlq.least_loaded(range(0, 8)) is state.active_instances(7)[0]
+    assert mlq.least_loaded(range(0, 2)) is i1
+    assert mlq.least_loaded([0]) is i0
+    assert mlq.least_loaded([2, 3]) is None
+
+
+def test_total_instances():
+    state = make_cluster([2, 3, 0, 0, 0, 0, 0, 1])
+    mlq = MultiLevelQueue.from_cluster(state)
+    assert mlq.total_instances() == 6
+
+
+def test_mlq_validation():
+    with pytest.raises(SchedulingError):
+        MultiLevelQueue(0)
+    state = make_cluster([1, 0, 0, 0, 0, 0, 0, 1])
+    small = MultiLevelQueue(2)
+    with pytest.raises(SchedulingError):
+        small.add(state.active_instances(7)[0])  # level 7 out of range
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 4), st.booleans()), max_size=60))
+def test_heap_head_always_matches_linear_scan(ops):
+    """Differential test: lazy heap vs brute-force min after random ops."""
+    state = make_cluster([5, 0, 0, 0, 0, 0, 0, 1])
+    mlq = MultiLevelQueue.from_cluster(state)
+    instances = state.active_instances(0)
+    for idx, is_enqueue in ops:
+        inst = instances[idx]
+        if is_enqueue:
+            inst.enqueue(0.0, 10)
+        elif inst.outstanding:
+            inst.complete()
+        mlq.refresh(inst)
+        head = mlq.head(0)
+        expected_load = min(i.outstanding for i in instances)
+        assert head.outstanding == expected_load

@@ -1,0 +1,189 @@
+"""Algorithm 1, including the paper's Fig. 5 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.core.mlq import MultiLevelQueue
+from repro.core.request_scheduler import (
+    ArloRequestScheduler,
+    RequestSchedulerConfig,
+)
+from repro.errors import CapacityError, ConfigurationError
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+from tests.core.helpers import make_registry
+
+
+def build_scheduler(registry, alloc, **cfg):
+    state = ClusterState.bootstrap(registry, alloc)
+    mlq = MultiLevelQueue.from_cluster(state)
+    scheduler = ArloRequestScheduler(
+        registry=registry,
+        mlq=mlq,
+        config=RequestSchedulerConfig(**cfg) if cfg else RequestSchedulerConfig(),
+    )
+    return state, mlq, scheduler
+
+
+def load_instance(mlq, instance, count):
+    for _ in range(count):
+        instance.enqueue(0.0, 1)
+    mlq.refresh(instance)
+
+
+def test_fig5_worked_example():
+    """Fig. 5: λ=0.85, α=0.9, L=3; request len 200.
+
+    Q2 head congestion 54/60 = 0.9 ≥ 0.85 → skip, decay to 0.765;
+    Q3 head congestion 28/48 ≈ 0.583 < 0.765 → dispatch to Q3.
+    """
+    registry = make_registry([128, 256, 384, 512], [80, 60, 48, 40])
+    state, mlq, scheduler = build_scheduler(
+        registry, [1, 1, 1, 1], lam=0.85, alpha=0.9, max_peek_levels=3
+    )
+    q2 = state.active_instances(1)[0]
+    q3 = state.active_instances(2)[0]
+    q4 = state.active_instances(3)[0]
+    load_instance(mlq, q2, 54)
+    load_instance(mlq, q3, 28)
+    load_instance(mlq, q4, 10)
+    decision = scheduler.select(200)
+    assert decision.instance is q3
+    assert decision.ideal_level == 1
+    assert decision.level == 2
+    assert decision.demoted
+    assert not decision.fell_back
+    assert decision.levels_peeked == 2
+
+
+def test_ideal_runtime_preferred_when_uncongested():
+    registry = make_registry([128, 256, 384, 512], [80, 60, 48, 40])
+    state, mlq, scheduler = build_scheduler(registry, [1, 1, 1, 1])
+    decision = scheduler.select(200)
+    assert decision.level == 1  # the ideal runtime (256) takes it
+    assert not decision.demoted
+
+
+def test_fallback_to_top_candidate_when_all_congested():
+    registry = make_registry([128, 256], [80, 60])
+    state, mlq, scheduler = build_scheduler(registry, [1, 1])
+    i0 = state.active_instances(0)[0]
+    i1 = state.active_instances(1)[0]
+    load_instance(mlq, i0, 79)
+    load_instance(mlq, i1, 59)
+    decision = scheduler.select(100)
+    assert decision.fell_back
+    assert decision.instance is i0  # top candidate = ideal runtime's head
+    assert scheduler.fallbacks == 1
+
+
+def test_peek_limit_enforced():
+    registry = make_registry([64, 128, 192, 256, 320], [90, 80, 70, 60, 50])
+    state, mlq, scheduler = build_scheduler(
+        registry, [1, 1, 1, 1, 1], lam=0.85, alpha=0.9, max_peek_levels=2
+    )
+    # Congest the first two candidates; the third is idle but beyond L.
+    load_instance(mlq, state.active_instances(0)[0], 89)
+    load_instance(mlq, state.active_instances(1)[0], 79)
+    decision = scheduler.select(10)
+    assert decision.levels_peeked == 2
+    assert decision.fell_back
+    assert decision.level == 0
+
+
+def test_empty_levels_skipped_without_consuming_peeks():
+    registry = make_registry([64, 128, 192], [90, 80, 70])
+    state, mlq, scheduler = build_scheduler(
+        registry, [1, 0, 1], max_peek_levels=2
+    )
+    load_instance(mlq, state.active_instances(0)[0], 89)
+    decision = scheduler.select(10)
+    # level 1 is empty; level 2 is within the two *peeks* of real heads
+    assert decision.level == 2
+    assert not decision.fell_back
+
+
+def test_threshold_decay_makes_demotion_conservative():
+    """With heavy decay, far levels need to be much emptier to win."""
+    registry = make_registry([64, 128, 192, 256], [80, 80, 80, 80])
+    state, mlq, scheduler = build_scheduler(
+        registry, [1, 1, 1, 1], lam=0.5, alpha=0.1
+    )
+    # Ideal slightly above λ; all others moderately loaded (0.25 > λ·α).
+    load_instance(mlq, state.active_instances(0)[0], 41)
+    for lvl in (1, 2, 3):
+        load_instance(mlq, state.active_instances(lvl)[0], 20)
+    decision = scheduler.select(10)
+    assert decision.fell_back  # nothing beats the decayed threshold
+    assert decision.level == 0
+
+
+def test_long_requests_have_fewer_candidates():
+    registry = make_registry([128, 256, 384, 512], [80, 60, 48, 40])
+    state, mlq, scheduler = build_scheduler(registry, [1, 1, 1, 1])
+    decision = scheduler.select(400)
+    assert decision.ideal_level == 3
+    assert decision.level == 3
+
+
+def test_unservable_request_raises():
+    registry = make_registry([128, 256], [80, 60])
+    _, _, scheduler = build_scheduler(registry, [1, 1])
+    with pytest.raises(CapacityError):
+        scheduler.select(300)
+
+
+def test_no_populated_candidate_raises():
+    registry = make_registry([128, 256], [80, 60])
+    state, mlq, scheduler = build_scheduler(registry, [2, 0])
+    # only short-runtime instances exist; a 200-token request has no home
+    with pytest.raises(CapacityError):
+        scheduler.select(200)
+
+
+def test_dispatch_enqueues_and_refreshes():
+    registry = make_registry([128, 256], [80, 60])
+    state, mlq, scheduler = build_scheduler(registry, [2, 1])
+    decision, start, finish = scheduler.dispatch(5.0, 100)
+    assert start == 5.0
+    assert finish > start
+    assert decision.instance.outstanding == 1
+    # Head moved to the idle sibling.
+    assert mlq.head(0) is not decision.instance
+
+
+def test_stats_accumulate():
+    registry = make_registry([128, 256], [80, 60])
+    state, mlq, scheduler = build_scheduler(registry, [1, 1])
+    for _ in range(10):
+        scheduler.dispatch(0.0, 50)
+    stats = scheduler.stats()
+    assert stats["dispatched"] == 10
+    assert 0 <= stats["demotion_rate"] <= 1
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        RequestSchedulerConfig(lam=0.0)
+    with pytest.raises(ConfigurationError):
+        RequestSchedulerConfig(alpha=1.5)
+    with pytest.raises(ConfigurationError):
+        RequestSchedulerConfig(max_peek_levels=0)
+    registry = make_registry([128], [60])
+    state = ClusterState.bootstrap(registry, [1])
+    with pytest.raises(ConfigurationError):
+        ArloRequestScheduler(registry=registry, mlq=MultiLevelQueue(3))
+
+
+def test_algorithm1_complexity_peek_bound():
+    """Dispatch touches at most L heads regardless of runtime count."""
+    edges = [64 * i for i in range(1, 9)]
+    registry = make_registry(edges, [90 - 5 * i for i in range(8)])
+    state, mlq, scheduler = build_scheduler(
+        registry, [1] * 8, lam=0.01, alpha=0.99, max_peek_levels=4
+    )
+    for lvl in range(8):
+        load_instance(mlq, state.active_instances(lvl)[0], 5)
+    decision = scheduler.select(10)
+    assert decision.levels_peeked <= 4

@@ -1,0 +1,109 @@
+"""Periodic Runtime Scheduler: demand → allocation → replacement plan."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.core.bins import LengthBins
+from repro.core.demand import DemandEstimator
+from repro.core.runtime_scheduler import RuntimeScheduler, RuntimeSchedulerConfig
+from repro.errors import ConfigurationError
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+from repro.units import seconds
+
+REGISTRY = build_polymorph_set(bert_base())
+
+
+def make_scheduler(**cfg):
+    bins = LengthBins.from_registry(REGISTRY)
+    estimator = DemandEstimator(
+        bins=bins, slo_ms=bert_base().slo_ms, window_ms=seconds(120)
+    )
+    return RuntimeScheduler(
+        registry=REGISTRY,
+        estimator=estimator,
+        config=RuntimeSchedulerConfig(**cfg) if cfg else RuntimeSchedulerConfig(),
+    )
+
+
+def feed(scheduler, lengths, rate_per_s=500.0, duration_s=30.0):
+    times = np.linspace(0, seconds(duration_s), int(rate_per_s * duration_s))
+    lengths = np.resize(np.asarray(lengths), times.size)
+    scheduler.estimator.observe_batch(times, lengths)
+
+
+def test_decide_tracks_short_demand():
+    scheduler = make_scheduler()
+    feed(scheduler, [30, 50, 60])  # everything in bin 0
+    result = scheduler.decide(seconds(30), num_gpus=10)
+    assert result.allocation.sum() == 10
+    assert result.allocation[0] >= 5  # most GPUs go to the short runtime
+    assert result.allocation[-1] >= 1  # Eq. 7
+
+
+def test_decide_tracks_long_demand():
+    scheduler = make_scheduler()
+    feed(scheduler, [500, 480, 460])
+    result = scheduler.decide(seconds(30), num_gpus=10)
+    assert result.allocation[-1] >= 5
+
+
+def test_overload_falls_back_to_relaxed_bounds():
+    scheduler = make_scheduler()
+    feed(scheduler, [500], rate_per_s=20_000.0, duration_s=10.0)
+    result = scheduler.decide(seconds(10), num_gpus=2)  # hopeless demand
+    assert result.relaxed
+    assert result.allocation.sum() == 2
+
+
+def test_step_produces_consistent_plan():
+    scheduler = make_scheduler()
+    state = ClusterState.bootstrap(REGISTRY, [7, 0, 0, 0, 0, 0, 0, 3])
+    feed(scheduler, [300, 310, 280])  # demand concentrated in bin 4
+    result, plan = scheduler.step(seconds(30), state)
+    assert result.allocation.sum() == 10
+    # Replaying the plan reaches the decided allocation.
+    current = state.allocation()
+    for s in plan.steps:
+        current[s.from_runtime] -= 1
+        current[s.to_runtime] += 1
+    assert np.array_equal(current, result.allocation)
+
+
+def test_step_requires_active_instances():
+    scheduler = make_scheduler()
+    state = ClusterState.bootstrap(REGISTRY, [1, 0, 0, 0, 0, 0, 0, 1])
+    for inst in list(state.instances.values()):
+        inst.begin_drain()
+    with pytest.raises(ConfigurationError):
+        scheduler.step(0.0, state)
+
+
+def test_zero_demand_holds_current_allocation():
+    scheduler = make_scheduler()
+    state = ClusterState.bootstrap(REGISTRY, [3, 2, 1, 1, 1, 0, 1, 1])
+    result, plan = scheduler.step(seconds(30), state)
+    assert result.solver == "hold"
+    assert np.array_equal(result.allocation, state.allocation())
+    assert plan.is_empty
+
+
+def test_history_and_timeline():
+    scheduler = make_scheduler()
+    feed(scheduler, [100])
+    scheduler.decide(seconds(30), num_gpus=4)
+    scheduler.decide(seconds(150), num_gpus=4)
+    times, allocs = scheduler.allocation_timeline()
+    assert times.tolist() == [seconds(30), seconds(150)]
+    assert allocs.shape == (2, len(REGISTRY))
+    empty = make_scheduler()
+    t, a = empty.allocation_timeline()
+    assert t.size == 0 and a.shape == (0, len(REGISTRY))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        RuntimeSchedulerConfig(period_ms=0)
+    with pytest.raises(ConfigurationError):
+        RuntimeSchedulerConfig(replacement_batch_size=0)

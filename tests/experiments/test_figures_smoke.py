@@ -1,0 +1,94 @@
+"""Micro-scale smoke tests of every figure/table entry point.
+
+The benchmarks run these at paper scale; here each one runs at a tiny
+scale so ``pytest tests/`` alone exercises the full harness surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+
+def test_fig1_smoke():
+    data = figures.fig1_length_distributions(rate_per_s=50.0)
+    assert data["overall"]["max"] <= 125
+    assert len(data["per_minute"]) >= 9
+
+
+@pytest.mark.parametrize("model", ["bert-base", "bert-large", "dolly"])
+def test_fig2_smoke(model):
+    data = figures.fig2_latency_curves(model)
+    assert len(data["lengths"]) == len(data["static_ms"])
+    assert np.all(np.asarray(data["dynamic_ms"]) > 0)
+
+
+def test_fig4_smoke():
+    data = figures.fig4_motivating_scenario()
+    assert set(data) == {"ideal (ILB)", "greedy (IG)", "request scheduler"}
+    rs = data["request scheduler"]["slo_violations"]
+    assert rs < data["ideal (ILB)"]["slo_violations"]
+    assert rs < data["greedy (IG)"]["slo_violations"]
+
+
+def test_fig5_smoke():
+    data = figures.fig5_worked_example()
+    assert data["chosen_max_length"] == 384  # Q3 in the paper's figure
+    assert data["ideal_level"] == 1 and data["chosen_level"] == 2
+    assert data["levels_peeked"] == 2 and data["demoted"]
+
+
+def test_fig6_smoke():
+    data = figures.fig6(scale=0.3, duration_s=10.0)
+    assert set(data) == {"fig6a", "fig6b"}
+    for rows in data.values():
+        assert {r["scheme"] for r in rows} == {"st", "dt", "infaas", "arlo"}
+
+
+def test_fig7_smoke():
+    data = figures.fig7(rates=(400, 800), scale=0.3, duration_s=8.0)
+    assert data["rates"] == [400, 800]
+    assert all(len(v) == 2 for v in data["mean_ms"].values())
+
+
+def test_fig8_smoke():
+    data = figures.fig8(scale=0.6, duration_s=40.0)
+    for d in data.values():
+        assert d["time_weighted_gpus"] >= 1.0
+        assert d["p98_ms"] > 0
+
+
+def test_fig10_smoke():
+    data = figures.fig10(scale=0.04, duration_s=10.0)
+    assert set(data) == {"fig10a", "fig10b"}
+
+
+def test_fig11_smoke():
+    data = figures.fig11(counts=(4, 8), scale=0.15, duration_s=10.0)
+    assert set(data) == {4, 8}
+    assert all(v["mean_ms"] > 0 for v in data.values())
+
+
+def test_fig12_smoke():
+    data = figures.fig12(scale=0.4, duration_s=40.0)
+    allocs = np.asarray(data["allocations"])
+    assert allocs.shape[1] == len(data["max_lengths"]) == 8
+    assert allocs.shape[0] >= 2
+
+
+def test_table2_smoke():
+    rows = figures.table2(configs=((10, 4), (40, 8)), repeats=1)
+    assert [(r.num_gpus, r.num_runtimes) for r in rows] == [(10, 4), (40, 8)]
+    assert all(r.solve_time_s < 5.0 for r in rows)
+
+
+def test_table3_smoke():
+    rows = figures.table3(scale=0.4, duration_s=30.0)
+    assert {r["scheme"] for r in rows} == {"arlo", "arlo-even", "arlo-global"}
+
+
+def test_table4_smoke():
+    data = figures.table4(scale=0.3, duration_s=15.0)
+    assert len(data) == 3
+    for schemes in data.values():
+        assert set(schemes) == {"arlo", "arlo-ilb", "arlo-ig"}

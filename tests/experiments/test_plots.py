@@ -1,0 +1,71 @@
+"""ASCII figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.plots import (
+    allocation_timeline,
+    cdf_plot,
+    line_plot,
+    sparkline,
+    step_timeline,
+)
+
+
+def test_sparkline_shape_and_range():
+    s = sparkline([0, 1, 2, 3, 4], width=10)
+    assert len(s) == 5
+    assert s[0] == " " and s[-1] == "█"
+    flat = sparkline([5, 5, 5])
+    assert len(set(flat)) == 1
+    long = sparkline(np.arange(500), width=40)
+    assert len(long) == 40
+    with pytest.raises(ConfigurationError):
+        sparkline([])
+
+
+def test_line_plot_contains_series_markers():
+    out = line_plot(
+        {"st": (np.array([0, 1, 2]), np.array([5.0, 6.0, 7.0])),
+         "arlo": (np.array([0, 1, 2]), np.array([2.0, 2.5, 3.0]))},
+        title="fig7", xlabel="rate", ylabel="mean ms",
+    )
+    assert "fig7" in out
+    assert "S" in out and "A" in out
+    assert "S=st" in out and "A=arlo" in out
+    with pytest.raises(ConfigurationError):
+        line_plot({})
+
+
+def test_cdf_plot_renders_and_truncates():
+    rng = np.random.default_rng(0)
+    out = cdf_plot(
+        {"st": rng.exponential(10, 500), "arlo": rng.exponential(3, 500)},
+        title="fig6a", x_max=30.0,
+    )
+    assert "fig6a" in out and "CDF" in out
+    with pytest.raises(ConfigurationError):
+        cdf_plot({"x": np.array([])})
+    with pytest.raises(ConfigurationError):
+        cdf_plot({})
+
+
+def test_allocation_timeline_rows():
+    allocs = np.array([[2, 1, 1], [1, 2, 1], [1, 1, 2]])
+    out = allocation_timeline(np.array([0.0, 20.0, 40.0]), allocs,
+                              [128, 256, 512])
+    assert out.count("max_len") == 3
+    assert "128" in out and "512" in out
+    with pytest.raises(ConfigurationError):
+        allocation_timeline(np.array([0.0]), np.zeros((1, 2)), [1, 2, 3])
+    with pytest.raises(ConfigurationError):
+        allocation_timeline(np.array([]), np.zeros((0, 2)), [1, 2])
+
+
+def test_step_timeline():
+    out = step_timeline([(0.0, 5), (10_000.0, 8), (20_000.0, 6)],
+                        horizon_ms=30_000.0)
+    assert "start 5" in out and "peak 8" in out and "end 6" in out
+    with pytest.raises(ConfigurationError):
+        step_timeline([], 1000.0)

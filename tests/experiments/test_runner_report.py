@@ -1,0 +1,129 @@
+"""Experiment runner, scenario definitions, report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import (
+    cdf_series,
+    comparison_table,
+    format_table,
+    reduction_percent,
+    summary_row,
+)
+from repro.experiments.runner import ExperimentSpec, run_experiment, run_single
+from repro.experiments.scenarios import (
+    fig6_scenarios,
+    fig7_scenario,
+    fig8_scenario,
+    fig10_scenarios,
+    fig11_scenario,
+    table3_scenario,
+    table4_scenarios,
+)
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        name="tiny", model="bert-base", num_gpus=3, rate_per_s=100,
+        duration_s=8.0, schemes=("st", "arlo"), seed=1, hint_s=2.0,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def test_run_experiment_returns_all_schemes():
+    results = run_experiment(tiny_spec())
+    assert set(results) == {"st", "arlo"}
+    for res in results.values():
+        assert res.stats.count > 0
+
+
+def test_run_single_exposes_scheme():
+    scheme, result = run_single(tiny_spec(), "arlo")
+    assert scheme.name == "arlo"
+    assert result.stats.count > 0
+    assert scheme.cluster.num_gpus >= 3
+
+
+def test_spec_scaling_preserves_per_gpu_load():
+    spec = tiny_spec(num_gpus=10, rate_per_s=1000)
+    scaled = spec.scaled(0.5)
+    assert scaled.num_gpus == 5
+    assert scaled.rate_per_s == 500
+    assert spec.rate_per_s / spec.num_gpus == pytest.approx(
+        scaled.rate_per_s / scaled.num_gpus
+    )
+    assert spec.scaled(0.01).num_gpus >= 2  # floor
+    with pytest.raises(ConfigurationError):
+        spec.scaled(0.0)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        tiny_spec(num_gpus=0)
+    with pytest.raises(ConfigurationError):
+        tiny_spec(hint_s=100.0)  # hint longer than the trace
+
+
+def test_custom_runtime_count():
+    spec = tiny_spec(num_runtimes=4, schemes=("arlo",))
+    scheme, _ = run_single(spec, "arlo")
+    assert len(scheme.registry) == 4
+
+
+def test_all_scenarios_construct():
+    specs = (
+        fig6_scenarios()
+        + [fig7_scenario(1000), fig8_scenario(), fig11_scenario(8),
+           table3_scenario()]
+        + fig10_scenarios()
+        + table4_scenarios()
+    )
+    for spec in specs:
+        assert spec.num_gpus >= 2
+        assert spec.rate_per_s > 0
+        trace = None  # construction only; running them is the benches' job
+    # Fig. 8 carries an autoscaler bound to the scaled GPU count.
+    f8 = fig8_scenario(scale=0.6)
+    assert f8.autoscaler.min_gpus == f8.num_gpus
+
+
+# -- report ------------------------------------------------------------------
+
+def test_reduction_percent():
+    assert reduction_percent(10.0, 3.0) == pytest.approx(70.0)
+    assert reduction_percent(10.0, 12.0) == pytest.approx(-20.0)
+    with pytest.raises(ConfigurationError):
+        reduction_percent(0.0, 1.0)
+
+
+def test_cdf_series_monotone():
+    lat = np.random.default_rng(0).exponential(10.0, size=1000)
+    values, probs = cdf_series(lat, points=50)
+    assert values.shape == probs.shape == (50,)
+    assert np.all(np.diff(values) >= 0)
+    assert probs[0] == 0.0 and probs[-1] == 1.0
+    with pytest.raises(ConfigurationError):
+        cdf_series(np.empty(0))
+
+
+def test_comparison_table_and_format():
+    results = run_experiment(tiny_spec())
+    rows = comparison_table(results, reference="arlo")
+    names = {r["scheme"] for r in rows}
+    assert names == {"st", "arlo"}
+    st_row = next(r for r in rows if r["scheme"] == "st")
+    assert "arlo_mean_reduction_%" in st_row
+    text = format_table(rows, title="tiny")
+    assert "tiny" in text and "st" in text and "mean_ms" in text
+    with pytest.raises(ConfigurationError):
+        comparison_table(results, reference="nope")
+    with pytest.raises(ConfigurationError):
+        format_table([])
+
+
+def test_summary_row_fields():
+    results = run_experiment(tiny_spec(schemes=("st",)))
+    row = summary_row(results["st"])
+    assert set(row) >= {"scheme", "mean_ms", "p98_ms", "slo_violation_%"}

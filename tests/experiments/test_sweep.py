@@ -1,0 +1,76 @@
+"""Parallel sweep utility."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentSpec
+from repro.experiments.sweep import expand_grid, run_sweep
+
+
+def base_spec(**kw):
+    defaults = dict(
+        name="sweep-base", model="bert-base", num_gpus=3, rate_per_s=120,
+        duration_s=6.0, schemes=("st", "arlo"), seed=1, hint_s=2.0,
+    )
+    defaults.update(kw)
+    return ExperimentSpec(**defaults)
+
+
+def test_expand_grid_cartesian():
+    specs = expand_grid(base_spec(), rate_per_s=[100, 200], seed=[1, 2])
+    assert len(specs) == 4
+    names = {s.name for s in specs}
+    assert len(names) == 4
+    assert {s.rate_per_s for s in specs} == {100, 200}
+    assert {s.seed for s in specs} == {1, 2}
+
+
+def test_expand_grid_single_value_keeps_name():
+    specs = expand_grid(base_spec(), seed=[7])
+    assert len(specs) == 1
+    assert specs[0].name == "sweep-base"
+    assert specs[0].seed == 7
+
+
+def test_expand_grid_validation():
+    with pytest.raises(ConfigurationError):
+        expand_grid(base_spec(), nonsense=[1])
+    with pytest.raises(ConfigurationError):
+        expand_grid(base_spec(), seed=[])
+    assert expand_grid(base_spec()) == [base_spec()]
+
+
+def test_run_sweep_inline():
+    specs = expand_grid(base_spec(), rate_per_s=[100, 200])
+    out = run_sweep(specs, workers=1)
+    assert set(out) == {s.name for s in specs}
+    for per_scheme in out.values():
+        assert set(per_scheme) == {"st", "arlo"}
+        for summary in per_scheme.values():
+            assert summary["requests"] > 0
+            assert summary["mean_ms"] > 0
+
+
+def test_run_sweep_scheme_override():
+    out = run_sweep([base_spec()], schemes=("st",))
+    assert set(out["sweep-base"]) == {"st"}
+
+
+def test_run_sweep_parallel_matches_inline():
+    specs = expand_grid(base_spec(), seed=[3, 4])
+    inline = run_sweep(specs, schemes=("st",), workers=1)
+    parallel = run_sweep(specs, schemes=("st",), workers=2)
+    for name in inline:
+        assert inline[name]["st"]["mean_ms"] == pytest.approx(
+            parallel[name]["st"]["mean_ms"]
+        )
+        assert inline[name]["st"]["requests"] == parallel[name]["st"]["requests"]
+
+
+def test_run_sweep_validation():
+    with pytest.raises(ConfigurationError):
+        run_sweep([])
+    with pytest.raises(ConfigurationError):
+        run_sweep([base_spec()], workers=0)
+    with pytest.raises(ConfigurationError):
+        run_sweep([base_spec(), base_spec()])  # duplicate names

@@ -1,0 +1,128 @@
+"""Round-trip persistence of traces, profiles and results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.schemes import build_scheme
+from repro.errors import ProfileError, SimulationError, TraceError
+from repro.io.profiles import (
+    load_registry,
+    registry_from_dict,
+    registry_to_dict,
+    save_registry,
+)
+from repro.io.results import load_result_summary, save_result_summary
+from repro.io.traces import load_trace, save_trace
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+from repro.sim.simulation import run_simulation
+from repro.workload.trace import Trace
+from repro.workload.twitter import generate_twitter_trace
+
+
+def test_trace_roundtrip(tmp_path):
+    trace = generate_twitter_trace(rate_per_s=200, duration_ms=5_000, seed=3)
+    path = save_trace(trace, tmp_path / "trace")
+    assert path.suffix == ".npz"
+    loaded = load_trace(path)
+    assert np.array_equal(loaded.arrival_ms, trace.arrival_ms)
+    assert np.array_equal(loaded.length, trace.length)
+
+
+def test_trace_load_errors(tmp_path):
+    with pytest.raises(TraceError):
+        load_trace(tmp_path / "missing.npz")
+    bogus = tmp_path / "bogus.npz"
+    np.savez(bogus, whatever=np.arange(3))
+    with pytest.raises(TraceError):
+        load_trace(bogus)
+    bad_version = tmp_path / "badv.npz"
+    np.savez(bad_version, version=np.int64(99),
+             arrival_ms=np.array([0.0]), length=np.array([1]))
+    with pytest.raises(TraceError):
+        load_trace(bad_version)
+
+
+def test_registry_roundtrip(tmp_path):
+    registry = build_polymorph_set(bert_base())
+    path = save_registry(registry, tmp_path / "profiles.json")
+    loaded = load_registry(path)
+    assert len(loaded) == len(registry)
+    for a, b in zip(loaded, registry):
+        assert a.max_length == b.max_length
+        assert a.service_ms == pytest.approx(b.service_ms)
+        assert a.capacity == b.capacity
+        assert a.runtime.spec == b.runtime.spec
+
+
+def test_registry_dict_errors():
+    registry = build_polymorph_set(bert_base())
+    payload = registry_to_dict(registry)
+    with pytest.raises(ProfileError):
+        registry_from_dict({**payload, "version": 42})
+    with pytest.raises(ProfileError):
+        registry_from_dict({"version": 1, "runtimes": []})
+    broken = json.loads(json.dumps(payload))
+    del broken["runtimes"][0]["service_ms"]
+    with pytest.raises((ProfileError, KeyError)):
+        registry_from_dict(broken)
+
+
+def test_registry_load_errors(tmp_path):
+    with pytest.raises(ProfileError):
+        load_registry(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ProfileError):
+        load_registry(bad)
+
+
+def test_loaded_registry_serves(tmp_path):
+    """A registry loaded from disk drives a full simulation."""
+    registry = build_polymorph_set(bert_base())
+    loaded = load_registry(save_registry(registry, tmp_path / "p.json"))
+    trace = generate_twitter_trace(rate_per_s=100, duration_ms=4_000, seed=1)
+    scheme = build_scheme("arlo", "bert-base", 3, registry=loaded)
+    result = run_simulation(scheme, trace)
+    assert result.stats.count == len(trace)
+
+
+def test_dynamic_runtime_roundtrip(tmp_path):
+    """A registry containing a dynamic-shape runtime survives the disk."""
+    from repro.runtimes.compiler import SimulatedCompiler
+    from repro.runtimes.profiler import OfflineProfiler
+    from repro.runtimes.registry import RuntimeRegistry
+
+    compiler, profiler = SimulatedCompiler(), OfflineProfiler(noise=0.0)
+    dyn = compiler.compile_dynamic(bert_base())
+    registry = RuntimeRegistry(profiles=profiler.profile_set([dyn], 150.0))
+    loaded = load_registry(save_registry(registry, tmp_path / "dyn.json"))
+    spec = loaded[0].runtime.spec
+    assert spec.dynamic_shape
+    # Dynamic execution semantics survive: short requests run short.
+    assert loaded[0].runtime.service_ms(10) < loaded[0].runtime.service_ms(500)
+
+
+def test_result_summary_roundtrip(tmp_path):
+    trace = Trace(np.array([0.0, 10.0]), np.array([20, 400]))
+    result = run_simulation(build_scheme("st", "bert-base", 2), trace)
+    path = save_result_summary(result, tmp_path / "run.json")
+    loaded = load_result_summary(path)
+    assert loaded["scheme"] == "st"
+    assert loaded["requests"] == 2
+    assert loaded["mean_ms"] == pytest.approx(result.mean_ms)
+
+
+def test_result_summary_errors(tmp_path):
+    with pytest.raises(SimulationError):
+        load_result_summary(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("[")
+    with pytest.raises(SimulationError):
+        load_result_summary(bad)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"version": 9}))
+    with pytest.raises(SimulationError):
+        load_result_summary(wrong)

@@ -1,0 +1,129 @@
+"""Multi-stream GPU pool partitioning (§6 extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.multistream.coordinator import (
+    StreamDemand,
+    StreamPoolCoordinator,
+    StreamSpec,
+)
+
+
+def demand(name, q, m, min_gpus=1, weight=1.0):
+    return StreamDemand(
+        spec=StreamSpec(name=name, min_gpus=min_gpus, weight=weight),
+        demand=np.asarray(q, dtype=float),
+        capacity=np.asarray(m),
+    )
+
+
+def test_gpu_need_and_hard_minimum():
+    d = demand("a", [45, 5, 0], [20, 12, 8])
+    assert d.gpu_need == pytest.approx(45 / 20 + 5 / 12)
+    assert d.hard_minimum == 2 + 0 + 1  # floors + Eq. 7
+
+
+def test_partition_sums_and_minimums():
+    coord = StreamPoolCoordinator(total_gpus=10)
+    parts = coord.partition([
+        demand("hot", [100, 40], [20, 10]),
+        demand("cold", [1, 1], [20, 10]),
+    ])
+    assert sum(parts.values()) == 10
+    assert parts["cold"] >= 1
+    assert parts["hot"] > parts["cold"]  # demand-proportional
+
+
+def test_idle_capacity_flows_to_loaded_stream():
+    coord = StreamPoolCoordinator(total_gpus=12)
+    balanced = coord.partition([
+        demand("a", [40, 10], [20, 10]),
+        demand("b", [40, 10], [20, 10]),
+    ])
+    assert balanced["a"] == balanced["b"]
+    skewed = coord.partition([
+        demand("a", [150, 30], [20, 10]),
+        demand("b", [5, 1], [20, 10]),
+    ])
+    assert skewed["a"] > balanced["a"]
+    assert skewed["b"] < balanced["b"]
+
+
+def test_weights_bias_surplus():
+    coord = StreamPoolCoordinator(total_gpus=9)
+    parts = coord.partition([
+        demand("gold", [1, 1], [20, 10], weight=3.0),
+        demand("bronze", [1, 1], [20, 10], weight=1.0),
+    ])
+    assert parts["gold"] > parts["bronze"]
+
+
+def test_min_guarantees_respected_and_infeasible_detected():
+    coord = StreamPoolCoordinator(total_gpus=4)
+    parts = coord.partition([
+        demand("a", [0, 0], [20, 10], min_gpus=3),
+        demand("b", [500, 100], [20, 10], min_gpus=1),
+    ])
+    assert parts["a"] >= 3
+    with pytest.raises(InfeasibleError):
+        coord.partition([
+            demand("a", [0, 0], [20, 10], min_gpus=3),
+            demand("b", [0, 0], [20, 10], min_gpus=3),
+        ])
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        StreamPoolCoordinator(total_gpus=0)
+    with pytest.raises(ConfigurationError):
+        StreamPoolCoordinator(total_gpus=4, headroom=0.5)
+    with pytest.raises(ConfigurationError):
+        StreamSpec(name="x", min_gpus=0)
+    with pytest.raises(ConfigurationError):
+        StreamSpec(name="x", weight=0.0)
+    with pytest.raises(ConfigurationError):
+        StreamDemand(spec=StreamSpec(name="x"),
+                     demand=np.array([1.0]), capacity=np.array([1, 2]))
+    coord = StreamPoolCoordinator(total_gpus=4)
+    with pytest.raises(ConfigurationError):
+        coord.partition([])
+    with pytest.raises(ConfigurationError):
+        coord.partition([demand("same", [1], [1]), demand("same", [1], [1])])
+
+
+def test_rebalance_moves():
+    coord = StreamPoolCoordinator(total_gpus=8)
+    moves = coord.rebalance_moves({"a": 5, "b": 3}, {"a": 3, "b": 5})
+    assert moves == [("a", "b"), ("a", "b")]
+    assert coord.rebalance_moves({"a": 4, "b": 4}, {"a": 4, "b": 4}) == []
+    with pytest.raises(ConfigurationError):
+        coord.rebalance_moves({"a": 4}, {"b": 4})
+    with pytest.raises(ConfigurationError):
+        coord.rebalance_moves({"a": 4}, {"a": 5})
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=200),
+                  st.floats(min_value=0, max_value=200),
+                  st.floats(min_value=0.5, max_value=4.0)),
+        min_size=1, max_size=5,
+    ),
+)
+def test_partition_always_valid(total, stream_params):
+    if total < len(stream_params):
+        return
+    coord = StreamPoolCoordinator(total_gpus=total)
+    demands = [
+        demand(f"s{i}", [q1, q2], [20, 10], weight=w)
+        for i, (q1, q2, w) in enumerate(stream_params)
+    ]
+    parts = coord.partition(demands)
+    assert sum(parts.values()) == total
+    assert all(v >= 1 for v in parts.values())

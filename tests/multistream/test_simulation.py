@@ -1,0 +1,113 @@
+"""Multi-stream co-simulation: transfers, conservation, adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.schemes import build_scheme
+from repro.errors import ConfigurationError
+from repro.multistream.simulation import (
+    MultiStreamConfig,
+    StreamInput,
+    run_multistream,
+)
+from repro.units import seconds
+from repro.workload.trace import Trace
+from repro.workload.twitter import generate_twitter_trace
+
+
+def stream(name, model, gpus, rate, duration_s, seed, **kw):
+    trace = generate_twitter_trace(
+        rate_per_s=rate, duration_ms=seconds(duration_s), seed=seed,
+        drift_window_ms=seconds(10),
+    )
+    scheme = build_scheme("arlo", model, gpus,
+                          trace_hint=trace.slice_time(0, seconds(3)))
+    return StreamInput(name=name, scheme=scheme, trace=trace, **kw)
+
+
+def test_two_streams_all_requests_served():
+    result = run_multistream(
+        [
+            stream("base", "bert-base", 4, 300, 20, seed=1),
+            stream("large", "bert-large", 4, 200, 20, seed=2),
+        ],
+        MultiStreamConfig(coordinator_period_ms=seconds(8)),
+    )
+    assert set(result.streams) == {"base", "large"}
+    for name, sr in result.streams.items():
+        assert sr.stats.count > 0
+    total_gpus = sum(sr.gpus_final for sr in result.streams.values())
+    assert total_gpus == 8  # pool conserved
+    assert len(result.partition_timeline) >= 1
+
+
+def test_pool_flows_toward_the_loaded_stream():
+    """A heavily loaded stream steals GPUs from a near-idle one."""
+    result = run_multistream(
+        [
+            stream("hot", "bert-base", 4, 2_000, 25, seed=3),
+            stream("cold", "bert-base", 4, 20, 25, seed=4),
+        ],
+        MultiStreamConfig(coordinator_period_ms=seconds(6)),
+    )
+    hot = result.streams["hot"]
+    cold = result.streams["cold"]
+    assert hot.transfers_in > 0
+    assert cold.transfers_out > 0
+    assert hot.gpus_final > cold.gpus_final
+    assert hot.gpus_final + cold.gpus_final == 8
+
+
+def test_transfers_respect_min_guarantee():
+    result = run_multistream(
+        [
+            stream("hot", "bert-base", 4, 1_500, 20, seed=5),
+            stream("cold", "bert-base", 3, 10, 20, seed=6, min_gpus=2),
+        ],
+        MultiStreamConfig(coordinator_period_ms=seconds(5)),
+    )
+    assert result.streams["cold"].gpus_final >= 2
+
+
+def test_single_stream_degenerates_gracefully():
+    result = run_multistream(
+        [stream("solo", "bert-base", 3, 200, 10, seed=7)],
+        MultiStreamConfig(coordinator_period_ms=seconds(5)),
+    )
+    assert result.streams["solo"].transfers_out == 0
+    assert result.streams["solo"].gpus_final == 3
+
+
+def test_input_validation():
+    with pytest.raises(ConfigurationError):
+        run_multistream([])
+    s = stream("dup", "bert-base", 2, 100, 5, seed=8)
+    with pytest.raises(ConfigurationError):
+        run_multistream([s, stream("dup", "bert-base", 2, 100, 5, seed=9)])
+    with pytest.raises(ConfigurationError):
+        MultiStreamConfig(coordinator_period_ms=0)
+    with pytest.raises(ConfigurationError):
+        StreamInput(
+            name="x",
+            scheme=build_scheme("arlo", "bert-base", 2),
+            trace=Trace(np.empty(0), np.empty(0, dtype=int)),
+        )
+    with pytest.raises(ConfigurationError):
+        # ST has no demand estimator -> not coordinatable.
+        StreamInput(
+            name="x",
+            scheme=build_scheme("st", "bert-base", 2),
+            trace=generate_twitter_trace(rate_per_s=10, duration_ms=1_000),
+        )
+
+
+def test_isolation_weights_bias_partition():
+    result = run_multistream(
+        [
+            stream("gold", "bert-base", 3, 600, 15, seed=10, weight=3.0),
+            stream("bronze", "bert-base", 3, 600, 15, seed=11, weight=1.0),
+        ],
+        MultiStreamConfig(coordinator_period_ms=seconds(5)),
+    )
+    # Same load, higher weight -> gold never ends with fewer GPUs.
+    assert result.streams["gold"].gpus_final >= result.streams["bronze"].gpus_final

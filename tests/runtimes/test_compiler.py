@@ -1,0 +1,79 @@
+"""Simulated compiler and CompiledRuntime semantics."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.runtimes.compiler import SimulatedCompiler, staircase_of
+from repro.runtimes.models import bert_base, dolly
+
+
+@pytest.fixture
+def compiler():
+    return SimulatedCompiler()
+
+
+def test_static_runtime_pads_to_max_length(compiler):
+    rt = compiler.compile_static(bert_base(), 128)
+    # Any accepted length executes at the compiled length.
+    assert rt.service_ms(1) == rt.service_ms(128)
+    assert rt.padded_tokens(28) == 100
+    assert rt.padded_tokens(128) == 0
+
+
+def test_static_runtime_rejects_long_requests(compiler):
+    rt = compiler.compile_static(bert_base(), 128)
+    with pytest.raises(CapacityError):
+        rt.service_ms(129)
+    with pytest.raises(CapacityError):
+        rt.padded_tokens(200)
+    with pytest.raises(CapacityError):
+        rt.service_ms(0)
+
+
+def test_dynamic_runtime_no_padding_but_inflated(compiler):
+    model = bert_base()
+    dyn = compiler.compile_dynamic(model)
+    static_full = compiler.compile_static(model, 512)
+    assert dyn.padded_tokens(100) == 0
+    # Short requests are cheaper than full padding but pay inflation.
+    assert dyn.service_ms(20) < static_full.service_ms(20)
+    assert dyn.service_ms(20) > model.static_latency.compute_ms(20)
+
+
+def test_compile_bounds_validated(compiler):
+    with pytest.raises(ConfigurationError):
+        compiler.compile_static(bert_base(), 0)
+    with pytest.raises(ConfigurationError):
+        compiler.compile_static(bert_base(), 1024)
+
+
+def test_polymorph_set_sorted_and_deduped(compiler):
+    rts = compiler.compile_polymorph_set(bert_base(), [256, 64, 128, 64])
+    assert [r.max_length for r in rts] == [64, 128, 256]
+    with pytest.raises(ConfigurationError):
+        compiler.compile_polymorph_set(bert_base(), [])
+
+
+def test_build_cost_accounting(compiler):
+    compiler.compile_static(bert_base(), 64)
+    after_static = compiler.total_build_cost_s
+    compiler.compile_dynamic(bert_base())
+    after_dyn = compiler.total_build_cost_s
+    compiler.compile_dynamic(dolly())  # TVM tuning is the expensive one
+    after_tvm = compiler.total_build_cost_s
+    assert 0 < after_static < after_dyn < after_tvm
+    assert after_tvm - after_dyn > after_dyn - after_static
+
+
+def test_staircase_of_unwraps_models(compiler):
+    static_rt = compiler.compile_static(bert_base(), 64)
+    dyn_rt = compiler.compile_dynamic(bert_base())
+    assert staircase_of(static_rt).step == 64
+    assert staircase_of(dyn_rt) == staircase_of(static_rt)
+
+
+def test_spec_keys_distinct(compiler):
+    a = compiler.compile_static(bert_base(), 64)
+    b = compiler.compile_static(bert_base(), 128)
+    d = compiler.compile_dynamic(bert_base())
+    assert len({a.spec.key, b.spec.key, d.spec.key}) == 3

@@ -1,0 +1,91 @@
+"""Hardware retargeting: speed scaling and staircase re-stepping."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtimes.hardware import (
+    A100,
+    COARSE_TILE,
+    HARDWARE_ZOO,
+    HardwareProfile,
+    RTX_3090,
+    retarget_model,
+)
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+
+
+def test_identity_on_calibration_device():
+    model = bert_base()
+    same = retarget_model(model, RTX_3090)
+    for ln in (1, 64, 200, 512):
+        assert same.static_latency.compute_ms(ln) == pytest.approx(
+            model.static_latency.compute_ms(ln)
+        )
+    assert same.num_buckets == model.num_buckets
+
+
+def test_a100_scales_latency_down():
+    model = bert_base()
+    fast = retarget_model(model, A100)
+    assert fast.static_latency.compute_ms(512) == pytest.approx(
+        model.static_latency.compute_ms(512) / 2.2, rel=1e-6
+    )
+    # Ratio endpoints preserved.
+    ratio = (fast.static_latency.step_latency_ms(8)
+             / fast.static_latency.step_latency_ms(1))
+    assert ratio == pytest.approx(4.22, rel=0.02)
+
+
+def test_coarse_tiles_halve_polymorph_count():
+    model = bert_base()
+    coarse = retarget_model(model, COARSE_TILE)
+    assert coarse.step == 128
+    assert coarse.num_buckets == 4
+    registry = build_polymorph_set(coarse)
+    assert len(registry) == 4
+    assert registry.max_length == 512
+    # Same per-token cost line sampled coarser: lat(512) preserved up to
+    # speed, but a 65-token request pays the full 128-token rung.
+    # (small tolerance: the <5 % in-step slope is sampled at different
+    # in-bucket positions for different step sizes)
+    assert coarse.static_latency.compute_ms(512) == pytest.approx(
+        model.static_latency.compute_ms(512) / COARSE_TILE.speed_factor,
+        rel=2e-3,
+    )
+    short_fine = model.static_latency.compute_ms(65) / COARSE_TILE.speed_factor
+    short_coarse = coarse.static_latency.compute_ms(65)
+    assert short_coarse > short_fine  # coarser tiles hurt short requests
+
+
+def test_dynamic_model_retargets_with_static():
+    model = bert_base()
+    fast = retarget_model(model, A100)
+    for ln in (10, 200, 512):
+        assert fast.dynamic_latency.compute_ms(ln) == pytest.approx(
+            model.dynamic_latency.compute_ms(ln) / 2.2, rel=1e-6
+        )
+
+
+def test_retargeted_model_serves_end_to_end():
+    from repro.baselines.schemes import build_scheme
+    from repro.sim.simulation import run_simulation
+    from repro.workload.twitter import generate_twitter_trace
+
+    coarse = retarget_model(bert_base(), COARSE_TILE)
+    trace = generate_twitter_trace(rate_per_s=150, duration_ms=5_000, seed=3)
+    scheme = build_scheme("arlo", coarse, 3)
+    result = run_simulation(scheme, trace)
+    assert result.stats.count == len(trace)
+    assert len(scheme.registry) == 4
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        HardwareProfile(name="x", speed_factor=0.0)
+    with pytest.raises(ConfigurationError):
+        HardwareProfile(name="x", speed_factor=1.0, step=0)
+    bad = HardwareProfile(name="odd", speed_factor=1.0, step=96)
+    with pytest.raises(ConfigurationError):
+        retarget_model(bert_base(), bad)  # 512 % 96 != 0
+    assert set(HARDWARE_ZOO) == {"rtx-3090", "v100", "a100", "coarse-tile"}

@@ -1,0 +1,92 @@
+"""Latency model behaviour and paper-number calibration (Fig. 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.runtimes.latency import (
+    DynamicShapeLatencyModel,
+    StaircaseLatencyModel,
+    TunedDynamicLatencyModel,
+)
+
+LENGTHS = st.integers(min_value=1, max_value=512)
+
+
+@pytest.fixture
+def base_static():
+    return StaircaseLatencyModel(step=64, base_ms=0.624, per_step_ms=0.530)
+
+
+def test_staircase_bucket_boundaries(base_static):
+    assert base_static.bucket(1) == 1
+    assert base_static.bucket(64) == 1
+    assert base_static.bucket(65) == 2
+    assert base_static.bucket(512) == 8
+
+
+def test_staircase_jump_at_step_dominates(base_static):
+    within = base_static.compute_ms(63) / base_static.compute_ms(2)
+    across = base_static.compute_ms(65) / base_static.compute_ms(63)
+    assert within < 1.05  # "<5%" in-step change
+    assert across > 1.2  # step jump is significant
+
+
+@given(LENGTHS, LENGTHS)
+def test_staircase_monotone(l1, l2):
+    m = StaircaseLatencyModel()
+    if l1 <= l2:
+        assert m.compute_ms(l1) <= m.compute_ms(l2) + 1e-12
+
+
+@given(LENGTHS)
+def test_dynamic_never_beats_static(length):
+    static = StaircaseLatencyModel()
+    dyn = DynamicShapeLatencyModel(static=static)
+    assert dyn.compute_ms(length) >= static.compute_ms(length)
+
+
+def test_dynamic_inflation_range(base_static):
+    dyn = DynamicShapeLatencyModel(static=base_static)
+    # worst at shortest, approaching 1.22 at the longest bucket
+    assert dyn.inflation(1) == pytest.approx(3.56, rel=1e-6)
+    assert 1.22 <= dyn.inflation(512) <= 1.35
+    # monotone decreasing in the bucket
+    factors = [dyn.inflation(64 * b) for b in range(1, 9)]
+    assert factors == sorted(factors, reverse=True)
+
+
+def test_tuned_dynamic_average_close_to_paper(base_static):
+    tuned = TunedDynamicLatencyModel(static=base_static)
+    factors = [tuned.inflation(64 * b) for b in range(1, 9)]
+    avg = sum(factors) / len(factors)
+    assert avg == pytest.approx(2.86, rel=0.1)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        StaircaseLatencyModel(step=0)
+    with pytest.raises(ConfigurationError):
+        StaircaseLatencyModel(per_step_ms=0.0)
+    with pytest.raises(ConfigurationError):
+        StaircaseLatencyModel(in_step_slope=0.06)
+    static = StaircaseLatencyModel()
+    with pytest.raises(ConfigurationError):
+        DynamicShapeLatencyModel(static=static, inflation_long=0.9)
+    with pytest.raises(ConfigurationError):
+        DynamicShapeLatencyModel(static=static, inflation_short=1.0,
+                                 inflation_long=1.22)
+    with pytest.raises(ConfigurationError):
+        TunedDynamicLatencyModel(static=static, average_inflation=0.5)
+
+
+def test_nonpositive_length_rejected(base_static):
+    with pytest.raises(ConfigurationError):
+        base_static.compute_ms(0)
+    with pytest.raises(ConfigurationError):
+        base_static.compute_ms(-5)
+
+
+def test_callable_protocol(base_static):
+    assert base_static(100) == base_static.compute_ms(100)

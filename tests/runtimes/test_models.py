@@ -1,0 +1,55 @@
+"""Model zoo calibration against the numbers quoted in the paper."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtimes.models import MODEL_ZOO, bert_base, bert_large, dolly, get_model
+
+
+def test_bert_base_fig2a_calibration():
+    m = bert_base()
+    lat512 = m.static_latency.step_latency_ms(8)
+    lat64 = m.static_latency.step_latency_ms(1)
+    # Paper: 4.86 ms at length 512; 4.22x ratio vs length 64.
+    assert lat512 == pytest.approx(4.86, rel=0.01)
+    assert lat512 / lat64 == pytest.approx(4.22, rel=0.02)
+    assert m.slo_ms == 150.0
+    assert m.num_buckets == 8
+
+
+def test_bert_base_padding_inflation_example():
+    # Paper §2.2: a length-20 request on a max_length-512 runtime takes
+    # 4.86 ms, 4.28x its actual computation time.
+    m = bert_base()
+    padded = m.static_latency.step_latency_ms(8)
+    actual = m.static_latency.compute_ms(20)
+    assert padded / actual == pytest.approx(4.28, rel=0.05)
+
+
+def test_bert_large_fig2b_calibration():
+    m = bert_large()
+    ratio = m.static_latency.step_latency_ms(8) / m.static_latency.step_latency_ms(1)
+    assert ratio == pytest.approx(5.25, rel=0.02)
+    assert m.slo_ms == 450.0
+
+
+def test_dolly_uses_tvm():
+    m = dolly()
+    assert m.compiler.value == "tvm_unity"
+
+
+def test_zoo_lookup():
+    assert get_model("bert-base").name == "bert-base"
+    assert set(MODEL_ZOO) == {"bert-base", "bert-large", "dolly"}
+    with pytest.raises(ConfigurationError):
+        get_model("gpt-17")
+
+
+def test_profile_validation():
+    import dataclasses
+
+    m = bert_base()
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(m, max_length=500)  # not a multiple of step
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(m, slo_ms=0.0)

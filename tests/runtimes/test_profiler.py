@@ -1,0 +1,86 @@
+"""Offline profiler: capacity, L_i(B) shape, noise behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProfileError
+from repro.runtimes.compiler import SimulatedCompiler
+from repro.runtimes.models import bert_base
+from repro.runtimes.profiler import OfflineProfiler, RuntimeProfile
+
+
+@pytest.fixture
+def runtime_64():
+    return SimulatedCompiler().compile_static(bert_base(), 64)
+
+
+def test_noiseless_measurement_exact(runtime_64):
+    p = OfflineProfiler(noise=0.0)
+    assert p.measure_ms(runtime_64, 30) == runtime_64.service_ms(30)
+
+
+def test_noise_within_tolerance(runtime_64):
+    p = OfflineProfiler(repeats=64, noise=0.01, seed=3)
+    true = runtime_64.service_ms(64)
+    measured = p.measure_ms(runtime_64, 64)
+    assert measured == pytest.approx(true, rel=0.02)
+
+
+def test_capacity_is_slo_over_service(runtime_64):
+    prof = OfflineProfiler(noise=0.0).profile(runtime_64, slo_ms=150.0)
+    per_request = prof.service_ms + prof.overhead_ms
+    assert prof.capacity == int(150.0 // per_request)
+    assert prof.capacity >= 1
+
+
+def test_latency_for_batch_monotone(runtime_64):
+    prof = OfflineProfiler(noise=0.0).profile(runtime_64, slo_ms=150.0)
+    values = [prof.latency_for_batch(b) for b in range(1, 50)]
+    assert values == sorted(values)
+    # B=0 and B=1 coincide: an instance with work serves at least one.
+    assert prof.latency_for_batch(0) == prof.latency_for_batch(1)
+    with pytest.raises(ProfileError):
+        prof.latency_for_batch(-1)
+
+
+def test_latency_for_batch_closed_form(runtime_64):
+    prof = OfflineProfiler(noise=0.0).profile(runtime_64, slo_ms=150.0)
+    expected = prof.overhead_ms + prof.service_ms * (5 + 1) / 2
+    assert prof.latency_for_batch(5) == pytest.approx(expected)
+    assert prof.total_cost(5, 10) == pytest.approx(expected * 10)
+
+
+def test_profile_rejects_impossible_slo(runtime_64):
+    with pytest.raises(ProfileError):
+        OfflineProfiler(noise=0.0).profile(runtime_64, slo_ms=0.5)
+
+
+def test_profile_set_requires_sorted_runtimes():
+    compiler = SimulatedCompiler()
+    model = bert_base()
+    rts = [compiler.compile_static(model, ml) for ml in (128, 64)]
+    with pytest.raises(ProfileError):
+        OfflineProfiler().profile_set(rts, model.slo_ms)
+    with pytest.raises(ProfileError):
+        OfflineProfiler().profile_set([], model.slo_ms)
+
+
+def test_profiler_parameter_validation():
+    with pytest.raises(ProfileError):
+        OfflineProfiler(repeats=0)
+    with pytest.raises(ProfileError):
+        OfflineProfiler(noise=0.5)
+
+
+def test_runtime_profile_validation(runtime_64):
+    with pytest.raises(ProfileError):
+        RuntimeProfile(runtime=runtime_64, slo_ms=150.0, service_ms=0.0)
+
+
+@given(st.floats(min_value=1.0, max_value=200.0))
+def test_capacity_at_least_one(batch):
+    runtime = SimulatedCompiler().compile_static(bert_base(), 512)
+    prof = OfflineProfiler(noise=0.0).profile(runtime, slo_ms=150.0)
+    assert prof.capacity >= 1
+    assert prof.latency_for_batch(batch) >= prof.service_ms

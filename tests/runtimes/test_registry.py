@@ -1,0 +1,86 @@
+"""RuntimeRegistry: candidate lookup, bins, polymorph-set construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import RuntimeRegistry, build_polymorph_set
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_polymorph_set(bert_base())
+
+
+def test_default_set_is_eight_runtimes(registry):
+    assert len(registry) == 8
+    assert list(registry.bin_edges()) == [64, 128, 192, 256, 320, 384, 448, 512]
+    assert registry.max_length == 512
+
+
+def test_ideal_runtime_minimises_padding(registry):
+    assert registry.ideal_index(1) == 0
+    assert registry.ideal_index(64) == 0
+    assert registry.ideal_index(65) == 1
+    assert registry.ideal_index(512) == 7
+
+
+def test_candidates_are_suffix(registry):
+    cands = registry.candidate_indexes(200)
+    assert list(cands) == [3, 4, 5, 6, 7]  # 256..512
+
+
+def test_unservable_lengths_raise(registry):
+    with pytest.raises(CapacityError):
+        registry.ideal_index(513)
+    with pytest.raises(CapacityError):
+        registry.ideal_index(0)
+
+
+def test_histogram_counts_per_bin(registry):
+    lengths = np.array([10, 64, 65, 120, 200, 512])
+    hist = registry.histogram(lengths)
+    assert hist.tolist() == [2, 2, 0, 1, 0, 0, 0, 1]
+    assert registry.histogram(np.array([])).tolist() == [0] * 8
+    with pytest.raises(CapacityError):
+        registry.histogram(np.array([1000]))
+
+
+@given(st.integers(min_value=1, max_value=512))
+def test_ideal_is_first_accepting_runtime(length):
+    registry = build_polymorph_set(bert_base())
+    idx = registry.ideal_index(length)
+    assert registry[idx].max_length >= length
+    if idx > 0:
+        assert registry[idx - 1].max_length < length
+
+
+def test_custom_ladder():
+    reg = build_polymorph_set(bert_base(), max_lengths=[128, 512])
+    assert len(reg) == 2
+    assert reg.ideal_index(129) == 1
+
+
+def test_step_detection_path():
+    reg = build_polymorph_set(bert_base(), detect_step=True)
+    assert len(reg) == 8
+
+
+def test_registry_validation():
+    reg = build_polymorph_set(bert_base())
+    with pytest.raises(ConfigurationError):
+        RuntimeRegistry(profiles=[])
+    with pytest.raises(ConfigurationError):
+        RuntimeRegistry(profiles=list(reg)[::-1])
+    with pytest.raises(ConfigurationError):
+        RuntimeRegistry(profiles=[reg[0], reg[0]])
+
+
+def test_profiles_sorted_by_capacity(registry):
+    # Shorter runtimes are faster, so capacity must be non-increasing.
+    caps = [p.capacity for p in registry]
+    assert caps == sorted(caps, reverse=True)
+    assert caps[-1] >= 1

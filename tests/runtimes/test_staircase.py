@@ -1,0 +1,94 @@
+"""Staircase step detection and polymorph ladder construction (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.runtimes.latency import StaircaseLatencyModel
+from repro.runtimes.models import bert_base, bert_large
+from repro.runtimes.staircase import (
+    detect_step_size,
+    is_staircase,
+    polymorph_lengths,
+    polymorph_lengths_for_count,
+)
+
+
+def _curve(model, lengths):
+    return np.asarray([model.compute_ms(int(ln)) for ln in lengths])
+
+
+@pytest.mark.parametrize("factory", [bert_base, bert_large])
+def test_detects_64_for_bert(factory):
+    model = factory().static_latency
+    lengths = np.arange(8, 513, 8)
+    assert detect_step_size(lengths, _curve(model, lengths)) == 64
+
+
+def test_detects_other_steps():
+    model = StaircaseLatencyModel(step=32, base_ms=1.0, per_step_ms=0.5)
+    lengths = np.arange(4, 257, 4)
+    assert detect_step_size(lengths, _curve(model, lengths)) == 32
+
+
+def test_detection_robust_to_noise():
+    rng = np.random.default_rng(11)
+    model = bert_base().static_latency
+    lengths = np.arange(8, 513, 8)
+    noisy = _curve(model, lengths) * rng.normal(1.0, 0.01, size=lengths.size)
+    assert detect_step_size(lengths, noisy) == 64
+
+
+def test_detection_input_validation():
+    with pytest.raises(ProfileError):
+        detect_step_size(np.array([1, 2]), np.array([1.0, 2.0]))
+    with pytest.raises(ProfileError):
+        detect_step_size(np.array([3, 2, 1]), np.array([1.0, 2.0, 3.0]))
+    with pytest.raises(ProfileError):
+        detect_step_size(np.array([1, 2, 3]), np.array([1.0, -2.0, 3.0]))
+    # range too small to observe any candidate boundary
+    with pytest.raises(ProfileError):
+        detect_step_size(np.array([1, 2, 3]), np.array([1.0, 1.0, 1.0]))
+
+
+def test_is_staircase_checks_flatness():
+    model = bert_base().static_latency
+    lengths = np.arange(8, 513, 8)
+    assert is_staircase(lengths, _curve(model, lengths), 64)
+    # A linear ramp is not a staircase for step 64.
+    ramp = np.linspace(1, 50, lengths.size)
+    assert not is_staircase(lengths, ramp, 64)
+
+
+def test_polymorph_ladder_default():
+    assert polymorph_lengths(512, 64) == [64, 128, 192, 256, 320, 384, 448, 512]
+
+
+def test_polymorph_ladder_nonmultiple_max():
+    assert polymorph_lengths(125, 64) == [64, 125]
+    assert polymorph_lengths(50, 64) == [50]
+
+
+def test_polymorph_ladder_validation():
+    with pytest.raises(ProfileError):
+        polymorph_lengths(0, 64)
+    with pytest.raises(ProfileError):
+        polymorph_lengths(512, 0)
+
+
+@pytest.mark.parametrize("count,expected", [
+    (2, [256, 512]),
+    (4, [128, 256, 384, 512]),
+    (8, [64, 128, 192, 256, 320, 384, 448, 512]),
+    (16, [32, 64, 96, 128, 160, 192, 224, 256, 288, 320, 352, 384, 416, 448,
+          480, 512]),
+])
+def test_ladder_for_count_matches_fig11(count, expected):
+    assert polymorph_lengths_for_count(512, count) == expected
+
+
+def test_ladder_for_count_validation():
+    with pytest.raises(ProfileError):
+        polymorph_lengths_for_count(512, 0)
+    with pytest.raises(ProfileError):
+        polymorph_lengths_for_count(4, 8)

@@ -1,0 +1,73 @@
+"""Chaos integration: rescheduling, auto-scaling and crashes together.
+
+Everything that mutates the cluster runs in one simulation; the test
+asserts only the hard conservation invariants that must survive any
+interleaving of control actions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.schemes import build_scheme
+from repro.cluster.autoscaler import AutoscalerConfig
+from repro.core.runtime_scheduler import RuntimeSchedulerConfig
+from repro.sim.faults import FailureEvent, FailurePlan
+from repro.sim.simulation import SimulationConfig, run_simulation
+from repro.units import seconds
+from repro.workload.twitter import generate_twitter_trace
+
+
+def run_chaos(seed: int, failures: int, recovery_s: float | None):
+    trace = generate_twitter_trace(
+        rate_per_s=500, duration_ms=seconds(25), pattern="bursty",
+        seed=seed, drift_scale=0.15, drift_window_ms=seconds(8),
+    )
+    scheme = build_scheme(
+        "arlo", "bert-base", 5,
+        trace_hint=trace.slice_time(0, seconds(4)),
+        runtime_scheduler_config=RuntimeSchedulerConfig(
+            period_ms=seconds(7)
+        ),
+    )
+    plan = FailurePlan.random(
+        count=failures, horizon_ms=seconds(25), seed=seed + 1,
+        recovery_ms=None if recovery_s is None else seconds(recovery_s),
+    )
+    config = SimulationConfig(
+        enable_autoscaler=True,
+        autoscaler=AutoscalerConfig(slo_ms=150.0, min_gpus=2, max_gpus=10,
+                                    window_size=128,
+                                    scale_in_period_ms=seconds(8)),
+        failures=plan,
+    )
+    return scheme, run_simulation(scheme, trace, config), len(trace)
+
+
+@pytest.mark.parametrize("seed,failures,recovery_s", [
+    (201, 2, 4.0),
+    (202, 4, 2.0),
+    (203, 3, None),  # permanent losses while autoscaling
+])
+def test_chaos_conservation(seed, failures, recovery_s):
+    scheme, result, n = run_chaos(seed, failures, recovery_s)
+    assert result.stats.count == n  # every request served exactly once
+    assert scheme.cluster.total_outstanding() == 0
+    assert result.control_stats["failures"] == failures
+    # Cluster invariants after the dust settles:
+    alloc = scheme.cluster.allocation()
+    assert alloc.sum() == scheme.cluster.num_active_instances
+    assert alloc[-1] >= 0  # top level may be mid-replacement, but...
+    # ...every remaining instance is consistent with its GPU.
+    for inst in scheme.cluster.instances.values():
+        gpu = scheme.cluster.gpus[inst.gpu_id]
+        assert gpu.instance_id == inst.instance_id
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_chaos_randomised(seed):
+    scheme, result, n = run_chaos(300 + seed, failures=2, recovery_s=3.0)
+    assert result.stats.count == n
+    assert scheme.cluster.total_outstanding() == 0

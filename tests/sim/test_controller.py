@@ -1,0 +1,152 @@
+"""ControlPlane: replacement execution, scaling actions, crash races."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.schemes import build_scheme
+from repro.cluster.autoscaler import AutoscalerConfig, TargetTrackingAutoscaler
+from repro.cluster.replacement import REPLACEMENT_DURATION_MS, plan_replacement
+from repro.errors import SimulationError
+from repro.sim.controller import ControlPlane, DrainTrigger, SwapReady
+from repro.sim.engine import EventQueue
+from repro.sim.events import EventKind
+
+
+def make_control(alloc=(3, 0, 0, 0, 0, 0, 0, 1), autoscaler=None):
+    scheme = build_scheme("arlo", "bert-base", sum(alloc))
+    # Force the exact allocation for determinism.
+    from repro.cluster.state import ClusterState
+    from repro.core.mlq import MultiLevelQueue
+    from repro.core.request_scheduler import ArloRequestScheduler
+    from repro.baselines.dispatchers import ArloDispatcher
+
+    scheme.cluster = ClusterState.bootstrap(scheme.registry, list(alloc))
+    scheme.mlq = MultiLevelQueue.from_cluster(scheme.cluster)
+    scheme.dispatcher = ArloDispatcher(
+        scheduler=ArloRequestScheduler(registry=scheme.registry,
+                                       mlq=scheme.mlq)
+    )
+    queue = EventQueue()
+    return scheme, queue, ControlPlane(scheme=scheme, queue=queue,
+                                       autoscaler=autoscaler)
+
+
+def drain_queue(control, queue):
+    new_instances = []
+    while queue:
+        event = queue.pop()
+        if event.kind is EventKind.REPLACEMENT_READY:
+            inst = control.on_replacement_event(queue.now_ms, event.payload)
+            if inst is not None:
+                new_instances.append(inst)
+    return new_instances
+
+
+def test_idle_donors_swap_after_one_second():
+    scheme, queue, control = make_control()
+    plan = plan_replacement(scheme.cluster,
+                            np.array([1, 2, 0, 0, 0, 0, 0, 1]))
+    control.start_plan(0.0, plan)
+    assert control.has_pending_work
+    created = drain_queue(control, queue)
+    assert len(created) == 2
+    assert scheme.cluster.allocation().tolist() == [1, 2, 0, 0, 0, 0, 0, 1]
+    assert control.replacements_executed == 2
+    assert not control.has_pending_work
+
+
+def test_busy_donor_waits_for_drain():
+    scheme, queue, control = make_control()
+    donors = scheme.cluster.active_instances(0)
+    busy = donors[0]
+    busy.enqueue(0.0, 10)
+    plan = plan_replacement(scheme.cluster,
+                            np.array([2, 1, 0, 0, 0, 0, 0, 1]))
+    # The planner picks the least busy donor, so force the busy one.
+    from repro.cluster.replacement import ReplacementPlan, ReplacementStep
+
+    plan = ReplacementPlan(steps=[
+        ReplacementStep(instance_id=busy.instance_id, from_runtime=0,
+                        to_runtime=1)
+    ])
+    control.start_plan(0.0, plan)
+    assert len(queue) == 0  # still draining; no swap scheduled yet
+    busy.complete()
+    control.on_completion(5.0, busy)
+    assert len(queue) == 1
+    event = queue.pop()
+    assert event.time_ms == pytest.approx(5.0 + REPLACEMENT_DURATION_MS)
+    control.on_replacement_event(event.time_ms, event.payload)
+    assert scheme.cluster.allocation()[1] == 1
+
+
+def test_staggered_batches_use_drain_triggers():
+    scheme, queue, control = make_control(alloc=(4, 0, 0, 0, 0, 0, 0, 1))
+    plan = plan_replacement(scheme.cluster,
+                            np.array([0, 4, 0, 0, 0, 0, 0, 1]),
+                            batch_size=2)
+    control.start_plan(0.0, plan)
+    # First batch drains immediately; second batch arrives as triggers.
+    triggers = [e for e in queue._heap
+                if isinstance(e.payload, DrainTrigger)]
+    assert len(triggers) == 2
+    assert all(t.time_ms == pytest.approx(REPLACEMENT_DURATION_MS)
+               for t in triggers)
+    created = drain_queue(control, queue)
+    assert len(created) == 4
+
+
+def test_crashed_donor_swap_is_ignored():
+    scheme, queue, control = make_control()
+    donor = scheme.cluster.active_instances(0)[0]
+    from repro.cluster.replacement import ReplacementPlan, ReplacementStep
+
+    control.start_plan(0.0, ReplacementPlan(steps=[
+        ReplacementStep(donor.instance_id, 0, 1)
+    ]))
+    # The donor crashes before its swap fires (start_plan already
+    # removed it from the MLQ when the drain began).
+    if scheme.mlq.contains(donor):
+        scheme.mlq.remove(donor)
+    control.note_failure(donor.instance_id)
+    scheme.cluster.crash_instance(donor)
+    event = queue.pop()
+    assert control.on_replacement_event(event.time_ms, event.payload) is None
+    assert not control.has_pending_work
+
+
+def test_unknown_swap_raises():
+    scheme, queue, control = make_control()
+    with pytest.raises(SimulationError):
+        control.on_replacement_event(0.0, SwapReady(999, 1))
+    with pytest.raises(SimulationError):
+        control.on_replacement_event(0.0, "garbage")
+
+
+def test_autoscale_out_and_in():
+    cfg = AutoscalerConfig(slo_ms=150.0, window_size=64, min_gpus=1)
+    scaler = TargetTrackingAutoscaler(cfg)
+    scheme, queue, control = make_control(autoscaler=scaler)
+    for _ in range(64):
+        scaler.observe(149.0)
+    control.autoscale_check(10_000.0)
+    event = queue.pop()
+    assert event.kind is EventKind.SCALE_OUT_READY
+    inst = control.on_scale_out_ready(event.time_ms, event.payload)
+    assert inst.runtime_index == len(scheme.registry) - 1  # max length
+    assert control.scale_outs == 1
+
+
+def test_scale_in_preserves_top_level():
+    cfg = AutoscalerConfig(slo_ms=150.0, window_size=64, min_gpus=1,
+                           scale_in_period_ms=1_000.0)
+    scaler = TargetTrackingAutoscaler(cfg)
+    scheme, queue, control = make_control(alloc=(0, 0, 0, 0, 0, 0, 0, 2),
+                                          autoscaler=scaler)
+    victim = control._scale_in_victim()
+    assert victim is not None  # two top-level instances: one may go
+    scheme2, _, control2 = make_control(alloc=(1, 0, 0, 0, 0, 0, 0, 1))
+    v2 = control2._scale_in_victim()
+    assert v2.runtime_index == 0  # never the only max-length instance
+    scheme3, _, control3 = make_control(alloc=(0, 0, 0, 0, 0, 0, 0, 1))
+    assert control3._scale_in_victim() is None  # last instance stays

@@ -1,0 +1,124 @@
+"""Event queue determinism and metrics accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventQueue
+from repro.sim.events import EventKind
+from repro.sim.metrics import LatencyStats, MetricsCollector
+
+
+def test_queue_orders_by_time():
+    q = EventQueue()
+    q.push(5.0, EventKind.ARRIVAL, "late")
+    q.push(1.0, EventKind.ARRIVAL, "early")
+    assert q.pop().payload == "early"
+    assert q.now_ms == 1.0
+    assert q.pop().payload == "late"
+
+
+def test_same_time_completion_before_arrival():
+    q = EventQueue()
+    q.push(2.0, EventKind.ARRIVAL, "arrival")
+    q.push(2.0, EventKind.COMPLETION, "completion")
+    assert q.pop().payload == "completion"
+    assert q.pop().payload == "arrival"
+
+
+def test_same_time_control_before_arrival():
+    """Coordinator/reschedule actions apply before same-instant traffic."""
+    q = EventQueue()
+    q.push(2.0, EventKind.ARRIVAL, "arrival")
+    q.push(2.0, EventKind.COORDINATE, "coordinate")
+    q.push(2.0, EventKind.RESCHEDULE, "reschedule")
+    kinds = [q.pop().payload for _ in range(3)]
+    assert kinds == ["reschedule", "coordinate", "arrival"]
+
+
+def test_same_time_same_kind_fifo():
+    q = EventQueue()
+    q.push(2.0, EventKind.ARRIVAL, "first")
+    q.push(2.0, EventKind.ARRIVAL, "second")
+    assert q.pop().payload == "first"
+
+
+def test_no_scheduling_into_the_past():
+    q = EventQueue()
+    q.push(5.0, EventKind.ARRIVAL)
+    q.pop()
+    with pytest.raises(SimulationError):
+        q.push(4.0, EventKind.ARRIVAL)
+    q.push(5.0, EventKind.ARRIVAL)  # same time is fine
+
+
+def test_pop_empty_raises():
+    with pytest.raises(SimulationError):
+        EventQueue().pop()
+
+
+def test_counters_and_peek():
+    q = EventQueue()
+    assert q.peek_time() is None
+    q.push(3.0, EventKind.ARRIVAL)
+    assert q.peek_time() == 3.0
+    assert len(q) == 1
+    q.pop()
+    assert q.events_processed == 1
+    assert not q
+
+
+# -- metrics --------------------------------------------------------------
+
+def test_latency_stats_fields():
+    lat = np.array([1.0, 2.0, 3.0, 100.0])
+    stats = LatencyStats.from_array(lat, slo_ms=50.0)
+    assert stats.count == 4
+    assert stats.mean_ms == pytest.approx(26.5)
+    assert stats.max_ms == 100.0
+    assert stats.slo_violation_rate == 0.25
+    with pytest.raises(SimulationError):
+        LatencyStats.from_array(np.empty(0), slo_ms=50.0)
+
+
+def test_collector_chunks_grow():
+    c = MetricsCollector(slo_ms=100.0)
+    n = MetricsCollector._CHUNK * 2 + 17
+    for i in range(n):
+        c.record(float(i % 50), i % 3)
+    assert c.completed == n
+    assert c.latencies().size == n
+    assert c.runtime_indexes().size == n
+    assert c.stats().count == n
+
+
+def test_collector_per_runtime_mean():
+    c = MetricsCollector(slo_ms=100.0)
+    c.record(10.0, 0)
+    c.record(20.0, 0)
+    c.record(50.0, 3)
+    means = c.per_runtime_mean()
+    assert means[0] == pytest.approx(15.0)
+    assert means[3] == pytest.approx(50.0)
+
+
+def test_collector_validation():
+    with pytest.raises(SimulationError):
+        MetricsCollector(slo_ms=0.0)
+    c = MetricsCollector(slo_ms=10.0)
+    with pytest.raises(SimulationError):
+        c.record(-1.0, 0)
+    with pytest.raises(SimulationError):
+        c.time_weighted_gpus(10.0)
+
+
+def test_time_weighted_gpus_step_function():
+    c = MetricsCollector(slo_ms=10.0)
+    c.sample_gpus(0.0, 5)
+    c.sample_gpus(1000.0, 10)
+    # 5 GPUs for 1s + 10 GPUs for 1s over 2s = 7.5
+    assert c.time_weighted_gpus(2000.0) == pytest.approx(7.5)
+    # Degenerate horizon: report the last count.
+    c2 = MetricsCollector(slo_ms=10.0)
+    c2.sample_gpus(0.0, 4)
+    assert c2.time_weighted_gpus(0.0) == 4.0

@@ -1,0 +1,119 @@
+"""Tests for the branch & bound MILP solver, differential vs scipy.milp."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.solver.branch_bound import solve_milp
+from repro.solver.simplex import LinearProgram, LpStatus
+
+
+def test_simple_knapsack():
+    # max 5a + 4b + 3c s.t. 2a + 3b + c <= 5, binary
+    lp = LinearProgram(
+        c=np.array([-5.0, -4.0, -3.0]),
+        a_ub=np.array([[2.0, 3.0, 1.0]]),
+        b_ub=np.array([5.0]),
+        ub=np.ones(3),
+    )
+    res = solve_milp(lp, np.array([True, True, True]))
+    assert res.is_optimal
+    # a=1, b=1 uses the full budget of 5 for value 9.
+    assert res.objective == pytest.approx(-9.0)
+    assert res.x == pytest.approx([1.0, 1.0, 0.0])
+    ref = milp(
+        c=lp.c,
+        constraints=[LinearConstraint(lp.a_ub, -np.inf, lp.b_ub)],
+        integrality=np.ones(3),
+        bounds=Bounds(np.zeros(3), np.ones(3)),
+    )
+    assert res.objective == pytest.approx(ref.fun)
+
+
+def test_integer_rounding_not_truncation():
+    # LP optimum fractional; integer optimum requires branching both ways.
+    # max x + y s.t. 2x + 2y <= 5 integer -> best 2 (e.g. x=2,y=0)
+    lp = LinearProgram(
+        c=np.array([-1.0, -1.0]),
+        a_ub=np.array([[2.0, 2.0]]),
+        b_ub=np.array([5.0]),
+    )
+    res = solve_milp(lp, np.array([True, True]))
+    assert res.is_optimal
+    assert res.objective == pytest.approx(-2.0)
+    assert np.allclose(res.x, np.round(res.x))
+
+
+def test_mixed_integer_continuous():
+    # min -x - 10y, y integer, x continuous; x <= 2.5, x + y <= 4
+    lp = LinearProgram(
+        c=np.array([-1.0, -10.0]),
+        a_ub=np.array([[1.0, 0.0], [1.0, 1.0]]),
+        b_ub=np.array([2.5, 4.0]),
+    )
+    res = solve_milp(lp, np.array([False, True]))
+    assert res.is_optimal
+    # y=4, x=0 gives -40; y=3, x=1 gives -31... so y=4.
+    assert res.x[1] == pytest.approx(4.0)
+    assert res.objective == pytest.approx(-40.0)
+
+
+def test_infeasible_milp():
+    # 2x == 3 with x integer has no solution.
+    lp = LinearProgram(
+        c=np.array([1.0]),
+        a_eq=np.array([[2.0]]),
+        b_eq=np.array([3.0]),
+        ub=np.array([10.0]),
+    )
+    res = solve_milp(lp, np.array([True]))
+    assert res.status is LpStatus.INFEASIBLE
+
+
+def test_gap_reported():
+    lp = LinearProgram(
+        c=np.array([-3.0, -2.0]),
+        a_ub=np.array([[1.0, 1.0]]),
+        b_ub=np.array([4.0]),
+        ub=np.array([3.0, 3.0]),
+    )
+    res = solve_milp(lp, np.array([True, True]))
+    assert res.is_optimal
+    assert res.gap <= 1e-6
+
+
+@st.composite
+def random_milp(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    m = draw(st.integers(min_value=1, max_value=4))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    a = rng.integers(-3, 4, size=(m, n)).astype(float)
+    x_feas = rng.integers(0, 4, size=n).astype(float)
+    b = a @ x_feas + rng.integers(0, 3, size=m)
+    c = rng.integers(-5, 6, size=n).astype(float)
+    ub = np.full(n, 6.0)
+    mask = rng.random(n) < 0.7
+    if not mask.any():
+        mask[0] = True
+    return LinearProgram(c=c, a_ub=a, b_ub=b.astype(float), ub=ub), mask
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_milp())
+def test_matches_scipy_milp(problem):
+    lp, mask = problem
+    ours = solve_milp(lp, mask)
+    ref = milp(
+        c=lp.c,
+        constraints=[LinearConstraint(lp.a_ub, -np.inf, lp.b_ub)],
+        integrality=mask.astype(float),
+        bounds=Bounds(lp.lb, lp.ub),
+    )
+    assert ours.is_optimal == bool(ref.success)
+    if ref.success:
+        assert ours.objective == pytest.approx(ref.fun, rel=1e-6, abs=1e-6)
+        assert np.all(lp.a_ub @ ours.x <= lp.b_ub + 1e-6)
+        frac = np.abs(ours.x[mask] - np.round(ours.x[mask]))
+        assert np.all(frac <= 1e-6)

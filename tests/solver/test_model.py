@@ -1,0 +1,116 @@
+"""Tests for the algebraic modeling layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.model import LinExpr, Model
+from repro.solver.piecewise import (
+    chord_segments,
+    interpolate_chords,
+    lower_envelope_value,
+    tangent_lines,
+)
+
+
+def test_expression_algebra():
+    m = Model()
+    x = m.add_var(name="x")
+    y = m.add_var(name="y")
+    expr = 2 * x + 3 * y - 1 + x
+    assert expr.coeffs == {x.index: 3.0, y.index: 3.0}
+    assert expr.constant == -1.0
+    neg = -expr
+    assert neg.coeffs[x.index] == -3.0
+
+
+def test_sum_helper():
+    m = Model()
+    xs = m.add_vars(4, name="n")
+    total = LinExpr.sum(xs)
+    assert all(total.coeffs[v.index] == 1.0 for v in xs)
+
+
+def test_nonlinear_product_rejected():
+    m = Model()
+    x, y = m.add_var(), m.add_var()
+    with pytest.raises(SolverError):
+        _ = x * y
+    with pytest.raises(SolverError):
+        _ = (x + 1) * (y + 1)
+
+
+def test_lp_solve_through_model():
+    m = Model()
+    x = m.add_var(ub=4.0)
+    y = m.add_var(ub=4.0)
+    m.add_constr(x + 2 * y <= 4)
+    m.add_constr(3 * x + y <= 6)
+    m.maximize(x + y)
+    sol = m.solve()
+    assert sol.is_optimal
+    assert sol[x] + sol[y] == pytest.approx(8 / 5 + 6 / 5)
+    # maximize negates internally; objective reported for the min problem
+    assert sol.objective == pytest.approx(-(8 / 5 + 6 / 5))
+
+
+def test_milp_solve_through_model():
+    m = Model()
+    n = m.add_vars(3, ub=1.0, integer=True, name="pick")
+    m.add_constr(2 * n[0] + 3 * n[1] + 1 * n[2] <= 5)
+    m.maximize(5 * n[0] + 4 * n[1] + 3 * n[2])
+    sol = m.solve()
+    assert sol.is_optimal
+    assert [sol[v] for v in n] == pytest.approx([1.0, 1.0, 0.0])
+    assert sol.objective == pytest.approx(-9.0)
+
+
+def test_equality_and_constant_in_objective():
+    m = Model()
+    x = m.add_var(ub=10)
+    m.add_constr(x == 3)
+    m.minimize(x + 7)
+    sol = m.solve()
+    assert sol.objective == pytest.approx(10.0)
+
+
+def test_var_bound_validation():
+    m = Model()
+    with pytest.raises(SolverError):
+        m.add_var(lb=float("-inf"))
+    with pytest.raises(SolverError):
+        m.add_var(lb=2.0, ub=1.0)
+
+
+def test_add_constr_rejects_bool():
+    m = Model()
+    m.add_var()
+    with pytest.raises(SolverError):
+        m.add_constr(True)  # type: ignore[arg-type]
+
+
+def test_expression_value():
+    m = Model()
+    x, y = m.add_var(), m.add_var()
+    expr = 2 * x + y + 1
+    assert expr.value(np.array([3.0, 4.0])) == pytest.approx(11.0)
+
+
+def test_tangents_underapproximate_convex():
+    fn = lambda s: 0.5 * s * s + 2 * s + 1
+    tans = tangent_lines(fn, 0.0, 10.0, 5, derivative=lambda s: s + 2)
+    for x in np.linspace(0, 10, 33):
+        assert lower_envelope_value(tans, float(x)) <= fn(float(x)) + 1e-9
+
+
+def test_chords_overapproximate_convex():
+    fn = lambda s: s * s
+    pts = chord_segments(fn, 0.0, 8.0, 5)
+    for x in np.linspace(0, 8, 33):
+        assert interpolate_chords(pts, float(x)) >= fn(float(x)) - 1e-9
+
+
+def test_chord_domain_enforced():
+    pts = chord_segments(lambda s: s, 0.0, 1.0, 3)
+    with pytest.raises(SolverError):
+        interpolate_chords(pts, 2.0)

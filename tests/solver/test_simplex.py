@@ -1,0 +1,156 @@
+"""Unit tests for the dense two-phase simplex, cross-checked vs scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+from repro.solver.simplex import LinearProgram, LpStatus, solve_lp
+
+
+def test_simple_2d_optimum_at_vertex():
+    # max x + y s.t. x + 2y <= 4, 3x + y <= 6  => min -(x+y)
+    lp = LinearProgram(
+        c=np.array([-1.0, -1.0]),
+        a_ub=np.array([[1.0, 2.0], [3.0, 1.0]]),
+        b_ub=np.array([4.0, 6.0]),
+    )
+    res = solve_lp(lp)
+    assert res.status is LpStatus.OPTIMAL
+    assert res.objective == pytest.approx(-(8 / 5 + 6 / 5))
+    assert res.x == pytest.approx([8 / 5, 6 / 5])
+
+
+def test_equality_constraints():
+    # min x + y s.t. x + y == 3, x - y == 1 -> x=2, y=1
+    lp = LinearProgram(
+        c=np.array([1.0, 1.0]),
+        a_eq=np.array([[1.0, 1.0], [1.0, -1.0]]),
+        b_eq=np.array([3.0, 1.0]),
+    )
+    res = solve_lp(lp)
+    assert res.is_optimal
+    assert res.x == pytest.approx([2.0, 1.0])
+
+
+def test_infeasible_detected():
+    lp = LinearProgram(
+        c=np.array([1.0]),
+        a_ub=np.array([[1.0], [-1.0]]),
+        b_ub=np.array([1.0, -3.0]),  # x <= 1 and x >= 3
+    )
+    assert solve_lp(lp).status is LpStatus.INFEASIBLE
+
+
+def test_unbounded_detected():
+    lp = LinearProgram(c=np.array([-1.0]), a_ub=np.array([[-1.0]]),
+                       b_ub=np.array([0.0]))
+    assert solve_lp(lp).status is LpStatus.UNBOUNDED
+
+
+def test_lower_and_upper_bounds_respected():
+    # min -x with 2 <= x <= 5
+    lp = LinearProgram(c=np.array([-1.0]), lb=np.array([2.0]), ub=np.array([5.0]))
+    res = solve_lp(lp)
+    assert res.is_optimal
+    assert res.x == pytest.approx([5.0])
+    # min x goes to the lower bound
+    lp2 = LinearProgram(c=np.array([1.0]), lb=np.array([2.0]), ub=np.array([5.0]))
+    assert solve_lp(lp2).x == pytest.approx([2.0])
+
+
+def test_negative_lower_bounds_shift():
+    # min x + y with x >= -3, y >= -1 and x + y >= -2
+    lp = LinearProgram(
+        c=np.array([1.0, 1.0]),
+        a_ub=np.array([[-1.0, -1.0]]),
+        b_ub=np.array([2.0]),
+        lb=np.array([-3.0, -1.0]),
+    )
+    res = solve_lp(lp)
+    assert res.is_optimal
+    assert res.objective == pytest.approx(-2.0)
+
+
+def test_degenerate_problem_terminates():
+    # Klee-Minty-like small instance: must terminate and be optimal.
+    n = 4
+    a = np.zeros((n, n))
+    b = np.zeros(n)
+    for i in range(n):
+        a[i, i] = 1.0
+        for j in range(i):
+            a[i, j] = 2.0
+        b[i] = 5.0 ** (i + 1)
+    c = -np.array([2.0 ** (n - 1 - j) for j in range(n)])
+    lp = LinearProgram(c=c, a_ub=a, b_ub=b)
+    res = solve_lp(lp)
+    assert res.is_optimal
+    ref = linprog(c, A_ub=a, b_ub=b, method="highs")
+    assert res.objective == pytest.approx(ref.fun, rel=1e-7)
+
+
+def test_mismatched_shapes_raise():
+    with pytest.raises(SolverError):
+        LinearProgram(c=np.array([1.0]), a_ub=np.array([[1.0, 2.0]]),
+                      b_ub=np.array([1.0]))
+    with pytest.raises(SolverError):
+        LinearProgram(c=np.array([1.0]), a_ub=np.array([[1.0]]), b_ub=None)
+    with pytest.raises(SolverError):
+        LinearProgram(c=np.array([1.0]), lb=np.array([2.0]), ub=np.array([1.0]))
+    with pytest.raises(SolverError):
+        LinearProgram(c=np.array([1.0]), lb=np.array([-np.inf]))
+
+
+def test_no_constraints_zero_solution():
+    lp = LinearProgram(c=np.array([1.0, 2.0]))
+    res = solve_lp(lp)
+    assert res.is_optimal
+    assert res.x == pytest.approx([0.0, 0.0])
+
+
+def test_no_constraints_unbounded():
+    lp = LinearProgram(c=np.array([-1.0]))
+    assert solve_lp(lp).status is LpStatus.UNBOUNDED
+
+
+@st.composite
+def random_lp(draw):
+    """Feasible-by-construction random LPs for differential testing."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=6))
+    with_eq = draw(st.booleans())
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    a = rng.uniform(-2, 2, size=(m, n)).round(2)
+    x_feas = rng.uniform(0, 3, size=n).round(2)
+    slack = rng.uniform(0.1, 2, size=m).round(2)
+    b = a @ x_feas + slack
+    c = rng.uniform(-1, 1, size=n).round(2)
+    ub = x_feas + rng.uniform(1, 5, size=n).round(2)  # finite ub => bounded
+    a_eq = b_eq = None
+    if with_eq:
+        k = draw(st.integers(min_value=1, max_value=min(2, n)))
+        a_eq = rng.uniform(-2, 2, size=(k, n)).round(2)
+        b_eq = a_eq @ x_feas  # satisfied by construction
+    return LinearProgram(c=c, a_ub=a, b_ub=b, a_eq=a_eq, b_eq=b_eq, ub=ub)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_lp())
+def test_matches_scipy_on_random_instances(lp):
+    ours = solve_lp(lp)
+    ref = linprog(
+        lp.c, A_ub=lp.a_ub, b_ub=lp.b_ub, A_eq=lp.a_eq, b_eq=lp.b_eq,
+        bounds=list(zip(lp.lb, lp.ub)), method="highs",
+    )
+    assert ours.is_optimal == ref.success
+    if ref.success:
+        assert ours.objective == pytest.approx(ref.fun, rel=1e-6, abs=1e-6)
+        # Solution must satisfy all constraints.
+        assert np.all(lp.a_ub @ ours.x <= lp.b_ub + 1e-6)
+        if lp.a_eq is not None:
+            assert np.allclose(lp.a_eq @ ours.x, lp.b_eq, atol=1e-6)
+        assert np.all(ours.x >= lp.lb - 1e-8)
+        assert np.all(ours.x <= lp.ub + 1e-8)

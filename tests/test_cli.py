@@ -1,0 +1,132 @@
+"""CLI commands end-to-end (in-process, no subprocess overhead)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_trace_roundtrip(tmp_path, capsys):
+    out = tmp_path / "t.npz"
+    rc = main(["trace", "--rate", "100", "--duration", "3",
+               "--output", str(out)])
+    assert rc == 0
+    assert out.exists()
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_profile_command(tmp_path, capsys):
+    out = tmp_path / "profiles.json"
+    rc = main(["profile", "--model", "bert-base", "--output", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert len(payload["runtimes"]) == 8
+    assert "max_length" in capsys.readouterr().out
+
+
+def test_simulate_synthetic(tmp_path, capsys):
+    summary_path = tmp_path / "run.json"
+    rc = main([
+        "simulate", "--rate", "100", "--duration", "3", "--gpus", "3",
+        "--scheme", "arlo", "--output", str(summary_path),
+    ])
+    assert rc == 0
+    printed = json.loads(capsys.readouterr().out)
+    assert printed["scheme"] == "arlo"
+    assert printed["requests"] > 0
+    assert json.loads(summary_path.read_text())["scheme"] == "arlo"
+
+
+def test_simulate_from_saved_trace(tmp_path, capsys):
+    trace_path = tmp_path / "t.npz"
+    main(["trace", "--rate", "80", "--duration", "3",
+          "--output", str(trace_path)])
+    capsys.readouterr()
+    rc = main(["simulate", "--trace", str(trace_path), "--gpus", "2",
+               "--scheme", "st"])
+    assert rc == 0
+    assert json.loads(capsys.readouterr().out)["scheme"] == "st"
+
+
+def test_compare_with_cdf(capsys):
+    rc = main([
+        "compare", "--rate", "100", "--duration", "3", "--gpus", "3",
+        "--schemes", "st", "arlo", "--cdf",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "arlo_mean_reduction_%" in out or "mean_ms" in out
+    assert "latency CDF" in out
+
+
+def test_solve_from_file(tmp_path, capsys):
+    problem = {
+        "num_gpus": 4,
+        "demand": [20, 8, 3],
+        "capacity": [20, 12, 8],
+        "service_ms": [1.0, 2.0, 3.0],
+    }
+    path = tmp_path / "problem.json"
+    path.write_text(json.dumps(problem))
+    rc = main(["solve", "--input", str(path), "--method", "dp"])
+    assert rc == 0
+    result = json.loads(capsys.readouterr().out)
+    assert sum(result["allocation"]) == 4
+    assert result["solver"] == "dp"
+
+
+def test_solve_from_stdin(monkeypatch, capsys):
+    import io
+
+    problem = {
+        "num_gpus": 2,
+        "demand": [5, 1],
+        "capacity": [10, 5],
+        "service_ms": [1.0, 2.0],
+    }
+    monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(problem)))
+    rc = main(["solve", "--method", "brute"])
+    assert rc == 0
+    assert sum(json.loads(capsys.readouterr().out)["allocation"]) == 2
+
+
+def test_experiment_from_spec_file(tmp_path, capsys):
+    spec = {
+        "name": "cli-exp",
+        "model": "bert-base",
+        "num_gpus": 3,
+        "rate_per_s": 100,
+        "duration_s": 5.0,
+        "schemes": ["st", "arlo"],
+        "hint_s": 2.0,
+        "sweep": {"seed": [1, 2]},
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    out_path = tmp_path / "results.json"
+    rc = main(["experiment", "--spec", str(path), "--output", str(out_path)])
+    assert rc == 0
+    results = json.loads(out_path.read_text())
+    assert len(results) == 2  # two sweep points
+    for per_scheme in results.values():
+        assert set(per_scheme) == {"st", "arlo"}
+        assert per_scheme["arlo"]["requests"] > 0
+
+
+def test_experiment_from_stdin(monkeypatch, capsys):
+    import io
+
+    spec = {"name": "cli-stdin", "model": "bert-base", "num_gpus": 2,
+            "rate_per_s": 60, "duration_s": 4.0, "schemes": ["st"],
+            "hint_s": 1.0}
+    monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(spec)))
+    rc = main(["experiment"])
+    assert rc == 0
+    results = json.loads(capsys.readouterr().out)
+    assert "cli-stdin" in results
+
+
+def test_unknown_scheme_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["simulate", "--scheme", "alchemy"])

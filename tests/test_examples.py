@@ -1,0 +1,69 @@
+"""Every example script runs end-to-end and prints its comparison."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "polymorph set" in out
+    assert "snapshot" in out
+    assert "ideal" in out or "demoted" in out
+
+
+def test_serve_twitter_stream():
+    out = run_example("serve_twitter_stream.py", "300", "8")
+    assert "Arlo mean latency reduction vs ST" in out
+    assert "arlo" in out and "infaas" in out
+
+
+def test_autoscaling_cluster():
+    out = run_example("autoscaling_cluster.py", "30")
+    assert "time-weighted GPUs" in out
+    assert "timeline" in out
+
+
+def test_dispatcher_ablation():
+    out = run_example("dispatcher_ablation.py")
+    assert "SLO violations" in out
+    assert "Table 4-style" in out
+
+
+def test_multistream_pool():
+    out = run_example("multistream_pool.py", "25")
+    assert "pool partition over time" in out
+    assert "bert-base" in out and "bert-large" in out
+    assert "transfers in/out" in out
+
+
+def test_capacity_planning():
+    out = run_example("capacity_planning.py", "800")
+    assert "planning pick" in out
+    assert "prediction" in out and "simulation" in out
+
+
+def test_live_server():
+    out = run_example("live_server.py", "400", "12")
+    assert "in-flight" in out
+    assert "final:" in out and "scheduler periods" in out
+
+
+def test_paper_figures_quick():
+    out = run_example("paper_figures.py", "0.2")
+    assert "Fig. 1" in out and "Fig. 12" in out
+    assert "Table 2" in out and "Table 4" in out
+    assert "done" in out

@@ -1,0 +1,40 @@
+"""Golden shape regressions — fast, trimmed versions of the headline
+benchmark assertions, so plain ``pytest tests/`` catches calibration
+drift without running the full harness."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentSpec, run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig6b_mini():
+    spec = ExperimentSpec(
+        name="golden-fig6b", model="bert-large", num_gpus=10,
+        rate_per_s=700, duration_s=30.0, pattern="stable",
+        schemes=("st", "dt", "infaas", "arlo"), seed=62, warmup_s=2.0,
+    )
+    return run_experiment(spec)
+
+
+def test_fig6b_scheme_ordering(fig6b_mini):
+    means = {k: v.mean_ms for k, v in fig6b_mini.items()}
+    assert means["arlo"] < means["dt"] < means["infaas"] < means["st"]
+
+
+def test_fig6b_st_reduction_band(fig6b_mini):
+    """Paper: 66.7 % mean reduction vs ST for the BERT-Large stream."""
+    reduction = 100 * (1 - fig6b_mini["arlo"].mean_ms
+                       / fig6b_mini["st"].mean_ms)
+    assert 50 <= reduction <= 80
+
+
+def test_fig6b_dt_reduction_band(fig6b_mini):
+    """Paper: 29.2 % vs DT (short-trace runs land lower)."""
+    reduction = 100 * (1 - fig6b_mini["arlo"].mean_ms
+                       / fig6b_mini["dt"].mean_ms)
+    assert 8 <= reduction <= 55
+
+
+def test_arlo_meets_slo_at_design_point(fig6b_mini):
+    assert fig6b_mini["arlo"].stats.slo_violation_rate < 0.01

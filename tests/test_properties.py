@@ -1,0 +1,111 @@
+"""Cross-module property tests on system-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dispatchers import (
+    INFaaSBinPacking,
+    InterGroupGreedy,
+    IntraGroupLoadBalance,
+    UniformLoadBalance,
+)
+from repro.baselines.schemes import build_scheme
+from repro.cluster.state import ClusterState
+from repro.core.allocation import AllocationProblem, solve_dp
+from repro.core.mlq import MultiLevelQueue
+from repro.errors import InfeasibleError
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+from repro.sim.simulation import run_simulation
+from repro.units import PER_REQUEST_OVERHEAD_MS
+from repro.workload.trace import Trace
+
+REGISTRY = build_polymorph_set(bert_base())
+
+
+@st.composite
+def random_trace(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    arrivals = np.sort(rng.uniform(0, 2_000, size=n))
+    lengths = rng.integers(1, 513, size=n)
+    return Trace(arrivals, lengths)
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_trace(), st.sampled_from(["st", "dt", "infaas", "arlo"]))
+def test_every_request_completes_with_sane_latency(trace, scheme_name):
+    scheme = build_scheme(scheme_name, "bert-base", 3)
+    result = run_simulation(scheme, trace)
+    lat = result.latencies()
+    assert lat.size == len(trace)
+    # No request can finish faster than the fastest possible service.
+    min_service = REGISTRY[0].runtime.service_ms(1) + PER_REQUEST_OVERHEAD_MS
+    assert lat.min() >= min_service - 1e-9
+    # Work conservation: the cluster is empty at the end.
+    assert scheme.cluster.total_outstanding() == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=512), min_size=1, max_size=40),
+    st.sampled_from([UniformLoadBalance, IntraGroupLoadBalance,
+                     InterGroupGreedy, INFaaSBinPacking]),
+)
+def test_dispatchers_never_violate_max_length(lengths, dispatcher_cls):
+    state = ClusterState.bootstrap(REGISTRY, [1, 1, 1, 1, 1, 1, 1, 1])
+    mlq = MultiLevelQueue.from_cluster(state)
+    dispatcher = dispatcher_cls(registry=REGISTRY, mlq=mlq)
+    for i, length in enumerate(lengths):
+        instance, _, _ = dispatcher.dispatch(float(i), length)
+        assert instance.max_length >= length
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=12),
+       st.integers(min_value=0, max_value=10_000))
+def test_dp_allocation_invariants(gpus, seed):
+    rng = np.random.default_rng(seed)
+    problem = AllocationProblem(
+        num_gpus=gpus,
+        demand=rng.uniform(0, 25, size=4),
+        capacity=np.array([24, 16, 11, 7]),
+        service_ms=np.array([1.0, 1.7, 2.6, 3.9]),
+    )
+    try:
+        result = solve_dp(problem)
+    except InfeasibleError:
+        return
+    alloc = result.allocation
+    # Eqs. 2, 3, 7 hold on whatever the DP returns.
+    assert alloc.sum() == gpus
+    assert alloc[-1] >= 1
+    assert np.all(alloc >= problem.lower_bounds())
+    # The reported objective matches independent re-evaluation.
+    assert result.objective == pytest.approx(problem.evaluate(alloc))
+    # Optimality is monotone in resources: one more GPU never hurts.
+    try:
+        richer = solve_dp(
+            AllocationProblem(
+                num_gpus=gpus + 1,
+                demand=problem.demand,
+                capacity=problem.capacity,
+                service_ms=problem.service_ms,
+            )
+        )
+        assert richer.objective <= result.objective + 1e-9
+    except InfeasibleError:  # pragma: no cover - more GPUs cannot infeasible
+        raise AssertionError("adding a GPU made the problem infeasible")
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_trace())
+def test_simulation_latency_stats_consistent(trace):
+    scheme = build_scheme("st", "bert-base", 2)
+    result = run_simulation(scheme, trace)
+    lat = result.latencies()
+    assert result.stats.mean_ms == pytest.approx(float(lat.mean()))
+    assert result.stats.p98_ms == pytest.approx(float(np.percentile(lat, 98)))
+    assert result.stats.max_ms == pytest.approx(float(lat.max()))

@@ -1,0 +1,50 @@
+"""The documented public API surface stays importable and coherent."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_readme_quickstart_flow():
+    arlo = repro.ArloSystem.build("bert-base", num_gpus=4)
+    decision, start, finish = arlo.handle(now_ms=0.0, length=37)
+    assert finish > start
+    arlo.complete(decision.instance.instance_id)
+    result, plan = arlo.reschedule(now_ms=120_000.0)
+    assert result.allocation.sum() == 4
+
+
+def test_readme_simulation_flow():
+    trace = repro.generate_twitter_trace(rate_per_s=100, duration_ms=5_000)
+    hint = trace.slice_time(0, 1_000)
+    result = repro.run_simulation(
+        repro.build_scheme("arlo", "bert-base", 3, trace_hint=hint), trace
+    )
+    assert result.stats.count == len(trace)
+
+
+def test_model_zoo_exposed():
+    assert set(repro.MODEL_ZOO) == {"bert-base", "bert-large", "dolly"}
+    assert repro.bert_base().slo_ms == 150.0
+    assert repro.bert_large().slo_ms == 450.0
+
+
+def test_solve_allocation_exposed():
+    problem = repro.AllocationProblem(
+        num_gpus=3,
+        demand=np.array([10.0, 5.0]),
+        capacity=np.array([10, 5]),
+        service_ms=np.array([1.0, 2.0]),
+    )
+    result = repro.solve_allocation(problem)
+    assert result.allocation.sum() == 3

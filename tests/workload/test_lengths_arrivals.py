@@ -1,0 +1,161 @@
+"""Length distributions and arrival processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.units import SECOND, seconds
+from repro.workload.arrivals import MMPPArrivals, PoissonArrivals, RateProfile
+from repro.workload.lengths import (
+    EmpiricalLengths,
+    LogNormalLengths,
+    fit_lognormal_quantiles,
+)
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+# --- length distributions ------------------------------------------------
+
+def test_quantile_fit_roundtrip():
+    mu, sigma = fit_lognormal_quantiles(21, 0.5, 72, 0.98)
+    assert np.exp(mu) == pytest.approx(21.0)
+    # p98 check: mu + z(0.98) sigma == ln 72
+    from scipy.special import ndtri
+
+    assert mu + ndtri(0.98) * sigma == pytest.approx(np.log(72.0))
+
+
+def test_quantile_fit_validation():
+    with pytest.raises(ConfigurationError):
+        fit_lognormal_quantiles(21, 0.5, 72, 0.5)
+    with pytest.raises(ConfigurationError):
+        fit_lognormal_quantiles(-1, 0.5, 72, 0.98)
+    with pytest.raises(ConfigurationError):
+        fit_lognormal_quantiles(72, 0.5, 21, 0.98)  # decreasing
+
+
+def test_lognormal_matches_twitter_quantiles():
+    dist = LogNormalLengths.from_quantiles(median=21, p98=72, max_length=125)
+    sample = dist.sample(RNG(1), 200_000)
+    assert np.median(sample) == pytest.approx(21, abs=1)
+    assert np.quantile(sample, 0.98) == pytest.approx(72, rel=0.06)
+    assert sample.max() <= 125
+    assert sample.min() >= 1
+
+
+def test_lognormal_shifted_moves_median():
+    dist = LogNormalLengths.from_quantiles(median=21, p98=72)
+    up = dist.shifted(0.3)
+    s_base = dist.sample(RNG(2), 50_000)
+    s_up = up.sample(RNG(2), 50_000)
+    assert np.median(s_up) > np.median(s_base)
+
+
+def test_lognormal_validation():
+    with pytest.raises(ConfigurationError):
+        LogNormalLengths(mu=1.0, sigma=0.0)
+    with pytest.raises(ConfigurationError):
+        LogNormalLengths(mu=1.0, sigma=1.0, min_length=0)
+    with pytest.raises(ConfigurationError):
+        LogNormalLengths.from_quantiles(median=72, p98=21)
+    dist = LogNormalLengths.from_quantiles(median=21, p98=72)
+    with pytest.raises(ConfigurationError):
+        dist.sample(RNG(), -1)
+
+
+def test_empirical_bootstrap():
+    dist = EmpiricalLengths(values=np.array([5, 5, 10]))
+    sample = dist.sample(RNG(3), 10_000)
+    assert set(np.unique(sample)) <= {5, 10}
+    assert dist.max_length == 10
+    # 5 appears with probability 2/3
+    assert np.mean(sample == 5) == pytest.approx(2 / 3, abs=0.02)
+
+
+def test_empirical_validation():
+    with pytest.raises(ConfigurationError):
+        EmpiricalLengths(values=np.array([], dtype=int))
+    with pytest.raises(ConfigurationError):
+        EmpiricalLengths(values=np.array([0]))
+
+
+# --- arrival processes ----------------------------------------------------
+
+def test_poisson_rate_and_sortedness():
+    arr = PoissonArrivals().generate(RNG(4), 1000.0, seconds(20))
+    assert np.all(np.diff(arr) >= 0)
+    assert arr.size == pytest.approx(20_000, rel=0.05)
+    assert arr.min() >= 0 and arr.max() < seconds(20)
+
+
+def test_poisson_zero_cases():
+    assert PoissonArrivals().generate(RNG(), 0.0, seconds(10)).size == 0
+    assert PoissonArrivals().generate(RNG(), 100.0, 0.0).size == 0
+    with pytest.raises(ConfigurationError):
+        PoissonArrivals().generate(RNG(), -1.0, seconds(1))
+
+
+def test_mmpp_preserves_mean_rate():
+    # Average over several seeds: one MMPP sample path has heavy
+    # count variance by design, but the ensemble mean must match.
+    rates = []
+    for seed in range(8):
+        arr = MMPPArrivals().generate(RNG(seed), 1000.0, seconds(300))
+        assert np.all(np.diff(arr) >= 0)
+        rates.append(arr.size / 300.0)
+    assert np.mean(rates) == pytest.approx(1000.0, rel=0.05)
+
+
+def test_mmpp_burstier_than_poisson():
+    """Index of dispersion of per-second counts must exceed Poisson's ~1."""
+    dur = seconds(600)
+    pois = PoissonArrivals().generate(RNG(6), 500.0, dur)
+    mmpp = MMPPArrivals().generate(RNG(6), 500.0, dur)
+    bins = np.arange(0, dur + SECOND, SECOND)
+    var_over_mean = lambda a: np.histogram(a, bins)[0].var() / np.histogram(a, bins)[0].mean()
+    assert var_over_mean(pois) < 2.0
+    assert var_over_mean(mmpp) > 3.0
+
+
+def test_mmpp_validation():
+    with pytest.raises(ConfigurationError):
+        MMPPArrivals(burst_factor=1.0)
+    with pytest.raises(ConfigurationError):
+        MMPPArrivals(calm_factor=0.0)
+    with pytest.raises(ConfigurationError):
+        MMPPArrivals(mean_burst_ms=0.0)
+
+
+def test_rate_profile_cycles_segments():
+    profile = RateProfile(
+        base=PoissonArrivals(),
+        segments=((seconds(10), 0.0), (seconds(10), 2.0)),
+    )
+    arr = profile.generate(RNG(7), 1000.0, seconds(40))
+    # Quiet segments [0,10) and [20,30) must be (nearly) empty.
+    quiet = ((arr >= 0) & (arr < seconds(10))) | (
+        (arr >= seconds(20)) & (arr < seconds(30))
+    )
+    assert quiet.sum() == 0
+    assert arr.size == pytest.approx(40_000, rel=0.1)  # mean preserved: 2x half time
+
+
+def test_rate_profile_validation():
+    with pytest.raises(ConfigurationError):
+        RateProfile(base=PoissonArrivals(), segments=())
+    with pytest.raises(ConfigurationError):
+        RateProfile(base=PoissonArrivals(), segments=((0.0, 1.0),))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.floats(min_value=10, max_value=2000))
+def test_arrivals_always_sorted_in_range(seed, rate):
+    for proc in (PoissonArrivals(), MMPPArrivals()):
+        arr = proc.generate(RNG(seed), rate, seconds(5))
+        assert np.all(np.diff(arr) >= 0)
+        if arr.size:
+            assert 0 <= arr.min() and arr.max() < seconds(5)

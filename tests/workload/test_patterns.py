@@ -1,0 +1,84 @@
+"""Extra workload patterns: diurnal rates, bimodal and Zipf lengths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import seconds
+from repro.workload.patterns import (
+    BimodalLengths,
+    DiurnalRateProfile,
+    ZipfLengths,
+)
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+def test_diurnal_mean_rate_preserved():
+    profile = DiurnalRateProfile(period_ms=seconds(60), amplitude=0.6)
+    arr = profile.generate(RNG(1), 500.0, seconds(120))  # two full periods
+    assert arr.size == pytest.approx(60_000, rel=0.05)
+    assert np.all(np.diff(arr) >= 0)
+
+
+def test_diurnal_peaks_and_troughs():
+    profile = DiurnalRateProfile(period_ms=seconds(40), amplitude=0.8)
+    arr = profile.generate(RNG(2), 1_000.0, seconds(40))
+    # First quarter contains the sine peak; third quarter the trough.
+    peak = ((arr >= 0) & (arr < seconds(10))).sum()
+    trough = ((arr >= seconds(20)) & (arr < seconds(30))).sum()
+    assert peak > 1.8 * trough
+
+
+def test_diurnal_validation():
+    with pytest.raises(ConfigurationError):
+        DiurnalRateProfile(period_ms=0)
+    with pytest.raises(ConfigurationError):
+        DiurnalRateProfile(period_ms=100, amplitude=1.0)
+    profile = DiurnalRateProfile(period_ms=seconds(10))
+    with pytest.raises(ConfigurationError):
+        profile.generate(RNG(), -1.0, 100.0)
+    assert profile.generate(RNG(), 0.0, seconds(1)).size == 0
+
+
+def test_bimodal_two_modes():
+    dist = BimodalLengths(short_mean=20, long_mean=400, long_fraction=0.3)
+    sample = dist.sample(RNG(3), 50_000)
+    short = sample[sample < 150]
+    long = sample[sample >= 150]
+    assert long.size / sample.size == pytest.approx(0.3, abs=0.02)
+    assert np.median(short) == pytest.approx(20, abs=3)
+    assert np.median(long) == pytest.approx(400, rel=0.08)
+    assert sample.max() <= dist.max_length
+    assert sample.min() >= 1
+
+
+def test_bimodal_validation():
+    with pytest.raises(ConfigurationError):
+        BimodalLengths(long_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        BimodalLengths(short_mean=100, long_mean=50)
+    with pytest.raises(ConfigurationError):
+        BimodalLengths(spread=0.0)
+    with pytest.raises(ConfigurationError):
+        BimodalLengths().sample(RNG(), -1)
+
+
+def test_zipf_heavy_tail():
+    dist = ZipfLengths(exponent=1.5, num_templates=64)
+    sample = dist.sample(RNG(4), 50_000)
+    assert sample.min() >= 1
+    assert sample.max() <= 512
+    # Heavy head: the most common template dominates.
+    assert np.median(sample) <= 16
+    # ...but the tail is populated.
+    assert (sample > 256).sum() > 0
+
+
+def test_zipf_validation():
+    with pytest.raises(ConfigurationError):
+        ZipfLengths(exponent=1.0)
+    with pytest.raises(ConfigurationError):
+        ZipfLengths(num_templates=0)
+    with pytest.raises(ConfigurationError):
+        ZipfLengths().sample(RNG(), -5)

@@ -1,0 +1,128 @@
+"""Trace statistics helpers and the generic generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.units import SECOND, seconds
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_mixture_trace,
+    generate_trace,
+    poisson_trace,
+)
+from repro.workload.lengths import EmpiricalLengths, LogNormalLengths
+from repro.workload.stats import (
+    cdf_at,
+    empirical_cdf,
+    lengths_in_windows,
+    summarize_lengths,
+    trace_rate_per_second,
+    windowed_quantiles,
+)
+from repro.workload.trace import Trace
+
+
+def test_empirical_cdf_basics():
+    x, p = empirical_cdf(np.array([3, 1, 2]))
+    assert x.tolist() == [1, 2, 3]
+    assert p.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+    with pytest.raises(TraceError):
+        empirical_cdf(np.array([]))
+
+
+def test_cdf_at_points():
+    vals = np.array([1.0, 2.0, 3.0, 4.0])
+    assert cdf_at(vals, np.array([0.0, 2.0, 10.0])).tolist() == [0.0, 0.5, 1.0]
+    with pytest.raises(TraceError):
+        cdf_at(np.array([]), np.array([1.0]))
+
+
+def test_lengths_in_windows_alignment():
+    t = Trace(np.array([0.0, 500.0, 1500.0, 2500.0]), np.array([1, 2, 3, 4]))
+    wins = lengths_in_windows(t, SECOND)
+    assert [w.tolist() for w in wins] == [[1, 2], [3], [4]]
+    with pytest.raises(TraceError):
+        lengths_in_windows(t, 0.0)
+    assert lengths_in_windows(Trace(np.empty(0), np.empty(0, int)), SECOND) == []
+
+
+def test_windowed_quantiles_nan_for_empty():
+    t = Trace(np.array([0.0, 2500.0]), np.array([10, 20]))
+    q = windowed_quantiles(t, SECOND)
+    assert q.shape[0] == 3
+    assert np.isnan(q[1]).all()
+    assert q[0, 0] == 10
+
+
+def test_trace_rate_series():
+    t = poisson_trace(
+        EmpiricalLengths(np.array([5])), rate_per_s=200.0,
+        duration_ms=seconds(30), seed=0,
+    )
+    rates = trace_rate_per_second(t)
+    assert rates.mean() == pytest.approx(200.0, rel=0.1)
+    assert trace_rate_per_second(Trace(np.empty(0), np.empty(0, int))).size == 0
+    with pytest.raises(TraceError):
+        trace_rate_per_second(t, window_ms=0)
+
+
+def test_summarize_validation():
+    with pytest.raises(TraceError):
+        summarize_lengths(Trace(np.empty(0), np.empty(0, int)))
+
+
+def test_generator_spec_validation():
+    dist = LogNormalLengths.from_quantiles(median=21, p98=72)
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(lengths=dist, arrivals=PoissonArrivals(), rate_per_s=0,
+                     duration_ms=100)
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(lengths=dist, arrivals=PoissonArrivals(), rate_per_s=10,
+                     duration_ms=0)
+    with pytest.raises(ConfigurationError):
+        generate_mixture_trace([])
+
+
+def test_mixture_superposes():
+    short = EmpiricalLengths(np.array([10]))
+    long = EmpiricalLengths(np.array([400]))
+    mix = generate_mixture_trace([
+        WorkloadSpec(short, PoissonArrivals(), 100.0, seconds(10), seed=1),
+        WorkloadSpec(long, PoissonArrivals(), 100.0, seconds(10), seed=2),
+    ])
+    assert set(np.unique(mix.length)) == {10, 400}
+    assert mix.mean_rate_per_s == pytest.approx(200.0, rel=0.15)
+
+
+def test_trace_from_per_second_counts():
+    from repro.workload.generator import trace_from_per_second_counts
+
+    counts = np.array([5, 0, 12, 3])
+    t = trace_from_per_second_counts(counts, EmpiricalLengths(np.array([9])))
+    assert len(t) == 20
+    # Exactly the requested count lands inside each second.
+    for k, c in enumerate(counts):
+        inside = ((t.arrival_ms >= k * 1000) & (t.arrival_ms < (k + 1) * 1000))
+        assert inside.sum() == c
+    with pytest.raises(ConfigurationError):
+        trace_from_per_second_counts(np.array([-1]), EmpiricalLengths(np.array([9])))
+    with pytest.raises(ConfigurationError):
+        trace_from_per_second_counts(np.array([0, 0]), EmpiricalLengths(np.array([9])))
+    with pytest.raises(ConfigurationError):
+        trace_from_per_second_counts(np.empty(0, dtype=int),
+                                     EmpiricalLengths(np.array([9])))
+
+
+def test_generate_trace_matches_spec():
+    spec = WorkloadSpec(
+        lengths=EmpiricalLengths(np.array([7])),
+        arrivals=PoissonArrivals(),
+        rate_per_s=300.0,
+        duration_ms=seconds(20),
+        seed=3,
+    )
+    t = generate_trace(spec)
+    assert np.all(t.length == 7)
+    assert t.mean_rate_per_s == pytest.approx(300.0, rel=0.1)

@@ -1,0 +1,113 @@
+"""Trace container invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.workload.trace import Request, Trace
+
+
+def make_trace(arrivals, lengths):
+    return Trace(np.asarray(arrivals, dtype=float), np.asarray(lengths))
+
+
+def test_basic_properties():
+    t = make_trace([0.0, 10.0, 1000.0], [5, 10, 20])
+    assert len(t) == 3
+    assert t.duration_ms == 1000.0
+    assert t.mean_rate_per_s == pytest.approx(3.0)
+
+
+def test_empty_trace():
+    t = make_trace([], [])
+    assert len(t) == 0
+    assert t.duration_ms == 0.0
+    assert t.mean_rate_per_s == 0.0
+
+
+def test_validation():
+    with pytest.raises(TraceError):
+        make_trace([10.0, 5.0], [1, 1])  # unsorted
+    with pytest.raises(TraceError):
+        make_trace([-1.0], [1])  # negative time
+    with pytest.raises(TraceError):
+        make_trace([0.0], [0])  # zero length
+    with pytest.raises(TraceError):
+        Trace(np.zeros((2, 2)), np.ones((2, 2), dtype=int))  # 2-D
+
+
+def test_arrays_immutable():
+    t = make_trace([0.0, 1.0], [1, 2])
+    with pytest.raises(ValueError):
+        t.arrival_ms[0] = 5.0
+
+
+def test_iteration_yields_requests():
+    t = make_trace([0.0, 1.0], [3, 4])
+    reqs = list(t)
+    assert reqs[0] == Request(0, 0.0, 3)
+    assert reqs[1].length == 4
+
+
+def test_request_validation():
+    with pytest.raises(TraceError):
+        Request(0, -1.0, 5)
+    with pytest.raises(TraceError):
+        Request(0, 0.0, 0)
+
+
+def test_slice_time_rezeroes():
+    t = make_trace([0.0, 100.0, 200.0, 300.0], [1, 2, 3, 4])
+    s = t.slice_time(100.0, 300.0)
+    assert len(s) == 2
+    assert s.arrival_ms.tolist() == [0.0, 100.0]
+    assert s.length.tolist() == [2, 3]
+    with pytest.raises(TraceError):
+        t.slice_time(10.0, 5.0)
+
+
+def test_shift():
+    t = make_trace([0.0, 1.0], [1, 1])
+    assert t.shift(10.0).arrival_ms.tolist() == [10.0, 11.0]
+    with pytest.raises(TraceError):
+        t.shift(-1.0)
+
+
+def test_scale_lengths_clips():
+    t = make_trace([0.0, 1.0, 2.0], [1, 100, 125])
+    scaled = t.scale_lengths(512 / 125, 512)
+    assert scaled.length.tolist() == [4, 410, 512]
+    assert scaled.length.min() >= 1
+    with pytest.raises(TraceError):
+        t.scale_lengths(0.0, 512)
+
+
+def test_merge_sorts():
+    a = make_trace([0.0, 10.0], [1, 2])
+    b = make_trace([5.0], [3])
+    merged = Trace.merge([a, b])
+    assert merged.arrival_ms.tolist() == [0.0, 5.0, 10.0]
+    assert merged.length.tolist() == [1, 3, 2]
+    assert len(Trace.merge([])) == 0
+
+
+def test_concat_plays_back_to_back():
+    a = make_trace([0.0, 10.0], [1, 2])
+    b = make_trace([0.0, 5.0], [3, 4])
+    cat = Trace.concat([a, b])
+    assert cat.arrival_ms.tolist() == [0.0, 10.0, 10.0, 15.0]
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50),
+    st.integers(min_value=1, max_value=512),
+)
+def test_trace_roundtrip_properties(times, length):
+    arr = np.sort(np.asarray(times))
+    t = Trace(arr, np.full(arr.size, length))
+    assert len(t) == arr.size
+    # slicing the full range preserves everything
+    s = t.slice_time(0.0, t.duration_ms + 1.0)
+    assert len(s) == len(t)

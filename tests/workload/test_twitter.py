@@ -1,0 +1,101 @@
+"""Twitter-like trace generator: Fig. 1 statistics and dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import MINUTE, SECOND, minutes, seconds
+from repro.workload.stats import summarize_lengths, windowed_quantiles
+from repro.workload.twitter import (
+    RECALIBRATION_FACTOR,
+    TwitterTraceConfig,
+    generate_twitter_trace,
+    three_bursty_traces,
+)
+
+
+@pytest.fixture(scope="module")
+def raw_trace():
+    return generate_twitter_trace(
+        TwitterTraceConfig(
+            rate_per_s=500.0,
+            duration_ms=minutes(10),
+            recalibrate_to_512=False,
+            seed=42,
+        )
+    )
+
+
+def test_fig1_quantiles_raw(raw_trace):
+    stats = summarize_lengths(raw_trace)
+    # Paper Fig. 1a: median 21 tokens, p98 at 72, max ~125.
+    assert stats["median"] == pytest.approx(21, abs=2)
+    assert stats["p98"] == pytest.approx(72, rel=0.15)
+    assert stats["max"] <= 125
+
+
+def test_recalibrated_trace_spans_512():
+    trace = generate_twitter_trace(
+        rate_per_s=500.0, duration_ms=minutes(5), seed=42
+    )
+    stats = summarize_lengths(trace)
+    assert stats["max"] <= 512
+    assert stats["max"] > 256  # actually uses the upper range
+    assert stats["median"] == pytest.approx(21 * RECALIBRATION_FACTOR, rel=0.15)
+
+
+def test_long_term_stable_short_term_noisy(raw_trace):
+    """Fig. 1 / §3.2: minute-scale medians agree; second-scale p98 varies."""
+    minute_q = windowed_quantiles(raw_trace, MINUTE)
+    second_q = windowed_quantiles(raw_trace.slice_time(0, seconds(30)), SECOND)
+    minute_medians = minute_q[:, 0]
+    second_p98 = second_q[:, 1]
+    assert np.nanstd(minute_medians) < 4.0  # stable long-term median
+    # short-term p98 must fluctuate more than the long-term median does
+    assert np.nanstd(second_p98) > np.nanstd(minute_q[:, 1]) * 0.5
+    assert np.nanstd(second_p98) > 2.0
+
+
+def test_rate_matches_request(raw_trace):
+    assert raw_trace.mean_rate_per_s == pytest.approx(500.0, rel=0.05)
+
+
+def test_bursty_pattern_runs():
+    trace = generate_twitter_trace(
+        rate_per_s=800.0, duration_ms=minutes(2), pattern="bursty", seed=9
+    )
+    assert trace.mean_rate_per_s == pytest.approx(800.0, rel=0.25)
+
+
+def test_determinism_by_seed():
+    a = generate_twitter_trace(rate_per_s=100.0, duration_ms=seconds(30), seed=5)
+    b = generate_twitter_trace(rate_per_s=100.0, duration_ms=seconds(30), seed=5)
+    c = generate_twitter_trace(rate_per_s=100.0, duration_ms=seconds(30), seed=6)
+    assert np.array_equal(a.arrival_ms, b.arrival_ms)
+    assert np.array_equal(a.length, b.length)
+    assert not np.array_equal(a.length, c.length)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        TwitterTraceConfig(rate_per_s=0.0)
+    with pytest.raises(ConfigurationError):
+        TwitterTraceConfig(pattern="chaotic")
+    with pytest.raises(ConfigurationError):
+        TwitterTraceConfig(drift_rho=1.0)
+    with pytest.raises(ConfigurationError):
+        generate_twitter_trace(TwitterTraceConfig(), rate_per_s=5.0)
+
+
+def test_three_bursty_traces_distinct():
+    # Drift acts per minute, so the traces must span several minutes
+    # for the distinction to be observable.
+    traces = three_bursty_traces(rate_per_s=150.0, duration_ms=minutes(6))
+    assert len(traces) == 3
+    assert len({len(t) for t in traces}) > 1
+    # Third trace has the weakest per-minute drift by construction.
+    drift = [
+        np.nanstd(windowed_quantiles(t, MINUTE)[:, 0]) for t in traces
+    ]
+    assert drift[2] == min(drift)
+    assert drift[2] < 0.5 * max(drift)
