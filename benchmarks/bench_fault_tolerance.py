@@ -1,19 +1,58 @@
-"""Extension — serving under instance failures (§1's motivation).
+"""Extension — serving under graded faults (§1's motivation).
 
 Not a paper figure: the paper motivates the Request Scheduler with
 "idiosyncratic factors such as failures" but never evaluates them. We
-inject instance crashes into a bursty run and check that (a) Arlo's
-demotion-based dispatch degrades more gracefully than ILB (which keeps
-queueing on the reduced ideal level), and (b) every lost request is
-re-served.
+inject a mixed-grade fault plan (crashes + stragglers + a control-plane
+solver failure) into a bursty run with the resilience subsystem active
+and check that (a) Arlo's demotion-based dispatch degrades more
+gracefully than ILB (which keeps queueing on the reduced ideal level),
+(b) every lost request is re-served, and (c) the circuit breaker /
+retry / admission counters land in ``benchmarks/out/fault_tolerance.json``.
 """
 
 from benchmarks.conftest import bench_scale, run_once
 from repro.baselines.schemes import build_scheme
-from repro.sim.faults import FailurePlan
+from repro.core.arlo import ArloSystem
+from repro.core.runtime_scheduler import RuntimeSchedulerConfig
+from repro.errors import AdmissionError
+from repro.resilience.admission import AdmissionConfig
+from repro.resilience.manager import ResilienceConfig
+from repro.serve import ArloServer
+from repro.sim.faults import FaultPlan
 from repro.sim.simulation import SimulationConfig, run_simulation
 from repro.units import seconds
 from repro.workload.twitter import generate_twitter_trace
+
+RESILIENCE_KEYS = (
+    "failures", "requests_lost", "slowdowns", "blackouts", "timeouts",
+    "retries", "retry_budget_exhausted", "quarantines", "breaker_trips",
+    "breaker_recoveries", "quarantine_violations",
+    "solver_faults_injected", "solver_fallbacks",
+)
+
+
+def _admission_segment() -> dict:
+    """A short overload burst against the live server: how many requests
+    does deadline-aware admission shed instead of queueing unboundedly?"""
+    arlo = ArloSystem.build("bert-base", num_gpus=2)
+    server = ArloServer(
+        arlo, admission=AdmissionConfig(deadline_ms=seconds(2))
+    )
+    length = arlo.registry.max_length
+    submitted = 0
+    for _ in range(2_000):
+        try:
+            server.submit(length)
+            submitted += 1
+        except AdmissionError:
+            pass
+    server.drain()
+    return {
+        "offered": 2_000,
+        "admitted": submitted,
+        "shed": server.stats.shed,
+        "shed_by_reason": dict(server.shed_counts),
+    }
 
 
 def _run(scale: float):
@@ -23,22 +62,32 @@ def _run(scale: float):
         seed=91, drift_scale=0.12,
     )
     hint = trace.slice_time(0, seconds(5))
-    plan = FailurePlan.random(count=3, horizon_ms=seconds(30), seed=7,
-                              recovery_ms=seconds(4))
-    out = {}
+    plan = FaultPlan.chaos(
+        horizon_ms=seconds(30), crashes=3, slowdowns=2, blackouts=1,
+        solver_faults=1, seed=7, recovery_ms=seconds(4),
+    )
+    out = {"fault_plan": plan.counts()}
     for name in ("arlo", "arlo-ilb"):
-        scheme = build_scheme(name, "bert-base", gpus, trace_hint=hint)
+        # Period << trace duration so reschedules (and the injected
+        # solver fault) actually fire within the 30 s run.
+        scheme = build_scheme(
+            name, "bert-base", gpus, trace_hint=hint,
+            runtime_scheduler_config=RuntimeSchedulerConfig(
+                period_ms=seconds(10)
+            ),
+        )
         res = run_simulation(
             scheme, trace,
-            SimulationConfig(warmup_ms=seconds(2), failures=plan),
+            SimulationConfig(warmup_ms=seconds(2), failures=plan,
+                             resilience=ResilienceConfig()),
         )
         out[name] = {
             "mean_ms": res.mean_ms,
             "p98_ms": res.p98_ms,
             "requests": res.stats.count,
-            "failures": res.control_stats["failures"],
-            "requests_lost": res.control_stats["requests_lost"],
+            **{k: res.control_stats[k] for k in RESILIENCE_KEYS},
         }
+    out["admission"] = _admission_segment()
     return out
 
 
@@ -47,7 +96,12 @@ def test_fault_tolerance(benchmark, record):
     record("fault_tolerance", data)
     arlo, ilb = data["arlo"], data["arlo-ilb"]
     assert arlo["failures"] == 3
-    # Everything is served despite lost work.
+    assert arlo["slowdowns"] == 2
+    assert arlo["solver_fallbacks"] >= 1
+    # Everything is served despite lost work, and quarantine is airtight.
     assert arlo["requests"] == ilb["requests"]
+    assert arlo["quarantine_violations"] == 0
     # Demotion degrades no worse than padding-minimal dispatch.
     assert arlo["mean_ms"] <= 1.1 * ilb["mean_ms"]
+    # The overload segment actually shed work at admission.
+    assert data["admission"]["shed"] > 0

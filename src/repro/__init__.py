@@ -47,6 +47,19 @@ from repro.multistream import (
     StreamInput,
     run_multistream,
 )
+from repro.errors import AdmissionError
+from repro.resilience import (
+    AdmissionConfig,
+    BreakerConfig,
+    CircuitBreaker,
+    HealthConfig,
+    HealthMonitor,
+    Rejection,
+    RejectionReason,
+    ResilienceConfig,
+    ResilienceManager,
+    RetryPolicy,
+)
 from repro.serve import ArloServer, VirtualClock, WallClock
 from repro.sim import (
     SimulationConfig,
@@ -63,18 +76,29 @@ __version__ = "1.0.0"
 
 __all__ = [
     "MODEL_ZOO",
+    "AdmissionConfig",
+    "AdmissionError",
     "AllocationProblem",
     "ArloConfig",
     "ArloRequestScheduler",
     "ArloServer",
     "ArloSystem",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "HealthConfig",
+    "HealthMonitor",
     "MultiStreamConfig",
     "StreamInput",
     "VirtualClock",
     "WallClock",
     "ModelProfile",
     "OfflineProfiler",
+    "Rejection",
+    "RejectionReason",
     "RequestSchedulerConfig",
+    "ResilienceConfig",
+    "ResilienceManager",
+    "RetryPolicy",
     "RuntimeRegistry",
     "RuntimeScheduler",
     "RuntimeSchedulerConfig",

@@ -22,6 +22,8 @@ class InstanceStatus(enum.Enum):
     ACTIVE = "active"
     #: Finishing outstanding work; accepts no new requests (replacement).
     DRAINING = "draining"
+    #: Temporarily unresponsive (transient blackout); rejoins later.
+    SUSPENDED = "suspended"
     #: Gone — kept only so stale references fail loudly.
     RETIRED = "retired"
 
@@ -39,6 +41,10 @@ class RuntimeInstance:
     busy_until_ms: float = 0.0
     #: Cumulative requests served (report metric).
     served: int = 0
+    #: Service-time multiplier while degraded (straggler fault); 1.0 =
+    #: healthy. Scheduling still uses the profiled nominal time — only
+    #: the health monitor can tell a slowed instance apart.
+    slow_factor: float = 1.0
     _epoch: int = field(default=0, repr=False)
 
     @property
@@ -76,7 +82,9 @@ class RuntimeInstance:
                 f"length {length} > max_length {self.max_length} "
                 f"on instance {self.instance_id}"
             )
-        service = self.profile.runtime.service_ms(length) + self.profile.overhead_ms
+        service = (
+            self.profile.runtime.service_ms(length) + self.profile.overhead_ms
+        ) * self.slow_factor
         start = max(now_ms, self.busy_until_ms)
         finish = start + service
         self.busy_until_ms = finish
@@ -124,6 +132,35 @@ class RuntimeInstance:
         self.status = InstanceStatus.RETIRED
         self._epoch += 1
         return lost
+
+    def suspend(self) -> int:
+        """Transient blackout: stop serving, time out outstanding work.
+
+        Returns the number of requests timed out (the caller retries
+        them elsewhere). Unlike :meth:`crash`, the instance keeps its
+        GPU and identity and rejoins via :meth:`resume`.
+        """
+        if self.status is not InstanceStatus.ACTIVE:
+            raise SchedulingError(
+                f"cannot suspend instance {self.instance_id} "
+                f"({self.status.value})"
+            )
+        lost = self.outstanding
+        self.outstanding = 0
+        self.busy_until_ms = 0.0
+        self.status = InstanceStatus.SUSPENDED
+        self._epoch += 1
+        return lost
+
+    def resume(self) -> None:
+        """End a blackout: the instance may serve again."""
+        if self.status is not InstanceStatus.SUSPENDED:
+            raise SchedulingError(
+                f"cannot resume instance {self.instance_id} "
+                f"({self.status.value})"
+            )
+        self.status = InstanceStatus.ACTIVE
+        self._epoch += 1
 
     def drained(self) -> bool:
         """True once a draining instance has finished all its work."""

@@ -156,4 +156,6 @@ class ArloSystem:
             "outstanding": self.cluster.total_outstanding(),
             "gpus": self.cluster.num_gpus,
             "dispatch": self.request_scheduler.stats(),
+            "solver_fallbacks": self.runtime_scheduler.solver_fallbacks,
+            "solver_incidents": len(self.runtime_scheduler.incidents),
         }

@@ -14,6 +14,7 @@ no candidate passes, the request falls back to the head of its ideal
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.cluster.instance import RuntimeInstance
 from repro.core.mlq import MultiLevelQueue
@@ -60,10 +61,16 @@ class ArloRequestScheduler:
     registry: RuntimeRegistry
     mlq: MultiLevelQueue
     config: RequestSchedulerConfig = field(default_factory=RequestSchedulerConfig)
+    #: Health gate (circuit breaker): when set, a head instance the gate
+    #: rejects is treated as absent — the level is skipped without
+    #: consuming a peek. Wired by the resilience subsystem; None = no
+    #: gating (every MLQ member is dispatchable).
+    gate: Callable[[RuntimeInstance], bool] | None = None
     #: Dispatch counters for the deep-dive reports.
     dispatched: int = 0
     demotions: int = 0
     fallbacks: int = 0
+    gated: int = 0
 
     def __post_init__(self) -> None:
         if len(self.mlq) != len(self.registry):
@@ -90,6 +97,9 @@ class ArloRequestScheduler:
                 break
             head = self.mlq.head(level)
             if head is None:
+                continue
+            if self.gate is not None and not self.gate(head):
+                self.gated += 1
                 continue
             if first_nonempty is None:
                 first_nonempty = (level, head)
@@ -142,4 +152,5 @@ class ArloRequestScheduler:
             "dispatched": float(self.dispatched),
             "demotion_rate": self.demotions / d,
             "fallback_rate": self.fallbacks / d,
+            "gated": float(self.gated),
         }

@@ -22,9 +22,18 @@ from repro.cluster.replacement import ReplacementPlan, plan_replacement
 from repro.cluster.state import ClusterState
 from repro.core.allocation import AllocationProblem, AllocationResult, solve_allocation
 from repro.core.demand import DemandEstimator
-from repro.errors import ConfigurationError, InfeasibleError
+from repro.errors import ConfigurationError, InfeasibleError, SolverError
 from repro.runtimes.registry import RuntimeRegistry
 from repro.units import SECOND
+
+
+@dataclass(frozen=True)
+class SolverIncident:
+    """One survived solver failure: when, why, what was held."""
+
+    time_ms: float
+    error: str
+    held_allocation: tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -51,6 +60,19 @@ class RuntimeScheduler:
     config: RuntimeSchedulerConfig = field(default_factory=RuntimeSchedulerConfig)
     #: History of (time, demand, allocation) decisions, for Fig. 12.
     history: list[tuple[float, np.ndarray, np.ndarray]] = field(default_factory=list)
+    #: Survived solver failures (graceful degradation, see :meth:`step`).
+    incidents: list[SolverIncident] = field(default_factory=list)
+    #: Count of periods served by the hold-allocation fallback.
+    solver_fallbacks: int = 0
+    #: Pending injected failures (chaos testing), see
+    #: :meth:`inject_solver_failures`.
+    _forced_failures: int = field(default=0, repr=False)
+
+    def inject_solver_failures(self, count: int = 1) -> None:
+        """Make the next ``count`` solves raise (fault injection)."""
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        self._forced_failures += count
 
     def decide(self, now_ms: float, num_gpus: int) -> AllocationResult:
         """Solve the allocation for the current demand estimate.
@@ -59,6 +81,9 @@ class RuntimeScheduler:
         provisioned GPUs (the autoscaler, not this solver, fixes
         sustained overload).
         """
+        if self._forced_failures > 0:
+            self._forced_failures -= 1
+            raise SolverError("injected solver failure (fault plan)")
         demand = self.estimator.demand(now_ms)
         problem = AllocationProblem.from_profiles(
             num_gpus=num_gpus, demand=demand, profiles=list(self.registry)
@@ -88,22 +113,40 @@ class RuntimeScheduler:
             # Zero demand makes every allocation optimal (cost 0); keep
             # the current deployment instead of churning replacements
             # toward an arbitrary tie-broken optimum.
-            current = state.allocation()
-            result = AllocationResult(
-                allocation=current,
-                objective=0.0,
-                solver="hold",
-                solve_time_s=0.0,
-            )
-            self.history.append(
-                (now_ms, self.estimator.demand(now_ms), current.copy())
-            )
-            return result, plan_replacement(state, current)
-        result = self.decide(now_ms, deployable)
+            return self._hold(now_ms, state, solver="hold")
+        try:
+            result = self.decide(now_ms, deployable)
+        except SolverError as exc:
+            # Graceful degradation: a broken control plane must never
+            # take the data plane down. Keep serving on the previous
+            # allocation and record the incident for the operators.
+            self.solver_fallbacks += 1
+            self.incidents.append(SolverIncident(
+                time_ms=now_ms,
+                error=f"{type(exc).__name__}: {exc}",
+                held_allocation=tuple(int(n) for n in state.allocation()),
+            ))
+            return self._hold(now_ms, state, solver="fallback-hold")
         plan = plan_replacement(
             state, result.allocation, batch_size=self.config.replacement_batch_size
         )
         return result, plan
+
+    def _hold(
+        self, now_ms: float, state: ClusterState, solver: str
+    ) -> tuple[AllocationResult, ReplacementPlan]:
+        """Keep the current deployment (zero demand or solver failure)."""
+        current = state.allocation()
+        result = AllocationResult(
+            allocation=current,
+            objective=0.0,
+            solver=solver,
+            solve_time_s=0.0,
+        )
+        self.history.append(
+            (now_ms, self.estimator.demand(now_ms), current.copy())
+        )
+        return result, plan_replacement(state, current)
 
     def allocation_timeline(self) -> tuple[np.ndarray, np.ndarray]:
         """(times, allocations) from the decision history (Fig. 12 series)."""

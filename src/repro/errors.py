@@ -36,6 +36,19 @@ class CapacityError(SchedulingError):
     """A request cannot be served by any deployed runtime."""
 
 
+class AdmissionError(SchedulingError):
+    """A request was shed at admission; carries the typed rejection.
+
+    ``rejection`` is a :class:`repro.resilience.admission.Rejection`
+    describing why (unservable length, no active runtime, or a missed
+    deadline on every candidate level).
+    """
+
+    def __init__(self, rejection) -> None:
+        super().__init__(str(rejection))
+        self.rejection = rejection
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 

@@ -1,0 +1,54 @@
+"""Resilience subsystem: surviving the failures the paper only motivates.
+
+The paper justifies the Request Scheduler with "idiosyncratic factors
+such as failures and bugs [that] lead to imbalanced load even across
+instances of the same runtime" (§1) but never models them. This package
+supplies the machinery a production deployment needs on top of the two
+schedulers:
+
+- :mod:`repro.resilience.health` — per-instance health signals: an EWMA
+  service-time-inflation detector plus a consecutive-timeout counter;
+- :mod:`repro.resilience.breaker` — a per-instance circuit breaker
+  (closed → open → half-open) that quarantines degraded instances out
+  of the multi-level queue and probes them back in;
+- :mod:`repro.resilience.retry` — exponential backoff with
+  deterministic jitter and a bounded retry budget for lost or
+  timed-out requests;
+- :mod:`repro.resilience.admission` — deadline-aware admission control
+  returning typed :class:`Rejection` objects instead of queueing
+  unboundedly;
+- :mod:`repro.resilience.manager` — the :class:`ResilienceManager`
+  gluing health signals to breaker actions against a
+  :class:`~repro.core.mlq.MultiLevelQueue`.
+
+See ``docs/RESILIENCE.md`` for the fault taxonomy and the breaker
+state machine.
+"""
+
+from repro.resilience.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Rejection,
+    RejectionReason,
+)
+from repro.resilience.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.resilience.health import HealthConfig, HealthMonitor, InstanceHealth
+from repro.resilience.manager import ResilienceConfig, ResilienceManager
+from repro.resilience.retry import RetryBudget, RetryPolicy
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "HealthConfig",
+    "HealthMonitor",
+    "InstanceHealth",
+    "Rejection",
+    "RejectionReason",
+    "ResilienceConfig",
+    "ResilienceManager",
+    "RetryBudget",
+    "RetryPolicy",
+]

@@ -1,0 +1,141 @@
+"""Deadline-aware admission control for the live serving surface.
+
+:class:`ArloServer.submit` queues unboundedly by construction — every
+instance is an infinite FIFO. Under sustained overload that turns into
+latencies no caller will wait for. The admission controller sheds load
+instead: before dispatch it estimates the best achievable completion
+across the request's candidate levels (the head instance's backlog
+plus the nominal service time) and rejects with a typed
+:class:`Rejection` when even the best candidate would miss the
+deadline. Unservable lengths — above the largest deployed runtime —
+come back through the same typed surface instead of a raw
+:class:`~repro.errors.CapacityError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.mlq import MultiLevelQueue
+from repro.errors import ConfigurationError
+from repro.runtimes.registry import RuntimeRegistry
+
+
+class RejectionReason(enum.Enum):
+    """Why a request was shed at admission."""
+
+    #: The request exceeds the largest runtime's ``max_length``.
+    UNSERVABLE_LENGTH = "unservable_length"
+    #: No candidate level currently has an active instance.
+    NO_ACTIVE_RUNTIME = "no_active_runtime"
+    #: Every candidate level is saturated past the deadline.
+    DEADLINE_UNMET = "deadline_unmet"
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Typed shed record handed to the caller (one failure surface)."""
+
+    reason: RejectionReason
+    length: int
+    deadline_ms: float | None = None
+    #: Best achievable wait across candidates (DEADLINE_UNMET only).
+    expected_wait_ms: float | None = None
+    message: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.message or self.reason.value
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Deadline policy for :class:`AdmissionController`."""
+
+    #: Default per-request deadline as a multiple of the model SLO.
+    deadline_factor: float = 4.0
+    #: Absolute default deadline; overrides ``deadline_factor``.
+    deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_factor <= 0:
+            raise ConfigurationError("deadline factor must be positive")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ConfigurationError("deadline must be positive")
+
+
+@dataclass
+class AdmissionController:
+    """Shed-or-admit decision over the multi-level queue."""
+
+    registry: RuntimeRegistry
+    mlq: MultiLevelQueue
+    slo_ms: float
+    config: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: Sheds by reason value (exported into server snapshots).
+    shed_counts: dict[str, int] = field(default_factory=dict)
+
+    def default_deadline_ms(self) -> float:
+        if self.config.deadline_ms is not None:
+            return self.config.deadline_ms
+        return self.config.deadline_factor * self.slo_ms
+
+    def check(
+        self, now_ms: float, length: int, deadline_ms: float | None = None
+    ) -> Rejection | None:
+        """Return a :class:`Rejection` to shed, or None to admit."""
+        deadline = deadline_ms if deadline_ms is not None else (
+            self.default_deadline_ms()
+        )
+        if length <= 0 or length > self.registry.max_length:
+            return self._shed(Rejection(
+                reason=RejectionReason.UNSERVABLE_LENGTH,
+                length=length,
+                message=(
+                    f"length {length} outside the servable range "
+                    f"(1..{self.registry.max_length})"
+                ),
+            ))
+        best_wait: float | None = None
+        for level in self.registry.candidate_indexes(length):
+            head = self.mlq.head(level)
+            if head is None:
+                continue
+            profile = head.profile
+            wait = (
+                max(head.busy_until_ms - now_ms, 0.0)
+                + profile.runtime.service_ms(length)
+                + profile.overhead_ms
+            )
+            if best_wait is None or wait < best_wait:
+                best_wait = wait
+        if best_wait is None:
+            return self._shed(Rejection(
+                reason=RejectionReason.NO_ACTIVE_RUNTIME,
+                length=length,
+                deadline_ms=deadline,
+                message=(
+                    f"no active instance can serve length {length} right now"
+                ),
+            ))
+        if best_wait > deadline:
+            return self._shed(Rejection(
+                reason=RejectionReason.DEADLINE_UNMET,
+                length=length,
+                deadline_ms=deadline,
+                expected_wait_ms=best_wait,
+                message=(
+                    f"best expected completion {best_wait:.1f} ms misses the "
+                    f"{deadline:.1f} ms deadline on every candidate level"
+                ),
+            ))
+        return None
+
+    def _shed(self, rejection: Rejection) -> Rejection:
+        key = rejection.reason.value
+        self.shed_counts[key] = self.shed_counts.get(key, 0) + 1
+        return rejection
+
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed_counts.values())

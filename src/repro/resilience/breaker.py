@@ -1,0 +1,114 @@
+"""Per-instance circuit breaker: closed → open → half-open.
+
+The breaker answers one question for the dispatch path: *may traffic
+flow to this instance right now?* State machine:
+
+- **CLOSED** — healthy; traffic flows. A trip (from the health
+  monitor) opens the breaker.
+- **OPEN** — quarantined; the instance is removed from the multi-level
+  queue and receives no dispatches. After ``open_ms`` (doubling on
+  every consecutive trip, capped at ``max_open_ms``) the breaker moves
+  to half-open.
+- **HALF_OPEN** — probing; the instance rejoins the queue but the
+  dispatch gate admits at most ``half_open_max_inflight`` concurrent
+  requests. ``close_after`` consecutive healthy completions close the
+  breaker; a single unhealthy one re-opens it with a longer window.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.units import SECOND
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Quarantine and probe timing."""
+
+    #: Base quarantine window after a trip.
+    open_ms: float = 2 * SECOND
+    #: Window multiplier per consecutive trip (exponential backoff).
+    backoff_multiplier: float = 2.0
+    #: Ceiling on the quarantine window.
+    max_open_ms: float = 30 * SECOND
+    #: Consecutive healthy probe completions required to close.
+    close_after: int = 3
+    #: Concurrent requests the dispatch gate admits while half-open.
+    half_open_max_inflight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.open_ms <= 0:
+            raise ConfigurationError("open window must be positive")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+        if self.max_open_ms < self.open_ms:
+            raise ConfigurationError("max_open_ms must be >= open_ms")
+        if self.close_after < 1:
+            raise ConfigurationError("close_after must be >= 1")
+        if self.half_open_max_inflight < 1:
+            raise ConfigurationError("half_open_max_inflight must be >= 1")
+
+
+@dataclass
+class CircuitBreaker:
+    """Breaker state for one runtime instance."""
+
+    config: BreakerConfig = field(default_factory=BreakerConfig)
+    state: BreakerState = BreakerState.CLOSED
+    open_until_ms: float = 0.0
+    consecutive_trips: int = 0
+    _probe_successes: int = 0
+    #: Lifetime counters (exported into ``control_stats``).
+    trips: int = 0
+    recoveries: int = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self.state is BreakerState.OPEN
+
+    @property
+    def is_half_open(self) -> bool:
+        return self.state is BreakerState.HALF_OPEN
+
+    def trip(self, now_ms: float) -> float:
+        """Open the breaker; returns the time the probe window starts."""
+        window = min(
+            self.config.open_ms
+            * self.config.backoff_multiplier ** self.consecutive_trips,
+            self.config.max_open_ms,
+        )
+        self.state = BreakerState.OPEN
+        self.open_until_ms = now_ms + window
+        self.consecutive_trips += 1
+        self._probe_successes = 0
+        self.trips += 1
+        return self.open_until_ms
+
+    def begin_probe(self) -> None:
+        """OPEN → HALF_OPEN once the quarantine window elapsed."""
+        if self.state is not BreakerState.OPEN:
+            raise SchedulingError("only an open breaker can begin probing")
+        self.state = BreakerState.HALF_OPEN
+        self._probe_successes = 0
+
+    def record_probe(self, healthy: bool) -> BreakerState:
+        """Feed one half-open completion; returns the resulting state."""
+        if self.state is not BreakerState.HALF_OPEN:
+            raise SchedulingError("probe result outside half-open state")
+        if not healthy:
+            return self.state  # caller trips again with backoff
+        self._probe_successes += 1
+        if self._probe_successes >= self.config.close_after:
+            self.state = BreakerState.CLOSED
+            self.consecutive_trips = 0
+            self.recoveries += 1
+        return self.state

@@ -1,0 +1,112 @@
+"""Per-instance health signals feeding the circuit breaker.
+
+Two detectors, matching the two ways an instance degrades in practice:
+
+- **Latency deviation** — an EWMA of the *service-time inflation
+  ratio*: observed service time over the profiled nominal service time
+  for the same request length. A healthy instance hovers around 1.0
+  (profiling noise aside); a straggler running at a 2× latency
+  multiplier converges to 2.0 within a few samples. The ratio is used
+  instead of raw latency so queueing delay — which legitimately varies
+  with load — never triggers the detector.
+- **Consecutive timeouts** — requests that never came back (blackouts,
+  hangs). A few in a row mark the instance unhealthy immediately; a
+  single timeout amid successes does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Detector thresholds (defaults sized for the simulator's noise)."""
+
+    #: EWMA smoothing for the inflation ratio (1.0 = last sample only).
+    ewma_alpha: float = 0.3
+    #: EWMA inflation ratio above which an instance is unhealthy.
+    deviation_threshold: float = 1.5
+    #: Samples required before the deviation detector may fire
+    #: (profiling noise makes single-sample verdicts unreliable).
+    min_samples: int = 5
+    #: Consecutive timeouts that mark an instance unhealthy.
+    timeout_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError("ewma_alpha must be in (0, 1]")
+        if self.deviation_threshold <= 1.0:
+            raise ConfigurationError("deviation threshold must exceed 1.0")
+        if self.min_samples < 1:
+            raise ConfigurationError("min_samples must be >= 1")
+        if self.timeout_threshold < 1:
+            raise ConfigurationError("timeout_threshold must be >= 1")
+
+
+@dataclass
+class InstanceHealth:
+    """Rolling health state of one runtime instance."""
+
+    ewma_ratio: float = 1.0
+    samples: int = 0
+    consecutive_timeouts: int = 0
+
+    def observe(self, ratio: float, alpha: float) -> None:
+        self.ewma_ratio += alpha * (ratio - self.ewma_ratio)
+        self.samples += 1
+        self.consecutive_timeouts = 0
+
+    def timeout(self) -> None:
+        self.consecutive_timeouts += 1
+
+
+@dataclass
+class HealthMonitor:
+    """EWMA latency-deviation / consecutive-timeout detector."""
+
+    config: HealthConfig = field(default_factory=HealthConfig)
+    _instances: dict[int, InstanceHealth] = field(default_factory=dict)
+
+    def health(self, instance_id: int) -> InstanceHealth:
+        state = self._instances.get(instance_id)
+        if state is None:
+            state = self._instances[instance_id] = InstanceHealth()
+        return state
+
+    def observe(self, instance_id: int, ratio: float) -> bool:
+        """Record one completed request's inflation ratio.
+
+        Returns True when the instance is now considered unhealthy.
+        """
+        if ratio < 0:
+            raise ConfigurationError("inflation ratio cannot be negative")
+        state = self.health(instance_id)
+        state.observe(ratio, self.config.ewma_alpha)
+        return self.is_unhealthy(instance_id)
+
+    def record_timeout(self, instance_id: int) -> bool:
+        """Record one timed-out request; returns the unhealthy verdict."""
+        self.health(instance_id).timeout()
+        return self.is_unhealthy(instance_id)
+
+    def is_unhealthy(self, instance_id: int) -> bool:
+        state = self._instances.get(instance_id)
+        if state is None:
+            return False
+        if state.consecutive_timeouts >= self.config.timeout_threshold:
+            return True
+        return (
+            state.samples >= self.config.min_samples
+            and state.ewma_ratio > self.config.deviation_threshold
+        )
+
+    def is_sample_healthy(self, ratio: float) -> bool:
+        """Single-sample verdict used for half-open probe results."""
+        return ratio <= self.config.deviation_threshold
+
+    def reset(self, instance_id: int) -> None:
+        """Forget an instance's history (breaker closed, or it is gone)."""
+        self._instances.pop(instance_id, None)

@@ -1,0 +1,161 @@
+"""Glue between health signals, circuit breakers and the MLQ.
+
+The :class:`ResilienceManager` owns one :class:`CircuitBreaker` per
+instance (created lazily on the first signal) and translates health
+verdicts into queue membership: a tripped breaker removes the instance
+from the :class:`~repro.core.mlq.MultiLevelQueue` (quarantine — the
+dispatchers simply never see it), and the probe window re-adds it under
+the half-open dispatch gate. The manager owns no clock and schedules
+nothing: methods that start a quarantine return the time the probe
+window opens, and the caller (the simulator, or a live control loop)
+arranges to call :meth:`on_probe_window` then.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.instance import RuntimeInstance
+from repro.core.mlq import MultiLevelQueue
+from repro.resilience.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.resilience.health import HealthConfig, HealthMonitor
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Bundled detector + breaker knobs (one object to thread around)."""
+
+    health: HealthConfig = field(default_factory=HealthConfig)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+
+
+@dataclass
+class ResilienceManager:
+    """Health-driven quarantine over a multi-level queue."""
+
+    config: ResilienceConfig
+    mlq: MultiLevelQueue
+    monitor: HealthMonitor = field(init=False)
+    _breakers: dict[int, CircuitBreaker] = field(default_factory=dict)
+    #: Counters surviving breaker garbage-collection (control_stats).
+    quarantines: int = 0
+    breaker_trips: int = 0
+    breaker_recoveries: int = 0
+
+    def __post_init__(self) -> None:
+        self.monitor = HealthMonitor(config=self.config.health)
+
+    # -- queries -----------------------------------------------------------
+    def breaker_for(self, instance_id: int) -> CircuitBreaker:
+        breaker = self._breakers.get(instance_id)
+        if breaker is None:
+            breaker = CircuitBreaker(config=self.config.breaker)
+            self._breakers[instance_id] = breaker
+        return breaker
+
+    def state_of(self, instance_id: int) -> BreakerState:
+        breaker = self._breakers.get(instance_id)
+        return breaker.state if breaker else BreakerState.CLOSED
+
+    def is_quarantined(self, instance_id: int) -> bool:
+        """True while the instance's breaker is OPEN (no traffic)."""
+        breaker = self._breakers.get(instance_id)
+        return breaker is not None and breaker.is_open
+
+    def allow_dispatch(self, instance: RuntimeInstance) -> bool:
+        """Dispatch gate consulted by the request scheduler."""
+        breaker = self._breakers.get(instance.instance_id)
+        if breaker is None or breaker.state is BreakerState.CLOSED:
+            return True
+        if breaker.is_open:
+            return False
+        return (
+            instance.outstanding < self.config.breaker.half_open_max_inflight
+        )
+
+    # -- signals -----------------------------------------------------------
+    def on_service_sample(
+        self, now_ms: float, instance: RuntimeInstance, ratio: float
+    ) -> float | None:
+        """Feed one completion's service-inflation ratio.
+
+        Returns the probe-window start time when this sample tripped
+        (or re-tripped) the breaker, else None.
+        """
+        breaker = self._breakers.get(instance.instance_id)
+        if breaker is not None and breaker.is_half_open:
+            healthy = self.monitor.is_sample_healthy(ratio)
+            state = breaker.record_probe(healthy)
+            if not healthy:
+                return self._quarantine(now_ms, instance)
+            if state is BreakerState.CLOSED:
+                self.breaker_recoveries += 1
+                self.monitor.reset(instance.instance_id)
+            return None
+        unhealthy = self.monitor.observe(instance.instance_id, ratio)
+        if unhealthy and (breaker is None or not breaker.is_open):
+            return self._quarantine(now_ms, instance)
+        return None
+
+    def on_timeouts(
+        self, now_ms: float, instance: RuntimeInstance, count: int = 1
+    ) -> float | None:
+        """Feed ``count`` timed-out requests for one instance."""
+        breaker = self._breakers.get(instance.instance_id)
+        if breaker is not None and breaker.is_half_open:
+            breaker.record_probe(False)
+            return self._quarantine(now_ms, instance)
+        unhealthy = False
+        for _ in range(max(count, 0)):
+            unhealthy = self.monitor.record_timeout(instance.instance_id)
+        if unhealthy and (breaker is None or not breaker.is_open):
+            return self._quarantine(now_ms, instance)
+        return None
+
+    def on_probe_window(
+        self, now_ms: float, instance: RuntimeInstance | None
+    ) -> bool:
+        """The quarantine window elapsed: move to half-open and rejoin.
+
+        ``instance`` is None when it no longer exists (crashed or
+        replaced while quarantined) — the breaker is simply dropped.
+        Returns True when the instance rejoined the queue.
+        """
+        if instance is None:
+            return False
+        breaker = self._breakers.get(instance.instance_id)
+        if breaker is None or not breaker.is_open:
+            return False
+        breaker.begin_probe()
+        if instance.is_active and not self.mlq.contains(instance):
+            self.mlq.add(instance)
+            return True
+        return False
+
+    def requeue(self, instance: RuntimeInstance) -> bool:
+        """Re-admit a recovered instance unless its breaker holds it out.
+
+        Used when an instance resumes from a transient blackout: if the
+        breaker is OPEN the pending probe window will re-add it later;
+        otherwise it rejoins immediately.
+        """
+        breaker = self._breakers.get(instance.instance_id)
+        if breaker is not None and breaker.is_open:
+            return False
+        if instance.is_active and not self.mlq.contains(instance):
+            self.mlq.add(instance)
+            return True
+        return False
+
+    def on_instance_gone(self, instance_id: int) -> None:
+        """Forget all state for a crashed/retired instance."""
+        self._breakers.pop(instance_id, None)
+        self.monitor.reset(instance_id)
+
+    # -- internals ---------------------------------------------------------
+    def _quarantine(self, now_ms: float, instance: RuntimeInstance) -> float:
+        if self.mlq.contains(instance):
+            self.mlq.remove(instance)
+        self.quarantines += 1
+        self.breaker_trips += 1
+        return self.breaker_for(instance.instance_id).trip(now_ms)

@@ -1,0 +1,97 @@
+"""Retry policy: exponential backoff with jitter, bounded by a budget.
+
+Lost work (crashes, blackouts, timeouts) is re-dispatched through this
+policy instead of being re-queued instantly: an immediate thundering
+re-dispatch of a crashed instance's whole queue lands on the survivors
+at the worst possible moment. Backoff spreads the retries out; jitter
+de-correlates them; the budget bounds how much retry traffic a run may
+generate before falling back to plain capacity-driven re-admission
+(requests are never dropped — conservation is the simulator's hard
+invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff + jitter parameters."""
+
+    #: Delay before the first retry.
+    base_delay_ms: float = 10.0
+    #: Per-attempt multiplier.
+    multiplier: float = 2.0
+    #: Ceiling on any single delay.
+    max_delay_ms: float = 2_000.0
+    #: Backoff-delayed attempts per request; beyond this the request
+    #: falls back to immediate capacity-driven re-admission.
+    max_attempts: int = 4
+    #: Fraction of the trace size allowed as backoff retries in one run
+    #: (see :meth:`budget_for`); exhaustion also falls back.
+    budget_fraction: float = 0.25
+    #: Uniform jitter as a fraction of the computed delay.
+    jitter: float = 0.2
+    #: Seed for the deterministic jitter stream.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_delay_ms <= 0:
+            raise ConfigurationError("base delay must be positive")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if self.max_delay_ms < self.base_delay_ms:
+            raise ConfigurationError("max delay must be >= base delay")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if not 0 <= self.budget_fraction <= 1.0:
+            raise ConfigurationError("budget fraction must be in [0, 1]")
+        if not 0 <= self.jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def delay_ms(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff delay for retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ConfigurationError("attempt cannot be negative")
+        delay = min(self.base_delay_ms * self.multiplier**attempt,
+                    self.max_delay_ms)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return float(delay)
+
+    def budget_for(self, n_requests: int) -> int:
+        """Total backoff retries allowed for a trace of ``n_requests``."""
+        return max(32, int(self.budget_fraction * n_requests))
+
+
+@dataclass
+class RetryBudget:
+    """Run-wide cap on backoff retries."""
+
+    limit: int
+    used: int = 0
+    exhausted_events: int = 0
+
+    def __post_init__(self) -> None:
+        if self.limit < 0:
+            raise ConfigurationError("retry budget cannot be negative")
+
+    @property
+    def remaining(self) -> int:
+        return max(self.limit - self.used, 0)
+
+    def try_consume(self) -> bool:
+        """Take one retry from the budget; False once exhausted."""
+        if self.used >= self.limit:
+            self.exhausted_events += 1
+            return False
+        self.used += 1
+        return True

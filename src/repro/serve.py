@@ -24,7 +24,13 @@ import time
 from dataclasses import dataclass
 
 from repro.core.arlo import ArloSystem
-from repro.errors import ConfigurationError
+from repro.errors import AdmissionError, CapacityError, ConfigurationError
+from repro.resilience.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Rejection,
+    RejectionReason,
+)
 from repro.units import SECOND
 
 
@@ -76,6 +82,8 @@ class ServerStats:
     submitted: int = 0
     completed: int = 0
     reschedules: int = 0
+    #: Requests rejected at admission (every :class:`AdmissionError`).
+    shed: int = 0
     latency_sum_ms: float = 0.0
     latency_max_ms: float = 0.0
 
@@ -97,10 +105,30 @@ class ArloServer:
     threads; Arlo owns the scheduling.
     """
 
-    def __init__(self, arlo: ArloSystem, clock=None):
+    def __init__(
+        self,
+        arlo: ArloSystem,
+        clock=None,
+        admission: AdmissionConfig | None = None,
+    ):
         self.arlo = arlo
         self.clock = clock or VirtualClock()
         self.stats = ServerStats()
+        #: Sheds by :class:`RejectionReason` value, across both the
+        #: deadline controller and the unservable-length mapping.
+        self.shed_counts: dict[str, int] = {}
+        #: Deadline-aware load shedding — opt in with an
+        #: :class:`AdmissionConfig`; unservable lengths are always
+        #: rejected through the typed path regardless.
+        self.admission: AdmissionController | None = None
+        if admission is not None:
+            self.admission = AdmissionController(
+                registry=arlo.registry,
+                mlq=arlo.mlq,
+                slo_ms=arlo.slo_ms,
+                config=admission,
+                shed_counts=self.shed_counts,
+            )
         self._pending: list[tuple[float, int, Ticket]] = []  # (finish, seq, t)
         self._seq = itertools.count()
         self._next_reschedule_ms = (
@@ -127,12 +155,40 @@ class ArloServer:
             while self._next_reschedule_ms <= now:
                 self._next_reschedule_ms += period
 
+    def _reject(self, rejection: Rejection) -> None:
+        """Count a shed and surface it as a typed error."""
+        self.stats.shed += 1
+        raise AdmissionError(rejection)
+
     # -- API -----------------------------------------------------------------
-    def submit(self, length: int) -> Ticket:
-        """Dispatch one request; returns its expected completion."""
+    def submit(self, length: int, deadline_ms: float | None = None) -> Ticket:
+        """Dispatch one request; returns its expected completion.
+
+        ``deadline_ms`` (relative to now) tightens or relaxes the
+        admission deadline for this request; it only matters when the
+        server was built with an :class:`AdmissionConfig`. Requests the
+        cluster cannot or should not serve raise :class:`AdmissionError`
+        carrying a typed :class:`Rejection` — never a raw
+        :class:`CapacityError`.
+        """
         self._settle()
         now = self.clock.now_ms()
-        decision, _start, finish = self.arlo.handle(now, length)
+        if self.admission is not None:
+            rejection = self.admission.check(now, length, deadline_ms)
+            if rejection is not None:
+                self._reject(rejection)
+        try:
+            decision, _start, finish = self.arlo.handle(now, length)
+        except CapacityError as exc:
+            if length <= 0 or length > self.arlo.registry.max_length:
+                reason = RejectionReason.UNSERVABLE_LENGTH
+            else:
+                reason = RejectionReason.NO_ACTIVE_RUNTIME
+            key = reason.value
+            self.shed_counts[key] = self.shed_counts.get(key, 0) + 1
+            self._reject(Rejection(
+                reason=reason, length=length, message=str(exc),
+            ))
         ticket = Ticket(
             request_id=self.stats.submitted,
             length=length,
@@ -182,4 +238,6 @@ class ArloServer:
             "completed": self.stats.completed,
             "mean_latency_ms": self.stats.mean_latency_ms,
             "reschedules": self.stats.reschedules,
+            "shed": self.stats.shed,
+            "shed_by_reason": dict(self.shed_counts),
         }

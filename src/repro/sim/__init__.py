@@ -11,17 +11,31 @@ Entry point: :func:`repro.sim.simulation.run_simulation`.
 
 from repro.sim.engine import EventQueue
 from repro.sim.events import EventKind
+from repro.sim.faults import (
+    BlackoutEvent,
+    FailureEvent,
+    FailurePlan,
+    FaultPlan,
+    SlowdownEvent,
+    SolverFaultEvent,
+)
 from repro.sim.metrics import LatencyStats, MetricsCollector
 from repro.sim.replay import replay_trace
 from repro.sim.simulation import SimulationConfig, SimulationResult, run_simulation
 
 __all__ = [
+    "BlackoutEvent",
     "EventKind",
     "EventQueue",
+    "FailureEvent",
+    "FailurePlan",
+    "FaultPlan",
     "LatencyStats",
     "MetricsCollector",
     "SimulationConfig",
     "SimulationResult",
+    "SlowdownEvent",
+    "SolverFaultEvent",
     "replay_trace",
     "run_simulation",
 ]

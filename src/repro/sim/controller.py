@@ -94,7 +94,10 @@ class ControlPlane:
         if instance is None or not instance.is_active:
             return  # raced with scaling or an earlier plan; skip
         instance.begin_drain()
-        self.scheme.mlq.remove(instance)
+        # A quarantined donor (breaker open) is active but already out
+        # of the queue — removing it again would raise.
+        if self.scheme.mlq.contains(instance):
+            self.scheme.mlq.remove(instance)
         self._pending[instance.instance_id] = target
         if instance.outstanding == 0:
             self._schedule_swap(now_ms, instance)

@@ -50,6 +50,13 @@ class CompletionPayload:
     arrival_ms: float
     length: int
     runtime_index: int
+    #: Dispatch-attempt token. A request that is lost (crash, blackout)
+    #: and re-dispatched gets a new token; completions carrying a stale
+    #: token are ignored, so a request is never served twice.
+    attempt_token: int = 0
+    #: Pure service time (finish − start) of this attempt — the health
+    #: monitor's deviation signal, free of queueing delay.
+    service_ms: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -66,3 +73,35 @@ class RecoveryPayload:
 
     gpu_id: int
     runtime_index: int
+
+
+@dataclass(frozen=True)
+class SlowdownEndPayload:
+    """A straggler window elapsed; restore the nominal service time."""
+
+    instance_id: int
+
+
+@dataclass(frozen=True)
+class BlackoutEndPayload:
+    """A blacked-out instance becomes responsive again."""
+
+    instance_id: int
+
+
+@dataclass(frozen=True)
+class RetryPayload:
+    """A lost request's backoff delay elapsed; re-dispatch it."""
+
+    request_id: int
+    arrival_ms: float
+    length: int
+    #: How many backoff retries this request has already consumed.
+    attempt: int
+
+
+@dataclass(frozen=True)
+class ProbePayload:
+    """A quarantined instance's breaker window elapsed; probe it."""
+
+    instance_id: int

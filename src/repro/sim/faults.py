@@ -1,17 +1,34 @@
-"""Failure injection: abrupt instance crashes during serving.
+"""Fault injection: the graded failure taxonomy of the simulator.
 
 The paper motivates the Request Scheduler partly by "idiosyncratic
 factors such as failures and bugs [that] lead to imbalanced load even
 across instances of the same runtime" (§1). This module injects such
-events into the simulator: at a scheduled time an instance dies
-abruptly — its queued and in-flight requests are lost and must be
-re-dispatched, and its GPU comes back with a fresh instance of the
-same runtime after a recovery delay.
+events into the simulator. Four fault grades, from worst to mildest:
+
+- :class:`FailureEvent` — an abrupt **crash**: queued and in-flight
+  requests are lost and must be re-dispatched; the GPU comes back with
+  a fresh instance of the same runtime after a recovery delay (or
+  never, modelling hardware loss).
+- :class:`BlackoutEvent` — a **transient blackout**: the instance stops
+  responding for a window. Its in-flight requests time out and are
+  retried elsewhere; the *same* instance rejoins afterwards (process
+  hang, network partition, GC pause).
+- :class:`SlowdownEvent` — a **straggler**: the instance keeps serving
+  but at a per-instance latency multiplier (thermal throttling, noisy
+  neighbour, degraded interconnect). Only the health monitor notices.
+- :class:`SolverFaultEvent` — a **control-plane bug**: the next Runtime
+  Scheduler period's allocation solve raises; the scheduler must hold
+  the previous allocation instead of taking the data plane down.
+
+All grades share a :class:`FaultPlan` schedule. Victims are chosen by
+``victim_rank`` at fire time (0 = busiest active instance), matching
+the original crash-injection semantics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Union
 
 import numpy as np
 
@@ -26,7 +43,8 @@ class FailureEvent:
     time_ms: float
     #: 0 = busiest instance, 1 = second busiest, ... (rank at fire time).
     victim_rank: int = 0
-    #: GPU comes back with the same runtime after this long; None = gone.
+    #: GPU comes back with the same runtime after this long; 0 means
+    #: instant recovery, None means the GPU is gone for good.
     recovery_ms: float | None = 5 * SECOND
 
     def __post_init__(self) -> None:
@@ -34,21 +52,88 @@ class FailureEvent:
             raise ConfigurationError("failure time cannot be negative")
         if self.victim_rank < 0:
             raise ConfigurationError("victim_rank cannot be negative")
-        if self.recovery_ms is not None and self.recovery_ms <= 0:
-            raise ConfigurationError("recovery must be positive (or None)")
+        if self.recovery_ms is not None and self.recovery_ms < 0:
+            raise ConfigurationError(
+                "recovery cannot be negative (0 = instant, None = permanent)"
+            )
+
+
+@dataclass(frozen=True)
+class SlowdownEvent:
+    """Degrade the victim's service times by ``factor`` for a window."""
+
+    time_ms: float
+    victim_rank: int = 0
+    #: Per-instance latency multiplier while the fault is active.
+    factor: float = 2.0
+    #: How long the straggler persists; None = until crash/replacement.
+    duration_ms: float | None = 10 * SECOND
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise ConfigurationError("slowdown time cannot be negative")
+        if self.victim_rank < 0:
+            raise ConfigurationError("victim_rank cannot be negative")
+        if self.factor <= 1.0:
+            raise ConfigurationError("slowdown factor must exceed 1.0")
+        if self.duration_ms is not None and self.duration_ms <= 0:
+            raise ConfigurationError("duration must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class BlackoutEvent:
+    """Suspend the victim for a window; its in-flight work times out."""
+
+    time_ms: float
+    victim_rank: int = 0
+    duration_ms: float = 3 * SECOND
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise ConfigurationError("blackout time cannot be negative")
+        if self.victim_rank < 0:
+            raise ConfigurationError("victim_rank cannot be negative")
+        if self.duration_ms <= 0:
+            raise ConfigurationError("blackout duration must be positive")
+
+
+@dataclass(frozen=True)
+class SolverFaultEvent:
+    """Make the next ``count`` allocation solves raise ``SolverError``."""
+
+    time_ms: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise ConfigurationError("fault time cannot be negative")
+        if self.count < 1:
+            raise ConfigurationError("count must be >= 1")
+
+
+FaultEvent = Union[FailureEvent, SlowdownEvent, BlackoutEvent,
+                   SolverFaultEvent]
 
 
 @dataclass
-class FailurePlan:
-    """A schedule of failures to inject into one simulation."""
+class FaultPlan:
+    """A schedule of faults (of any grade) to inject into one run."""
 
-    events: list[FailureEvent] = field(default_factory=list)
+    events: list[FaultEvent] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.events)
 
-    def sorted_events(self) -> list[FailureEvent]:
+    def sorted_events(self) -> list[FaultEvent]:
         return sorted(self.events, key=lambda e: e.time_ms)
+
+    def counts(self) -> dict[str, int]:
+        """Events per grade (report/benchmark metadata)."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            key = type(event).__name__
+            out[key] = out.get(key, 0) + 1
+        return out
 
     @classmethod
     def random(
@@ -57,8 +142,8 @@ class FailurePlan:
         horizon_ms: float,
         seed: int = 0,
         recovery_ms: float | None = 5 * SECOND,
-    ) -> "FailurePlan":
-        """Uniformly random failure times over (10 % .. 90 %) of the run."""
+    ) -> "FaultPlan":
+        """Uniformly random crash times over (10 % .. 90 %) of the run."""
         if count < 0 or horizon_ms <= 0:
             raise ConfigurationError("invalid failure plan dimensions")
         rng = np.random.default_rng(seed)
@@ -69,3 +154,49 @@ class FailurePlan:
                          recovery_ms=recovery_ms)
             for t in times
         ])
+
+    @classmethod
+    def chaos(
+        cls,
+        horizon_ms: float,
+        *,
+        crashes: int = 2,
+        slowdowns: int = 2,
+        blackouts: int = 0,
+        solver_faults: int = 1,
+        seed: int = 0,
+        recovery_ms: float | None = 5 * SECOND,
+        slowdown_factor: float = 2.5,
+        slowdown_ms: float = 8 * SECOND,
+        blackout_ms: float = 3 * SECOND,
+    ) -> "FaultPlan":
+        """A mixed-grade plan spread over (10 % .. 90 %) of the run."""
+        if horizon_ms <= 0:
+            raise ConfigurationError("invalid fault plan horizon")
+        if min(crashes, slowdowns, blackouts, solver_faults) < 0:
+            raise ConfigurationError("fault counts cannot be negative")
+        rng = np.random.default_rng(seed)
+
+        def times(n: int) -> list[float]:
+            return sorted(
+                float(t)
+                for t in rng.uniform(0.1 * horizon_ms, 0.9 * horizon_ms,
+                                     size=n)
+            )
+
+        events: list[FaultEvent] = []
+        events += [FailureEvent(time_ms=t, recovery_ms=recovery_ms)
+                   for t in times(crashes)]
+        events += [
+            SlowdownEvent(time_ms=t, factor=slowdown_factor,
+                          duration_ms=slowdown_ms)
+            for t in times(slowdowns)
+        ]
+        events += [BlackoutEvent(time_ms=t, duration_ms=blackout_ms)
+                   for t in times(blackouts)]
+        events += [SolverFaultEvent(time_ms=t) for t in times(solver_faults)]
+        return cls(events=events)
+
+
+#: Backwards-compatible alias — earlier versions only modelled crashes.
+FailurePlan = FaultPlan

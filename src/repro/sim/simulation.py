@@ -3,8 +3,17 @@
 Arrivals are streamed from the trace one at a time (the heap never
 holds more than one future arrival), so memory stays flat even for
 multi-million-request traces. Completions, periodic rescheduling,
-replacement execution and auto-scaling checks interleave on the same
-deterministic event queue.
+replacement execution, auto-scaling checks and fault injection
+interleave on the same deterministic event queue.
+
+Resilience: lost work (crashes, blackouts) is re-dispatched through a
+:class:`~repro.resilience.retry.RetryPolicy` (exponential backoff with
+jitter, bounded by a run-wide budget) instead of thundering back onto
+the survivors instantly. With a :class:`ResilienceConfig` set, a
+:class:`~repro.resilience.manager.ResilienceManager` watches every
+completion's service-time inflation, quarantines degraded instances out
+of the multi-level queue behind a circuit breaker, and probes them back
+in — the counters land in ``SimulationResult.control_stats``.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ import numpy as np
 
 from collections import deque
 
+from repro.baselines.dispatchers import ArloDispatcher
 from repro.baselines.schemes import Scheme
 from repro.cluster.autoscaler import (
     AutoscalerConfig,
@@ -22,16 +32,29 @@ from repro.cluster.autoscaler import (
     HeadroomConfig,
     TargetTrackingAutoscaler,
 )
+from repro.cluster.instance import InstanceStatus, RuntimeInstance
 from repro.errors import CapacityError, ConfigurationError, SimulationError
+from repro.resilience.manager import ResilienceConfig, ResilienceManager
+from repro.resilience.retry import RetryBudget, RetryPolicy
 from repro.sim.controller import ControlPlane
 from repro.sim.engine import EventQueue
 from repro.sim.events import (
     ArrivalPayload,
+    BlackoutEndPayload,
     CompletionPayload,
     EventKind,
+    ProbePayload,
     RecoveryPayload,
+    RetryPayload,
+    SlowdownEndPayload,
 )
-from repro.sim.faults import FailureEvent, FailurePlan
+from repro.sim.faults import (
+    BlackoutEvent,
+    FailureEvent,
+    FaultPlan,
+    SlowdownEvent,
+    SolverFaultEvent,
+)
 from repro.sim.metrics import LatencyStats, MetricsCollector
 from repro.units import SECOND
 from repro.workload.trace import Trace
@@ -52,8 +75,15 @@ class SimulationConfig:
     #: Drop requests arriving before this time from the statistics
     #: (lets the first scheduling period converge).
     warmup_ms: float = 0.0
-    #: Instance crashes to inject (None = fault-free run).
-    failures: FailurePlan | None = None
+    #: Faults to inject — crashes, slowdowns, blackouts, solver faults
+    #: (None = fault-free run).
+    failures: FaultPlan | None = None
+    #: Backoff policy for re-dispatching lost/timed-out work. None
+    #: restores the legacy behaviour (instant re-dispatch at the fault
+    #: timestamp).
+    retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    #: Health monitoring + circuit breakers (None = disabled).
+    resilience: ResilienceConfig | None = None
     #: Record the first N dispatch decisions (Arlo-family schemes only;
     #: 0 disables). Each entry: time, length, ideal/chosen level,
     #: demoted, fell_back, chosen instance's queue depth.
@@ -120,21 +150,47 @@ def run_simulation(
             autoscaler = TargetTrackingAutoscaler(config.autoscaler)
     control = ControlPlane(scheme=scheme, queue=queue, autoscaler=autoscaler)
 
+    manager: ResilienceManager | None = None
+    if config.resilience is not None:
+        manager = ResilienceManager(config=config.resilience, mlq=scheme.mlq)
+        if isinstance(scheme.dispatcher, ArloDispatcher):
+            scheme.dispatcher.scheduler.gate = manager.allow_dispatch
+
+    retry_policy = config.retry
+    retry_rng = retry_policy.rng() if retry_policy is not None else None
+    retry_budget = (
+        RetryBudget(retry_policy.budget_for(len(trace)))
+        if retry_policy is not None
+        else None
+    )
+
     arrivals_ms = trace.arrival_ms
     lengths = trace.length
     n_requests = len(trace)
     next_arrival = 0
-    deferred: list[tuple[int, float, int]] = []  # (request_id, arrival, length)
+    #: (request_id, arrival, length, retries already consumed)
+    deferred: list[tuple[int, float, int, int]] = []
     outstanding = 0
     completed = 0
     last_gpu_count = scheme.cluster.num_gpus
     metrics.sample_gpus(0.0, last_gpu_count)
-    #: FIFO of (request_id, arrival, length) per instance — consulted
-    #: when an instance crashes and its work must be re-dispatched.
+    #: FIFO of (request_id, arrival, length, attempt) per instance —
+    #: consulted when an instance crashes or blacks out and its work
+    #: must be re-dispatched.
     inflight: dict[int, deque] = {}
-    failed_instances: set[int] = set()
+    #: request_id -> attempt token of its live dispatch. Completions
+    #: carrying any other token are stale (the work was re-dispatched).
+    live_attempt: dict[int, int] = {}
+    next_token = 0
     failures_injected = 0
     requests_lost = 0
+    slowdowns_injected = 0
+    blackouts_injected = 0
+    solver_faults_injected = 0
+    timeouts = 0
+    retries_scheduled = 0
+    pending_retries = 0
+    quarantine_violations = 0
 
     def push_next_arrival() -> None:
         nonlocal next_arrival
@@ -151,15 +207,22 @@ def run_simulation(
             next_arrival < n_requests
             or outstanding > 0
             or bool(deferred)
+            or pending_retries > 0
             or control.has_pending_work
         )
 
     decision_log: list[dict] = []
 
-    def admit(now_ms: float, request_id: int, arrival_ms: float, length: int) -> bool:
-        nonlocal outstanding
+    def admit(
+        now_ms: float,
+        request_id: int,
+        arrival_ms: float,
+        length: int,
+        attempt: int = 0,
+    ) -> bool:
+        nonlocal outstanding, next_token, quarantine_violations
         try:
-            instance, _start, finish = scheme.dispatcher.dispatch(now_ms, length)
+            instance, start, finish = scheme.dispatcher.dispatch(now_ms, length)
         except CapacityError:
             return False
         if len(decision_log) < config.trace_decisions:
@@ -175,9 +238,14 @@ def run_simulation(
                     "fell_back": decision.fell_back,
                     "queue_depth": instance.outstanding - 1,
                 })
+        if manager is not None and manager.is_quarantined(instance.instance_id):
+            quarantine_violations += 1
         outstanding += 1
+        token = next_token
+        next_token += 1
+        live_attempt[request_id] = token
         inflight.setdefault(instance.instance_id, deque()).append(
-            (request_id, arrival_ms, length)
+            (request_id, arrival_ms, length, attempt)
         )
         queue.push(
             finish,
@@ -188,17 +256,49 @@ def run_simulation(
                 arrival_ms=arrival_ms,
                 length=length,
                 runtime_index=instance.runtime_index,
+                attempt_token=token,
+                service_ms=finish - start,
             ),
         )
         return True
 
+    def reinject(
+        now_ms: float, request_id: int, arrival_ms: float, length: int,
+        attempt: int,
+    ) -> None:
+        """Re-dispatch lost work: backoff retry while the budget lasts,
+        plain re-admission (the legacy path) afterwards."""
+        nonlocal retries_scheduled, pending_retries
+        if (
+            retry_policy is not None
+            and attempt < retry_policy.max_attempts
+            and retry_budget.try_consume()
+        ):
+            delay = retry_policy.delay_ms(attempt, retry_rng)
+            queue.push(
+                now_ms + delay,
+                EventKind.INSTANCE_FAILURE,
+                RetryPayload(request_id, arrival_ms, length, attempt + 1),
+            )
+            retries_scheduled += 1
+            pending_retries += 1
+        elif not admit(now_ms, request_id, arrival_ms, length, attempt):
+            deferred.append((request_id, arrival_ms, length, attempt))
+
+    def void_and_reinject(now_ms: float, lost: list) -> None:
+        nonlocal outstanding
+        outstanding -= len(lost)
+        for request_id, arrival, length, attempt in lost:
+            live_attempt.pop(request_id, None)
+            reinject(now_ms, request_id, arrival, length, attempt)
+
     def flush_deferred(now_ms: float) -> None:
         if not deferred:
             return
-        still: list[tuple[int, float, int]] = []
-        for request_id, arrival, length in deferred:
-            if not admit(now_ms, request_id, arrival, length):
-                still.append((request_id, arrival, length))
+        still: list[tuple[int, float, int, int]] = []
+        for request_id, arrival, length, attempt in deferred:
+            if not admit(now_ms, request_id, arrival, length, attempt):
+                still.append((request_id, arrival, length, attempt))
         deferred[:] = still
 
     def sample_gpus(now_ms: float) -> None:
@@ -208,14 +308,29 @@ def run_simulation(
             metrics.sample_gpus(now_ms, count)
             last_gpu_count = count
 
+    def pick_victim(rank: int) -> RuntimeInstance | None:
+        """The ``rank``-th busiest active instance at fire time."""
+        active = sorted(
+            scheme.cluster.active_instances(),
+            key=lambda i: (-i.outstanding, i.instance_id),
+        )
+        if not active:
+            return None
+        return active[min(rank, len(active) - 1)]
+
+    def schedule_probe(probe_at_ms: float | None, instance_id: int) -> None:
+        if probe_at_ms is not None:
+            queue.push(probe_at_ms, EventKind.INSTANCE_FAILURE,
+                       ProbePayload(instance_id))
+
     push_next_arrival()
     if scheme.runtime_scheduler is not None:
         queue.push(scheme.runtime_scheduler.config.period_ms, EventKind.RESCHEDULE)
     if autoscaler is not None:
         queue.push(config.autoscale_check_ms, EventKind.AUTOSCALE_CHECK)
     if config.failures is not None:
-        for failure in config.failures.sorted_events():
-            queue.push(failure.time_ms, EventKind.INSTANCE_FAILURE, failure)
+        for fault in config.failures.sorted_events():
+            queue.push(fault.time_ms, EventKind.INSTANCE_FAILURE, fault)
 
     while queue:
         if config.max_events and queue.events_processed >= config.max_events:
@@ -229,14 +344,14 @@ def run_simulation(
             payload: ArrivalPayload = event.payload
             scheme.observe_arrival(now, payload.length)
             if not admit(now, payload.request_id, now, payload.length):
-                deferred.append((payload.request_id, now, payload.length))
+                deferred.append((payload.request_id, now, payload.length, 0))
                 metrics.deferred_requests += 1
             push_next_arrival()
 
         elif event.kind is EventKind.COMPLETION:
             cp: CompletionPayload = event.payload
-            if cp.instance_id in failed_instances:
-                continue  # the instance crashed; the request was re-sent
+            if live_attempt.get(cp.request_id) != cp.attempt_token:
+                continue  # stale attempt: the work was re-dispatched
             instance = scheme.cluster.instances.get(cp.instance_id)
             if instance is None:
                 raise SimulationError(
@@ -245,6 +360,7 @@ def run_simulation(
             served = inflight[cp.instance_id].popleft()
             if served[0] != cp.request_id:  # pragma: no cover - FIFO invariant
                 raise SimulationError("completion order diverged from FIFO")
+            del live_attempt[cp.request_id]
             instance.complete()
             scheme.dispatcher.on_complete(instance)
             outstanding -= 1
@@ -254,6 +370,16 @@ def run_simulation(
                 metrics.record(latency, cp.runtime_index)
             if autoscaler is not None:
                 autoscaler.observe(latency)
+            if manager is not None:
+                nominal = (
+                    instance.profile.runtime.service_ms(cp.length)
+                    + instance.profile.overhead_ms
+                )
+                ratio = cp.service_ms / nominal if nominal > 0 else 1.0
+                schedule_probe(
+                    manager.on_service_sample(now, instance, ratio),
+                    instance.instance_id,
+                )
             control.on_completion(now, instance)
             flush_deferred(now)
 
@@ -284,43 +410,116 @@ def run_simulation(
             flush_deferred(now)
 
         elif event.kind is EventKind.INSTANCE_FAILURE:
-            if isinstance(event.payload, RecoveryPayload):
-                rp: RecoveryPayload = event.payload
-                gpu = scheme.cluster.gpus[rp.gpu_id]
-                recovered = scheme.cluster.deploy(rp.runtime_index, gpu)
+            payload = event.payload
+
+            if isinstance(payload, RecoveryPayload):
+                gpu = scheme.cluster.gpus[payload.gpu_id]
+                recovered = scheme.cluster.deploy(payload.runtime_index, gpu)
                 scheme.mlq.add(recovered)
                 flush_deferred(now)
-                continue
-            failure: FailureEvent = event.payload
-            active = sorted(
-                scheme.cluster.active_instances(),
-                key=lambda i: (-i.outstanding, i.instance_id),
-            )
-            if not active:
-                continue  # nothing left to kill
-            victim = active[min(failure.victim_rank, len(active) - 1)]
-            lost_requests = list(inflight.pop(victim.instance_id, ()))
-            if scheme.mlq.contains(victim):
-                scheme.mlq.remove(victim)
-            control.note_failure(victim.instance_id)
-            gpu, lost = scheme.cluster.crash_instance(victim)
-            failed_instances.add(victim.instance_id)
-            failures_injected += 1
-            requests_lost += lost
-            outstanding -= len(lost_requests)
-            if failure.recovery_ms is not None:
-                queue.push(
-                    now + failure.recovery_ms,
-                    EventKind.INSTANCE_FAILURE,
-                    RecoveryPayload(gpu_id=gpu.gpu_id,
-                                    runtime_index=victim.runtime_index),
-                )
+
+            elif isinstance(payload, RetryPayload):
+                pending_retries -= 1
+                if not admit(now, payload.request_id, payload.arrival_ms,
+                             payload.length, payload.attempt):
+                    deferred.append((payload.request_id, payload.arrival_ms,
+                                     payload.length, payload.attempt))
+
+            elif isinstance(payload, ProbePayload):
+                if manager is not None:
+                    inst = scheme.cluster.instances.get(payload.instance_id)
+                    if inst is None:
+                        manager.on_instance_gone(payload.instance_id)
+                    elif manager.on_probe_window(now, inst):
+                        flush_deferred(now)
+
+            elif isinstance(payload, SlowdownEvent):
+                victim = pick_victim(payload.victim_rank)
+                if victim is not None:
+                    victim.slow_factor = payload.factor
+                    slowdowns_injected += 1
+                    if payload.duration_ms is not None:
+                        queue.push(
+                            now + payload.duration_ms,
+                            EventKind.INSTANCE_FAILURE,
+                            SlowdownEndPayload(victim.instance_id),
+                        )
+
+            elif isinstance(payload, SlowdownEndPayload):
+                inst = scheme.cluster.instances.get(payload.instance_id)
+                if inst is not None:
+                    inst.slow_factor = 1.0
+
+            elif isinstance(payload, BlackoutEvent):
+                victim = pick_victim(payload.victim_rank)
+                if victim is not None:
+                    lost_requests = list(
+                        inflight.pop(victim.instance_id, ())
+                    )
+                    if scheme.mlq.contains(victim):
+                        scheme.mlq.remove(victim)
+                    victim.suspend()
+                    blackouts_injected += 1
+                    timeouts += len(lost_requests)
+                    void_and_reinject(now, lost_requests)
+                    if manager is not None and lost_requests:
+                        schedule_probe(
+                            manager.on_timeouts(now, victim,
+                                                len(lost_requests)),
+                            victim.instance_id,
+                        )
+                    queue.push(
+                        now + payload.duration_ms,
+                        EventKind.INSTANCE_FAILURE,
+                        BlackoutEndPayload(victim.instance_id),
+                    )
+
+            elif isinstance(payload, BlackoutEndPayload):
+                inst = scheme.cluster.instances.get(payload.instance_id)
+                if inst is not None and inst.status is InstanceStatus.SUSPENDED:
+                    inst.resume()
+                    if manager is not None:
+                        manager.requeue(inst)
+                    elif not scheme.mlq.contains(inst):
+                        scheme.mlq.add(inst)
+                    flush_deferred(now)
+
+            elif isinstance(payload, SolverFaultEvent):
+                if scheme.runtime_scheduler is not None:
+                    scheme.runtime_scheduler.inject_solver_failures(
+                        payload.count
+                    )
+                    solver_faults_injected += payload.count
+
+            elif isinstance(payload, FailureEvent):
+                victim = pick_victim(payload.victim_rank)
+                if victim is None:
+                    continue  # nothing left to kill
+                lost_requests = list(inflight.pop(victim.instance_id, ()))
+                if scheme.mlq.contains(victim):
+                    scheme.mlq.remove(victim)
+                control.note_failure(victim.instance_id)
+                if manager is not None:
+                    manager.on_instance_gone(victim.instance_id)
+                gpu, lost = scheme.cluster.crash_instance(victim)
+                failures_injected += 1
+                requests_lost += lost
+                if payload.recovery_ms is not None:
+                    queue.push(
+                        now + payload.recovery_ms,
+                        EventKind.INSTANCE_FAILURE,
+                        RecoveryPayload(gpu_id=gpu.gpu_id,
+                                        runtime_index=victim.runtime_index),
+                    )
+                else:
+                    scheme.cluster.release_gpu(gpu.gpu_id, now)
+                    sample_gpus(now)
+                void_and_reinject(now, lost_requests)
+
             else:
-                scheme.cluster.release_gpu(gpu.gpu_id, now)
-                sample_gpus(now)
-            for request_id, arrival, length in lost_requests:
-                if not admit(now, request_id, arrival, length):
-                    deferred.append((request_id, arrival, length))
+                raise SimulationError(
+                    f"unhandled fault payload {payload!r}"
+                )
 
         else:  # pragma: no cover - the enum is closed
             raise SimulationError(f"unhandled event kind {event.kind}")
@@ -331,6 +530,33 @@ def run_simulation(
         )
 
     end_ms = queue.now_ms
+    control_stats = {
+        "replacements": control.replacements_executed,
+        "scale_outs": control.scale_outs,
+        "scale_ins": control.scale_ins,
+        "deferred": metrics.deferred_requests,
+        "failures": failures_injected,
+        "requests_lost": requests_lost,
+        "slowdowns": slowdowns_injected,
+        "blackouts": blackouts_injected,
+        "timeouts": timeouts,
+        "retries": retries_scheduled,
+        "retry_budget_exhausted": (
+            retry_budget.exhausted_events if retry_budget is not None else 0
+        ),
+        "quarantines": manager.quarantines if manager is not None else 0,
+        "breaker_trips": manager.breaker_trips if manager is not None else 0,
+        "breaker_recoveries": (
+            manager.breaker_recoveries if manager is not None else 0
+        ),
+        "quarantine_violations": quarantine_violations,
+        "solver_faults_injected": solver_faults_injected,
+        "solver_fallbacks": (
+            scheme.runtime_scheduler.solver_fallbacks
+            if scheme.runtime_scheduler is not None
+            else 0
+        ),
+    }
     return SimulationResult(
         scheme_name=scheme.name,
         stats=metrics.stats(),
@@ -343,13 +569,6 @@ def run_simulation(
             if hasattr(scheme.dispatcher, "scheduler")
             else {}
         ),
-        control_stats={
-            "replacements": control.replacements_executed,
-            "scale_outs": control.scale_outs,
-            "scale_ins": control.scale_ins,
-            "deferred": metrics.deferred_requests,
-            "failures": failures_injected,
-            "requests_lost": requests_lost,
-        },
+        control_stats=control_stats,
         decision_log=decision_log,
     )

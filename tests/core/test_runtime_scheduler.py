@@ -107,3 +107,31 @@ def test_config_validation():
         RuntimeSchedulerConfig(period_ms=0)
     with pytest.raises(ConfigurationError):
         RuntimeSchedulerConfig(replacement_batch_size=0)
+
+
+def test_solver_failure_holds_previous_allocation():
+    scheduler = make_scheduler()
+    state = ClusterState.bootstrap(REGISTRY, [3, 2, 1, 1, 1, 0, 1, 1])
+    feed(scheduler, [300, 310, 280])
+    scheduler.inject_solver_failures()
+    result, plan = scheduler.step(seconds(30), state)
+    # Graceful degradation: same allocation, empty plan, incident logged.
+    assert result.solver == "fallback-hold"
+    assert np.array_equal(result.allocation, state.allocation())
+    assert plan.is_empty
+    assert scheduler.solver_fallbacks == 1
+    assert len(scheduler.incidents) == 1
+    incident = scheduler.incidents[0]
+    assert incident.time_ms == seconds(30)
+    assert "SolverError" in incident.error
+    assert incident.held_allocation == tuple(state.allocation())
+    # The next period solves normally again.
+    result2, _plan2 = scheduler.step(seconds(150), state)
+    assert result2.solver != "fallback-hold"
+    assert scheduler.solver_fallbacks == 1
+
+
+def test_inject_solver_failures_validation():
+    scheduler = make_scheduler()
+    with pytest.raises(ConfigurationError):
+        scheduler.inject_solver_failures(0)

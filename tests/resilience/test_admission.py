@@ -1,0 +1,90 @@
+"""Admission controller: typed sheds over the multi-level queue."""
+
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.core.mlq import MultiLevelQueue
+from repro.errors import ConfigurationError
+from repro.resilience.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    RejectionReason,
+)
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+
+REGISTRY = build_polymorph_set(bert_base())
+
+
+def make_controller(alloc=None, **cfg):
+    if alloc is None:
+        alloc = [1] + [0] * (len(REGISTRY) - 2) + [1]
+    state = ClusterState.bootstrap(REGISTRY, alloc)
+    mlq = MultiLevelQueue.from_cluster(state)
+    controller = AdmissionController(
+        registry=REGISTRY, mlq=mlq, slo_ms=450.0,
+        config=AdmissionConfig(**cfg),
+    )
+    return controller, state, mlq
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        AdmissionConfig(deadline_factor=0)
+    with pytest.raises(ConfigurationError):
+        AdmissionConfig(deadline_ms=-1.0)
+
+
+def test_default_deadline_from_slo_factor():
+    controller, _, _ = make_controller(deadline_factor=4.0)
+    assert controller.default_deadline_ms() == pytest.approx(1_800.0)
+    controller, _, _ = make_controller(deadline_ms=500.0)
+    assert controller.default_deadline_ms() == 500.0
+
+
+def test_admits_idle_cluster():
+    controller, _, _ = make_controller()
+    assert controller.check(0.0, 10) is None
+    assert controller.total_shed == 0
+
+
+def test_unservable_length_is_typed():
+    controller, _, _ = make_controller()
+    rejection = controller.check(0.0, REGISTRY.max_length + 1)
+    assert rejection is not None
+    assert rejection.reason is RejectionReason.UNSERVABLE_LENGTH
+    assert controller.check(0.0, 0) is not None  # non-positive too
+    assert controller.shed_counts == {"unservable_length": 2}
+
+
+def test_no_active_runtime_when_queue_is_empty():
+    controller, state, mlq = make_controller()
+    for inst in list(state.instances.values()):
+        mlq.remove(inst)
+    rejection = controller.check(0.0, 10)
+    assert rejection is not None
+    assert rejection.reason is RejectionReason.NO_ACTIVE_RUNTIME
+
+
+def test_deadline_unmet_sheds_under_backlog():
+    controller, state, mlq = make_controller(deadline_ms=100.0)
+    # Saturate every instance far past the deadline (the 0.8 ms fixed
+    # per-request overhead alone puts 200 queued requests past 100 ms).
+    for inst in state.instances.values():
+        for _ in range(200):
+            inst.enqueue(0.0, min(10, inst.max_length))
+        mlq.refresh(inst)
+    rejection = controller.check(0.0, 10)
+    assert rejection is not None
+    assert rejection.reason is RejectionReason.DEADLINE_UNMET
+    assert rejection.expected_wait_ms > 100.0
+    # A generous per-request deadline overrides the config and admits.
+    assert controller.check(0.0, 10, deadline_ms=10_000_000.0) is None
+
+
+def test_per_request_deadline_tightens():
+    controller, _, _ = make_controller(deadline_ms=60_000.0)
+    # Even an idle instance cannot finish in a microsecond.
+    rejection = controller.check(0.0, 10, deadline_ms=0.001)
+    assert rejection is not None
+    assert rejection.reason is RejectionReason.DEADLINE_UNMET

@@ -1,0 +1,76 @@
+"""Circuit breaker: closed → open → half-open state machine."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.resilience.breaker import BreakerConfig, BreakerState, CircuitBreaker
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        BreakerConfig(open_ms=0)
+    with pytest.raises(ConfigurationError):
+        BreakerConfig(backoff_multiplier=0.5)
+    with pytest.raises(ConfigurationError):
+        BreakerConfig(open_ms=100, max_open_ms=50)
+    with pytest.raises(ConfigurationError):
+        BreakerConfig(close_after=0)
+    with pytest.raises(ConfigurationError):
+        BreakerConfig(half_open_max_inflight=0)
+
+
+def test_trip_opens_with_base_window():
+    breaker = CircuitBreaker(config=BreakerConfig(open_ms=2_000))
+    until = breaker.trip(now_ms=100.0)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.is_open and not breaker.is_half_open
+    assert until == pytest.approx(2_100.0)
+    assert breaker.trips == 1
+
+
+def test_consecutive_trips_back_off_exponentially():
+    breaker = CircuitBreaker(config=BreakerConfig(
+        open_ms=1_000, backoff_multiplier=2.0, max_open_ms=3_000
+    ))
+    assert breaker.trip(0.0) == pytest.approx(1_000.0)
+    breaker.begin_probe()
+    assert breaker.trip(0.0) == pytest.approx(2_000.0)
+    breaker.begin_probe()
+    assert breaker.trip(0.0) == pytest.approx(3_000.0)  # capped
+    breaker.begin_probe()
+    assert breaker.trip(0.0) == pytest.approx(3_000.0)  # still capped
+
+
+def test_probe_only_from_open():
+    breaker = CircuitBreaker()
+    with pytest.raises(SchedulingError):
+        breaker.begin_probe()
+    with pytest.raises(SchedulingError):
+        breaker.record_probe(True)
+
+
+def test_closes_after_consecutive_healthy_probes():
+    breaker = CircuitBreaker(config=BreakerConfig(close_after=3))
+    breaker.trip(0.0)
+    breaker.begin_probe()
+    assert breaker.record_probe(True) is BreakerState.HALF_OPEN
+    assert breaker.record_probe(True) is BreakerState.HALF_OPEN
+    assert breaker.record_probe(True) is BreakerState.CLOSED
+    assert breaker.recoveries == 1
+    # Recovery resets the backoff: the next trip uses the base window.
+    assert breaker.trip(0.0) == pytest.approx(
+        breaker.config.open_ms
+    )
+
+
+def test_unhealthy_probe_leaves_half_open_for_retrip():
+    breaker = CircuitBreaker(config=BreakerConfig(close_after=2))
+    breaker.trip(0.0)
+    breaker.begin_probe()
+    breaker.record_probe(True)
+    # An unhealthy probe discards progress; caller trips with backoff.
+    assert breaker.record_probe(False) is BreakerState.HALF_OPEN
+    breaker.trip(10.0)
+    breaker.begin_probe()
+    assert breaker.record_probe(True) is BreakerState.HALF_OPEN
+    assert breaker.record_probe(True) is BreakerState.CLOSED

@@ -1,0 +1,96 @@
+"""Health monitor: EWMA deviation + consecutive-timeout detectors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.health import HealthConfig, HealthMonitor
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        HealthConfig(ewma_alpha=0.0)
+    with pytest.raises(ConfigurationError):
+        HealthConfig(ewma_alpha=1.5)
+    with pytest.raises(ConfigurationError):
+        HealthConfig(deviation_threshold=1.0)
+    with pytest.raises(ConfigurationError):
+        HealthConfig(min_samples=0)
+    with pytest.raises(ConfigurationError):
+        HealthConfig(timeout_threshold=0)
+
+
+def test_healthy_instance_never_trips():
+    monitor = HealthMonitor()
+    for _ in range(50):
+        assert not monitor.observe(1, 1.0)
+    assert not monitor.is_unhealthy(1)
+
+
+def test_unknown_instance_is_healthy():
+    assert not HealthMonitor().is_unhealthy(99)
+
+
+def test_deviation_detector_needs_min_samples():
+    config = HealthConfig(ewma_alpha=1.0, deviation_threshold=1.5,
+                          min_samples=5)
+    monitor = HealthMonitor(config=config)
+    # Four grossly inflated samples: not enough evidence yet.
+    for _ in range(4):
+        assert not monitor.observe(1, 3.0)
+    # The fifth crosses min_samples and fires.
+    assert monitor.observe(1, 3.0)
+
+
+def test_ewma_converges_to_straggler_ratio():
+    monitor = HealthMonitor(config=HealthConfig(ewma_alpha=0.3))
+    for _ in range(30):
+        monitor.observe(7, 2.0)
+    assert monitor.health(7).ewma_ratio == pytest.approx(2.0, abs=1e-3)
+    assert monitor.is_unhealthy(7)
+
+
+def test_single_outlier_does_not_trip():
+    monitor = HealthMonitor(config=HealthConfig(ewma_alpha=0.3,
+                                                min_samples=1))
+    for _ in range(20):
+        monitor.observe(1, 1.0)
+    # One bad sample amid a healthy history is smoothed away.
+    assert not monitor.observe(1, 2.0)
+
+
+def test_consecutive_timeouts_trip():
+    monitor = HealthMonitor(config=HealthConfig(timeout_threshold=3))
+    assert not monitor.record_timeout(1)
+    assert not monitor.record_timeout(1)
+    assert monitor.record_timeout(1)
+
+
+def test_success_resets_timeout_streak():
+    monitor = HealthMonitor(config=HealthConfig(timeout_threshold=3))
+    monitor.record_timeout(1)
+    monitor.record_timeout(1)
+    monitor.observe(1, 1.0)  # a completion breaks the streak
+    assert not monitor.record_timeout(1)
+    assert not monitor.record_timeout(1)
+    assert monitor.record_timeout(1)
+
+
+def test_negative_ratio_rejected():
+    with pytest.raises(ConfigurationError):
+        HealthMonitor().observe(1, -0.1)
+
+
+def test_reset_forgets_history():
+    monitor = HealthMonitor(config=HealthConfig(ewma_alpha=1.0,
+                                                min_samples=1))
+    monitor.observe(1, 5.0)
+    assert monitor.is_unhealthy(1)
+    monitor.reset(1)
+    assert not monitor.is_unhealthy(1)
+
+
+def test_sample_healthy_verdict():
+    monitor = HealthMonitor(config=HealthConfig(deviation_threshold=1.5))
+    assert monitor.is_sample_healthy(1.0)
+    assert monitor.is_sample_healthy(1.5)
+    assert not monitor.is_sample_healthy(1.51)

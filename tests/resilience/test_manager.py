@@ -1,0 +1,141 @@
+"""ResilienceManager: health verdicts driving MLQ quarantine."""
+
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.core.mlq import MultiLevelQueue
+from repro.resilience.breaker import BreakerConfig, BreakerState
+from repro.resilience.health import HealthConfig
+from repro.resilience.manager import ResilienceConfig, ResilienceManager
+from repro.runtimes.models import bert_base
+from repro.runtimes.registry import build_polymorph_set
+
+REGISTRY = build_polymorph_set(bert_base())
+
+
+def make_manager(**over):
+    alloc = [2] + [0] * (len(REGISTRY) - 2) + [1]
+    state = ClusterState.bootstrap(REGISTRY, alloc)
+    mlq = MultiLevelQueue.from_cluster(state)
+    config = ResilienceConfig(
+        health=over.pop("health", HealthConfig(ewma_alpha=1.0, min_samples=2)),
+        breaker=over.pop("breaker", BreakerConfig(open_ms=1_000,
+                                                  close_after=2)),
+    )
+    manager = ResilienceManager(config=config, mlq=mlq)
+    return manager, state, mlq
+
+
+def trip_instance(manager, instance, now_ms=0.0):
+    """Feed inflated samples until the breaker trips; returns probe time."""
+    for _ in range(10):
+        probe_at = manager.on_service_sample(now_ms, instance, ratio=3.0)
+        if probe_at is not None:
+            return probe_at
+    raise AssertionError("breaker never tripped")
+
+
+def test_healthy_instances_flow_freely():
+    manager, state, mlq = make_manager()
+    inst = state.active_instances(0)[0]
+    assert manager.allow_dispatch(inst)
+    assert manager.on_service_sample(0.0, inst, 1.0) is None
+    assert not manager.is_quarantined(inst.instance_id)
+    assert manager.state_of(inst.instance_id) is BreakerState.CLOSED
+
+
+def test_trip_quarantines_out_of_mlq():
+    manager, state, mlq = make_manager()
+    inst = state.active_instances(0)[0]
+    probe_at = trip_instance(manager, inst, now_ms=5.0)
+    assert probe_at == pytest.approx(1_005.0)
+    assert manager.is_quarantined(inst.instance_id)
+    assert not manager.allow_dispatch(inst)
+    assert not mlq.contains(inst)
+    # The level still serves through its other instance.
+    other = state.active_instances(0)[1]
+    assert mlq.head(0) is other
+    assert manager.quarantines == 1
+    assert manager.breaker_trips == 1
+
+
+def test_timeouts_quarantine_too():
+    manager, state, mlq = make_manager()
+    inst = state.active_instances(0)[0]
+    probe_at = manager.on_timeouts(0.0, inst, count=5)
+    assert probe_at is not None
+    assert manager.is_quarantined(inst.instance_id)
+
+
+def test_probe_window_readmits_half_open():
+    manager, state, mlq = make_manager()
+    inst = state.active_instances(0)[0]
+    trip_instance(manager, inst)
+    assert manager.on_probe_window(1_000.0, inst)
+    assert manager.state_of(inst.instance_id) is BreakerState.HALF_OPEN
+    assert mlq.contains(inst)
+    # Half-open gate: one in-flight probe request at a time.
+    assert manager.allow_dispatch(inst)
+    inst.enqueue(1_000.0, 10)
+    assert not manager.allow_dispatch(inst)
+    inst.complete()
+
+
+def test_healthy_probes_close_and_recover():
+    manager, state, mlq = make_manager()
+    inst = state.active_instances(0)[0]
+    trip_instance(manager, inst)
+    manager.on_probe_window(1_000.0, inst)
+    assert manager.on_service_sample(1_100.0, inst, 1.0) is None
+    assert manager.on_service_sample(1_200.0, inst, 1.0) is None
+    assert manager.state_of(inst.instance_id) is BreakerState.CLOSED
+    assert manager.breaker_recoveries == 1
+    assert manager.allow_dispatch(inst)
+
+
+def test_unhealthy_probe_retrips_with_backoff():
+    manager, state, mlq = make_manager()
+    inst = state.active_instances(0)[0]
+    first = trip_instance(manager, inst)
+    manager.on_probe_window(first, inst)
+    again = manager.on_service_sample(first + 10.0, inst, ratio=3.0)
+    assert again is not None
+    # Second consecutive trip: doubled window.
+    assert again - (first + 10.0) == pytest.approx(2_000.0)
+    assert not mlq.contains(inst)
+    assert manager.breaker_trips == 2
+
+
+def test_probe_window_skips_missing_or_inactive():
+    manager, state, mlq = make_manager()
+    inst = state.active_instances(0)[0]
+    trip_instance(manager, inst)
+    inst.begin_drain()
+    # Inactive: breaker goes half-open but the queue is untouched.
+    assert not manager.on_probe_window(1_000.0, inst)
+    assert not mlq.contains(inst)
+    # Vanished instance: state is dropped entirely.
+    assert not manager.on_probe_window(1_000.0, None)
+
+
+def test_requeue_respects_open_breaker():
+    manager, state, mlq = make_manager()
+    inst = state.active_instances(0)[0]
+    trip_instance(manager, inst)
+    assert not manager.requeue(inst)  # breaker OPEN holds it out
+    assert not mlq.contains(inst)
+    manager.on_probe_window(1_000.0, inst)
+    mlq.remove(inst)
+    assert manager.requeue(inst)  # half-open may rejoin
+    assert mlq.contains(inst)
+
+
+def test_instance_gone_forgets_state():
+    manager, state, mlq = make_manager()
+    inst = state.active_instances(0)[0]
+    trip_instance(manager, inst)
+    manager.on_instance_gone(inst.instance_id)
+    assert manager.state_of(inst.instance_id) is BreakerState.CLOSED
+    assert not manager.is_quarantined(inst.instance_id)
+    # Lifetime counters survive the garbage collection.
+    assert manager.breaker_trips == 1

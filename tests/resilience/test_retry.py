@@ -1,0 +1,71 @@
+"""Retry policy: backoff growth, jitter bounds, budget accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.retry import RetryBudget, RetryPolicy
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(base_delay_ms=0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(base_delay_ms=10, max_delay_ms=5)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(budget_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(jitter=1.0)
+
+
+def test_backoff_grows_and_caps_without_jitter():
+    policy = RetryPolicy(base_delay_ms=10, multiplier=2.0,
+                         max_delay_ms=50, jitter=0.0)
+    rng = policy.rng()
+    delays = [policy.delay_ms(a, rng) for a in range(5)]
+    assert delays == [10, 20, 40, 50, 50]
+
+
+def test_jitter_stays_within_fraction():
+    policy = RetryPolicy(base_delay_ms=100, multiplier=1.0,
+                         max_delay_ms=100, jitter=0.2, seed=7)
+    rng = policy.rng()
+    for _ in range(200):
+        d = policy.delay_ms(0, rng)
+        assert 80.0 <= d <= 120.0
+
+
+def test_jitter_is_deterministic_per_seed():
+    policy = RetryPolicy(seed=42)
+    a = [policy.delay_ms(i % 4, policy.rng()) for i in range(3)]
+    b = [policy.delay_ms(i % 4, policy.rng()) for i in range(3)]
+    assert a == b
+
+
+def test_negative_attempt_rejected():
+    policy = RetryPolicy()
+    with pytest.raises(ConfigurationError):
+        policy.delay_ms(-1, policy.rng())
+
+
+def test_budget_scales_with_trace_size():
+    policy = RetryPolicy(budget_fraction=0.25)
+    assert policy.budget_for(1_000) == 250
+    # Small traces still get a usable floor.
+    assert policy.budget_for(10) == 32
+
+
+def test_budget_consumption_and_exhaustion():
+    budget = RetryBudget(limit=2)
+    assert budget.try_consume()
+    assert budget.try_consume()
+    assert budget.remaining == 0
+    assert not budget.try_consume()
+    assert not budget.try_consume()
+    assert budget.used == 2
+    assert budget.exhausted_events == 2
+    with pytest.raises(ConfigurationError):
+        RetryBudget(limit=-1)

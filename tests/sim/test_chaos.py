@@ -13,7 +13,15 @@ from hypothesis import strategies as st
 from repro.baselines.schemes import build_scheme
 from repro.cluster.autoscaler import AutoscalerConfig
 from repro.core.runtime_scheduler import RuntimeSchedulerConfig
-from repro.sim.faults import FailureEvent, FailurePlan
+from repro.resilience.manager import ResilienceConfig
+from repro.sim.faults import (
+    BlackoutEvent,
+    FailureEvent,
+    FailurePlan,
+    FaultPlan,
+    SlowdownEvent,
+    SolverFaultEvent,
+)
 from repro.sim.simulation import SimulationConfig, run_simulation
 from repro.units import seconds
 from repro.workload.twitter import generate_twitter_trace
@@ -71,3 +79,100 @@ def test_chaos_randomised(seed):
     scheme, result, n = run_chaos(300 + seed, failures=2, recovery_s=3.0)
     assert result.stats.count == n
     assert scheme.cluster.total_outstanding() == 0
+
+
+def make_trace(seed=13, rate=500, duration_s=25):
+    return generate_twitter_trace(
+        rate_per_s=rate, duration_ms=seconds(duration_s), pattern="bursty",
+        seed=seed, drift_scale=0.15, drift_window_ms=seconds(8),
+    )
+
+
+def make_arlo(trace, name="arlo", gpus=5):
+    return build_scheme(
+        name, "bert-base", gpus,
+        trace_hint=trace.slice_time(0, seconds(4)),
+        runtime_scheduler_config=RuntimeSchedulerConfig(period_ms=seconds(7)),
+    )
+
+
+@pytest.mark.chaos
+def test_slowdowns_and_blackouts_under_autoscaling():
+    """Degraded-but-alive faults while the autoscaler churns the fleet.
+
+    Hard invariants: every request is served exactly once, and no
+    request is ever dispatched to an instance whose breaker is OPEN
+    (the simulator counts such events as ``quarantine_violations``).
+    """
+    trace = make_trace(seed=17)
+    scheme = make_arlo(trace)
+    plan = FaultPlan(events=[
+        SlowdownEvent(time_ms=seconds(5), factor=3.0,
+                      duration_ms=seconds(5)),
+        SlowdownEvent(time_ms=seconds(9), factor=2.5,
+                      duration_ms=seconds(4)),
+        BlackoutEvent(time_ms=seconds(12), duration_ms=seconds(2)),
+        BlackoutEvent(time_ms=seconds(16), duration_ms=seconds(1)),
+    ])
+    config = SimulationConfig(
+        enable_autoscaler=True,
+        autoscaler=AutoscalerConfig(slo_ms=150.0, min_gpus=2, max_gpus=10,
+                                    window_size=128,
+                                    scale_in_period_ms=seconds(8)),
+        failures=plan,
+        resilience=ResilienceConfig(),
+    )
+    result = run_simulation(scheme, trace, config)
+    assert result.stats.count == len(trace)  # conservation
+    assert scheme.cluster.total_outstanding() == 0
+    assert result.control_stats["slowdowns"] == 2
+    assert result.control_stats["blackouts"] == 2
+    # Quarantine is airtight: zero dispatches landed on an instance
+    # while its breaker was open.
+    assert result.control_stats["quarantine_violations"] == 0
+    # The stragglers were caught and benched at least once.
+    assert result.control_stats["breaker_trips"] >= 1
+    assert result.control_stats["quarantines"] >= 1
+    # Blacked-out in-flight work timed out and was retried with backoff.
+    assert result.control_stats["timeouts"] >= 1
+    assert result.control_stats["retries"] >= 1
+
+
+@pytest.mark.chaos
+def test_acceptance_mixed_grade_chaos():
+    """The PR's acceptance scenario: 2 crashes + 2 slowdowns + 1 solver
+    failure. Zero lost requests, the breaker trips AND recovers, the
+    solver fallback is recorded, and Arlo's p98 stays within 1.15x of
+    the same-run intra-group load-balance baseline."""
+    trace = make_trace(seed=23)
+    plan = FaultPlan(events=[
+        SlowdownEvent(time_ms=seconds(6), factor=3.0,
+                      duration_ms=seconds(5)),
+        SlowdownEvent(time_ms=seconds(8), factor=3.0,
+                      duration_ms=seconds(5)),
+        SolverFaultEvent(time_ms=seconds(13.5)),
+        FailureEvent(time_ms=seconds(15), recovery_ms=seconds(4)),
+        FailureEvent(time_ms=seconds(18), recovery_ms=seconds(4)),
+    ])
+    config = SimulationConfig(failures=plan, resilience=ResilienceConfig())
+
+    arlo = make_arlo(trace, "arlo")
+    result = run_simulation(arlo, trace, config)
+    assert result.stats.count == len(trace)  # zero lost requests
+    assert arlo.cluster.total_outstanding() == 0
+    assert result.control_stats["failures"] == 2
+    assert result.control_stats["slowdowns"] == 2
+    assert result.control_stats["breaker_trips"] >= 1
+    assert result.control_stats["breaker_recoveries"] >= 1
+    assert result.control_stats["quarantine_violations"] == 0
+    # The injected solver failure was survived, not crashed on:
+    assert result.control_stats["solver_faults_injected"] == 1
+    assert result.control_stats["solver_fallbacks"] >= 1
+    incidents = arlo.runtime_scheduler.incidents
+    assert len(incidents) >= 1
+    assert "injected solver failure" in incidents[0].error
+
+    ilb = make_arlo(trace, "arlo-ilb")
+    baseline = run_simulation(ilb, trace, config)
+    assert baseline.stats.count == len(trace)
+    assert result.p98_ms <= 1.15 * baseline.p98_ms

@@ -24,9 +24,26 @@ def test_failure_event_validation():
     with pytest.raises(ConfigurationError):
         FailureEvent(time_ms=0.0, victim_rank=-1)
     with pytest.raises(ConfigurationError):
-        FailureEvent(time_ms=0.0, recovery_ms=0.0)
+        FailureEvent(time_ms=0.0, recovery_ms=-1.0)
     with pytest.raises(ConfigurationError):
         FailurePlan.random(count=-1, horizon_ms=100.0)
+
+
+def test_instant_recovery_is_legal():
+    # recovery_ms=0 means "recovers in the same timestamp" (e.g. a
+    # supervised process restart) and must be accepted — only negative
+    # recovery is nonsense. Pin the contract end to end: the fleet is
+    # whole again and every request completes.
+    event = FailureEvent(time_ms=seconds(3), recovery_ms=0.0)
+    assert event.recovery_ms == 0.0
+    trace = bursty_trace(rate=100, duration_s=8)
+    scheme = build_scheme("st", "bert-base", 3)
+    result = run_simulation(
+        scheme, trace, SimulationConfig(failures=FailurePlan(events=[event]))
+    )
+    assert result.stats.count == len(trace)
+    assert scheme.cluster.num_gpus == 3
+    assert scheme.cluster.num_active_instances == 3
 
 
 def test_random_plan_within_horizon():

@@ -4,12 +4,13 @@ import pytest
 
 from repro.core.arlo import ArloConfig, ArloSystem
 from repro.core.runtime_scheduler import RuntimeSchedulerConfig
-from repro.errors import ConfigurationError
+from repro.errors import AdmissionError, ConfigurationError
+from repro.resilience.admission import AdmissionConfig, RejectionReason
 from repro.serve import ArloServer, Ticket, VirtualClock, WallClock
 from repro.units import seconds
 
 
-def make_server(period_s=120.0):
+def make_server(period_s=120.0, admission=None):
     arlo = ArloSystem.build(
         "bert-base", num_gpus=4,
         config=ArloConfig(
@@ -20,7 +21,7 @@ def make_server(period_s=120.0):
         ),
     )
     clock = VirtualClock()
-    return ArloServer(arlo, clock), clock
+    return ArloServer(arlo, clock, admission=admission), clock
 
 
 def test_submit_returns_consistent_ticket():
@@ -104,3 +105,70 @@ def test_snapshot_shape():
     snap = server.snapshot()
     assert snap["in_flight"] == 1
     assert "allocation" in snap and "dispatch" in snap
+    assert snap["shed"] == 0
+    assert snap["solver_fallbacks"] == 0
+
+
+def test_overlong_request_raises_typed_rejection():
+    # Regression: this used to leak a raw CapacityError out of submit.
+    server, clock = make_server()
+    too_long = server.arlo.registry.max_length + 1
+    with pytest.raises(AdmissionError) as excinfo:
+        server.submit(too_long)
+    rejection = excinfo.value.rejection
+    assert rejection.reason is RejectionReason.UNSERVABLE_LENGTH
+    assert rejection.length == too_long
+    assert server.stats.shed == 1
+    assert server.stats.submitted == 0
+    assert server.snapshot()["shed_by_reason"] == {"unservable_length": 1}
+
+
+def test_admission_sheds_on_deadline():
+    server, clock = make_server(
+        admission=AdmissionConfig(deadline_ms=1_000.0)
+    )
+    # Max-length requests have exactly one candidate level, so the
+    # backlog cannot leak into shallower queues: hammering without
+    # advancing the clock must eventually miss the deadline and shed.
+    length = server.arlo.registry.max_length
+    shed = 0
+    for _ in range(3_000):
+        try:
+            server.submit(length)
+        except AdmissionError as exc:
+            assert exc.rejection.reason is RejectionReason.DEADLINE_UNMET
+            assert exc.rejection.expected_wait_ms > 1_000.0
+            shed += 1
+    assert shed > 0
+    assert server.stats.shed == shed
+    assert server.stats.submitted == 3_000 - shed
+    assert server.shed_counts["deadline_unmet"] == shed
+    # Admitted work still completes normally.
+    assert server.drain() == 0
+
+
+def test_per_request_deadline_overrides_default():
+    server, clock = make_server(
+        admission=AdmissionConfig(deadline_ms=60_000.0)
+    )
+    with pytest.raises(AdmissionError):
+        server.submit(300, deadline_ms=0.001)
+    ticket = server.submit(300)  # default deadline is generous
+    assert ticket.length == 300
+
+
+def test_admission_recovers_after_drain():
+    server, clock = make_server(
+        admission=AdmissionConfig(deadline_ms=200.0)
+    )
+    length = server.arlo.registry.max_length
+    for _ in range(5_000):
+        try:
+            server.submit(length)
+        except AdmissionError:
+            break
+    else:
+        pytest.fail("admission never shed under unbounded backlog")
+    server.drain()
+    # Backlog cleared: admission opens up again.
+    assert server.submit(length).length == length
