@@ -1,0 +1,375 @@
+"""Perf-regression harness for the control-plane hot paths.
+
+Times the three paths this repo's fast control plane optimises:
+
+1. **Solve latency** — ``RuntimeScheduler.step`` on the Table 2
+   workload (50 GPUs × 8 runtimes), measured cold (no cache, no warm
+   start), warm-started (previous period's allocation seeds the solver
+   bounds) and cached (exact memoized hit, no solve at all);
+2. **Dispatch** — Algorithm 1 ``dispatch`` + completion on a populated
+   multi-level queue, reported as ns/request;
+3. **End-to-end simulation** — a small Arlo serving experiment,
+   reported as simulator events/second.
+
+Run directly to (re)generate the committed ``BENCH_perf.json``::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py --quick
+
+or gate a change against a committed baseline (CI does this)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py --quick \
+        --baseline BENCH_perf.json --max-regression 0.25
+
+The pytest entry points (``-m perf``) assert the acceptance criterion:
+warm+cached scheduler steps at least 3× faster than cold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.allocators import even_allocation
+from repro.cluster.state import ClusterState
+from repro.core.bins import LengthBins
+from repro.core.demand import DemandEstimator
+from repro.core.mlq import MultiLevelQueue
+from repro.core.request_scheduler import ArloRequestScheduler
+from repro.core.runtime_scheduler import RuntimeScheduler, RuntimeSchedulerConfig
+from repro.experiments.runner import ExperimentSpec, run_single
+from repro.runtimes.models import get_model
+from repro.runtimes.registry import build_polymorph_set
+from repro.runtimes.staircase import polymorph_lengths_for_count
+from repro.units import SECOND
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_perf.json"
+
+#: Table 2 first row: the paper's smallest reported ILP instance.
+TABLE2_GPUS = 50
+TABLE2_RUNTIMES = 8
+
+#: Acceptance criterion: warm+cached step vs cold step.
+SPEEDUP_FLOOR = 3.0
+
+
+# ---------------------------------------------------------------------------
+# Workload construction
+# ---------------------------------------------------------------------------
+
+def _build_scheduler(
+    enable_cache: bool,
+    warm_start: bool,
+    num_gpus: int = TABLE2_GPUS,
+    num_runtimes: int = TABLE2_RUNTIMES,
+    seed: int = 5,
+) -> tuple[RuntimeScheduler, ClusterState, float]:
+    """A Runtime Scheduler over the Table 2 workload, demand pre-filled.
+
+    Mirrors ``repro.experiments.figures.table2_problem``: bert-large
+    polymorphs, log-normally spread demand at ~60 % utilisation — but
+    routed through a real ``DemandEstimator`` so ``step`` exercises the
+    same estimate → problem → solve pipeline production uses.
+    """
+    model = get_model("bert-large")
+    registry = build_polymorph_set(
+        model,
+        max_lengths=polymorph_lengths_for_count(model.max_length, num_runtimes),
+    )
+    config = RuntimeSchedulerConfig(
+        period_ms=20 * SECOND,
+        enable_cache=enable_cache,
+        warm_start=warm_start,
+    )
+    estimator = DemandEstimator(
+        bins=LengthBins.from_registry(registry),
+        slo_ms=model.slo_ms,
+        window_ms=config.period_ms,
+    )
+    now_ms = config.period_ms
+    rng = np.random.default_rng(seed)
+    caps = np.array([p.capacity for p in registry], dtype=float)
+    weights = rng.lognormal(0.0, 0.8, size=num_runtimes)
+    weights /= weights.sum()
+    # Arrivals per bin over the window matching ~60 % utilisation.
+    per_window = weights * 0.6 * num_gpus * caps.mean()
+    arrivals_per_bin = np.maximum(
+        1, (per_window * (config.period_ms / model.slo_ms)).astype(int)
+    )
+    times, lengths = [], []
+    for b, count in enumerate(arrivals_per_bin):
+        times.append(rng.uniform(0.0, now_ms, size=count))
+        lengths.append(np.full(count, registry[b].max_length, dtype=np.int64))
+    order = np.argsort(np.concatenate(times), kind="stable")
+    estimator.observe_batch(
+        np.concatenate(times)[order], np.concatenate(lengths)[order]
+    )
+    cluster = ClusterState.bootstrap(
+        registry, even_allocation(num_runtimes, num_gpus)
+    )
+    scheduler = RuntimeScheduler(
+        registry=registry, estimator=estimator, config=config
+    )
+    return scheduler, cluster, now_ms
+
+
+def _time_best_of(fn, repeats: int) -> float:
+    """Best-of-N wall time in seconds (min is the low-noise estimator)."""
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks
+# ---------------------------------------------------------------------------
+
+def bench_solve(repeats: int = 5) -> dict:
+    """Cold vs warm-started vs cached ``RuntimeScheduler.step``."""
+    # Cold: every step runs the full solve from scratch.
+    cold_sched, cold_cluster, now = _build_scheduler(
+        enable_cache=False, warm_start=False
+    )
+    cold_s = _time_best_of(lambda: cold_sched.step(now, cold_cluster), repeats)
+    cold_result, _ = cold_sched.step(now, cold_cluster)
+
+    # Warm: the previous period's allocation seeds the solver's bounds.
+    warm_sched, warm_cluster, now = _build_scheduler(
+        enable_cache=False, warm_start=True
+    )
+    warm_sched.step(now, warm_cluster)  # seed history
+    warm_s = _time_best_of(lambda: warm_sched.step(now, warm_cluster), repeats)
+    warm_result, _ = warm_sched.step(now, warm_cluster)
+
+    # Cached: identical demand at the same instant → exact memoized hit.
+    # A hit costs ~0.1 ms, small enough that scheduler jitter dominates a
+    # single timing — take many more repeats to keep the gated metric
+    # stable across runs (still sub-second total).
+    cached_sched, cached_cluster, now = _build_scheduler(
+        enable_cache=True, warm_start=True
+    )
+    cached_sched.step(now, cached_cluster)  # miss + store
+    cached_s = _time_best_of(
+        lambda: cached_sched.step(now, cached_cluster), max(repeats * 20, 50)
+    )
+    cached_result, _ = cached_sched.step(now, cached_cluster)
+
+    assert abs(cold_result.objective - warm_result.objective) < 1e-6
+    assert abs(cold_result.objective - cached_result.objective) < 1e-6
+    assert cached_result.stats.get("cache_hit"), "expected an exact cache hit"
+    return {
+        "workload": f"table2({TABLE2_GPUS} gpus, {TABLE2_RUNTIMES} runtimes)",
+        "solver": cold_result.solver,
+        "cold_ms": cold_s * 1e3,
+        "warm_ms": warm_s * 1e3,
+        "cached_ms": cached_s * 1e3,
+        "warm_speedup": cold_s / warm_s,
+        "cached_speedup": cold_s / cached_s,
+        "warm_started": bool(warm_result.stats.get("warm_started")),
+        "cache": cached_sched.cache_stats(),
+    }
+
+
+def bench_dispatch(
+    num_requests: int = 20_000, seed: int = 7, passes: int = 5
+) -> dict:
+    """Algorithm 1 dispatch + completion on a populated MLQ, ns/request.
+
+    Timed as best-of-``passes`` over the same request stream: a single
+    pass is short enough (a few ms) that scheduler jitter swings it by
+    30%+, which would flap the CI regression gate.
+    """
+    model = get_model("bert-large")
+    registry = build_polymorph_set(
+        model,
+        max_lengths=polymorph_lengths_for_count(
+            model.max_length, TABLE2_RUNTIMES
+        ),
+    )
+    cluster = ClusterState.bootstrap(
+        registry, even_allocation(TABLE2_RUNTIMES, TABLE2_GPUS)
+    )
+    mlq = MultiLevelQueue.from_cluster(cluster)
+    scheduler = ArloRequestScheduler(registry=registry, mlq=mlq)
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, model.max_length + 1, size=num_requests)
+    # Steady state: each dispatched request completes before the next
+    # arrives, so the heaps stay warm without unbounded queue growth.
+    warmup = min(1000, num_requests // 10)
+    for length in lengths[:warmup]:
+        decision, _, _ = scheduler.dispatch(0.0, int(length))
+        decision.instance.complete()
+        mlq.refresh(decision.instance)
+    timed = num_requests - warmup
+    elapsed = math.inf
+    for _ in range(passes):
+        t0 = time.perf_counter()
+        for length in lengths[warmup:]:
+            decision, _, _ = scheduler.dispatch(0.0, int(length))
+            decision.instance.complete()
+            mlq.refresh(decision.instance)
+        elapsed = min(elapsed, time.perf_counter() - t0)
+    return {
+        "requests": timed,
+        "passes": passes,
+        "ns_per_request": elapsed / timed * 1e9,
+        "requests_per_s": timed / elapsed,
+        "stats": scheduler.stats(),
+    }
+
+
+def bench_simulation(duration_s: float = 20.0, rate_per_s: float = 200.0) -> dict:
+    """End-to-end event simulation throughput (events/second)."""
+    spec = ExperimentSpec(
+        name="perf-e2e",
+        model="bert-large",
+        num_gpus=8,
+        rate_per_s=rate_per_s,
+        duration_s=duration_s,
+        schemes=("arlo",),
+        scheduler_period_s=5.0,
+    )
+    t0 = time.perf_counter()
+    _, result = run_single(spec, "arlo")
+    elapsed = time.perf_counter() - t0
+    return {
+        "sim_duration_s": duration_s,
+        "rate_per_s": rate_per_s,
+        "events": result.events_processed,
+        "wall_s": elapsed,
+        "events_per_s": result.events_processed / elapsed,
+    }
+
+
+def run_benchmarks(quick: bool = False) -> dict:
+    """All three hot-path benchmarks as one JSON-ready payload."""
+    payload = {
+        "schema": "bench_perf/1",
+        "quick": quick,
+        "python": platform.python_version(),
+        "solve": bench_solve(repeats=3 if quick else 7),
+        "dispatch": bench_dispatch(num_requests=5_000 if quick else 20_000),
+        "simulation": bench_simulation(
+            duration_s=8.0 if quick else 20.0,
+            rate_per_s=150.0 if quick else 200.0,
+        ),
+    }
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Regression gate
+# ---------------------------------------------------------------------------
+
+#: (json path, direction) — 'lower' means lower-is-better.
+_GATED_METRICS = (
+    (("solve", "cold_ms"), "lower"),
+    (("solve", "cached_ms"), "lower"),
+    (("dispatch", "ns_per_request"), "lower"),
+    (("simulation", "events_per_s"), "higher"),
+)
+
+
+def _dig(payload: dict, path: tuple[str, ...]) -> float | None:
+    node = payload
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node)
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, max_regression: float
+) -> list[str]:
+    """Regressions beyond tolerance, as human-readable failure lines.
+
+    A metric regresses when it is worse than the committed baseline by
+    more than ``max_regression`` (fractional — 0.25 means 25 %).
+    Metrics absent from either side are skipped (schema evolution must
+    not hard-fail the gate).
+    """
+    failures = []
+    for path, direction in _GATED_METRICS:
+        cur, base = _dig(current, path), _dig(baseline, path)
+        if cur is None or base is None or base <= 0:
+            continue
+        ratio = cur / base if direction == "lower" else base / cur
+        if ratio > 1.0 + max_regression:
+            failures.append(
+                f"{'.'.join(path)}: {cur:.4g} vs baseline {base:.4g} "
+                f"({(ratio - 1.0) * 100:.1f}% worse, "
+                f"tolerance {max_regression * 100:.0f}%)"
+            )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (-m perf)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.perf
+def test_warm_cached_step_speedup():
+    """Acceptance: warm+cached step ≥3× faster than cold (Table 2)."""
+    solve = bench_solve(repeats=3)
+    assert solve["cached_speedup"] >= SPEEDUP_FLOOR, solve
+    # Warm starts must never slow the solve down materially even when
+    # they fail to help (feasibility validation is cheap).
+    assert solve["warm_ms"] <= solve["cold_ms"] * 1.5, solve
+
+
+@pytest.mark.perf
+def test_cached_solve_objective_matches_cold():
+    solve = bench_solve(repeats=1)
+    # bench_solve asserts objective equality internally; reaching here
+    # with a hit recorded is the contract.
+    assert solve["cache"]["hits"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced repeats/sizes (CI smoke)")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write the JSON (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="committed BENCH_perf.json to gate against")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fractional tolerance per gated metric")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmarks(quick=args.quick)
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {args.output}")
+
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        failures = compare_to_baseline(payload, baseline, args.max_regression)
+        if failures:
+            print("\nPERF REGRESSION:")
+            for line in failures:
+                print(f"  - {line}")
+            return 1
+        print(f"\nno regression beyond {args.max_regression:.0%} "
+              f"vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

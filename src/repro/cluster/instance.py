@@ -45,6 +45,10 @@ class RuntimeInstance:
     #: healthy. Scheduling still uses the profiled nominal time — only
     #: the health monitor can tell a slowed instance apart.
     slow_factor: float = 1.0
+    #: Optional :class:`repro.perf.counters.CongestionTracker` kept
+    #: up to date through every lifecycle transition (set by
+    #: ``ClusterState.deploy``; standalone instances leave it None).
+    tracker: "object | None" = field(default=None, repr=False, compare=False)
     _epoch: int = field(default=0, repr=False)
 
     @property
@@ -90,6 +94,8 @@ class RuntimeInstance:
         self.busy_until_ms = finish
         self.outstanding += 1
         self._epoch += 1
+        if self.tracker is not None:
+            self.tracker.on_enqueue(self)
         return start, finish
 
     def complete(self) -> None:
@@ -101,12 +107,16 @@ class RuntimeInstance:
         self.outstanding -= 1
         self.served += 1
         self._epoch += 1
+        if self.tracker is not None:
+            self.tracker.on_complete(self)
 
     def begin_drain(self) -> None:
         if self.status is InstanceStatus.RETIRED:
             raise SchedulingError("cannot drain a retired instance")
         self.status = InstanceStatus.DRAINING
         self._epoch += 1
+        if self.tracker is not None:
+            self.tracker.deactivate(self)
 
     def retire(self) -> None:
         if self.outstanding:
@@ -115,6 +125,8 @@ class RuntimeInstance:
             )
         self.status = InstanceStatus.RETIRED
         self._epoch += 1
+        if self.tracker is not None:
+            self.tracker.deactivate(self)
 
     def crash(self) -> int:
         """Abrupt failure: drop all outstanding work and retire.
@@ -127,6 +139,11 @@ class RuntimeInstance:
                 f"instance {self.instance_id} already retired"
             )
         lost = self.outstanding
+        if self.tracker is not None:
+            # Deactivate while `outstanding` still reflects the counted
+            # amount, then void the lost work from the all-status total.
+            self.tracker.deactivate(self)
+            self.tracker.on_loss(lost)
         self.outstanding = 0
         self.busy_until_ms = 0.0
         self.status = InstanceStatus.RETIRED
@@ -146,6 +163,9 @@ class RuntimeInstance:
                 f"({self.status.value})"
             )
         lost = self.outstanding
+        if self.tracker is not None:
+            self.tracker.deactivate(self)
+            self.tracker.on_loss(lost)
         self.outstanding = 0
         self.busy_until_ms = 0.0
         self.status = InstanceStatus.SUSPENDED
@@ -161,6 +181,8 @@ class RuntimeInstance:
             )
         self.status = InstanceStatus.ACTIVE
         self._epoch += 1
+        if self.tracker is not None:
+            self.tracker.activate(self)
 
     def drained(self) -> bool:
         """True once a draining instance has finished all its work."""

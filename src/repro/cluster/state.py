@@ -15,6 +15,7 @@ import numpy as np
 from repro.cluster.gpu import Gpu
 from repro.cluster.instance import RuntimeInstance
 from repro.errors import SchedulingError
+from repro.perf.counters import CongestionTracker
 from repro.runtimes.registry import RuntimeRegistry
 
 
@@ -27,12 +28,21 @@ class ClusterState:
     instances: dict[int, RuntimeInstance] = field(default_factory=dict)
     #: Active instances per runtime index (the multi-level-queue levels).
     levels: list[list[RuntimeInstance]] = field(default_factory=list)
+    #: O(1) outstanding/capacity/allocation aggregates, maintained by
+    #: the instance lifecycle hooks (see repro.perf.counters).
+    congestion: CongestionTracker = field(init=False, repr=False)
     _next_gpu_id: int = 0
     _next_instance_id: int = 0
 
     def __post_init__(self) -> None:
         if not self.levels:
             self.levels = [[] for _ in range(len(self.registry))]
+        self.congestion = CongestionTracker(num_levels=len(self.registry))
+        for instance in self.instances.values():
+            instance.tracker = self.congestion
+            if instance.is_active:
+                self.congestion.activate(instance)
+            self.congestion.all_outstanding += instance.outstanding
 
     # -- provisioning -------------------------------------------------------
     def add_gpu(self, now_ms: float = 0.0) -> Gpu:
@@ -59,6 +69,8 @@ class ClusterState:
         gpu.attach(instance.instance_id)
         self.instances[instance.instance_id] = instance
         self.levels[runtime_index].append(instance)
+        instance.tracker = self.congestion
+        self.congestion.activate(instance)
         return instance
 
     def deploy_on_new_gpu(self, runtime_index: int, now_ms: float = 0.0) -> RuntimeInstance:
@@ -97,11 +109,11 @@ class ClusterState:
         return [i for pool in pools for i in pool if i.is_active]
 
     def allocation(self) -> np.ndarray:
-        """Active instance count per runtime (the ILP's ``N`` vector)."""
-        return np.array(
-            [sum(1 for i in lvl if i.is_active) for lvl in self.levels],
-            dtype=np.int64,
-        )
+        """Active instance count per runtime (the ILP's ``N`` vector).
+
+        O(1): read from the congestion tracker's maintained aggregate.
+        """
+        return self.congestion.allocation()
 
     @property
     def num_gpus(self) -> int:
@@ -110,13 +122,14 @@ class ClusterState:
 
     @property
     def num_active_instances(self) -> int:
-        return sum(1 for i in self.instances.values() if i.is_active)
+        return int(self.congestion.active.sum())
 
     def free_gpus(self) -> list[Gpu]:
         return [g for g in self.gpus.values() if g.is_free and not g.is_released]
 
     def total_outstanding(self) -> int:
-        return sum(i.outstanding for i in self.instances.values())
+        """Outstanding over all live instances (active + draining) — O(1)."""
+        return self.congestion.all_outstanding
 
     def gpu_time_ms(self, now_ms: float) -> float:
         """Σ provisioned lifetime over all GPUs (the Fig. 8 integral)."""

@@ -208,8 +208,38 @@ class AllocationResult:
 # Exact dynamic program
 # ---------------------------------------------------------------------------
 
-def _dp_labels(problem: AllocationProblem, lb: np.ndarray):
-    """Pareto-label DP over (runtime, gpus-used) with (cost, carry) labels."""
+def _warm_allocation(
+    problem: AllocationProblem, warm_start, relax: bool
+) -> np.ndarray | None:
+    """Validate a warm-start allocation; None when unusable.
+
+    Feasibility is *checked*, never assumed — the previous period's
+    allocation may violate this period's Eq. 3 bounds, and an
+    infeasible incumbent would make bound-based pruning unsound.
+    """
+    if warm_start is None:
+        return None
+    warm = np.asarray(warm_start, dtype=np.int64)
+    if warm.shape != problem.demand.shape:
+        return None
+    if not problem.is_feasible(warm, relaxed=relax):
+        return None
+    return warm
+
+
+def _dp_labels(
+    problem: AllocationProblem,
+    lb: np.ndarray,
+    upper_bound: float = float("inf"),
+):
+    """Pareto-label DP over (runtime, gpus-used) with (cost, carry) labels.
+
+    ``upper_bound`` is an incumbent cost from a known-feasible
+    allocation (warm start): partial paths already costlier can never
+    improve on it (step costs are non-negative) and are pruned. The
+    returned optimum is unaffected — every path whose final cost is
+    ≤ the bound survives intact.
+    """
     G, I = problem.num_gpus, problem.num_runtimes
     # Suffix lower-bound sums: GPUs that *must* remain for runtimes > i.
     suffix = np.concatenate([np.cumsum(lb[::-1])[::-1][1:], [0]])
@@ -238,7 +268,10 @@ def _dp_labels(problem: AllocationProblem, lb: np.ndarray):
                     step_cost = problem.serve_cost(i, served, n)
                     if step_cost == float("inf"):
                         continue
-                    entry = (cost + step_cost, new_carry, alloc + (n,))
+                    total = cost + step_cost
+                    if total > upper_bound + _EPS:
+                        continue  # cannot beat the warm-start incumbent
+                    entry = (total, new_carry, alloc + (n,))
                     new_labels.setdefault(used + n, []).append(entry)
         # Pareto-prune each bucket on (cost, carry).
         labels = {}
@@ -254,13 +287,27 @@ def _dp_labels(problem: AllocationProblem, lb: np.ndarray):
     return labels
 
 
-def solve_dp(problem: AllocationProblem, relax: bool = False) -> AllocationResult:
+def solve_dp(
+    problem: AllocationProblem,
+    relax: bool = False,
+    warm_start: np.ndarray | None = None,
+) -> AllocationResult:
     """Exact solver. Optimal because, for fixed GPUs-used, a prefix with
     both lower cost and lower carried demand can never be beaten by the
-    dominated one downstream (cost-to-go is non-decreasing in carry)."""
+    dominated one downstream (cost-to-go is non-decreasing in carry).
+
+    A feasible ``warm_start`` allocation supplies an incumbent upper
+    bound that prunes dominated partial paths early; the returned
+    *objective* is identical to the cold solve's (only strictly-worse
+    prefixes are dropped, so every optimal path survives). When several
+    allocations tie at the optimum the reported one may differ — the
+    bound changes which tied representative survives Pareto filtering.
+    """
     start = time.perf_counter()
     lb = problem.lower_bounds(relax=relax)
-    labels = _dp_labels(problem, lb)
+    warm = _warm_allocation(problem, warm_start, relax)
+    upper = problem.evaluate(warm) if warm is not None else float("inf")
+    labels = _dp_labels(problem, lb, upper_bound=upper)
     final = labels.get(problem.num_gpus, [])
     if not final:
         raise InfeasibleError("no feasible allocation found by the DP")
@@ -271,7 +318,7 @@ def solve_dp(problem: AllocationProblem, relax: bool = False) -> AllocationResul
         solver="dp",
         solve_time_s=time.perf_counter() - start,
         relaxed=relax,
-        stats={"final_labels": len(final)},
+        stats={"final_labels": len(final), "warm_started": warm is not None},
     )
 
 
@@ -280,9 +327,15 @@ def solve_dp(problem: AllocationProblem, relax: bool = False) -> AllocationResul
 # ---------------------------------------------------------------------------
 
 def solve_bruteforce(
-    problem: AllocationProblem, relax: bool = False
+    problem: AllocationProblem,
+    relax: bool = False,
+    warm_start: np.ndarray | None = None,
 ) -> AllocationResult:
-    """Enumerate every feasible allocation. Exponential — tests only."""
+    """Enumerate every feasible allocation. Exponential — tests only.
+
+    ``warm_start`` is accepted for interface uniformity and ignored
+    (exhaustive enumeration has nothing to prune).
+    """
     start = time.perf_counter()
     lb = problem.lower_bounds(relax=relax)
     G, I = problem.num_gpus, problem.num_runtimes
@@ -318,6 +371,7 @@ def solve_local_search(
     problem: AllocationProblem,
     relax: bool = False,
     max_rounds: int = 10_000,
+    warm_start: np.ndarray | None = None,
 ) -> AllocationResult:
     """Greedy seed + steepest-descent single-GPU moves.
 
@@ -327,24 +381,35 @@ def solve_local_search(
     helps (multi-GPU moves escape the single-move local optima the
     cascade objective creates). The objective evaluation is O(I), so
     each round is O(I²) — comfortably fast for 1000 GPUs × 16 runtimes.
+
+    A feasible ``warm_start`` replaces the greedy seeding phase (the
+    dominant cost at scale: O(spare·I²) evaluations) — descent starts
+    from the given allocation. Starting from a previous *optimum*, the
+    result can only match or improve on that allocation's cost; with no
+    usable warm start the cold path runs unchanged.
     """
     start = time.perf_counter()
     lb = problem.lower_bounds(relax=relax)
     G, I = problem.num_gpus, problem.num_runtimes
-    alloc = lb.copy()
-    spare = G - int(alloc.sum())
-    current = problem.evaluate(alloc)
-    # Greedy seeding by best marginal gain.
-    for _ in range(spare):
-        best_i, best_cost = -1, float("inf")
-        for i in range(I):
-            alloc[i] += 1
-            cost = problem.evaluate(alloc)
-            alloc[i] -= 1
-            if cost < best_cost:
-                best_i, best_cost = i, cost
-        alloc[best_i] += 1
-        current = best_cost
+    warm = _warm_allocation(problem, warm_start, relax)
+    if warm is not None:
+        alloc = warm.copy()
+        current = problem.evaluate(alloc)
+    else:
+        alloc = lb.copy()
+        spare = G - int(alloc.sum())
+        current = problem.evaluate(alloc)
+        # Greedy seeding by best marginal gain.
+        for _ in range(spare):
+            best_i, best_cost = -1, float("inf")
+            for i in range(I):
+                alloc[i] += 1
+                cost = problem.evaluate(alloc)
+                alloc[i] -= 1
+                if cost < best_cost:
+                    best_i, best_cost = i, cost
+            alloc[best_i] += 1
+            current = best_cost
     # Steepest-descent pairwise moves.
     rounds = 0
     improved = True
@@ -379,7 +444,7 @@ def solve_local_search(
         solver="local",
         solve_time_s=time.perf_counter() - start,
         relaxed=relax,
-        stats={"rounds": rounds},
+        stats={"rounds": rounds, "warm_started": warm is not None},
     )
 
 
@@ -387,11 +452,33 @@ def solve_local_search(
 # MILP validation path (exercises repro.solver)
 # ---------------------------------------------------------------------------
 
+def _milp_warm_cascade(
+    problem: AllocationProblem, warm: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(serve, carry) vectors of a warm allocation under Eqs. 4–5."""
+    I = problem.num_runtimes
+    serve = np.zeros(I)
+    carry = np.zeros(I)
+    c = 0.0
+    for i in range(I):
+        arrive = c + float(problem.demand[i])
+        cap = float(warm[i]) * float(problem.capacity[i])
+        if i < I - 1:
+            serve[i] = min(arrive, cap)
+            c = max(arrive - cap, 0.0)
+            carry[i] = c
+        else:
+            serve[i] = arrive
+            carry[i] = 0.0
+    return serve, carry
+
+
 def solve_milp_encoding(
     problem: AllocationProblem,
     relax: bool = False,
     tangents_per_choice: int = 6,
     max_nodes: int = 200_000,
+    warm_start: np.ndarray | None = None,
 ) -> AllocationResult:
     """Eqs. 1–7 as a MILP on the in-house branch & bound.
 
@@ -403,6 +490,10 @@ def solve_milp_encoding(
     ``tangents_per_choice`` grows; the returned allocation is exact-
     evaluated before being reported. Intended for small instances
     (G ≤ ~10) as a cross-validation of the solver substrate.
+
+    A feasible ``warm_start`` allocation is lifted to a full MILP point
+    (selection binaries, cascade flows, epigraph costs) that seeds the
+    branch & bound incumbent, tightening pruning from the first node.
     """
     start = time.perf_counter()
     lb = problem.lower_bounds(relax=relax)
@@ -411,6 +502,12 @@ def solve_milp_encoding(
     big_m = max(total_demand, 1.0) * max(
         problem.mean_latency(i, total_demand) for i in range(I)
     )
+    warm = _warm_allocation(problem, warm_start, relax)
+    warm_vals: dict | None = None
+    warm_serve = warm_carry = None
+    if warm is not None:
+        warm_serve, warm_carry = _milp_warm_cascade(problem, warm)
+        warm_vals = {}
 
     m = Model("arlo-allocation")
     # y[i][n] — runtime i runs exactly n instances.
@@ -422,6 +519,9 @@ def solve_milp_encoding(
         y.append({n: m.add_var(ub=1.0, integer=True, name=f"y[{i},{n}]")
                   for n in opts})
         m.add_constr(LinExpr.sum(y[i].values()) == 1)
+        if warm_vals is not None:
+            for n in opts:
+                warm_vals[y[i][n]] = 1.0 if n == int(warm[i]) else 0.0
     # Σ N_i = G.
     m.add_constr(
         LinExpr.sum(
@@ -434,6 +534,16 @@ def solve_milp_encoding(
     z = [m.add_var(ub=1.0, integer=True, name=f"z[{i}]") for i in range(I)]
 
     for i in range(I):
+        if warm_vals is not None:
+            warm_vals[serve[i]] = float(warm_serve[i])
+            warm_vals[carry[i]] = float(warm_carry[i])
+            arrive_w = (float(warm_carry[i - 1]) if i > 0 else 0.0) + float(
+                problem.demand[i]
+            )
+            cap_w = float(warm[i]) * float(problem.capacity[i])
+            # z selects the binding side of the Eq. 5 min.
+            warm_vals[z[i]] = 1.0 if cap_w < arrive_w - _EPS else 0.0
+            warm_cost = 0.0
         arrive = (carry[i - 1] if i > 0 else LinExpr()) + float(problem.demand[i])
         cap_expr = LinExpr.sum(
             n * float(problem.capacity[i]) * y[i][n] for n in choices[i]
@@ -467,8 +577,16 @@ def solve_milp_encoding(
                     cost[i] >= tan.slope * serve[i] + tan.intercept
                     - big_m * (1 - y[i][n])
                 )
+                if warm_vals is not None:
+                    gate = 0.0 if n == int(warm[i]) else big_m
+                    warm_cost = max(
+                        warm_cost,
+                        tan.slope * float(warm_serve[i]) + tan.intercept - gate,
+                    )
+        if warm_vals is not None:
+            warm_vals[cost[i]] = warm_cost
     m.minimize(LinExpr.sum(cost))
-    sol = m.solve(max_nodes=max_nodes)
+    sol = m.solve(max_nodes=max_nodes, warm_values=warm_vals)
     if not sol.is_optimal:
         raise SolverError(f"MILP encoding terminated with status {sol.status}")
     alloc = np.array(
@@ -481,7 +599,12 @@ def solve_milp_encoding(
         solver="milp",
         solve_time_s=time.perf_counter() - start,
         relaxed=relax,
-        stats={"lower_bound": sol.objective, "nodes": sol.nodes_explored},
+        stats={
+            "lower_bound": sol.objective,
+            "nodes": sol.nodes_explored,
+            "lp_iterations": int(sol.extra.get("lp_iterations", 0)),
+            "warm_started": bool(sol.extra.get("warm_started", False)),
+        },
     )
 
 
@@ -497,9 +620,18 @@ _DP_SCALE_LIMIT = 120
 
 
 def solve_allocation(
-    problem: AllocationProblem, method: str = "auto", relax: bool = False
+    problem: AllocationProblem,
+    method: str = "auto",
+    relax: bool = False,
+    warm_start: np.ndarray | None = None,
 ) -> AllocationResult:
-    """Solve Eqs. 1–7 with the requested (or size-appropriate) solver."""
+    """Solve Eqs. 1–7 with the requested (or size-appropriate) solver.
+
+    ``warm_start`` is an optional prior allocation (typically last
+    period's) used to seed bounds/incumbents; infeasible warm starts
+    are validated away, and exact solvers return results identical to
+    a cold solve.
+    """
     if method == "auto":
         method = "dp" if problem.num_gpus <= _DP_SCALE_LIMIT else "local"
     try:
@@ -508,4 +640,4 @@ def solve_allocation(
         raise ConfigurationError(
             f"unknown solver {method!r}; options: auto, {sorted(_SOLVERS)}"
         ) from None
-    return solver(problem, relax=relax)
+    return solver(problem, relax=relax, warm_start=warm_start)

@@ -13,26 +13,31 @@ whose distribution drifts faster than the scheduler period.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.bins import LengthBins
 from repro.errors import ConfigurationError
+from repro.perf.incremental import IncrementalHistogram
 
 
 @dataclass
 class DemandEstimator:
-    """Streaming Q-vector estimator over a trailing time window."""
+    """Streaming Q-vector estimator over a trailing time window.
+
+    The windowed per-bin counts live in an
+    :class:`~repro.perf.incremental.IncrementalHistogram` — O(1)
+    amortised per arrival, O(1) reads — with eviction semantics
+    identical to the original deque scan.
+    """
 
     bins: LengthBins
     slo_ms: float
     window_ms: float
     #: EWMA factor on successive estimates; 1.0 = pure trailing window.
     ewma_alpha: float = 1.0
-    _events: deque = field(init=False)  # (time_ms, bin)
-    _counts: np.ndarray = field(init=False)
+    _hist: IncrementalHistogram = field(init=False)
     _smoothed: np.ndarray | None = field(default=None, init=False)
 
     def __post_init__(self) -> None:
@@ -42,48 +47,36 @@ class DemandEstimator:
             raise ConfigurationError("window must cover at least one SLO period")
         if not 0 < self.ewma_alpha <= 1.0:
             raise ConfigurationError("ewma_alpha must be in (0, 1]")
-        self._events = deque()
-        self._counts = np.zeros(len(self.bins), dtype=np.int64)
+        self._hist = IncrementalHistogram(
+            num_bins=len(self.bins), window_ms=self.window_ms
+        )
 
     def observe(self, now_ms: float, length: int) -> None:
         """Record one arrival."""
-        b = self.bins.bin_of(length)
-        self._events.append((now_ms, b))
-        self._counts[b] += 1
-        self._evict(now_ms)
+        self._hist.add(now_ms, self.bins.bin_of(length))
 
     def observe_batch(self, times_ms: np.ndarray, lengths: np.ndarray) -> None:
         """Record many arrivals at once (trace replay)."""
-        bins = self.bins.bins_of(lengths)
-        for t, b in zip(times_ms, bins):
-            self._events.append((float(t), int(b)))
-        self._counts += np.bincount(bins, minlength=len(self.bins))
-        if len(self._events):
-            self._evict(self._events[-1][0])
-
-    def _evict(self, now_ms: float) -> None:
-        horizon = now_ms - self.window_ms
-        while self._events and self._events[0][0] < horizon:
-            _, b = self._events.popleft()
-            self._counts[b] -= 1
+        self._hist.add_batch(times_ms, self.bins.bins_of(lengths))
 
     @property
     def observed(self) -> int:
-        """Arrivals currently inside the window."""
-        return int(self._counts.sum())
+        """Arrivals currently inside the window — O(1)."""
+        return self._hist.total
 
     def raw_histogram(self) -> np.ndarray:
         """Current per-bin counts inside the window."""
-        return self._counts.copy()
+        return self._hist.snapshot()
 
     def demand(self, now_ms: float) -> np.ndarray:
         """``Q_i``: expected arrivals per bin within one SLO window."""
-        self._evict(now_ms)
-        if self._events:
-            span = max(now_ms - self._events[0][0], self.slo_ms)
+        self._hist.evict(now_ms)
+        oldest = self._hist.oldest_ms()
+        if oldest is not None:
+            span = max(now_ms - oldest, self.slo_ms)
         else:
             span = self.window_ms
-        estimate = self._counts * (self.slo_ms / span)
+        estimate = self._hist.counts * (self.slo_ms / span)
         if self.ewma_alpha < 1.0:
             if self._smoothed is None:
                 self._smoothed = estimate

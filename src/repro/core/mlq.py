@@ -21,11 +21,22 @@ from repro.errors import SchedulingError
 
 @dataclass
 class InstanceHeap:
-    """Min-heap of instances keyed by outstanding load, lazily updated."""
+    """Min-heap of instances keyed by outstanding load, lazily updated.
+
+    Alongside the heap, the level maintains O(1) congestion aggregates
+    (``outstanding_total``, ``capacity_total``) through the same
+    add/remove/refresh calls that keep the heap fresh, so the dispatch
+    walk can read a level's congestion without touching its members.
+    """
 
     _heap: list[tuple[int, int, int, RuntimeInstance]] = field(default_factory=list)
     _members: dict[int, RuntimeInstance] = field(default_factory=dict)
     _counter: itertools.count = field(default_factory=itertools.count)
+    #: Σ outstanding over members, as of their last add/refresh.
+    outstanding_total: int = 0
+    #: Σ capacity (M_i) over members.
+    capacity_total: int = 0
+    _last_outstanding: dict[int, int] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self._members)
@@ -36,6 +47,9 @@ class InstanceHeap:
                 f"instance {instance.instance_id} already in this level"
             )
         self._members[instance.instance_id] = instance
+        self._last_outstanding[instance.instance_id] = instance.outstanding
+        self.outstanding_total += instance.outstanding
+        self.capacity_total += instance.capacity
         self._push(instance)
 
     def remove(self, instance: RuntimeInstance) -> None:
@@ -44,11 +58,22 @@ class InstanceHeap:
             raise SchedulingError(
                 f"instance {instance.instance_id} not in this level"
             )
+        self.outstanding_total -= self._last_outstanding.pop(instance.instance_id)
+        self.capacity_total -= instance.capacity
 
     def refresh(self, instance: RuntimeInstance) -> None:
         """Re-key an instance after its load changed."""
         if instance.instance_id in self._members:
+            last = self._last_outstanding[instance.instance_id]
+            self.outstanding_total += instance.outstanding - last
+            self._last_outstanding[instance.instance_id] = instance.outstanding
             self._push(instance)
+
+    def congestion(self) -> float:
+        """Aggregate ``P = Σ outstanding / Σ capacity`` of the level."""
+        if self.capacity_total == 0:
+            return float("inf") if self.outstanding_total else 0.0
+        return self.outstanding_total / self.capacity_total
 
     def _push(self, instance: RuntimeInstance) -> None:
         heapq.heappush(
@@ -67,6 +92,8 @@ class InstanceHeap:
         (re-pushing here instead makes dispatch quadratic under deep
         queues).
         """
+        if not self._members:
+            return None  # skip draining stale entries for an empty level
         while self._heap:
             _outstanding, _, epoch, instance = self._heap[0]
             stale = (
@@ -124,6 +151,17 @@ class MultiLevelQueue:
 
     def total_instances(self) -> int:
         return sum(len(lvl) for lvl in self.levels)
+
+    def total_outstanding(self) -> int:
+        """Σ outstanding over all queued instances — O(levels)."""
+        return sum(lvl.outstanding_total for lvl in self.levels)
+
+    def level_outstanding(self, level: int) -> int:
+        return self.levels[level].outstanding_total
+
+    def level_congestion(self, level: int) -> float:
+        """Aggregate congestion of one level — O(1)."""
+        return self.levels[level].congestion()
 
     def least_loaded(self, levels: range | list[int]) -> RuntimeInstance | None:
         """Globally least-loaded head across the given levels (IG policy)."""

@@ -146,11 +146,17 @@ class ArloRequestScheduler:
         return decision, start, finish
 
     def stats(self) -> dict[str, float]:
-        """Aggregate dispatch statistics."""
+        """Aggregate dispatch statistics (queue state read in O(levels))."""
         d = max(self.dispatched, 1)
         return {
             "dispatched": float(self.dispatched),
             "demotion_rate": self.demotions / d,
             "fallback_rate": self.fallbacks / d,
             "gated": float(self.gated),
+            "queue_outstanding": float(self.mlq.total_outstanding()),
+            "queue_instances": float(self.mlq.total_instances()),
         }
+
+    def level_congestion(self, level: int) -> float:
+        """Aggregate congestion of one MLQ level — O(1)."""
+        return self.mlq.level_congestion(level)

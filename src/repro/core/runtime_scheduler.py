@@ -14,7 +14,7 @@ It owns no clock — the simulator (or a real control loop) calls
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from repro.cluster.state import ClusterState
 from repro.core.allocation import AllocationProblem, AllocationResult, solve_allocation
 from repro.core.demand import DemandEstimator
 from repro.errors import ConfigurationError, InfeasibleError, SolverError
+from repro.perf.cache import AllocationCache, profile_fingerprint
 from repro.runtimes.registry import RuntimeRegistry
 from repro.units import SECOND
 
@@ -43,12 +44,23 @@ class RuntimeSchedulerConfig:
     period_ms: float = 120 * SECOND
     solver: str = "auto"
     replacement_batch_size: int = 2
+    #: Memoize solved allocations by canonical demand (see repro.perf.cache).
+    enable_cache: bool = True
+    #: Seed the solver with the previous allocation / nearest cached one.
+    warm_start: bool = True
+    #: Cache entries expire after this many decision periods.
+    cache_ttl_periods: float = 8.0
+    cache_max_entries: int = 128
 
     def __post_init__(self) -> None:
         if self.period_ms <= 0:
             raise ConfigurationError("period must be positive")
         if self.replacement_batch_size < 1:
             raise ConfigurationError("replacement batch size must be >= 1")
+        if self.cache_ttl_periods <= 0:
+            raise ConfigurationError("cache TTL must be positive")
+        if self.cache_max_entries < 1:
+            raise ConfigurationError("cache needs room for at least one entry")
 
 
 @dataclass
@@ -67,6 +79,15 @@ class RuntimeScheduler:
     #: Pending injected failures (chaos testing), see
     #: :meth:`inject_solver_failures`.
     _forced_failures: int = field(default=0, repr=False)
+    #: Memoized solves (None when disabled by config).
+    cache: AllocationCache | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.config.enable_cache and self.cache is None:
+            self.cache = AllocationCache(
+                ttl_ms=self.config.cache_ttl_periods * self.config.period_ms,
+                max_entries=self.config.cache_max_entries,
+            )
 
     def inject_solver_failures(self, count: int = 1) -> None:
         """Make the next ``count`` solves raise (fault injection)."""
@@ -74,12 +95,57 @@ class RuntimeScheduler:
             raise ConfigurationError("count must be >= 1")
         self._forced_failures += count
 
+    def invalidate_cache(self) -> int:
+        """Drop memoized solves (profile/fleet change hook). Returns count.
+
+        Budget and profile changes already miss naturally (both are in
+        the cache key); this is the explicit escape hatch for anything
+        else an operator believes stale.
+        """
+        return self.cache.invalidate() if self.cache is not None else 0
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters (empty dict when caching is off)."""
+        return self.cache.stats() if self.cache is not None else {}
+
+    def _warm_seed(
+        self,
+        now_ms: float,
+        num_gpus: int,
+        fingerprint: str | None,
+        demand: np.ndarray,
+    ) -> np.ndarray | None:
+        """Pick a warm-start allocation: last period's, else nearest cached.
+
+        Seeds are *candidates* — the solver validates feasibility against
+        the current problem and silently ignores unusable ones.
+        """
+        if not self.config.warm_start:
+            return None
+        if self.history:
+            prev = self.history[-1][2]
+            if prev.size == demand.size and int(prev.sum()) == num_gpus:
+                return prev
+        if self.cache is not None and fingerprint is not None:
+            return self.cache.nearest(now_ms, num_gpus, fingerprint, demand)
+        return None
+
     def decide(self, now_ms: float, num_gpus: int) -> AllocationResult:
         """Solve the allocation for the current demand estimate.
 
         Falls back to relaxed Eq. 3 bounds when demand outstrips the
         provisioned GPUs (the autoscaler, not this solver, fixes
         sustained overload).
+
+        With caching enabled, an exact (demand, budget, profiles,
+        solver) match replays the memoized result — solvers are
+        deterministic, so the replay is what a fresh solve would have
+        returned. Misses are solved warm-started from the previous
+        period's allocation (or the cache's nearest neighbour) and then
+        memoized. The cache key uses ``relax=False`` regardless of
+        whether the relaxed fallback triggered: the strict→relaxed
+        ladder is itself a deterministic function of the problem, and
+        the stored result records its ``relaxed`` provenance.
         """
         if self._forced_failures > 0:
             self._forced_failures -= 1
@@ -88,12 +154,34 @@ class RuntimeScheduler:
         problem = AllocationProblem.from_profiles(
             num_gpus=num_gpus, demand=demand, profiles=list(self.registry)
         )
+        fingerprint = key = None
+        if self.cache is not None:
+            fingerprint = profile_fingerprint(
+                problem.capacity, problem.service_ms, problem.overhead_ms
+            )
+            key = AllocationCache.key_for(
+                demand, num_gpus, fingerprint, self.config.solver, False
+            )
+            entry = self.cache.lookup(now_ms, key)
+            if entry is not None:
+                result = replace(
+                    entry.result,
+                    allocation=entry.result.allocation.copy(),
+                    stats={**entry.result.stats, "cache_hit": True},
+                )
+                self.history.append((now_ms, demand, result.allocation.copy()))
+                return result
+        warm = self._warm_seed(now_ms, num_gpus, fingerprint, demand)
         try:
-            result = solve_allocation(problem, method=self.config.solver)
+            result = solve_allocation(
+                problem, method=self.config.solver, warm_start=warm
+            )
         except InfeasibleError:
             result = solve_allocation(
-                problem, method=self.config.solver, relax=True
+                problem, method=self.config.solver, relax=True, warm_start=warm
             )
+        if self.cache is not None:
+            self.cache.store(now_ms, key, num_gpus, fingerprint, demand, result)
         self.history.append((now_ms, demand, result.allocation.copy()))
         return result
 

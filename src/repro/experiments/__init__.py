@@ -16,7 +16,11 @@ from repro.experiments.report import (
     format_table,
     reduction_percent,
 )
-from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.runner import (
+    ExperimentSpec,
+    run_experiment,
+    run_experiments,
+)
 from repro.experiments.sweep import expand_grid, run_sweep
 from repro.experiments.scenarios import (
     fig6_scenarios,
@@ -40,6 +44,7 @@ __all__ = [
     "format_table",
     "reduction_percent",
     "run_experiment",
+    "run_experiments",
     "run_sweep",
     "table3_scenario",
     "table4_scenarios",

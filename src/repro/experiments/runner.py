@@ -1,8 +1,11 @@
-"""Run one experiment: several schemes over one trace and cluster size."""
+"""Run experiments: schemes over traces, inline or across processes."""
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from repro.baselines.schemes import Scheme, build_scheme
 from repro.cluster.autoscaler import AutoscalerConfig
@@ -133,3 +136,67 @@ def run_single(
     trace = spec.make_trace()
     scheme = spec.make_scheme(scheme_name, trace)
     return scheme, run_simulation(scheme, trace, spec.sim_config())
+
+
+def _run_job(args) -> tuple[str, str, object]:
+    """One (spec, scheme) unit of work — module-level so it pickles."""
+    spec, scheme_name, summarize = args
+    results = run_experiment(spec, schemes=(scheme_name,))
+    payload = results[scheme_name]
+    if summarize is not None:
+        payload = summarize(payload)
+    return spec.name, scheme_name, payload
+
+
+def run_experiments(
+    specs: list[ExperimentSpec],
+    schemes: tuple[str, ...] | None = None,
+    workers: int = 1,
+    summarize: Callable[[SimulationResult], object] | None = None,
+) -> dict[str, dict[str, object]]:
+    """Run every (spec × scheme) scenario, optionally in parallel.
+
+    Simulations are single-threaded and independent, so scenario fleets
+    parallelise perfectly across processes: each worker rebuilds its
+    trace and scheme locally from the picklable spec, and only the
+    (optionally ``summarize``-reduced) results cross process
+    boundaries. Returns ``{spec.name: {scheme: payload}}``.
+
+    ``workers=1`` runs everything inline (no fork) — use that under
+    pytest or anywhere process pools are awkward. With ``workers > 1``
+    prefer a module-level ``summarize`` (e.g.
+    :func:`repro.io.results.result_to_dict`): it then runs inside the
+    workers so payloads stay small. Lambdas and closures don't pickle,
+    so they are applied in the parent instead — correct, but the full
+    ``SimulationResult`` crosses the process boundary first.
+    """
+    if not specs:
+        raise ConfigurationError("no experiments to run")
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("spec names must be unique within a batch")
+    shipped = summarize
+    late_summarize = None
+    if workers > 1 and summarize is not None:
+        try:
+            pickle.dumps(summarize)
+        except Exception:
+            shipped, late_summarize = None, summarize
+    jobs = [
+        (spec, scheme, shipped)
+        for spec in specs
+        for scheme in (schemes or spec.schemes)
+    ]
+    out: dict[str, dict[str, object]] = {s.name: {} for s in specs}
+    if workers == 1:
+        completed = map(_run_job, jobs)
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+            completed = list(pool.map(_run_job, jobs))
+    for spec_name, scheme_name, payload in completed:
+        if late_summarize is not None:
+            payload = late_summarize(payload)
+        out[spec_name][scheme_name] = payload
+    return out

@@ -9,19 +9,12 @@ crosses process boundaries except the result summaries.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from typing import Iterable
 
 from repro.errors import ConfigurationError
-from repro.experiments.runner import ExperimentSpec, run_experiment
+from repro.experiments.runner import ExperimentSpec, run_experiments
 from repro.io.results import result_to_dict
-
-
-def _run_one(args: tuple[ExperimentSpec, str]) -> tuple[str, str, dict]:
-    spec, scheme_name = args
-    results = run_experiment(spec, schemes=(scheme_name,))
-    return spec.name, scheme_name, result_to_dict(results[scheme_name])
 
 
 def expand_grid(base: ExperimentSpec, **axes: Iterable) -> list[ExperimentSpec]:
@@ -62,29 +55,9 @@ def run_sweep(
     Returns ``{spec.name: {scheme: summary_dict}}`` where the summaries
     are :func:`repro.io.results.result_to_dict` payloads (picklable,
     JSON-ready). ``workers=1`` runs inline — use that under pytest or
-    anywhere fork semantics are awkward.
+    anywhere fork semantics are awkward. Delegates to the generic
+    :func:`repro.experiments.runner.run_experiments` scenario runner.
     """
-    if not specs:
-        raise ConfigurationError("no specs to sweep")
-    if workers < 1:
-        raise ConfigurationError("workers must be >= 1")
-    names = [s.name for s in specs]
-    if len(set(names)) != len(names):
-        raise ConfigurationError("spec names must be unique within a sweep")
-    jobs = [
-        (spec, scheme)
-        for spec in specs
-        for scheme in (schemes or spec.schemes)
-    ]
-    out: dict[str, dict[str, dict]] = {s.name: {} for s in specs}
-    if workers == 1:
-        completed = map(_run_one, jobs)
-    else:
-        executor = ProcessPoolExecutor(max_workers=workers)
-        try:
-            completed = list(executor.map(_run_one, jobs))
-        finally:
-            executor.shutdown()
-    for spec_name, scheme_name, summary in completed:
-        out[spec_name][scheme_name] = summary
-    return out
+    return run_experiments(
+        specs, schemes=schemes, workers=workers, summarize=result_to_dict
+    )

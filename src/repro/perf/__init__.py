@@ -1,0 +1,24 @@
+"""Control-plane and data-path performance primitives.
+
+The paper makes control overhead a first-class metric (Table 2's ILP
+solve times); this package keeps it near-constant in practice:
+
+- :mod:`repro.perf.cache` — memoization of solved allocations keyed by
+  a canonicalized demand histogram + instance budget, with TTL and
+  profile-fingerprint invalidation.
+- :mod:`repro.perf.incremental` — exact sliding-window histograms
+  updated per arrival (never rebuilt per period).
+- :mod:`repro.perf.counters` — O(1) outstanding/capacity congestion
+  aggregates maintained through instance lifecycle transitions.
+"""
+
+from repro.perf.cache import AllocationCache, CachedAllocation
+from repro.perf.counters import CongestionTracker
+from repro.perf.incremental import IncrementalHistogram
+
+__all__ = [
+    "AllocationCache",
+    "CachedAllocation",
+    "CongestionTracker",
+    "IncrementalHistogram",
+]

@@ -1,0 +1,206 @@
+"""Memoization of solved allocations (the Runtime Scheduler's hot loop).
+
+The Eq. 1–7 optimum is a pure function of (demand histogram, instance
+budget, profiled performance, relaxation flag, solver choice). Traffic
+is self-similar across the 120 s decision periods, so consecutive
+periods frequently present the *same* canonicalized demand — re-solving
+is pure waste. The cache stores full :class:`AllocationResult` payloads
+under an exact canonical key and answers two queries:
+
+- :meth:`AllocationCache.lookup` — exact hit: the stored allocation is
+  bit-identical to what the solver would return (solvers are
+  deterministic), so hits skip the ILP entirely;
+- :meth:`AllocationCache.nearest` — the stored allocation whose demand
+  is closest (L1) to the current one, used to *warm-start* the solver
+  when there is no exact hit.
+
+Invalidation contract (documented in docs/PERFORMANCE.md):
+
+- the key embeds the instance budget (``num_gpus``) → fleet changes
+  can never alias;
+- the key embeds a profile fingerprint (capacities, service times,
+  overhead) → re-profiling or registry changes can never alias;
+- entries expire ``ttl_ms`` after insertion (sim clock) → a bounded
+  staleness window even if a caller forgets to invalidate;
+- :meth:`AllocationCache.invalidate` drops everything (operator
+  escape hatch, also wired to explicit fleet/profile change events).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Demand histograms are rounded to this many decimals before keying.
+#: It only collapses float noise (1e-6 requests per SLO window is far
+#: below anything the estimator can resolve); two demands that differ
+#: meaningfully always produce distinct keys.
+_KEY_DECIMALS = 6
+
+
+@dataclass(frozen=True)
+class CachedAllocation:
+    """One memoized solve."""
+
+    key: tuple
+    num_gpus: int
+    fingerprint: str
+    demand: np.ndarray
+    result: "AllocationResult"  # noqa: F821 - forward ref, avoids cycle
+    stored_at_ms: float
+
+
+def profile_fingerprint(capacity, service_ms, overhead_ms: float) -> str:
+    """Stable digest of the profiled performance feeding the ILP."""
+    h = hashlib.sha1()
+    h.update(np.ascontiguousarray(capacity, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(service_ms, dtype=np.float64).tobytes())
+    h.update(np.float64(overhead_ms).tobytes())
+    return h.hexdigest()
+
+
+def canonical_demand(demand: np.ndarray) -> np.ndarray:
+    """Canonicalized demand histogram used for cache keying."""
+    return np.round(np.asarray(demand, dtype=np.float64), _KEY_DECIMALS)
+
+
+@dataclass
+class AllocationCache:
+    """LRU + TTL cache of :class:`AllocationResult` by canonical demand."""
+
+    ttl_ms: float = float("inf")
+    max_entries: int = 128
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    expirations: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    _entries: "OrderedDict[tuple, CachedAllocation]" = field(
+        default_factory=OrderedDict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.ttl_ms <= 0:
+            raise ConfigurationError("cache TTL must be positive")
+        if self.max_entries < 1:
+            raise ConfigurationError("cache needs room for at least one entry")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(
+        demand: np.ndarray,
+        num_gpus: int,
+        fingerprint: str,
+        method: str,
+        relax: bool,
+    ) -> tuple:
+        """Canonical cache key. Exactness matters: everything the solve
+        depends on is either in the key or deterministic."""
+        return (
+            num_gpus,
+            fingerprint,
+            method,
+            relax,
+            canonical_demand(demand).tobytes(),
+        )
+
+    def lookup(self, now_ms: float, key: tuple) -> CachedAllocation | None:
+        """Exact hit, honouring TTL; refreshes LRU order."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if now_ms - entry.stored_at_ms > self.ttl_ms:
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def nearest(
+        self,
+        now_ms: float,
+        num_gpus: int,
+        fingerprint: str,
+        demand: np.ndarray,
+    ) -> np.ndarray | None:
+        """Allocation of the live entry with the L1-closest demand.
+
+        Only entries solved for the same budget and profiles qualify —
+        an allocation for a different fleet cannot seed this one.
+        Returns a copy safe for the caller to mutate.
+        """
+        demand = canonical_demand(demand)
+        best: CachedAllocation | None = None
+        best_dist = float("inf")
+        for entry in self._entries.values():
+            if entry.num_gpus != num_gpus or entry.fingerprint != fingerprint:
+                continue
+            if now_ms - entry.stored_at_ms > self.ttl_ms:
+                continue
+            if entry.demand.shape != demand.shape:
+                continue
+            dist = float(np.abs(entry.demand - demand).sum())
+            if dist < best_dist:
+                best, best_dist = entry, dist
+        if best is None:
+            return None
+        return best.result.allocation.copy()
+
+    def store(
+        self,
+        now_ms: float,
+        key: tuple,
+        num_gpus: int,
+        fingerprint: str,
+        demand: np.ndarray,
+        result: "AllocationResult",  # noqa: F821
+    ) -> None:
+        """Memoize one solve (a private copy of the result is kept)."""
+        frozen = replace(
+            result,
+            allocation=result.allocation.copy(),
+            stats=dict(result.stats),
+        )
+        self._entries[key] = CachedAllocation(
+            key=key,
+            num_gpus=num_gpus,
+            fingerprint=fingerprint,
+            demand=canonical_demand(demand),
+            result=frozen,
+            stored_at_ms=now_ms,
+        )
+        self._entries.move_to_end(key)
+        self.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry (fleet/profile change hook). Returns count."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            self.invalidations += 1
+        return dropped
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

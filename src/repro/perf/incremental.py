@@ -1,0 +1,109 @@
+"""Exact sliding-window histograms with per-arrival updates.
+
+The demand estimator needs, at any instant, the per-bin arrival counts
+inside a trailing time window. Rebuilding that histogram per decision
+period is O(window) work at exactly the moment the control plane should
+be cheap; this structure instead pays O(1) amortised per arrival —
+append on observe, pop expired events from the front — and answers
+``counts``/``total``/``oldest_ms`` in O(1).
+
+Semantics are *exact*: an event at time ``t`` is inside the window at
+``now`` iff ``t >= now - window_ms`` (events exactly at the horizon
+survive, matching right-open eviction ``t < horizon``). The batch
+rebuild in :meth:`rebuild` exists so tests can certify the incremental
+path against recomputation from raw events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class IncrementalHistogram:
+    """Per-bin counts over a trailing window, updated per arrival."""
+
+    num_bins: int
+    window_ms: float
+    _events: deque = field(default_factory=deque, repr=False)  # (time_ms, bin)
+    _counts: np.ndarray = field(init=False, repr=False)
+    _total: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_bins < 1:
+            raise ConfigurationError("need at least one bin")
+        if self.window_ms <= 0:
+            raise ConfigurationError("window must be positive")
+        self._counts = np.zeros(self.num_bins, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def total(self) -> int:
+        """Events currently inside the window — O(1)."""
+        return self._total
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Live per-bin counts (read-only view; copy before mutating)."""
+        return self._counts
+
+    def snapshot(self) -> np.ndarray:
+        """Defensive copy of the per-bin counts."""
+        return self._counts.copy()
+
+    def oldest_ms(self) -> float | None:
+        """Timestamp of the oldest in-window event, None when empty."""
+        return self._events[0][0] if self._events else None
+
+    def add(self, now_ms: float, bin_index: int) -> None:
+        """Record one event and evict anything that fell off the window."""
+        if not 0 <= bin_index < self.num_bins:
+            raise ConfigurationError(
+                f"bin {bin_index} outside [0, {self.num_bins})"
+            )
+        self._events.append((now_ms, bin_index))
+        self._counts[bin_index] += 1
+        self._total += 1
+        self.evict(now_ms)
+
+    def add_batch(self, times_ms: np.ndarray, bins: np.ndarray) -> None:
+        """Record many time-ordered events at once (trace replay)."""
+        times_ms = np.asarray(times_ms, dtype=float)
+        bins = np.asarray(bins, dtype=np.int64)
+        if times_ms.shape != bins.shape:
+            raise ConfigurationError("times and bins must align")
+        if bins.size == 0:
+            return
+        if bins.min() < 0 or bins.max() >= self.num_bins:
+            raise ConfigurationError("bin index outside the histogram")
+        for t, b in zip(times_ms, bins):
+            self._events.append((float(t), int(b)))
+        self._counts += np.bincount(bins, minlength=self.num_bins)
+        self._total += int(bins.size)
+        self.evict(float(times_ms[-1]))
+
+    def evict(self, now_ms: float) -> int:
+        """Drop events older than ``now - window``; returns the count."""
+        horizon = now_ms - self.window_ms
+        dropped = 0
+        events, counts = self._events, self._counts
+        while events and events[0][0] < horizon:
+            _, b = events.popleft()
+            counts[b] -= 1
+            dropped += 1
+        self._total -= dropped
+        return dropped
+
+    def rebuild(self) -> np.ndarray:
+        """Batch recompute from raw events (test oracle for ``counts``)."""
+        fresh = np.zeros(self.num_bins, dtype=np.int64)
+        for _, b in self._events:
+            fresh[b] += 1
+        return fresh

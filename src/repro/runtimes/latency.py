@@ -17,8 +17,15 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import ConfigurationError
+
+#: Distinct (model, length) pairs memoized across the latency models.
+#: Requests repeat lengths heavily (token buckets, trace replay), and
+#: the models are frozen/hashable, so per-call recomputation of the
+#: staircase + inflation arithmetic on the dispatch hot path is waste.
+_LATENCY_CACHE_SIZE = 1 << 16
 
 
 class LatencyModel(ABC):
@@ -71,6 +78,7 @@ class StaircaseLatencyModel(LatencyModel):
             raise ConfigurationError("bucket index is 1-based")
         return self.base_ms + self.per_step_ms * bucket
 
+    @lru_cache(maxsize=_LATENCY_CACHE_SIZE)
     def compute_ms(self, length: int) -> float:
         b = self.bucket(length)
         at_step = self.step_latency_ms(b)
@@ -106,6 +114,7 @@ class DynamicShapeLatencyModel(LatencyModel):
         if self.decay_buckets <= 0:
             raise ConfigurationError("decay_buckets must be positive")
 
+    @lru_cache(maxsize=_LATENCY_CACHE_SIZE)
     def inflation(self, length: int) -> float:
         """Inflation factor vs the static runtime at the same length."""
         b = self.static.bucket(length)
@@ -134,6 +143,7 @@ class TunedDynamicLatencyModel(LatencyModel):
         if self.average_inflation < 1.0:
             raise ConfigurationError("tuned dynamic cannot beat static compile")
 
+    @lru_cache(maxsize=_LATENCY_CACHE_SIZE)
     def inflation(self, length: int) -> float:
         b = self.static.bucket(length)
         return self.average_inflation * (

@@ -142,12 +142,12 @@ class ControlPlane:
 
     # -- auto-scaling ------------------------------------------------------
     def _cluster_utilization(self) -> float:
-        """Outstanding work over total within-SLO capacity (can exceed 1)."""
-        active = self.scheme.cluster.active_instances()
-        capacity = sum(i.capacity for i in active)
-        if capacity == 0:
-            return 1.0
-        return sum(i.outstanding for i in active) / capacity
+        """Outstanding work over total within-SLO capacity (can exceed 1).
+
+        O(1): reads the congestion tracker's maintained aggregates
+        instead of scanning every instance on each autoscaler sample.
+        """
+        return self.scheme.cluster.congestion.utilization()
 
     def autoscale_check(self, now_ms: float) -> None:
         if self.autoscaler is None:

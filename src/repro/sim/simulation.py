@@ -18,6 +18,7 @@ in — the counters land in ``SimulationResult.control_stats``.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -309,14 +310,20 @@ def run_simulation(
             last_gpu_count = count
 
     def pick_victim(rank: int) -> RuntimeInstance | None:
-        """The ``rank``-th busiest active instance at fire time."""
-        active = sorted(
-            scheme.cluster.active_instances(),
-            key=lambda i: (-i.outstanding, i.instance_id),
-        )
+        """The ``rank``-th busiest active instance at fire time.
+
+        ``heapq.nsmallest(k+1, ...)[-1]`` equals ``sorted(...)[k]`` for
+        the same key — a partial selection in O(n log k) instead of a
+        full O(n log n) sort on every injected fault event.
+        """
+        active = scheme.cluster.active_instances()
         if not active:
             return None
-        return active[min(rank, len(active) - 1)]
+        k = min(rank, len(active) - 1)
+        top = heapq.nsmallest(
+            k + 1, active, key=lambda i: (-i.outstanding, i.instance_id)
+        )
+        return top[-1]
 
     def schedule_probe(probe_at_ms: float | None, instance_id: int) -> None:
         if probe_at_ms is not None:

@@ -32,6 +32,10 @@ class MilpResult:
     objective: float = float("nan")
     nodes_explored: int = 0
     best_bound: float = float("-inf")
+    #: Total simplex iterations across the root and all node LPs.
+    lp_iterations: int = 0
+    #: True when a caller-supplied warm start seeded the incumbent.
+    warm_started: bool = False
     extra: dict = field(default_factory=dict)
 
     @property
@@ -52,11 +56,41 @@ def _is_integral(values: np.ndarray, mask: np.ndarray) -> bool:
     return bool(np.all(frac <= _INT_TOL))
 
 
+_FEAS_TOL = 1e-6
+
+
+def _admissible_warm_start(
+    lp: LinearProgram, integer_mask: np.ndarray, warm_x: np.ndarray
+) -> np.ndarray | None:
+    """Validate a caller-supplied incumbent candidate.
+
+    Returns the candidate with its integer entries rounded when it is
+    feasible (bounds, rows, integrality — all within tolerance), else
+    None. Feasibility is *verified*, never assumed: an inadmissible
+    warm start must degrade to a cold solve, not an invalid incumbent
+    (a bogus upper bound would prune the true optimum).
+    """
+    warm_x = np.asarray(warm_x, dtype=float)
+    if warm_x.shape != (lp.num_vars,):
+        return None
+    if not _is_integral(warm_x, integer_mask):
+        return None
+    x = np.where(integer_mask, np.round(warm_x), warm_x)
+    if np.any(x < lp.lb - _FEAS_TOL) or np.any(x > lp.ub + _FEAS_TOL):
+        return None
+    if lp.a_ub is not None and np.any(lp.a_ub @ x > lp.b_ub + _FEAS_TOL):
+        return None
+    if lp.a_eq is not None and np.any(np.abs(lp.a_eq @ x - lp.b_eq) > _FEAS_TOL):
+        return None
+    return x
+
+
 def solve_milp(
     lp: LinearProgram,
     integer_mask: np.ndarray,
     max_nodes: int = 50_000,
     gap_tol: float = 1e-6,
+    warm_x: np.ndarray | None = None,
 ) -> MilpResult:
     """Solve ``lp`` with integrality imposed where ``integer_mask`` is True.
 
@@ -71,19 +105,33 @@ def solve_milp(
     gap_tol:
         Terminate once the incumbent is within this relative gap of the
         global lower bound.
+    warm_x:
+        Optional warm-start point (e.g. the previous period's solution).
+        When feasible it seeds the incumbent, so pruning is tight from
+        the first node; when infeasible it is silently ignored. The
+        returned objective is identical to a cold solve's — a seeded
+        incumbent is only ever *replaced* by strictly better solutions.
     """
     integer_mask = np.asarray(integer_mask, dtype=bool)
     if integer_mask.shape != (lp.num_vars,):
         raise SolverError("integer_mask must have one entry per variable")
 
     root = solve_lp(lp)
+    lp_iterations = root.iterations
     if root.status is LpStatus.UNBOUNDED:
         raise UnboundedError("MILP relaxation is unbounded")
     if root.status is not LpStatus.OPTIMAL:
-        return MilpResult(root.status)
+        return MilpResult(root.status, lp_iterations=lp_iterations)
 
     incumbent_x: np.ndarray | None = None
     incumbent_obj = float("inf")
+    warm_started = False
+    if warm_x is not None:
+        admitted = _admissible_warm_start(lp, integer_mask, warm_x)
+        if admitted is not None:
+            incumbent_x = admitted
+            incumbent_obj = float(lp.c @ admitted)
+            warm_started = True
     counter = itertools.count()
     # Heap entries: (bound, tiebreak, lb, ub) — branch state is carried
     # as modified bound vectors, the cheapest representation for dense LPs.
@@ -105,6 +153,7 @@ def solve_milp(
             lb=lb, ub=ub,
         )
         res = solve_lp(node_lp)
+        lp_iterations += res.iterations
         if res.status is not LpStatus.OPTIMAL:
             continue  # infeasible subtree (or numerical trouble): prune
         if res.objective >= incumbent_obj - gap_tol:
@@ -129,7 +178,8 @@ def solve_milp(
 
     if incumbent_x is None:
         status = LpStatus.ITERATION_LIMIT if heap else LpStatus.INFEASIBLE
-        return MilpResult(status, nodes_explored=nodes, best_bound=best_bound)
+        return MilpResult(status, nodes_explored=nodes, best_bound=best_bound,
+                          lp_iterations=lp_iterations)
     if heap and nodes >= max_nodes:
         status = LpStatus.ITERATION_LIMIT
     else:
@@ -141,4 +191,6 @@ def solve_milp(
         objective=incumbent_obj,
         nodes_explored=nodes,
         best_bound=best_bound,
+        lp_iterations=lp_iterations,
+        warm_started=warm_started,
     )

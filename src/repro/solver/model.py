@@ -262,8 +262,17 @@ class Model:
         )
         return lp, np.asarray(self._integer, dtype=bool), self._objective.constant
 
-    def solve(self, max_nodes: int = 50_000) -> Solution:
-        """Solve; dispatches to pure LP when no integer variables exist."""
+    def solve(
+        self,
+        max_nodes: int = 50_000,
+        warm_values: dict[Var, float] | None = None,
+    ) -> Solution:
+        """Solve; dispatches to pure LP when no integer variables exist.
+
+        ``warm_values`` maps variables to a candidate solution (missing
+        variables default to their lower bound); if the point is
+        feasible it seeds the branch & bound incumbent.
+        """
         lp, int_mask, const = self._build()
         if not int_mask.any():
             res: LpResult = solve_lp(lp)
@@ -271,11 +280,23 @@ class Model:
                 status=res.status.value,
                 objective=res.objective + const if res.is_optimal else float("nan"),
                 x=res.x,
+                extra={"lp_iterations": res.iterations},
             )
-        mres: MilpResult = solve_milp(lp, int_mask, max_nodes=max_nodes)
+        warm_x = None
+        if warm_values is not None:
+            warm_x = np.asarray(self._lb, dtype=float).copy()
+            for var, value in warm_values.items():
+                warm_x[var.index] = float(value)
+        mres: MilpResult = solve_milp(
+            lp, int_mask, max_nodes=max_nodes, warm_x=warm_x
+        )
         return Solution(
             status=mres.status.value,
             objective=mres.objective + const if mres.x is not None else float("nan"),
             x=mres.x,
             nodes_explored=mres.nodes_explored,
+            extra={
+                "lp_iterations": mres.lp_iterations,
+                "warm_started": mres.warm_started,
+            },
         )

@@ -29,6 +29,9 @@ from repro.errors import SolverError
 _EPS = 1e-9
 #: Consecutive degenerate pivots tolerated before switching to Bland's rule.
 _DEGENERATE_STREAK = 12
+#: Phase-1 residuals this small (relative to the RHS scale) are treated as
+#: potential pivot-roundoff artifacts and re-verified with Bland's rule.
+_PHASE1_MARGINAL = 1e-4
 
 
 class LpStatus(enum.Enum):
@@ -105,12 +108,38 @@ class LpResult:
         return self.status is LpStatus.OPTIMAL
 
 
-def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
-    """Gaussian pivot of the dense tableau on (row, col), in place."""
+def _pivot(
+    tableau: np.ndarray,
+    row: int,
+    col: int,
+    work: "_PivotWork | None" = None,
+) -> None:
+    """Gaussian pivot of the dense tableau on (row, col), in place.
+
+    ``work`` supplies preallocated buffers so the inner simplex loop
+    performs zero heap allocations per pivot; callers pivoting once
+    (phase-1 basis cleanup) may omit it.
+    """
     tableau[row] /= tableau[row, col]
-    factors = tableau[:, col].copy()
+    if work is None:
+        work = _PivotWork(tableau.shape)
+    factors, outer = work.factors, work.outer
+    np.copyto(factors, tableau[:, col])
     factors[row] = 0.0
-    tableau -= np.outer(factors, tableau[row])
+    np.multiply(factors[:, None], tableau[row][None, :], out=outer)
+    np.subtract(tableau, outer, out=tableau)
+
+
+class _PivotWork:
+    """Reusable per-solve work arrays for the pivot and ratio tests."""
+
+    __slots__ = ("factors", "outer", "ratios")
+
+    def __init__(self, shape: tuple[int, int]):
+        rows, cols = shape
+        self.factors = np.empty(rows)
+        self.outer = np.empty((rows, cols))
+        self.ratios = np.empty(rows - 1)
 
 
 def _run_simplex(
@@ -118,17 +147,22 @@ def _run_simplex(
     basis: np.ndarray,
     num_structural: int,
     max_iter: int,
+    force_bland: bool = False,
 ) -> tuple[LpStatus, int]:
     """Iterate the tableau to optimality.
 
     The tableau layout is ``[A | b]`` with the objective (reduced-cost)
     row last. Returns the terminal status and iteration count.
+    ``force_bland`` engages Bland's rule from the first iteration — the
+    slow-but-stable path used to re-verify marginal phase-1 verdicts.
     """
     m = tableau.shape[0] - 1
     degenerate_streak = 0
+    work = _PivotWork(tableau.shape)
+    ratios = work.ratios
     for iteration in range(max_iter):
         cost_row = tableau[-1, :-1]
-        use_bland = degenerate_streak >= _DEGENERATE_STREAK
+        use_bland = force_bland or degenerate_streak >= _DEGENERATE_STREAK
         if use_bland:
             candidates = np.flatnonzero(cost_row < -_EPS)
             if candidates.size == 0:
@@ -142,8 +176,8 @@ def _run_simplex(
         positive = column > _EPS
         if not np.any(positive):
             return LpStatus.UNBOUNDED, iteration
-        ratios = np.full(m, np.inf)
-        ratios[positive] = tableau[:m, -1][positive] / column[positive]
+        ratios.fill(np.inf)
+        np.divide(tableau[:m, -1], column, out=ratios, where=positive)
         min_ratio = ratios.min()
         if use_bland:
             # Among minimum-ratio rows, leave the smallest basis index.
@@ -152,13 +186,34 @@ def _run_simplex(
         else:
             row = int(np.argmin(ratios))
         degenerate_streak = degenerate_streak + 1 if min_ratio < _EPS else 0
-        _pivot(tableau, row, col)
+        _pivot(tableau, row, col, work)
         basis[row] = col
     return LpStatus.ITERATION_LIMIT, max_iter
 
 
 def solve_lp(lp: LinearProgram, max_iter: int = 20_000) -> LpResult:
-    """Solve a :class:`LinearProgram` with two-phase primal simplex."""
+    """Solve a :class:`LinearProgram` with two-phase primal simplex.
+
+    The fast Dantzig-rule path can accumulate pivot roundoff on badly
+    scaled problems (big-M rows) and end phase 1 with a tiny spurious
+    artificial residual — a false "infeasible". Such marginal verdicts
+    (residual small relative to the RHS scale) are re-verified with a
+    full solve under Bland's rule, whose pivot path is stable; the
+    retry's verdict is final.
+    """
+    result = _solve_lp_once(lp, max_iter, force_bland=False)
+    if result.status is LpStatus.INFEASIBLE and result.extra.get(
+        "phase1_marginal", False
+    ):
+        retry = _solve_lp_once(lp, max_iter, force_bland=True)
+        retry.iterations += result.iterations
+        return retry
+    return result
+
+
+def _solve_lp_once(
+    lp: LinearProgram, max_iter: int, force_bland: bool
+) -> LpResult:
     n = lp.num_vars
     # Shift x = y + lb so y >= 0.
     shift = lp.lb
@@ -245,12 +300,20 @@ def solve_lp(lp: LinearProgram, max_iter: int = 20_000) -> LpResult:
         for i in range(m):
             if basis[i] >= n + num_slack:
                 tableau[-1] -= tableau[i]
-        status, it1 = _run_simplex(tableau, basis, n, max_iter)
+        status, it1 = _run_simplex(tableau, basis, n, max_iter, force_bland)
         iterations += it1
         if status is LpStatus.ITERATION_LIMIT:
             return LpResult(status, iterations=iterations)
         if tableau[-1, -1] < -1e-7:
-            return LpResult(LpStatus.INFEASIBLE, iterations=iterations)
+            residual = float(-tableau[-1, -1])
+            marginal = residual <= _PHASE1_MARGINAL * max(
+                1.0, float(np.abs(b).max())
+            )
+            return LpResult(
+                LpStatus.INFEASIBLE,
+                iterations=iterations,
+                extra={"phase1_marginal": marginal and not force_bland},
+            )
         # Drive any artificial still in the basis out (degenerate rows).
         for i in range(m):
             if basis[i] >= n + num_slack:
@@ -269,7 +332,7 @@ def solve_lp(lp: LinearProgram, max_iter: int = 20_000) -> LpResult:
     for i in range(m):
         if basis[i] < n + num_slack and abs(tableau[-1, basis[i]]) > _EPS:
             tableau[-1] -= tableau[-1, basis[i]] * tableau[i]
-    status, it2 = _run_simplex(tableau, basis, n, max_iter)
+    status, it2 = _run_simplex(tableau, basis, n, max_iter, force_bland)
     iterations += it2
     if status is not LpStatus.OPTIMAL:
         return LpResult(status, iterations=iterations)

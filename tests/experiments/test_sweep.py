@@ -67,6 +67,20 @@ def test_run_sweep_parallel_matches_inline():
         assert inline[name]["st"]["requests"] == parallel[name]["st"]["requests"]
 
 
+def test_run_experiments_parallel_accepts_lambda_summarize():
+    # Lambdas don't pickle; the runner must fall back to summarizing in
+    # the parent instead of surfacing a PicklingError from the pool.
+    from repro.experiments.runner import run_experiments
+
+    out = run_experiments(
+        [base_spec()],
+        schemes=("st",),
+        workers=2,
+        summarize=lambda r: len(r.latencies()),
+    )
+    assert out["sweep-base"]["st"] > 0
+
+
 def test_run_sweep_validation():
     with pytest.raises(ConfigurationError):
         run_sweep([])

@@ -1,0 +1,217 @@
+"""AllocationCache: keying, TTL/LRU, and scheduler integration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.core.allocation import AllocationProblem, solve_allocation
+from repro.core.bins import LengthBins
+from repro.core.demand import DemandEstimator
+from repro.core.runtime_scheduler import RuntimeScheduler, RuntimeSchedulerConfig
+from repro.errors import ConfigurationError
+from repro.perf.cache import AllocationCache, profile_fingerprint
+from repro.runtimes.models import get_model
+from repro.runtimes.registry import build_polymorph_set
+from repro.runtimes.staircase import polymorph_lengths_for_count
+
+
+def small_problem(demand=(1.5, 2.0, 0.5), num_gpus=5):
+    return AllocationProblem(
+        num_gpus=num_gpus,
+        demand=np.asarray(demand, dtype=float),
+        capacity=np.array([3, 2, 2]),
+        service_ms=np.array([1.0, 2.0, 4.0]),
+    )
+
+
+def keyed(problem, method="dp"):
+    fp = profile_fingerprint(
+        problem.capacity, problem.service_ms, problem.overhead_ms
+    )
+    return (
+        AllocationCache.key_for(problem.demand, problem.num_gpus, fp, method, False),
+        fp,
+    )
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        AllocationCache(ttl_ms=0.0)
+    with pytest.raises(ConfigurationError):
+        AllocationCache(max_entries=0)
+
+
+def test_exact_hit_returns_stored_result():
+    cache = AllocationCache()
+    problem = small_problem()
+    key, fp = keyed(problem)
+    assert cache.lookup(0.0, key) is None
+    result = solve_allocation(problem, method="dp")
+    cache.store(0.0, key, problem.num_gpus, fp, problem.demand, result)
+    entry = cache.lookup(1.0, key)
+    assert entry is not None
+    assert np.array_equal(entry.result.allocation, result.allocation)
+    assert entry.result.objective == result.objective
+    assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+
+def test_key_separates_everything_the_solve_depends_on():
+    problem = small_problem()
+    key, fp = keyed(problem)
+    # Different demand, budget, solver, relaxation, profiles → new keys.
+    other_demand = AllocationCache.key_for(
+        problem.demand + 0.5, problem.num_gpus, fp, "dp", False
+    )
+    other_budget = AllocationCache.key_for(
+        problem.demand, problem.num_gpus + 1, fp, "dp", False
+    )
+    other_method = AllocationCache.key_for(
+        problem.demand, problem.num_gpus, fp, "local", False
+    )
+    other_relax = AllocationCache.key_for(
+        problem.demand, problem.num_gpus, fp, "dp", True
+    )
+    other_fp = AllocationCache.key_for(
+        problem.demand, problem.num_gpus, "deadbeef", "dp", False
+    )
+    keys = {key, other_demand, other_budget, other_method, other_relax, other_fp}
+    assert len(keys) == 6
+    # Sub-resolution float noise collapses onto the same key.
+    noisy = AllocationCache.key_for(
+        problem.demand + 1e-9, problem.num_gpus, fp, "dp", False
+    )
+    assert noisy == key
+
+
+def test_profile_fingerprint_sensitivity():
+    base = profile_fingerprint([3, 2, 2], [1.0, 2.0, 4.0], 0.8)
+    assert base == profile_fingerprint([3, 2, 2], [1.0, 2.0, 4.0], 0.8)
+    assert base != profile_fingerprint([3, 2, 1], [1.0, 2.0, 4.0], 0.8)
+    assert base != profile_fingerprint([3, 2, 2], [1.0, 2.0, 4.1], 0.8)
+    assert base != profile_fingerprint([3, 2, 2], [1.0, 2.0, 4.0], 0.9)
+
+
+def test_ttl_expiry():
+    cache = AllocationCache(ttl_ms=100.0)
+    problem = small_problem()
+    key, fp = keyed(problem)
+    result = solve_allocation(problem, method="dp")
+    cache.store(0.0, key, problem.num_gpus, fp, problem.demand, result)
+    assert cache.lookup(100.0, key) is not None  # at TTL: still live
+    assert cache.lookup(100.1, key) is None  # past TTL: expired
+    assert cache.stats()["expirations"] == 1
+    assert len(cache) == 0
+
+
+def test_lru_eviction_order():
+    cache = AllocationCache(max_entries=2)
+    result = solve_allocation(small_problem(), method="dp")
+    problems = [small_problem(demand=(1.0 + i, 2.0, 0.5)) for i in range(3)]
+    keys = []
+    for p in problems[:2]:
+        key, fp = keyed(p)
+        keys.append(key)
+        cache.store(0.0, key, p.num_gpus, fp, p.demand, result)
+    cache.lookup(1.0, keys[0])  # refresh entry 0 → entry 1 becomes LRU
+    key2, fp2 = keyed(problems[2])
+    cache.store(2.0, key2, problems[2].num_gpus, fp2, problems[2].demand, result)
+    assert cache.lookup(3.0, keys[0]) is not None
+    assert cache.lookup(3.0, keys[1]) is None  # evicted
+    assert cache.stats()["evictions"] == 1
+
+
+def test_nearest_neighbour_scoping():
+    cache = AllocationCache()
+    near = small_problem(demand=(1.5, 2.0, 0.5))
+    far = small_problem(demand=(5.0, 0.1, 0.1))
+    for p in (near, far):
+        key, fp = keyed(p)
+        cache.store(0.0, key, p.num_gpus, fp, p.demand,
+                    solve_allocation(p, method="dp"))
+    query = small_problem(demand=(1.6, 2.1, 0.5))
+    _, fp = keyed(query)
+    seed = cache.nearest(1.0, query.num_gpus, fp, query.demand)
+    assert np.array_equal(
+        seed, solve_allocation(near, method="dp").allocation
+    )
+    # A different budget or fingerprint disqualifies every entry.
+    assert cache.nearest(1.0, query.num_gpus + 1, fp, query.demand) is None
+    assert cache.nearest(1.0, query.num_gpus, "deadbeef", query.demand) is None
+
+
+def test_stored_result_is_isolated_from_caller_mutation():
+    cache = AllocationCache()
+    problem = small_problem()
+    key, fp = keyed(problem)
+    result = solve_allocation(problem, method="dp")
+    cache.store(0.0, key, problem.num_gpus, fp, problem.demand, result)
+    result.allocation[0] = 99  # caller mutates its copy
+    entry = cache.lookup(1.0, key)
+    assert entry.result.allocation[0] != 99
+
+
+def build_scheduler(enable_cache=True, warm_start=True):
+    model = get_model("bert-base")
+    registry = build_polymorph_set(
+        model,
+        max_lengths=polymorph_lengths_for_count(model.max_length, 4),
+    )
+    config = RuntimeSchedulerConfig(
+        period_ms=5_000.0, enable_cache=enable_cache, warm_start=warm_start
+    )
+    estimator = DemandEstimator(
+        bins=LengthBins.from_registry(registry),
+        slo_ms=model.slo_ms,
+        window_ms=config.period_ms,
+    )
+    rng = np.random.default_rng(11)
+    for t in np.sort(rng.uniform(0, 5_000.0, size=200)):
+        estimator.observe(float(t), int(rng.integers(1, model.max_length + 1)))
+    cluster = ClusterState.bootstrap(registry, [2, 2, 2, 2])
+    return (
+        RuntimeScheduler(registry=registry, estimator=estimator, config=config),
+        cluster,
+    )
+
+
+def test_scheduler_step_hits_cache_on_identical_demand():
+    sched, cluster = build_scheduler()
+    cold, _ = sched.step(5_000.0, cluster)
+    assert "cache_hit" not in cold.stats
+    hit, _ = sched.step(5_000.0, cluster)  # same instant → same demand
+    assert hit.stats.get("cache_hit") is True
+    assert np.array_equal(hit.allocation, cold.allocation)
+    assert hit.objective == cold.objective
+    stats = sched.cache_stats()
+    assert stats["hits"] == 1 and stats["stores"] == 1
+
+
+def test_scheduler_cache_disabled():
+    sched, cluster = build_scheduler(enable_cache=False)
+    assert sched.cache is None
+    a, _ = sched.step(5_000.0, cluster)
+    b, _ = sched.step(5_000.0, cluster)
+    assert "cache_hit" not in b.stats
+    assert np.array_equal(a.allocation, b.allocation)
+    assert sched.cache_stats() == {}
+    assert sched.invalidate_cache() == 0
+
+
+def test_scheduler_invalidate_cache_forces_resolve():
+    sched, cluster = build_scheduler()
+    sched.step(5_000.0, cluster)
+    assert sched.invalidate_cache() == 1
+    again, _ = sched.step(5_000.0, cluster)
+    assert "cache_hit" not in again.stats
+    assert sched.cache_stats()["invalidations"] == 1
+
+
+def test_scheduler_ttl_expires_entries():
+    sched, cluster = build_scheduler()
+    sched.step(5_000.0, cluster)
+    # 8 periods × 5000 ms later the entry is past its TTL. The demand
+    # window is empty by then, so exercise decide() directly.
+    ttl_ms = sched.config.cache_ttl_periods * sched.config.period_ms
+    assert sched.cache.lookup(5_000.0 + ttl_ms + 1.0, next(iter(
+        sched.cache._entries
+    ))) is None

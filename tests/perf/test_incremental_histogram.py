@@ -1,0 +1,94 @@
+"""IncrementalHistogram: incremental counts must equal batch recompute."""
+
+import numpy as np
+import pytest
+
+from repro.core.bins import LengthBins
+from repro.core.demand import DemandEstimator
+from repro.errors import ConfigurationError
+from repro.perf.incremental import IncrementalHistogram
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        IncrementalHistogram(num_bins=0, window_ms=10.0)
+    with pytest.raises(ConfigurationError):
+        IncrementalHistogram(num_bins=3, window_ms=0.0)
+    h = IncrementalHistogram(num_bins=3, window_ms=10.0)
+    with pytest.raises(ConfigurationError):
+        h.add(0.0, 3)
+    with pytest.raises(ConfigurationError):
+        h.add(0.0, -1)
+
+
+def test_incremental_matches_rebuild_randomized():
+    rng = np.random.default_rng(42)
+    h = IncrementalHistogram(num_bins=5, window_ms=100.0)
+    now = 0.0
+    for _ in range(2000):
+        now += float(rng.exponential(3.0))
+        h.add(now, int(rng.integers(0, 5)))
+        if rng.random() < 0.05:
+            assert np.array_equal(h.counts, h.rebuild())
+            assert h.total == int(h.counts.sum())
+    assert np.array_equal(h.counts, h.rebuild())
+
+
+def test_eviction_boundary_is_right_open():
+    # An event exactly at the horizon (t == now - window) survives;
+    # anything strictly older is dropped. This pins the estimator's
+    # original deque semantics bit for bit.
+    h = IncrementalHistogram(num_bins=2, window_ms=10.0)
+    h.add(0.0, 0)
+    h.add(5.0, 1)
+    h.evict(10.0)  # horizon = 0.0; event at 0.0 stays
+    assert h.total == 2
+    h.evict(10.0 + 1e-9)  # horizon just past 0.0; event at 0.0 drops
+    assert h.total == 1
+    assert h.counts[1] == 1 and h.counts[0] == 0
+    assert h.oldest_ms() == 5.0
+
+
+def test_add_batch_equals_sequential_adds():
+    rng = np.random.default_rng(7)
+    times = np.sort(rng.uniform(0, 500, size=300))
+    bins = rng.integers(0, 4, size=300)
+    one = IncrementalHistogram(num_bins=4, window_ms=120.0)
+    for t, b in zip(times, bins):
+        one.add(float(t), int(b))
+    batch = IncrementalHistogram(num_bins=4, window_ms=120.0)
+    batch.add_batch(times, bins)
+    assert np.array_equal(one.counts, batch.counts)
+    assert one.total == batch.total
+    assert one.oldest_ms() == batch.oldest_ms()
+
+
+def test_add_batch_validation_and_empty():
+    h = IncrementalHistogram(num_bins=2, window_ms=10.0)
+    h.add_batch(np.array([]), np.array([]))
+    assert h.total == 0
+    with pytest.raises(ConfigurationError):
+        h.add_batch(np.array([1.0]), np.array([1, 2]))
+    with pytest.raises(ConfigurationError):
+        h.add_batch(np.array([1.0]), np.array([5]))
+
+
+def test_demand_estimator_window_counts_match_oracle():
+    """The estimator's histogram equals a from-scratch window recount."""
+    bins = LengthBins(edges=[64, 128, 256, 512])
+    est = DemandEstimator(bins=bins, slo_ms=50.0, window_ms=400.0)
+    rng = np.random.default_rng(3)
+    events: list[tuple[float, int]] = []
+    now = 0.0
+    for _ in range(1500):
+        now += float(rng.exponential(1.5))
+        length = int(rng.integers(1, 513))
+        est.observe(now, length)
+        events.append((now, length))
+    est.demand(now)  # forces an eviction pass at `now`
+    oracle = np.zeros(len(bins), dtype=np.int64)
+    for t, length in events:
+        if t >= now - 400.0:
+            oracle[bins.bin_of(length)] += 1
+    assert np.array_equal(est.raw_histogram(), oracle)
+    assert est.observed == int(oracle.sum())

@@ -1,0 +1,125 @@
+"""Warm-started and cached solves must not change the objective.
+
+The acceptance bar for the memoization layer: for exact solvers a warm
+start may only *prune faster*, never steer the search away from the
+optimum. Tied-optimal allocations may differ (pruning changes which
+equal-cost label survives the Pareto filter), so equivalence is stated
+on the objective, exactly as the solver docstrings promise.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    AllocationProblem,
+    solve_allocation,
+    solve_dp,
+    solve_local_search,
+    solve_milp_encoding,
+)
+
+_OBJ_TOL = 1e-6
+
+
+@st.composite
+def problems(draw, max_runtimes=4, max_gpus=8):
+    n = draw(st.integers(min_value=2, max_value=max_runtimes))
+    num_gpus = draw(st.integers(min_value=n, max_value=max_gpus))
+    demand = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    capacity = draw(
+        st.lists(st.integers(min_value=1, max_value=4), min_size=n, max_size=n)
+    )
+    # Longer polymorphs serve slower — keep the staircase monotone.
+    service = np.sort(
+        draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=8.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    return AllocationProblem(
+        num_gpus=num_gpus,
+        demand=np.asarray(demand, dtype=float),
+        capacity=np.asarray(capacity, dtype=np.int64),
+        service_ms=service,
+    )
+
+
+@st.composite
+def warm_starts(draw, problem):
+    """A random (often infeasible) allocation vector for the problem."""
+    n = len(problem.demand)
+    return np.asarray(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=problem.num_gpus),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.int64,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_dp_warm_start_preserves_objective(data):
+    problem = data.draw(problems())
+    cold = solve_dp(problem, relax=True)
+    # Warm from the optimum itself: the tightest possible upper bound.
+    warm_self = solve_dp(problem, relax=True, warm_start=cold.allocation)
+    assert abs(warm_self.objective - cold.objective) <= _OBJ_TOL
+    # Warm from an arbitrary (possibly infeasible) vector: infeasible
+    # seeds are discarded, feasible ones only prune dominated labels.
+    garbage = data.draw(warm_starts(problem))
+    warm_any = solve_dp(problem, relax=True, warm_start=garbage)
+    assert abs(warm_any.objective - cold.objective) <= _OBJ_TOL
+    assert int(warm_any.allocation.sum()) <= problem.num_gpus
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_milp_warm_start_preserves_objective(data):
+    problem = data.draw(problems(max_runtimes=3, max_gpus=5))
+    cold = solve_milp_encoding(problem, relax=True)
+    warm = solve_milp_encoding(
+        problem, relax=True, warm_start=cold.allocation
+    )
+    assert abs(warm.objective - cold.objective) <= _OBJ_TOL
+    # The tangent under-approximation may mis-rank near-tied allocations
+    # (documented), but the exact-evaluated objective of any feasible
+    # MILP pick can never beat the DP optimum.
+    dp = solve_dp(problem, relax=True)
+    assert cold.objective >= dp.objective - _OBJ_TOL
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_local_search_warm_start_never_worse_than_seed(data):
+    problem = data.draw(problems())
+    optimum = solve_dp(problem, relax=True)
+    warm = solve_local_search(
+        problem, relax=True, warm_start=optimum.allocation
+    )
+    # Local descent seeded at the optimum can only stay there.
+    assert warm.objective <= optimum.objective + _OBJ_TOL
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_auto_solver_accepts_warm_start(data):
+    problem = data.draw(problems())
+    cold = solve_allocation(problem, method="auto", relax=True)
+    warm = solve_allocation(
+        problem, method="auto", relax=True, warm_start=cold.allocation
+    )
+    assert abs(warm.objective - cold.objective) <= _OBJ_TOL

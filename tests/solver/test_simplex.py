@@ -154,3 +154,23 @@ def test_matches_scipy_on_random_instances(lp):
             assert np.allclose(lp.a_eq @ ours.x, lp.b_eq, atol=1e-6)
         assert np.all(ours.x >= lp.lb - 1e-8)
         assert np.all(ours.x <= lp.ub + 1e-8)
+
+
+def test_marginal_phase1_residual_is_not_infeasible():
+    # Regression: on badly scaled problems (big-M MILP rows) the fast
+    # Dantzig path can end phase 1 with a tiny spurious artificial
+    # residual and wrongly report INFEASIBLE. solve_lp must re-verify
+    # marginal verdicts with Bland's rule. This LP is the branch-and-
+    # bound node that exposed it (an Arlo allocation MILP with z[0]
+    # fixed to 1); scipy finds the optimum at 42.975.
+    from repro.core.allocation import AllocationProblem, solve_milp_encoding
+
+    problem = AllocationProblem(
+        num_gpus=3,
+        demand=np.array([1.5, 3.0]),
+        capacity=np.array([2, 1]),
+        service_ms=np.array([1.0, 7.0]),
+    )
+    result = solve_milp_encoding(problem, relax=True)
+    assert np.array_equal(result.allocation, [0, 3])
+    assert result.objective == pytest.approx(42.975)
