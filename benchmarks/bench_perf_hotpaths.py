@@ -8,8 +8,11 @@ Times the three paths this repo's fast control plane optimises:
    bounds) and cached (exact memoized hit, no solve at all);
 2. **Dispatch** — Algorithm 1 ``dispatch`` + completion on a populated
    multi-level queue, reported as ns/request;
-3. **End-to-end simulation** — a small Arlo serving experiment,
-   reported as simulator events/second.
+3. **Event-loop simulation** — a small Arlo serving experiment timed
+   over ``run_simulation`` only (setup excluded), reported as
+   simulator events/second;
+4. **Simulation at scale** — one sustained ≥1M-request run (100k in
+   ``--quick``), same events/second basis.
 
 Run directly to (re)generate the committed ``BENCH_perf.json``::
 
@@ -44,7 +47,8 @@ from repro.core.demand import DemandEstimator
 from repro.core.mlq import MultiLevelQueue
 from repro.core.request_scheduler import ArloRequestScheduler
 from repro.core.runtime_scheduler import RuntimeScheduler, RuntimeSchedulerConfig
-from repro.experiments.runner import ExperimentSpec, run_single
+from repro.experiments.runner import ExperimentSpec
+from repro.sim.simulation import run_simulation
 from repro.runtimes.models import get_model
 from repro.runtimes.registry import build_polymorph_set
 from repro.runtimes.staircase import polymorph_lengths_for_count
@@ -229,8 +233,18 @@ def bench_dispatch(
     }
 
 
-def bench_simulation(duration_s: float = 20.0, rate_per_s: float = 200.0) -> dict:
-    """End-to-end event simulation throughput (events/second)."""
+def bench_simulation(
+    duration_s: float = 20.0, rate_per_s: float = 200.0, passes: int = 3
+) -> dict:
+    """Event-loop simulation throughput (events/second).
+
+    Measurement basis: ``run_simulation`` only — the trace is generated
+    once and the scheme is rebuilt *outside* the timed region each pass
+    (the run mutates it), so the number gates the data plane rather
+    than trace generation or the allocation solve. Setup cost is
+    reported separately. Best-of-``passes`` because a single ~20 ms
+    loop swings 30 %+ under scheduler jitter.
+    """
     spec = ExperimentSpec(
         name="perf-e2e",
         model="bert-large",
@@ -240,14 +254,68 @@ def bench_simulation(duration_s: float = 20.0, rate_per_s: float = 200.0) -> dic
         schemes=("arlo",),
         scheduler_period_s=5.0,
     )
-    t0 = time.perf_counter()
-    _, result = run_single(spec, "arlo")
-    elapsed = time.perf_counter() - t0
+    trace = spec.make_trace()
+    best = math.inf
+    setup_best = math.inf
+    events = 0
+    for _ in range(passes):
+        t0 = time.perf_counter()
+        scheme = spec.make_scheme("arlo", trace)
+        config = spec.sim_config()
+        t1 = time.perf_counter()
+        result = run_simulation(scheme, trace, config)
+        t2 = time.perf_counter()
+        setup_best = min(setup_best, t1 - t0)
+        best = min(best, t2 - t1)
+        events = result.events_processed
     return {
+        "basis": "run_simulation only, scheme rebuilt per pass, "
+                 f"best of {passes}",
+        "sim_duration_s": duration_s,
+        "rate_per_s": rate_per_s,
+        "events": events,
+        "wall_s": best,
+        "setup_ms": setup_best * 1e3,
+        "events_per_s": events / best,
+    }
+
+
+def bench_simulation_scale(num_requests: int = 1_000_000) -> dict:
+    """Sustained throughput at scale: a single ≥1M-request serving run.
+
+    One pass (the loop is seconds long, so best-of-N buys little), same
+    ``run_simulation``-only basis as :func:`bench_simulation`. The
+    cluster is the perf-e2e workload scaled to hold per-GPU load
+    constant, and the scheduler period is stretched so the control
+    plane fires a handful of times rather than dominating the run.
+    """
+    rate_per_s = 2_000.0
+    duration_s = num_requests / rate_per_s
+    spec = ExperimentSpec(
+        name="perf-scale",
+        model="bert-large",
+        num_gpus=80,
+        rate_per_s=rate_per_s,
+        duration_s=duration_s,
+        schemes=("arlo",),
+        scheduler_period_s=max(duration_s / 8.0, 5.0),
+    )
+    t0 = time.perf_counter()
+    trace = spec.make_trace()
+    scheme = spec.make_scheme("arlo", trace)
+    config = spec.sim_config()
+    t1 = time.perf_counter()
+    result = run_simulation(scheme, trace, config)
+    elapsed = time.perf_counter() - t1
+    return {
+        "basis": "run_simulation only, single pass",
+        "requests": len(trace),
+        "completed": result.stats.count,
         "sim_duration_s": duration_s,
         "rate_per_s": rate_per_s,
         "events": result.events_processed,
         "wall_s": elapsed,
+        "setup_s": t1 - t0,
         "events_per_s": result.events_processed / elapsed,
     }
 
@@ -263,6 +331,10 @@ def run_benchmarks(quick: bool = False) -> dict:
         "simulation": bench_simulation(
             duration_s=8.0 if quick else 20.0,
             rate_per_s=150.0 if quick else 200.0,
+            passes=3 if quick else 6,
+        ),
+        "simulation_scale": bench_simulation_scale(
+            num_requests=100_000 if quick else 1_000_000,
         ),
     }
     return payload
@@ -278,6 +350,7 @@ _GATED_METRICS = (
     (("solve", "cached_ms"), "lower"),
     (("dispatch", "ns_per_request"), "lower"),
     (("simulation", "events_per_s"), "higher"),
+    (("simulation_scale", "events_per_s"), "higher"),
 )
 
 

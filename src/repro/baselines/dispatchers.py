@@ -50,6 +50,16 @@ class Dispatcher(ABC):
     def _after_enqueue(self, instance: RuntimeInstance) -> None:
         """Hook for refreshing priority structures."""
 
+    def dispatch_fast(
+        self, now_ms: float, length: int
+    ) -> tuple[RuntimeInstance, float, float]:
+        """Hot-path dispatch; identical decisions to :meth:`dispatch`.
+
+        Policies with a cheaper allocation-free path override this; the
+        default simply delegates.
+        """
+        return self.dispatch(now_ms, length)
+
     def on_complete(self, instance: RuntimeInstance) -> None:
         """Hook invoked by the simulator after ``instance.complete()``."""
 
@@ -189,6 +199,14 @@ class ArloDispatcher(Dispatcher):
         decision = self.scheduler.select(length)
         self.last_decision = decision
         return decision.instance
+
+    def dispatch_fast(
+        self, now_ms: float, length: int
+    ) -> tuple[RuntimeInstance, float, float]:
+        # Same Algorithm-1 walk and counters, minus the DispatchDecision
+        # record (`last_decision` stays untouched — tracing callers use
+        # `dispatch`).
+        return self.scheduler.dispatch_fast(now_ms, length)
 
     def _after_enqueue(self, instance: RuntimeInstance) -> None:
         self.scheduler.mlq.refresh(instance)

@@ -28,6 +28,11 @@ class InstanceStatus(enum.Enum):
     RETIRED = "retired"
 
 
+#: Module-level alias: `enqueue` checks the status once per dispatched
+#: request, and the class-attribute chase costs more than the check.
+_ACTIVE = InstanceStatus.ACTIVE
+
+
 @dataclass
 class RuntimeInstance:
     """One runtime deployed on one GPU."""
@@ -49,16 +54,30 @@ class RuntimeInstance:
     #: up to date through every lifecycle transition (set by
     #: ``ClusterState.deploy``; standalone instances leave it None).
     tracker: "object | None" = field(default=None, repr=False, compare=False)
+    #: The MLQ level heap currently holding this instance (set by
+    #: ``MultiLevelQueue.add``/``remove``). Lets the simulator's
+    #: completion path re-key the heap without a level lookup; a stale
+    #: reference is harmless because ``InstanceHeap.refresh`` no-ops on
+    #: non-members.
+    _level_heap: "object | None" = field(default=None, repr=False, compare=False)
     _epoch: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        # Hot-path caches: enqueue runs once per dispatched request, so
+        # the per-length service time and the acceptance bound must not
+        # re-walk the latency model. All three are immutable per profile.
+        self._service_table = self.profile.service_table_ms
+        self._max_length = self.profile.max_length
+        self._capacity = self.profile.capacity
 
     @property
     def max_length(self) -> int:
-        return self.profile.max_length
+        return self._max_length
 
     @property
     def capacity(self) -> int:
         """``M_i`` of the hosted runtime."""
-        return self.profile.capacity
+        return self._capacity
 
     @property
     def is_active(self) -> bool:
@@ -77,19 +96,18 @@ class RuntimeInstance:
         Service time is the runtime's padded execution time plus the
         fixed per-request overhead from §5.2.1.
         """
-        if not self.is_active:
+        if self.status is not _ACTIVE:
             raise SchedulingError(
                 f"instance {self.instance_id} is {self.status.value}"
             )
-        if not self.profile.runtime.spec.accepts(length):
+        if not 0 < length <= self._max_length:
             raise CapacityError(
-                f"length {length} > max_length {self.max_length} "
+                f"length {length} > max_length {self._max_length} "
                 f"on instance {self.instance_id}"
             )
-        service = (
-            self.profile.runtime.service_ms(length) + self.profile.overhead_ms
-        ) * self.slow_factor
-        start = max(now_ms, self.busy_until_ms)
+        service = self._service_table[length] * self.slow_factor
+        busy = self.busy_until_ms
+        start = now_ms if now_ms > busy else busy
         finish = start + service
         self.busy_until_ms = finish
         self.outstanding += 1

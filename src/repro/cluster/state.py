@@ -122,7 +122,7 @@ class ClusterState:
 
     @property
     def num_active_instances(self) -> int:
-        return int(self.congestion.active.sum())
+        return sum(self.congestion.active)
 
     def free_gpus(self) -> list[Gpu]:
         return [g for g in self.gpus.values() if g.is_free and not g.is_released]

@@ -31,6 +31,14 @@ class LengthBins:
             raise ConfigurationError("edges must be positive and increasing")
         edges.setflags(write=False)
         object.__setattr__(self, "edges", edges)
+        # length -> bin index table: bin_of runs per observed arrival,
+        # so it must not pay a scalar np.searchsorted per call.
+        object.__setattr__(
+            self,
+            "_lookup",
+            np.searchsorted(edges, np.arange(int(edges[-1]) + 1),
+                            side="left").tolist(),
+        )
 
     @classmethod
     def from_registry(cls, registry) -> "LengthBins":
@@ -52,10 +60,10 @@ class LengthBins:
         return int(self.edges[-1])
 
     def bin_of(self, length: int) -> int:
-        """Bin index of a single length."""
+        """Bin index of a single length — O(1) table lookup."""
         if length <= 0 or length > self.max_length:
             raise CapacityError(f"length {length} outside (0, {self.max_length}]")
-        return int(np.searchsorted(self.edges, length, side="left"))
+        return self._lookup[length]
 
     def bins_of(self, lengths: np.ndarray) -> np.ndarray:
         """Vectorised bin lookup."""

@@ -14,9 +14,12 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
-from repro.cluster.instance import RuntimeInstance
+from repro.cluster.instance import InstanceStatus, RuntimeInstance
 from repro.errors import SchedulingError
+
+_ACTIVE = InstanceStatus.ACTIVE
 
 
 @dataclass
@@ -62,12 +65,23 @@ class InstanceHeap:
         self.capacity_total -= instance.capacity
 
     def refresh(self, instance: RuntimeInstance) -> None:
-        """Re-key an instance after its load changed."""
-        if instance.instance_id in self._members:
-            last = self._last_outstanding[instance.instance_id]
-            self.outstanding_total += instance.outstanding - last
-            self._last_outstanding[instance.instance_id] = instance.outstanding
-            self._push(instance)
+        """Re-key an instance after its load changed.
+
+        Runs twice per simulated request (enqueue + completion), so the
+        heap push is fused in rather than delegated to :meth:`_push`,
+        and ``_last_outstanding`` doubles as the membership test (its
+        keys mirror ``_members`` by construction).
+        """
+        last = self._last_outstanding
+        key = instance.instance_id
+        if key in last:
+            out = instance.outstanding
+            self.outstanding_total += out - last[key]
+            last[key] = out
+            heappush(
+                self._heap,
+                (out, next(self._counter), instance._epoch, instance),
+            )
 
     def congestion(self) -> float:
         """Aggregate ``P = Σ outstanding / Σ capacity`` of the level."""
@@ -76,7 +90,7 @@ class InstanceHeap:
         return self.outstanding_total / self.capacity_total
 
     def _push(self, instance: RuntimeInstance) -> None:
-        heapq.heappush(
+        heappush(
             self._heap,
             (instance.outstanding, next(self._counter), instance._epoch, instance),
         )
@@ -92,19 +106,20 @@ class InstanceHeap:
         (re-pushing here instead makes dispatch quadratic under deep
         queues).
         """
-        if not self._members:
+        members = self._members
+        if not members:
             return None  # skip draining stale entries for an empty level
-        while self._heap:
-            _outstanding, _, epoch, instance = self._heap[0]
-            stale = (
-                instance.instance_id not in self._members
-                or epoch != instance._epoch
-                or not instance.is_active
-            )
-            if stale:
-                heapq.heappop(self._heap)
-                continue
-            return instance
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            instance = entry[3]
+            if (
+                entry[2] == instance._epoch
+                and instance.status is _ACTIVE
+                and instance.instance_id in members
+            ):
+                return instance
+            heappop(heap)
         return None
 
     def instances(self) -> list[RuntimeInstance]:
@@ -129,6 +144,7 @@ class MultiLevelQueue:
             raise SchedulingError(f"instance targets unknown level {level}")
         self.levels[level].add(instance)
         self._level_of[instance.instance_id] = level
+        instance._level_heap = self.levels[level]
 
     def remove(self, instance: RuntimeInstance) -> None:
         level = self._level_of.pop(instance.instance_id, None)
@@ -137,6 +153,7 @@ class MultiLevelQueue:
                 f"instance {instance.instance_id} is not tracked"
             )
         self.levels[level].remove(instance)
+        instance._level_heap = None
 
     def refresh(self, instance: RuntimeInstance) -> None:
         level = self._level_of.get(instance.instance_id)

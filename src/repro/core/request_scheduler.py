@@ -14,9 +14,10 @@ no candidate passes, the request falls back to the head of its ideal
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable
 
-from repro.cluster.instance import RuntimeInstance
+from repro.cluster.instance import _ACTIVE, RuntimeInstance
 from repro.core.mlq import MultiLevelQueue
 from repro.errors import CapacityError, ConfigurationError
 from repro.runtimes.registry import RuntimeRegistry
@@ -77,42 +78,64 @@ class ArloRequestScheduler:
             raise ConfigurationError(
                 "multi-level queue arity must match the polymorph set"
             )
+        # Hot-path copies of the (frozen) config scalars: `_walk` runs
+        # once per request and attribute-chasing through the config
+        # dataclass costs more than the walk's own arithmetic.
+        self._lam = self.config.lam
+        self._alpha = self.config.alpha
+        self._max_peek = self.config.max_peek_levels
 
-    def select(self, length: int) -> DispatchDecision:
-        """Algorithm 1: pick the runtime instance for one request.
+    def _walk(
+        self, length: int
+    ) -> tuple[RuntimeInstance, int, int, int, bool]:
+        """Algorithm 1's candidate walk, shared by both dispatch paths.
 
-        Levels that currently have no instances are skipped without
-        consuming a peek or decaying the threshold (there is nothing to
-        evaluate); the paper's cluster always has a populated top level
-        thanks to Eq. 7.
+        Returns ``(instance, level, ideal, peeked, fell_back)`` without
+        allocating a decision object. Levels that currently have no
+        instances are skipped without consuming a peek or decaying the
+        threshold (there is nothing to evaluate); the paper's cluster
+        always has a populated top level thanks to Eq. 7.
         """
-        cfg = self.config
-        candidates = self.registry.candidate_indexes(length)  # sorted ascending
-        ideal = candidates.start
-        lam = cfg.lam
+        ideal = self.registry.ideal_index(length)  # candidates ascend from here
+        levels = self.mlq.levels
+        num_levels = len(levels)
+        gate = self.gate
+        lam = self._lam
+        alpha = self._alpha
+        max_peek = self._max_peek
         peeked = 0
-        first_nonempty: tuple[int, RuntimeInstance] | None = None
-        for level in candidates:
-            if peeked >= cfg.max_peek_levels:
+        first_nonempty: RuntimeInstance | None = None
+        first_level = -1
+        level = ideal
+        while level < num_levels:
+            if peeked >= max_peek:
                 break
-            head = self.mlq.head(level)
-            if head is None:
-                continue
-            if self.gate is not None and not self.gate(head):
-                self.gated += 1
-                continue
-            if first_nonempty is None:
-                first_nonempty = (level, head)
-            peeked += 1
-            if head.congestion() < lam:
-                return self._done(head, level, ideal, peeked, fell_back=False)
-            lam *= cfg.alpha
+            head = levels[level].head()
+            if head is not None:
+                if gate is not None and not gate(head):
+                    self.gated += 1
+                    level += 1
+                    continue
+                if first_nonempty is None:
+                    first_nonempty = head
+                    first_level = level
+                peeked += 1
+                # head.congestion() < lam, with the division inlined
+                # (identical float arithmetic, no method call).
+                if head.outstanding / head._capacity < lam:
+                    return head, level, ideal, peeked, False
+                lam *= alpha
+            level += 1
         if first_nonempty is None:
             raise CapacityError(
                 f"no deployed runtime can serve a request of length {length}"
             )
-        level, head = first_nonempty
-        return self._done(head, level, ideal, peeked, fell_back=True)
+        return first_nonempty, first_level, ideal, peeked, True
+
+    def select(self, length: int) -> DispatchDecision:
+        """Algorithm 1: pick the runtime instance for one request."""
+        head, level, ideal, peeked, fell_back = self._walk(length)
+        return self._done(head, level, ideal, peeked, fell_back=fell_back)
 
     def _done(
         self,
@@ -144,6 +167,111 @@ class ArloRequestScheduler:
         start, finish = decision.instance.enqueue(now_ms, length)
         self.mlq.refresh(decision.instance)
         return decision, start, finish
+
+    def dispatch_fast(
+        self, now_ms: float, length: int
+    ) -> tuple[RuntimeInstance, float, float]:
+        """Hot-path dispatch: Algorithm 1 without materialising a
+        :class:`DispatchDecision` (the simulator calls this once per
+        arrival; counters stay exact).
+
+        The candidate walk is a hand-fused copy of :meth:`_walk` with
+        ``InstanceHeap.head``, ``RuntimeInstance.enqueue``, and
+        ``InstanceHeap.refresh`` inlined — this method runs once per
+        simulated request and each call layer is measurable. The
+        enqueue validation is provably redundant here: ``ideal_index``
+        rejects non-positive and oversized lengths, every level ≥ ideal
+        fits the request, and ``head`` only yields ACTIVE members. Any
+        behavioural change must be mirrored in the originals (the
+        serial/sharded equivalence tests catch divergence).
+
+        Returns (instance, service start, completion time).
+        """
+        ideal = self.registry.ideal_index(length)
+        levels = self.mlq.levels
+        num_levels = len(levels)
+        gate = self.gate
+        lam = self._lam
+        alpha = self._alpha
+        max_peek = self._max_peek
+        peeked = 0
+        first_nonempty: RuntimeInstance | None = None
+        first_level = -1
+        level = ideal
+        head = None
+        while level < num_levels:
+            if peeked >= max_peek:
+                break
+            # --- InstanceHeap.head, inlined (lazy stale-entry discard)
+            level_heap = levels[level]
+            members = level_heap._members
+            head = None
+            if members:
+                entry_heap = level_heap._heap
+                while entry_heap:
+                    entry = entry_heap[0]
+                    candidate = entry[3]
+                    if (
+                        entry[2] == candidate._epoch
+                        and candidate.status is _ACTIVE
+                        and candidate.instance_id in members
+                    ):
+                        head = candidate
+                        break
+                    heappop(entry_heap)
+            if head is not None:
+                if gate is not None and not gate(head):
+                    self.gated += 1
+                    head = None
+                    level += 1
+                    continue
+                if first_nonempty is None:
+                    first_nonempty = head
+                    first_level = level
+                peeked += 1
+                if head.outstanding / head._capacity < lam:
+                    break
+                lam *= alpha
+            head = None
+            level += 1
+        if head is None:
+            if first_nonempty is None:
+                raise CapacityError(
+                    f"no deployed runtime can serve a request of length "
+                    f"{length}"
+                )
+            head = first_nonempty
+            level = first_level
+            self.fallbacks += 1
+        self.dispatched += 1
+        if level > ideal:
+            self.demotions += 1
+        # --- RuntimeInstance.enqueue, inlined (validation elided — see
+        # docstring) ---
+        service = head._service_table[length] * head.slow_factor
+        busy = head.busy_until_ms
+        start = now_ms if now_ms > busy else busy
+        finish = start + service
+        head.busy_until_ms = finish
+        out = head.outstanding + 1
+        head.outstanding = out
+        head._epoch += 1
+        tracker = head.tracker
+        if tracker is not None:
+            tracker.on_enqueue(head)
+        # --- InstanceHeap.refresh, inlined. The chosen instance is by
+        # construction a member of its own level's heap, so both the
+        # MultiLevelQueue level lookup and the membership test go away.
+        level_heap = levels[level]
+        last = level_heap._last_outstanding
+        key = head.instance_id
+        level_heap.outstanding_total += out - last[key]
+        last[key] = out
+        heappush(
+            level_heap._heap,
+            (out, next(level_heap._counter), head._epoch, head),
+        )
+        return head, start, finish
 
     def stats(self) -> dict[str, float]:
         """Aggregate dispatch statistics (queue state read in O(levels))."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.baselines.schemes import Scheme, build_scheme
@@ -12,9 +12,11 @@ from repro.cluster.autoscaler import AutoscalerConfig
 from repro.core.request_scheduler import RequestSchedulerConfig
 from repro.core.runtime_scheduler import RuntimeSchedulerConfig
 from repro.errors import ConfigurationError
+from repro.resilience.retry import RetryPolicy
 from repro.runtimes.models import get_model
 from repro.runtimes.registry import RuntimeRegistry, build_polymorph_set
 from repro.runtimes.staircase import polymorph_lengths_for_count
+from repro.sim.faults import FaultPlan
 from repro.sim.simulation import SimulationConfig, SimulationResult, run_simulation
 from repro.units import seconds
 from repro.workload.trace import Trace
@@ -50,12 +52,34 @@ class ExperimentSpec:
     #: else (trace duration, scheduler period) so the Runtime Scheduler
     #: has several distribution shifts to chase.
     trace_drift_window_s: float = 15.0
+    #: Fault schedule injected into the run (None = fault-free).
+    failures: FaultPlan | None = None
+    #: Retry policy for lost work: the string sentinel keeps the
+    #: simulator's default backoff, None disables retries (instant
+    #: re-dispatch), or pass an explicit :class:`RetryPolicy`.
+    retry: "RetryPolicy | None | str" = "default"
+    #: Replay an explicit trace instead of generating a Twitter-like
+    #: one (real count series, hand-built equivalence fixtures...).
+    #: ``duration_s`` must still cover the trace's span.
+    trace_override: Trace | None = field(default=None, compare=False)
+    #: ``(index, count)`` — run only time-window ``index`` of ``count``
+    #: equal windows of the trace, in shard-local time. Set by the
+    #: sharded driver (:mod:`repro.sim.sharded`); the scheme is still
+    #: built from the *full* trace's hint slice so every shard deploys
+    #: the same initial allocation as the serial run.
+    shard: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1 or self.rate_per_s <= 0 or self.duration_s <= 0:
             raise ConfigurationError("invalid experiment dimensions")
         if self.hint_s >= self.duration_s:
             raise ConfigurationError("hint slice must be shorter than the trace")
+        if self.shard is not None:
+            index, count = self.shard
+            if count < 1 or not 0 <= index < count:
+                raise ConfigurationError(
+                    "shard must be (index, count) with 0 <= index < count"
+                )
 
     def scaled(self, factor: float) -> "ExperimentSpec":
         """Proportionally shrink rate and GPUs (constant per-GPU load)."""
@@ -67,7 +91,10 @@ class ExperimentSpec:
             rate_per_s=self.rate_per_s * factor,
         )
 
-    def make_trace(self) -> Trace:
+    def make_full_trace(self) -> Trace:
+        """The whole trace, ignoring any shard window."""
+        if self.trace_override is not None:
+            return self.trace_override
         return generate_twitter_trace(
             TwitterTraceConfig(
                 rate_per_s=self.rate_per_s,
@@ -78,6 +105,24 @@ class ExperimentSpec:
                 drift_window_ms=seconds(self.trace_drift_window_s),
             )
         )
+
+    def shard_window_ms(self) -> tuple[float, float]:
+        """Absolute ``[start, end)`` of this spec's shard window."""
+        duration_ms = seconds(self.duration_s)
+        if self.shard is None:
+            return 0.0, duration_ms
+        index, count = self.shard
+        window = duration_ms / count
+        start = index * window
+        end = duration_ms if index == count - 1 else start + window
+        return start, end
+
+    def make_trace(self) -> Trace:
+        trace = self.make_full_trace()
+        if self.shard is None:
+            return trace
+        start, end = self.shard_window_ms()
+        return trace.slice_time(start, end)
 
     def make_registry(self) -> RuntimeRegistry | None:
         if self.num_runtimes is None:
@@ -93,6 +138,10 @@ class ExperimentSpec:
     def make_scheme(self, scheme_name: str, trace: Trace) -> Scheme:
         # Table 3's "global" baseline is an oracle over the *entire*
         # trace distribution; everything else warms up on a short slice.
+        # A shard spec hints on the *full* trace's slice regardless of
+        # its window so every shard builds the serial run's allocation.
+        if self.shard is not None:
+            trace = self.make_full_trace()
         if scheme_name == "arlo-global":
             hint = trace
         else:
@@ -110,10 +159,26 @@ class ExperimentSpec:
         )
 
     def sim_config(self) -> SimulationConfig:
+        warmup_ms = seconds(self.warmup_s)
+        failures = self.failures
+        if self.shard is not None:
+            start, end = self.shard_window_ms()
+            # Shard-local warm-up: the serial run's warm-up window maps
+            # onto whichever shard(s) it overlaps.
+            warmup_ms = min(max(warmup_ms - start, 0.0), end - start)
+            if failures is not None:
+                failures = failures.window(start, end)
+                if not len(failures):
+                    failures = None
+        kwargs = {}
+        if self.retry != "default":
+            kwargs["retry"] = self.retry
         return SimulationConfig(
             enable_autoscaler=self.autoscaler is not None,
             autoscaler=self.autoscaler,
-            warmup_ms=seconds(self.warmup_s),
+            warmup_ms=warmup_ms,
+            failures=failures,
+            **kwargs,
         )
 
 

@@ -34,12 +34,15 @@ class CongestionTracker:
     """Per-level outstanding/capacity aggregates over active instances."""
 
     num_levels: int
-    #: Outstanding work per level, active instances only.
-    outstanding: np.ndarray = field(init=False)
+    #: Outstanding work per level, active instances only. Plain Python
+    #: lists, not arrays: ``on_enqueue``/``on_complete`` run twice per
+    #: simulated request, and a scalar numpy ``arr[i] += 1`` costs ~10×
+    #: a list element update.
+    outstanding: list[int] = field(init=False)
     #: Σ capacity (M_i) per level, active instances only.
-    capacity: np.ndarray = field(init=False)
+    capacity: list[int] = field(init=False)
     #: Active instance count per level (the allocation vector ``N``).
-    active: np.ndarray = field(init=False)
+    active: list[int] = field(init=False)
     #: Outstanding over *all* live instances (active + draining), the
     #: quantity ``ClusterState.total_outstanding`` reports.
     all_outstanding: int = field(default=0, init=False)
@@ -48,9 +51,9 @@ class CongestionTracker:
     def __post_init__(self) -> None:
         if self.num_levels < 1:
             raise ConfigurationError("need at least one level")
-        self.outstanding = np.zeros(self.num_levels, dtype=np.int64)
-        self.capacity = np.zeros(self.num_levels, dtype=np.int64)
-        self.active = np.zeros(self.num_levels, dtype=np.int64)
+        self.outstanding = [0] * self.num_levels
+        self.capacity = [0] * self.num_levels
+        self.active = [0] * self.num_levels
 
     # -- lifecycle transitions ------------------------------------------------
     def activate(self, instance) -> None:
@@ -98,21 +101,21 @@ class CongestionTracker:
     # -- O(1) queries ----------------------------------------------------------
     def allocation(self) -> np.ndarray:
         """Active instance counts per level (the ILP's ``N`` vector)."""
-        return self.active.copy()
+        return np.asarray(self.active, dtype=np.int64)
 
     def total_outstanding_active(self) -> int:
-        return int(self.outstanding.sum())
+        return sum(self.outstanding)
 
     def total_capacity(self) -> int:
-        return int(self.capacity.sum())
+        return sum(self.capacity)
 
     def utilization(self) -> float:
         """Outstanding over within-SLO capacity across active instances
         (can exceed 1); 1.0 when no capacity is deployed."""
-        cap = int(self.capacity.sum())
+        cap = sum(self.capacity)
         if cap == 0:
             return 1.0
-        return int(self.outstanding.sum()) / cap
+        return sum(self.outstanding) / cap
 
     def level_congestion(self, level: int) -> float:
         """Aggregate ``P = outstanding / capacity`` of one level."""
@@ -129,9 +132,9 @@ class CongestionTracker:
         ``cluster.instances.values()``). Raises ``AssertionError`` on
         the first divergence — used by tests and debug builds.
         """
-        outstanding = np.zeros(self.num_levels, dtype=np.int64)
-        capacity = np.zeros(self.num_levels, dtype=np.int64)
-        active = np.zeros(self.num_levels, dtype=np.int64)
+        outstanding = [0] * self.num_levels
+        capacity = [0] * self.num_levels
+        active = [0] * self.num_levels
         total_all = 0
         for inst in instances:
             total_all += inst.outstanding

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -47,7 +48,7 @@ class RuntimeProfile:
                 f"({self.service_ms} ms) on {self.runtime.spec.key}"
             )
 
-    @property
+    @cached_property
     def capacity(self) -> int:
         """``M_i``: requests one instance completes within one SLO window."""
         return max(1, math.floor(self.slo_ms / (self.service_ms + self.overhead_ms)))
@@ -55,6 +56,17 @@ class RuntimeProfile:
     @property
     def max_length(self) -> int:
         return self.runtime.max_length
+
+    @cached_property
+    def service_table_ms(self) -> list[float]:
+        """Per-length total service time: ``runtime.service_ms(L) +
+        overhead_ms`` for every servable L, indexed by length (index 0
+        is a NaN sentinel). Instances read this on every enqueue instead
+        of re-walking the latency model per request."""
+        svc = self.runtime.service_ms
+        overhead = self.overhead_ms
+        return [math.nan] + [svc(ln) + overhead
+                             for ln in range(1, self.max_length + 1)]
 
     def latency_for_batch(self, batch: float) -> float:
         """``L_i(B)``: mean latency when an instance serves ``B`` requests

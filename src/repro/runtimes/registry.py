@@ -8,7 +8,6 @@ in ascending ``max_length`` order — the candidate list of Algorithm 1).
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +35,12 @@ class RuntimeRegistry:
                 "profiles must be sorted by strictly increasing max_length"
             )
         self._max_lengths = np.asarray(lengths)
+        # length -> ideal runtime index, precomputed so the per-request
+        # dispatch walk costs one list index instead of a bisect.
+        self._ideal_lookup: list[int] = np.searchsorted(
+            self._max_lengths, np.arange(lengths[-1] + 1), side="left"
+        ).tolist()
+        self._num_profiles = len(self.profiles)
 
     def __len__(self) -> int:
         return len(self.profiles)
@@ -55,13 +60,13 @@ class RuntimeRegistry:
         """Index of the *ideal* runtime: smallest ``max_length ≥ length``."""
         if length <= 0:
             raise CapacityError(f"invalid request length {length}")
-        idx = bisect.bisect_left(self.profiles, length, key=lambda p: p.max_length)
-        if idx == len(self.profiles):
+        try:
+            return self._ideal_lookup[length]
+        except IndexError:
             raise CapacityError(
                 f"request length {length} exceeds largest runtime "
                 f"({self.max_length})"
-            )
-        return idx
+            ) from None
 
     def candidate_indexes(self, length: int) -> range:
         """All candidate runtime indexes for a request, ascending

@@ -1,4 +1,13 @@
-"""Event taxonomy of the cluster simulator."""
+"""Event taxonomy of the cluster simulator.
+
+All event and payload classes carry ``__slots__``: the simulator
+allocates one payload per request attempt, so per-object ``__dict__``s
+would dominate allocator traffic at millions of events. The hottest
+record of all — the completion payload — is additionally *pooled*
+(:class:`CompletionRecord`): released records go onto a free list and
+are re-initialised in place, so steady-state simulation allocates no
+completion objects at all.
+"""
 
 from __future__ import annotations
 
@@ -23,12 +32,17 @@ class EventKind(enum.IntEnum):
     ARRIVAL = 7
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Event:
     """One scheduled simulator event.
 
     Ordering key: (time, kind, seq). ``payload`` is excluded from the
     ordering to keep comparisons cheap and total.
+
+    Internally the :class:`~repro.sim.engine.EventQueue` stores plain
+    ``(time_ms, kind, seq, payload)`` tuples (tuple comparison runs in
+    C); this dataclass is the façade :meth:`EventQueue.pop` materialises
+    for callers that want named fields.
     """
 
     time_ms: float
@@ -37,13 +51,13 @@ class Event:
     payload: Any = field(compare=False, default=None)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ArrivalPayload:
     request_id: int
     length: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompletionPayload:
     request_id: int
     instance_id: int
@@ -59,7 +73,75 @@ class CompletionPayload:
     service_ms: float = 0.0
 
 
-@dataclass(frozen=True)
+class CompletionRecord:
+    """Mutable, pooled counterpart of :class:`CompletionPayload`.
+
+    The single-stream simulator schedules exactly one of these per
+    dispatch attempt — the hottest allocation in the whole data plane.
+    Instead of an ``instance_id`` it carries the instance object itself
+    (saving a dict lookup on the completion path; instances are never
+    garbage-collected mid-run, and stale-token filtering already covers
+    every crash/blackout case the id lookup used to guard).
+
+    Acquire via :func:`acquire_completion` / release via
+    :func:`release_completion`, or manipulate ``COMPLETION_POOL``
+    directly on the hot path. ``total_allocated`` counts true
+    constructions (pool misses) so tests can certify reuse.
+    """
+
+    __slots__ = ("request_id", "instance", "arrival_ms", "length",
+                 "runtime_index", "attempt_token", "service_ms")
+
+    #: Lifetime count of real allocations (pool misses) — class-level so
+    #: the allocation microbench can assert the pool actually reuses.
+    total_allocated = 0
+
+    def __init__(self) -> None:
+        CompletionRecord.total_allocated += 1
+        self.instance = None
+
+
+#: Process-wide free list. Single-threaded by construction (each
+#: simulator worker process owns its own copy).
+COMPLETION_POOL: list[CompletionRecord] = []
+
+
+def acquire_completion(
+    request_id: int,
+    instance: Any,
+    arrival_ms: float,
+    length: int,
+    runtime_index: int,
+    attempt_token: int,
+    service_ms: float,
+) -> CompletionRecord:
+    """Take a record off the free list (or allocate) and fill it."""
+    rec = COMPLETION_POOL.pop() if COMPLETION_POOL else CompletionRecord()
+    rec.request_id = request_id
+    rec.instance = instance
+    rec.arrival_ms = arrival_ms
+    rec.length = length
+    rec.runtime_index = runtime_index
+    rec.attempt_token = attempt_token
+    rec.service_ms = service_ms
+    return rec
+
+
+def release_completion(rec: CompletionRecord) -> None:
+    """Return a record to the free list (drops the instance ref)."""
+    rec.instance = None
+    COMPLETION_POOL.append(rec)
+
+
+def completion_pool_stats() -> dict[str, int]:
+    """Pool telemetry for benchmarks and the allocation microbench."""
+    return {
+        "free": len(COMPLETION_POOL),
+        "total_allocated": CompletionRecord.total_allocated,
+    }
+
+
+@dataclass(frozen=True, slots=True)
 class ReplacementPayload:
     """A drained donor instance becoming a receiver runtime."""
 
@@ -67,7 +149,7 @@ class ReplacementPayload:
     to_runtime: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecoveryPayload:
     """A failed instance's GPU rejoining with a fresh runtime."""
 
@@ -75,21 +157,21 @@ class RecoveryPayload:
     runtime_index: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlowdownEndPayload:
     """A straggler window elapsed; restore the nominal service time."""
 
     instance_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlackoutEndPayload:
     """A blacked-out instance becomes responsive again."""
 
     instance_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RetryPayload:
     """A lost request's backoff delay elapsed; re-dispatch it."""
 
@@ -100,7 +182,7 @@ class RetryPayload:
     attempt: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProbePayload:
     """A quarantined instance's breaker window elapsed; probe it."""
 

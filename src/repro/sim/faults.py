@@ -27,7 +27,7 @@ the original crash-injection semantics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Union
 
 import numpy as np
@@ -134,6 +134,24 @@ class FaultPlan:
             key = type(event).__name__
             out[key] = out.get(key, 0) + 1
         return out
+
+    def window(self, start_ms: float, end_ms: float) -> "FaultPlan":
+        """The sub-plan firing in ``[start_ms, end_ms)``, re-zeroed.
+
+        Used by the sharded driver: shard *k* replays exactly the
+        faults of its time window, shifted into shard-local time. An
+        event is assigned to the window containing its *fire* time; a
+        slowdown/blackout whose duration straddles the boundary is
+        healed by the shard's fresh cluster rather than carried over
+        (see ``repro.sim.sharded`` for the fidelity conditions).
+        """
+        if end_ms < start_ms:
+            raise ConfigurationError("window end before start")
+        return FaultPlan(events=[
+            replace(event, time_ms=event.time_ms - start_ms)
+            for event in self.events
+            if start_ms <= event.time_ms < end_ms
+        ])
 
     @classmethod
     def random(

@@ -1,0 +1,220 @@
+"""Sharded simulation: deterministic time-window shards over a pool.
+
+The discrete-event loop is inherently serial — one heap, one clock —
+so the data plane scales *out* instead: the trace is split into
+``num_shards`` equal time windows, each window runs as an independent
+simulation (its own fresh scheme, shard-local clock, and the fault
+sub-plan of its window), and the per-shard summaries are merged with
+an order-independent reduction. Workers come from the same
+:func:`repro.experiments.runner.run_experiments` process-pool
+machinery the scenario fleets use; each worker rebuilds its shard
+locally from a picklable :class:`ExperimentSpec`, so only the compact
+:class:`ShardSummary` crosses the process boundary.
+
+Equivalence to the serial run
+-----------------------------
+Sharding cold-starts every window, so it is *exactly* equivalent to
+the serial simulation when the windows are independent in the serial
+run too:
+
+1. **Quiescent boundaries** — the serial cluster has drained (no
+   outstanding or deferred work) by each window edge. Arrival gaps
+   longer than the worst-case backlog drain guarantee this.
+2. **Self-contained faults** — every crash has recovered, every
+   blackout resumed, and every slowdown healed before its window ends
+   (a straddling fault is truncated at the boundary in the sharded
+   semantics — see :meth:`FaultPlan.window`).
+3. **No cross-window adaptive state** — static schemes (``st``,
+   ``dt``, ``infaas``) qualify outright. Schemes with a periodic
+   Runtime Scheduler or autoscaler carry demand history across
+   windows, so sharding approximates them (each shard re-converges
+   from the shared hint allocation).
+
+Under 1–3 the per-request latency *multiset* matches the serial run
+exactly: at a quiescent boundary all instances of a level are
+idle-identical, so the serial and sharded executions differ only by a
+relabelling of interchangeable instances. Retry backoff draws from a
+per-run RNG stream, so bit-exact equivalence additionally needs
+``retry=None`` (instant re-dispatch); with backoff enabled the
+agreement is at quantile level instead.
+
+Merge semantics
+---------------
+Every merged field is a commutative, associative reduction, so the
+result is independent of shard completion order:
+
+- latency sketch — bin-wise counter addition
+  (:meth:`StreamingLatencySummary.merge`), plus exact running moments,
+  min/max, and SLO-violation counts;
+- request / event / deferral / control-plane counters — sums;
+- wall-clock span — max over absolute shard end times;
+- GPU integral — sum of per-shard ``gpu·ms``, renormalised by the
+  merged span.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import (
+    ExperimentSpec,
+    SimulationResult,
+    run_experiments,
+)
+from repro.sim.metrics import LatencyStats, StreamingLatencySummary
+
+
+@dataclass
+class ShardSummary:
+    """The compact, picklable result of one shard's simulation."""
+
+    scheme_name: str
+    #: Full-fidelity latency sketch of the shard (warm-up excluded).
+    sketch: StreamingLatencySummary
+    events_processed: int
+    #: Shard-local time of the last event.
+    end_ms: float
+    #: Mean GPU count over the shard, weighted by shard-local time.
+    time_weighted_gpus: float
+    control_stats: dict[str, float]
+    dispatch_stats: dict[str, float]
+
+
+def summarize_shard(result: SimulationResult) -> ShardSummary:
+    """Reduce a :class:`SimulationResult` to its mergeable summary.
+
+    Module-level so :func:`run_experiments` can ship it into pool
+    workers — the full metrics arrays never cross the process
+    boundary.
+    """
+    metrics = result.metrics
+    metrics._sync_sketch()
+    return ShardSummary(
+        scheme_name=result.scheme_name,
+        sketch=copy.deepcopy(metrics.sketch),
+        events_processed=result.events_processed,
+        end_ms=result.end_ms,
+        time_weighted_gpus=result.time_weighted_gpus,
+        control_stats=dict(result.control_stats),
+        dispatch_stats=dict(result.dispatch_stats),
+    )
+
+
+@dataclass
+class ShardedResult:
+    """Order-independent merge of every shard of one scheme."""
+
+    scheme_name: str
+    num_shards: int
+    stats: LatencyStats
+    sketch: StreamingLatencySummary
+    events_processed: int
+    #: Absolute time of the last event across all shards.
+    end_ms: float
+    time_weighted_gpus: float
+    control_stats: dict[str, float]
+    dispatch_stats: dict[str, float]
+
+    @property
+    def completed(self) -> int:
+        return self.stats.count
+
+
+def shard_specs(spec: ExperimentSpec, num_shards: int) -> list[ExperimentSpec]:
+    """The per-window specs of ``spec`` (deterministic, picklable)."""
+    if num_shards < 1:
+        raise ConfigurationError("need at least one shard")
+    if spec.shard is not None:
+        raise ConfigurationError("spec is already a shard")
+    return [
+        replace(spec, name=f"{spec.name}#shard{k}", shard=(k, num_shards))
+        for k in range(num_shards)
+    ]
+
+
+def merge_shard_summaries(
+    pairs: list[tuple[float, ShardSummary]],
+) -> ShardedResult:
+    """Merge ``(window_start_ms, summary)`` pairs — order-independent.
+
+    Every reduction below is commutative and associative (sketch bin
+    adds, counter sums, max over absolute end times), so any shard
+    completion order produces the identical result.
+    """
+    if not pairs:
+        raise ConfigurationError("nothing to merge")
+    sketch = copy.deepcopy(pairs[0][1].sketch)
+    for _, summary in pairs[1:]:
+        sketch.merge(summary.sketch)
+
+    events = sum(s.events_processed for _, s in pairs)
+    end_ms = max(start + s.end_ms for start, s in pairs)
+    gpu_ms = sum(s.time_weighted_gpus * s.end_ms for _, s in pairs)
+    span_ms = sum(s.end_ms for _, s in pairs)
+
+    control: dict[str, float] = {}
+    for _, summary in pairs:
+        for key, value in summary.control_stats.items():
+            control[key] = control.get(key, 0) + value
+
+    dispatched = sum(s.dispatch_stats.get("dispatched", 0.0) for _, s in pairs)
+    dispatch: dict[str, float] = {}
+    if dispatched:
+        dispatch = {
+            "dispatched": dispatched,
+            "gated": sum(s.dispatch_stats.get("gated", 0.0) for _, s in pairs),
+            # Rates re-weighted by each shard's dispatch volume.
+            "demotion_rate": sum(
+                s.dispatch_stats.get("demotion_rate", 0.0)
+                * s.dispatch_stats.get("dispatched", 0.0)
+                for _, s in pairs
+            ) / dispatched,
+            "fallback_rate": sum(
+                s.dispatch_stats.get("fallback_rate", 0.0)
+                * s.dispatch_stats.get("dispatched", 0.0)
+                for _, s in pairs
+            ) / dispatched,
+        }
+
+    first = pairs[0][1]
+    return ShardedResult(
+        scheme_name=first.scheme_name,
+        num_shards=len(pairs),
+        stats=sketch.stats(),
+        sketch=sketch,
+        events_processed=events,
+        end_ms=end_ms,
+        time_weighted_gpus=gpu_ms / span_ms if span_ms else 0.0,
+        control_stats=control,
+        dispatch_stats=dispatch,
+    )
+
+
+def run_sharded(
+    spec: ExperimentSpec,
+    scheme_name: str,
+    num_shards: int,
+    workers: int = 1,
+) -> ShardedResult:
+    """Run ``spec`` × ``scheme_name`` as ``num_shards`` time-window
+    shards, optionally across a process pool, and merge the results.
+
+    ``workers=1`` runs the shards inline (deterministic and
+    fork-free); ``workers=N`` reuses the :func:`run_experiments`
+    process pool. Either path produces the identical merged result —
+    the reduction is order-independent.
+    """
+    specs = shard_specs(spec, num_shards)
+    out = run_experiments(
+        specs,
+        schemes=(scheme_name,),
+        workers=workers,
+        summarize=summarize_shard,
+    )
+    pairs = [
+        (shard.shard_window_ms()[0], out[shard.name][scheme_name])
+        for shard in specs
+    ]
+    return merge_shard_summaries(pairs)

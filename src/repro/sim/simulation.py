@@ -1,10 +1,18 @@
 """The simulator's main loop: trace in, latency population out.
 
-Arrivals are streamed from the trace one at a time (the heap never
-holds more than one future arrival), so memory stays flat even for
-multi-million-request traces. Completions, periodic rescheduling,
-replacement execution, auto-scaling checks and fault injection
-interleave on the same deterministic event queue.
+Arrivals are streamed straight off the trace arrays (they never pass
+through the event heap), so memory stays flat even for multi-million-
+request traces and the per-arrival cost is a list index plus a float
+compare. Completions, periodic rescheduling, replacement execution,
+auto-scaling checks and fault injection interleave on the same
+deterministic event queue; same-timestamp events of one kind are
+drained in a single batch pop (see :meth:`EventQueue.pop_batch`).
+
+The arrival bypass preserves the exact event order of the classic
+heap-per-arrival design: ARRIVAL is the highest-valued event kind, so
+an arrival at time *t* always sorted *after* every other event at *t*
+— which is precisely the strict ``arrival_time < heap_time`` test the
+bypass uses (ties go to the heap).
 
 Resilience: lost work (crashes, blackouts) is re-dispatched through a
 :class:`~repro.resilience.retry.RetryPolicy` (exponential backoff with
@@ -20,12 +28,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 import numpy as np
 
 from collections import deque
 
-from repro.baselines.dispatchers import ArloDispatcher
+from repro.baselines.dispatchers import ArloDispatcher, _MlqDispatcher
 from repro.baselines.schemes import Scheme
 from repro.cluster.autoscaler import (
     AutoscalerConfig,
@@ -34,20 +43,26 @@ from repro.cluster.autoscaler import (
     TargetTrackingAutoscaler,
 )
 from repro.cluster.instance import InstanceStatus, RuntimeInstance
-from repro.errors import CapacityError, ConfigurationError, SimulationError
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    SchedulingError,
+    SimulationError,
+)
 from repro.resilience.manager import ResilienceConfig, ResilienceManager
 from repro.resilience.retry import RetryBudget, RetryPolicy
 from repro.sim.controller import ControlPlane
 from repro.sim.engine import EventQueue
 from repro.sim.events import (
-    ArrivalPayload,
+    COMPLETION_POOL,
     BlackoutEndPayload,
-    CompletionPayload,
+    CompletionRecord,
     EventKind,
     ProbePayload,
     RecoveryPayload,
     RetryPayload,
     SlowdownEndPayload,
+    release_completion,
 )
 from repro.sim.faults import (
     BlackoutEvent,
@@ -165,10 +180,17 @@ def run_simulation(
         else None
     )
 
-    arrivals_ms = trace.arrival_ms
-    lengths = trace.length
+    arrivals_np = trace.arrival_ms
+    lengths_np = trace.length
+    # Plain Python lists: the arrival loop indexes them once per request
+    # and list-of-float indexing avoids a numpy scalar box per access.
+    arrivals_ms = arrivals_np.tolist()
+    lengths = lengths_np.tolist()
     n_requests = len(trace)
+    #: Arrivals processed so far == index of the next pending arrival.
     next_arrival = 0
+    #: Arrivals already flushed into the demand estimator.
+    observed_upto = 0
     #: (request_id, arrival, length, retries already consumed)
     deferred: list[tuple[int, float, int, int]] = []
     outstanding = 0
@@ -193,19 +215,51 @@ def run_simulation(
     pending_retries = 0
     quarantine_violations = 0
 
-    def push_next_arrival() -> None:
-        nonlocal next_arrival
-        if next_arrival < n_requests:
-            queue.push(
-                float(arrivals_ms[next_arrival]),
-                EventKind.ARRIVAL,
-                ArrivalPayload(next_arrival, int(lengths[next_arrival])),
+    dispatcher = scheme.dispatcher
+    estimator = scheme.demand_estimator
+    runtime_scheduler = scheme.runtime_scheduler
+    trace_decisions = config.trace_decisions
+    warmup_ms = config.warmup_ms
+    max_events = config.max_events
+    on_complete = dispatcher.on_complete
+    # Attempt tokens and per-instance FIFOs exist to void and replay
+    # in-flight work when an instance crashes or blacks out. Without a
+    # fault plan no dispatch is ever voided, so the whole bookkeeping
+    # layer (two dict writes + a deque append per request) is skipped.
+    track_attempts = config.failures is not None
+    # The tracing path goes through `dispatch` so `last_decision` is
+    # populated; the default path takes the allocation-free fast lane
+    # (bound past the adapter when the scheme is Arlo-family).
+    if trace_decisions:
+        dispatch = dispatcher.dispatch
+    elif isinstance(dispatcher, ArloDispatcher):
+        dispatch = dispatcher.scheduler.dispatch_fast
+    else:
+        dispatch = dispatcher.dispatch_fast
+
+    def flush_observations() -> None:
+        """Feed every arrival processed so far into the demand estimator.
+
+        Arrivals are observed lazily in vectorised batches instead of
+        one scalar `observe` per event. Equivalent to eager observation
+        because (a) histogram eviction is monotone in time, and (b) the
+        estimator is only *read* by the runtime scheduler, which calls
+        this first.
+        """
+        nonlocal observed_upto
+        if estimator is not None and observed_upto < next_arrival:
+            estimator.observe_batch(
+                arrivals_np[observed_upto:next_arrival],
+                lengths_np[observed_upto:next_arrival],
             )
-            next_arrival += 1
+            observed_upto = next_arrival
 
     def work_remaining() -> bool:
+        # `next_arrival + 1 < n` mirrors the classic heap-per-arrival
+        # loop, where the next pending arrival already sat in the heap
+        # and did not count as remaining work.
         return (
-            next_arrival < n_requests
+            next_arrival + 1 < n_requests
             or outstanding > 0
             or bool(deferred)
             or pending_retries > 0
@@ -223,11 +277,11 @@ def run_simulation(
     ) -> bool:
         nonlocal outstanding, next_token, quarantine_violations
         try:
-            instance, start, finish = scheme.dispatcher.dispatch(now_ms, length)
+            instance, start, finish = dispatch(now_ms, length)
         except CapacityError:
             return False
-        if len(decision_log) < config.trace_decisions:
-            decision = getattr(scheme.dispatcher, "last_decision", None)
+        if trace_decisions and len(decision_log) < trace_decisions:
+            decision = getattr(dispatcher, "last_decision", None)
             if decision is not None:
                 decision_log.append({
                     "time_ms": now_ms,
@@ -242,25 +296,30 @@ def run_simulation(
         if manager is not None and manager.is_quarantined(instance.instance_id):
             quarantine_violations += 1
         outstanding += 1
-        token = next_token
-        next_token += 1
-        live_attempt[request_id] = token
-        inflight.setdefault(instance.instance_id, deque()).append(
-            (request_id, arrival_ms, length, attempt)
-        )
-        queue.push(
-            finish,
-            EventKind.COMPLETION,
-            CompletionPayload(
-                request_id=request_id,
-                instance_id=instance.instance_id,
-                arrival_ms=arrival_ms,
-                length=length,
-                runtime_index=instance.runtime_index,
-                attempt_token=token,
-                service_ms=finish - start,
-            ),
-        )
+        if track_attempts:
+            token = next_token
+            next_token = token + 1
+            live_attempt[request_id] = token
+            fifo = inflight.get(instance.instance_id)
+            if fifo is None:
+                fifo = inflight[instance.instance_id] = deque()
+            fifo.append((request_id, arrival_ms, length, attempt))
+        else:
+            token = 0
+        # Inlined queue.push: `finish` is a float strictly after `now`
+        # (service times are positive), so the monotonicity validation
+        # is statically satisfied.
+        seq = queue._seq
+        queue._seq = seq + 1
+        rec = COMPLETION_POOL.pop() if COMPLETION_POOL else CompletionRecord()
+        rec.request_id = request_id
+        rec.instance = instance
+        rec.arrival_ms = arrival_ms
+        rec.length = length
+        rec.runtime_index = instance.runtime_index
+        rec.attempt_token = token
+        rec.service_ms = finish - start
+        heappush(heap, (finish, COMPLETION, seq, rec))
         return True
 
     def reinject(
@@ -330,94 +389,183 @@ def run_simulation(
             queue.push(probe_at_ms, EventKind.INSTANCE_FAILURE,
                        ProbePayload(instance_id))
 
-    push_next_arrival()
-    if scheme.runtime_scheduler is not None:
-        queue.push(scheme.runtime_scheduler.config.period_ms, EventKind.RESCHEDULE)
+    if runtime_scheduler is not None:
+        queue.push(runtime_scheduler.config.period_ms, EventKind.RESCHEDULE)
     if autoscaler is not None:
         queue.push(config.autoscale_check_ms, EventKind.AUTOSCALE_CHECK)
     if config.failures is not None:
         for fault in config.failures.sorted_events():
             queue.push(fault.time_ms, EventKind.INSTANCE_FAILURE, fault)
 
-    while queue:
-        if config.max_events and queue.events_processed >= config.max_events:
+    heap = queue._heap
+    # MetricsCollector.record, inlined into the completion handler: two
+    # list appends per served request (the negative-latency validation
+    # is statically satisfied — completions never precede arrivals).
+    # `_flush_chunk` rebinds the buffers, so they are re-fetched after
+    # every flush.
+    lat_buf = metrics._current
+    rt_buf = metrics._current_runtime
+    CHUNK = metrics._CHUNK
+    INF = float("inf")
+    COMPLETION = EventKind.COMPLETION
+    RESCHEDULE = EventKind.RESCHEDULE
+    REPLACEMENT_READY = EventKind.REPLACEMENT_READY
+    AUTOSCALE_CHECK = EventKind.AUTOSCALE_CHECK
+    SCALE_OUT_READY = EventKind.SCALE_OUT_READY
+    INSTANCE_FAILURE = EventKind.INSTANCE_FAILURE
+    # Every built-in dispatcher's `on_complete` is exactly an MLQ
+    # refresh, so the completion loop re-keys the instance's own level
+    # heap directly (no adapter call, no level lookup). A dispatcher
+    # overriding `on_complete` keeps the virtual call.
+    fast_on_complete = type(dispatcher).on_complete in (
+        _MlqDispatcher.on_complete,
+        ArloDispatcher.on_complete,
+    )
+
+    popped = queue._popped  # local mirror, written back after the loop
+    while True:
+        if max_events and popped + next_arrival >= max_events:
             raise SimulationError(
-                f"event cap {config.max_events} hit with work remaining"
+                f"event cap {max_events} hit with work remaining"
             )
-        event = queue.pop()
-        now = event.time_ms
+        heap_time = heap[0][0] if heap else INF
 
-        if event.kind is EventKind.ARRIVAL:
-            payload: ArrivalPayload = event.payload
-            scheme.observe_arrival(now, payload.length)
-            if not admit(now, payload.request_id, now, payload.length):
-                deferred.append((payload.request_id, now, payload.length, 0))
+        # ---- arrival bypass (the strict `<` gives same-time heap
+        # events priority, matching ARRIVAL's maximal kind value) ----
+        if next_arrival < n_requests and arrivals_ms[next_arrival] < heap_time:
+            now = arrivals_ms[next_arrival]
+            request_id = next_arrival
+            length = lengths[next_arrival]
+            next_arrival = request_id + 1
+            queue._now = now
+            if not admit(now, request_id, now, length):
+                deferred.append((request_id, now, length, 0))
                 metrics.deferred_requests += 1
-            push_next_arrival()
+            continue
+        if not heap:
+            break
 
-        elif event.kind is EventKind.COMPLETION:
-            cp: CompletionPayload = event.payload
-            if live_attempt.get(cp.request_id) != cp.attempt_token:
-                continue  # stale attempt: the work was re-dispatched
-            instance = scheme.cluster.instances.get(cp.instance_id)
-            if instance is None:
-                raise SimulationError(
-                    f"completion for retired instance {cp.instance_id}"
-                )
-            served = inflight[cp.instance_id].popleft()
-            if served[0] != cp.request_id:  # pragma: no cover - FIFO invariant
-                raise SimulationError("completion order diverged from FIFO")
-            del live_attempt[cp.request_id]
-            instance.complete()
-            scheme.dispatcher.on_complete(instance)
-            outstanding -= 1
-            completed += 1
-            latency = now - cp.arrival_ms
-            if cp.arrival_ms >= config.warmup_ms:
-                metrics.record(latency, cp.runtime_index)
-            if autoscaler is not None:
-                autoscaler.observe(latency)
-            if manager is not None:
-                nominal = (
-                    instance.profile.runtime.service_ms(cp.length)
-                    + instance.profile.overhead_ms
-                )
-                ratio = cp.service_ms / nominal if nominal > 0 else 1.0
-                schedule_probe(
-                    manager.on_service_sample(now, instance, ratio),
-                    instance.instance_id,
-                )
-            control.on_completion(now, instance)
-            flush_deferred(now)
+        entry = heappop(heap)
+        now = entry[0]
+        kind = entry[1]
+        queue._now = now
+        popped += 1
 
-        elif event.kind is EventKind.RESCHEDULE:
-            if scheme.runtime_scheduler is not None and work_remaining():
-                _result, plan = scheme.runtime_scheduler.step(now, scheme.cluster)
+        if kind is COMPLETION:
+            # Drain every same-timestamp completion in one heap visit
+            # (the batch-pop discipline, inlined).
+            rec = entry[3]
+            while True:
+                if track_attempts and (
+                    live_attempt.get(rec.request_id) != rec.attempt_token
+                ):
+                    release_completion(rec)  # stale: work was re-dispatched
+                else:
+                    instance = rec.instance
+                    if track_attempts:
+                        served = inflight[instance.instance_id].popleft()
+                        if served[0] != rec.request_id:  # pragma: no cover - FIFO invariant
+                            raise SimulationError(
+                                "completion order diverged from FIFO"
+                            )
+                        del live_attempt[rec.request_id]
+                    # --- RuntimeInstance.complete, inlined (the call
+                    # runs once per served request) ---
+                    out = instance.outstanding - 1
+                    if out < 0:
+                        raise SchedulingError(
+                            f"instance {instance.instance_id} completed "
+                            f"with empty queue"
+                        )
+                    instance.outstanding = out
+                    instance.served += 1
+                    instance._epoch += 1
+                    tracker = instance.tracker
+                    if tracker is not None:
+                        tracker.on_complete(instance)
+                    if fast_on_complete:
+                        # --- InstanceHeap.refresh, inlined (re-keys
+                        # the instance's own level heap; no-op when it
+                        # left the MLQ) ---
+                        level_heap = instance._level_heap
+                        if level_heap is not None:
+                            last = level_heap._last_outstanding
+                            key = instance.instance_id
+                            if key in last:
+                                level_heap.outstanding_total += out - last[key]
+                                last[key] = out
+                                heappush(
+                                    level_heap._heap,
+                                    (out, next(level_heap._counter),
+                                     instance._epoch, instance),
+                                )
+                    else:
+                        on_complete(instance)
+                    outstanding -= 1
+                    completed += 1
+                    arrival_ms = rec.arrival_ms
+                    latency = now - arrival_ms
+                    if arrival_ms >= warmup_ms:
+                        lat_buf.append(latency)
+                        rt_buf.append(rec.runtime_index)
+                        if len(lat_buf) == CHUNK:
+                            metrics._flush_chunk()
+                            lat_buf = metrics._current
+                            rt_buf = metrics._current_runtime
+                    if autoscaler is not None:
+                        autoscaler.observe(latency)
+                    if manager is not None:
+                        # instance._service_table[L] == nominal service
+                        # + overhead, the exact sum the profiler uses.
+                        nominal = instance._service_table[rec.length]
+                        ratio = (
+                            rec.service_ms / nominal if nominal > 0 else 1.0
+                        )
+                        schedule_probe(
+                            manager.on_service_sample(now, instance, ratio),
+                            instance.instance_id,
+                        )
+                    if control._pending:
+                        control.on_completion(now, instance)
+                    rec.instance = None  # inlined release_completion
+                    COMPLETION_POOL.append(rec)
+                    if deferred:
+                        flush_deferred(now)
+                if heap and heap[0][0] == now and heap[0][1] is COMPLETION:
+                    rec = heappop(heap)[3]
+                    popped += 1
+                else:
+                    break
+
+        elif kind is RESCHEDULE:
+            if runtime_scheduler is not None and work_remaining():
+                flush_observations()
+                _result, plan = runtime_scheduler.step(now, scheme.cluster)
                 control.start_plan(now, plan)
                 metrics.sample_allocation(now, scheme.cluster.allocation())
                 queue.push(
-                    now + scheme.runtime_scheduler.config.period_ms,
+                    now + runtime_scheduler.config.period_ms,
                     EventKind.RESCHEDULE,
                 )
 
-        elif event.kind is EventKind.REPLACEMENT_READY:
-            control.on_replacement_event(now, event.payload)
+        elif kind is REPLACEMENT_READY:
+            control.on_replacement_event(now, entry[3])
             sample_gpus(now)
             flush_deferred(now)
 
-        elif event.kind is EventKind.AUTOSCALE_CHECK:
+        elif kind is AUTOSCALE_CHECK:
             if autoscaler is not None and work_remaining():
                 control.autoscale_check(now)
                 queue.push(now + config.autoscale_check_ms,
                            EventKind.AUTOSCALE_CHECK)
 
-        elif event.kind is EventKind.SCALE_OUT_READY:
-            control.on_scale_out_ready(now, event.payload)
+        elif kind is SCALE_OUT_READY:
+            control.on_scale_out_ready(now, entry[3])
             sample_gpus(now)
             flush_deferred(now)
 
-        elif event.kind is EventKind.INSTANCE_FAILURE:
-            payload = event.payload
+        elif kind is INSTANCE_FAILURE:
+            payload = entry[3]
 
             if isinstance(payload, RecoveryPayload):
                 gpu = scheme.cluster.gpus[payload.gpu_id]
@@ -492,10 +640,8 @@ def run_simulation(
                     flush_deferred(now)
 
             elif isinstance(payload, SolverFaultEvent):
-                if scheme.runtime_scheduler is not None:
-                    scheme.runtime_scheduler.inject_solver_failures(
-                        payload.count
-                    )
+                if runtime_scheduler is not None:
+                    runtime_scheduler.inject_solver_failures(payload.count)
                     solver_faults_injected += payload.count
 
             elif isinstance(payload, FailureEvent):
@@ -529,8 +675,10 @@ def run_simulation(
                 )
 
         else:  # pragma: no cover - the enum is closed
-            raise SimulationError(f"unhandled event kind {event.kind}")
+            raise SimulationError(f"unhandled event kind {kind}")
 
+    queue._popped = popped
+    flush_observations()
     if completed != n_requests:
         raise SimulationError(
             f"simulation ended with {n_requests - completed} unserved requests"
@@ -559,8 +707,8 @@ def run_simulation(
         "quarantine_violations": quarantine_violations,
         "solver_faults_injected": solver_faults_injected,
         "solver_fallbacks": (
-            scheme.runtime_scheduler.solver_fallbacks
-            if scheme.runtime_scheduler is not None
+            runtime_scheduler.solver_fallbacks
+            if runtime_scheduler is not None
             else 0
         ),
     }
@@ -569,11 +717,13 @@ def run_simulation(
         stats=metrics.stats(),
         metrics=metrics,
         end_ms=end_ms,
-        events_processed=queue.events_processed,
+        # Bypassed arrivals count as processed events so the figure is
+        # comparable with the classic heap-per-arrival loop.
+        events_processed=queue.events_processed + next_arrival,
         time_weighted_gpus=metrics.time_weighted_gpus(end_ms),
         dispatch_stats=(
-            scheme.dispatcher.scheduler.stats()
-            if hasattr(scheme.dispatcher, "scheduler")
+            dispatcher.scheduler.stats()
+            if hasattr(dispatcher, "scheduler")
             else {}
         ),
         control_stats=control_stats,

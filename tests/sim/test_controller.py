@@ -88,9 +88,9 @@ def test_staggered_batches_use_drain_triggers():
     control.start_plan(0.0, plan)
     # First batch drains immediately; second batch arrives as triggers.
     triggers = [e for e in queue._heap
-                if isinstance(e.payload, DrainTrigger)]
+                if isinstance(e[3], DrainTrigger)]
     assert len(triggers) == 2
-    assert all(t.time_ms == pytest.approx(REPLACEMENT_DURATION_MS)
+    assert all(t[0] == pytest.approx(REPLACEMENT_DURATION_MS)
                for t in triggers)
     created = drain_queue(control, queue)
     assert len(created) == 4

@@ -1,0 +1,145 @@
+"""Serial vs sharded equivalence (the data-plane determinism contract).
+
+The sharded driver promises: on a trace with quiescent window
+boundaries and self-contained faults, a static scheme's per-request
+latency multiset is *identical* to the serial run (instances of a
+level are interchangeable when drained, so the two executions differ
+only by relabelling). The tests pin that exactly — merged sketch bins
+equal the serial sketch bins — plus the ISSUE-level contract: counts
+exact, quantiles within sketch tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentSpec, run_single
+from repro.sim.faults import (
+    BlackoutEvent,
+    FailureEvent,
+    FaultPlan,
+    SlowdownEvent,
+)
+from repro.sim.sharded import merge_shard_summaries, run_sharded, shard_specs
+from repro.workload.trace import Trace
+from repro.workload.twitter import generate_twitter_trace
+
+
+def _chaos_fixture():
+    """A 40 s chaos trace: 4 windows of 7 s arrivals + 3 s drain gap,
+    with crashes, a slowdown, and a blackout all healed inside their
+    own window."""
+    windows = []
+    for k in range(4):
+        piece = generate_twitter_trace(
+            rate_per_s=80.0, duration_ms=7_000.0, pattern="bursty",
+            seed=50 + k,
+        )
+        windows.append(piece.shift(k * 10_000.0))
+    trace = Trace.merge(windows)
+    plan = FaultPlan(events=[
+        FailureEvent(time_ms=2_000.0, recovery_ms=1_500.0),
+        SlowdownEvent(time_ms=3_000.0, factor=2.5, duration_ms=2_000.0),
+        BlackoutEvent(time_ms=12_000.0, duration_ms=1_500.0),
+        FailureEvent(time_ms=22_000.0, recovery_ms=1_000.0),
+    ])
+    spec = ExperimentSpec(
+        name="chaos-eq", model="bert-base", num_gpus=4, rate_per_s=80.0,
+        duration_s=40.0, schemes=("dt",), hint_s=2.0, retry=None,
+        failures=plan, trace_override=trace,
+    )
+    return spec, plan
+
+
+@pytest.fixture(scope="module")
+def chaos_serial():
+    spec, plan = _chaos_fixture()
+    _, result = run_single(spec, "dt")
+    result.metrics._sync_sketch()
+    return spec, plan, result
+
+
+@pytest.mark.parametrize("num_shards,workers", [(2, 2), (4, 4)])
+def test_sharded_matches_serial_on_chaos_trace(
+    chaos_serial, num_shards, workers
+):
+    spec, plan, serial = chaos_serial
+    merged = run_sharded(spec, "dt", num_shards=num_shards, workers=workers)
+
+    # Counts are exact: every request completes in exactly one shard.
+    assert merged.stats.count == serial.stats.count
+    assert merged.events_processed == serial.events_processed
+    assert merged.control_stats["failures"] == plan.counts()["FailureEvent"]
+    assert (
+        merged.control_stats["slowdowns"] == plan.counts()["SlowdownEvent"]
+    )
+    assert (
+        merged.control_stats["blackouts"] == plan.counts()["BlackoutEvent"]
+    )
+
+    # Quiescent boundaries + self-contained faults + a static scheme:
+    # the latency multisets are identical, so the merged sketch equals
+    # the serial sketch bin for bin.
+    serial_sketch = serial.metrics.sketch
+    assert np.array_equal(merged.sketch.counts, serial_sketch.counts)
+    assert merged.sketch.violations == serial_sketch.violations
+    assert merged.stats.mean_ms == pytest.approx(
+        serial_sketch.mean_ms, rel=1e-9
+    )
+
+    # The ISSUE-level contract (quantiles within sketch tolerance)
+    # holds a fortiori; assert it against the exact serial stats too.
+    for q, exact in ((0.5, serial.stats.p50_ms), (0.99, serial.stats.p99_ms)):
+        assert merged.sketch.quantile(q) == pytest.approx(exact, rel=0.01)
+
+
+def test_inline_and_pooled_merges_agree(chaos_serial):
+    spec, _, _ = chaos_serial
+    inline = run_sharded(spec, "dt", num_shards=2, workers=1)
+    pooled = run_sharded(spec, "dt", num_shards=2, workers=2)
+    assert np.array_equal(inline.sketch.counts, pooled.sketch.counts)
+    assert inline.stats == pooled.stats
+    assert inline.control_stats == pooled.control_stats
+
+
+def test_merge_is_order_independent(chaos_serial):
+    spec, _, _ = chaos_serial
+    from repro.experiments.runner import run_experiments
+    from repro.sim.sharded import summarize_shard
+
+    specs = shard_specs(spec, 4)
+    out = run_experiments(specs, schemes=("dt",), workers=1,
+                          summarize=summarize_shard)
+    pairs = [
+        (s.shard_window_ms()[0], out[s.name]["dt"]) for s in specs
+    ]
+    forward = merge_shard_summaries(pairs)
+    backward = merge_shard_summaries(list(reversed(pairs)))
+    assert np.array_equal(forward.sketch.counts, backward.sketch.counts)
+    assert forward.stats == backward.stats
+    assert forward.end_ms == backward.end_ms
+    assert forward.control_stats == backward.control_stats
+
+
+def test_shard_specs_validation():
+    spec, _ = _chaos_fixture()
+    with pytest.raises(ConfigurationError):
+        shard_specs(spec, 0)
+    shards = shard_specs(spec, 3)
+    with pytest.raises(ConfigurationError):
+        shard_specs(shards[0], 2)  # already a shard
+    # Windows tile the horizon exactly.
+    edges = [s.shard_window_ms() for s in shards]
+    assert edges[0][0] == 0.0
+    assert edges[-1][1] == 40_000.0
+    for (_, end), (start, _) in zip(edges, edges[1:]):
+        assert end == start
+
+
+def test_fault_plan_window_filters_and_shifts():
+    _, plan = _chaos_fixture()
+    sub = plan.window(10_000.0, 20_000.0)
+    assert len(sub) == 1
+    event = sub.events[0]
+    assert isinstance(event, BlackoutEvent)
+    assert event.time_ms == 2_000.0

@@ -1,0 +1,76 @@
+"""Golden-trace regressions for the vectorised samplers.
+
+The workload generators draw from numpy ``Generator`` streams in large
+vectorised batches; these hashes pin the exact byte-level output per
+seed so any change to the sampling structure (batch sizes, draw order,
+clipping) is caught immediately instead of silently shifting every
+downstream experiment.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import MMPPArrivals, PoissonArrivals
+from repro.workload.generator import trace_from_per_second_counts
+from repro.workload.lengths import LogNormalLengths
+from repro.workload.twitter import generate_twitter_trace
+
+
+def _digest(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()[:16]
+
+
+def test_poisson_stream_pinned():
+    rng = np.random.default_rng(7)
+    arrivals = PoissonArrivals().generate(rng, 500.0, 10_000.0)
+    assert arrivals.size == 5025
+    assert _digest(arrivals) == "e022c0b6557f1f8a"
+
+
+def test_mmpp_stream_pinned():
+    rng = np.random.default_rng(7)
+    arrivals = MMPPArrivals().generate(rng, 500.0, 60_000.0)
+    assert arrivals.size == 23333
+    assert _digest(arrivals) == "04c6790089dd975c"
+    assert np.all(np.diff(arrivals) >= 0)
+    assert 0 <= arrivals[0] and arrivals[-1] < 60_000.0
+
+
+@pytest.mark.parametrize(
+    "pattern,count,arrival_hash,length_hash",
+    [
+        ("bursty", 44711, "416f81966102d1f6", "45ea214960ad516b"),
+        ("stable", 36038, "e10902281ebea751", "aad674bbbfbc8d53"),
+    ],
+)
+def test_twitter_trace_pinned(pattern, count, arrival_hash, length_hash):
+    trace = generate_twitter_trace(
+        rate_per_s=300.0, duration_ms=120_000.0, pattern=pattern, seed=42
+    )
+    assert len(trace) == count
+    assert _digest(trace.arrival_ms) == arrival_hash
+    assert _digest(trace.length) == length_hash
+
+
+def test_per_second_counts_pinned():
+    counts = np.array([5, 0, 17, 3, 9, 121, 0, 44])
+    dist = LogNormalLengths.from_quantiles(median=21, p98=72)
+    trace = trace_from_per_second_counts(counts, dist, seed=3)
+    assert len(trace) == int(counts.sum()) == 199
+    assert _digest(trace.arrival_ms) == "02eef290db7ad696"
+    assert _digest(trace.length) == "e7852a8013d68439"
+    # Exactly counts[k] arrivals inside second k.
+    seconds = (trace.arrival_ms // 1_000).astype(int)
+    assert np.array_equal(np.bincount(seconds, minlength=counts.size), counts)
+
+
+def test_mmpp_rate_preserved_in_expectation():
+    """The vectorised MMPP must keep the long-run average rate."""
+    total = 0
+    for seed in range(8):
+        rng = np.random.default_rng(seed)
+        total += MMPPArrivals().generate(rng, 400.0, 120_000.0).size
+    observed = total / 8 / 120.0  # requests per second
+    assert observed == pytest.approx(400.0, rel=0.08)
