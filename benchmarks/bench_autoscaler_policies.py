@@ -52,7 +52,7 @@ def _run(scale: float):
             "time_weighted_gpus": res.time_weighted_gpus,
             "mean_ms": res.mean_ms,
             "p98_ms": res.p98_ms,
-            "scale_outs": res.control_stats["scale_outs"],
+            "scale_outs": res.control_stats.get("scale_outs", 0),
             "slo_violation_%": 100 * res.stats.slo_violation_rate,
         }
     return out

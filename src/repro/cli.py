@@ -61,9 +61,87 @@ def _make_trace(args: argparse.Namespace):
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    trace = _make_trace(args)
-    path = save_trace(trace, args.output)
-    print(f"wrote {trace} to {path}")
+    """Dual-mode: with ``--output``, generate a workload trace (the
+    legacy behaviour); without it, run a *traced* simulation and print
+    the observability summary (optionally exporting spans/timeline/
+    Prometheus artifacts and validating them against the schemas)."""
+    if args.output:
+        trace = _make_trace(args)
+        path = save_trace(trace, args.output)
+        print(f"wrote {trace} to {path}")
+        return 0
+    return _cmd_trace_run(args)
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        format_summary,
+        load_schema,
+        prometheus_snapshot,
+        summarize_spans,
+        validate_jsonl,
+        validate_prometheus_text,
+        write_spans_jsonl,
+        write_timeline_jsonl,
+    )
+    from repro.obs.spans import ObservabilityConfig
+    from repro.sim.faults import FaultPlan
+
+    trace = _trace_from_args(args)
+    hint = trace.slice_time(0, min(seconds(5), trace.duration_ms / 4))
+    scheme = build_scheme(args.scheme, args.model, args.gpus,
+                          trace_hint=hint if len(hint) else None)
+    failures = None
+    if args.chaos:
+        failures = FaultPlan.chaos(trace.duration_ms, seed=args.seed)
+    result = run_simulation(scheme, trace, SimulationConfig(
+        warmup_ms=seconds(args.warmup),
+        failures=failures,
+        observability=ObservabilityConfig(sample_rate=args.sample_rate),
+    ))
+
+    summary = summarize_spans(result.spans)
+    print(format_summary(summary, scheme_name=result.scheme_name))
+    if result.timeline is not None and len(result.timeline):
+        print()
+        print("control-plane timeline:")
+        for key, count in sorted(result.timeline.counts().items()):
+            print(f"  {key}: {count}")
+
+    if args.spans_out:
+        n = write_spans_jsonl(args.spans_out, result.spans)
+        print(f"wrote {n} spans to {args.spans_out}", file=sys.stderr)
+        if args.validate:
+            validate_jsonl(args.spans_out, load_schema("trace_span"))
+            print(f"validated {args.spans_out}", file=sys.stderr)
+    if args.timeline_out:
+        n = write_timeline_jsonl(args.timeline_out, result.timeline)
+        print(f"wrote {n} timeline events to {args.timeline_out}",
+              file=sys.stderr)
+        if args.validate:
+            validate_jsonl(args.timeline_out, load_schema("timeline_event"))
+            print(f"validated {args.timeline_out}", file=sys.stderr)
+    if args.prom_out:
+        result.metrics._sync_sketch()
+        text = prometheus_snapshot(
+            counters={
+                k: float(v) for k, v in result.control_stats.items()
+            },
+            gauges={
+                "time_weighted_gpus": result.time_weighted_gpus,
+                "events_processed": float(result.events_processed),
+            },
+            sketch=result.metrics.sketch,
+            labels={"scheme": result.scheme_name},
+        )
+        import pathlib
+
+        pathlib.Path(args.prom_out).write_text(text)
+        print(f"wrote prometheus snapshot to {args.prom_out}",
+              file=sys.stderr)
+        if args.validate:
+            validate_prometheus_text(text)
+            print(f"validated {args.prom_out}", file=sys.stderr)
     return 0
 
 
@@ -173,9 +251,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_trace = sub.add_parser("trace", help="generate a Twitter-like trace")
+    p_trace = sub.add_parser(
+        "trace",
+        help="with --output: generate a Twitter-like trace; without: "
+        "run a traced simulation and summarise its spans/timeline",
+    )
     _add_trace_args(p_trace)
-    p_trace.add_argument("--output", required=True)
+    p_trace.add_argument("--output",
+                        help="write the generated trace .npz here "
+                        "(omit to run the observability summarizer)")
+    p_trace.add_argument("--trace", help="trace .npz (otherwise synthesise)")
+    p_trace.add_argument("--model", choices=sorted(MODEL_ZOO),
+                         default="bert-base")
+    p_trace.add_argument("--scheme", choices=SCHEME_NAMES, default="arlo")
+    p_trace.add_argument("--gpus", type=int, default=10)
+    p_trace.add_argument("--warmup", type=float, default=0.0,
+                         help="seconds excluded from statistics")
+    p_trace.add_argument("--chaos", action="store_true",
+                         help="inject the standard chaos fault plan")
+    p_trace.add_argument("--sample-rate", type=float, default=1.0,
+                         help="fraction of requests traced (0..1)")
+    p_trace.add_argument("--spans-out", help="write span JSONL here")
+    p_trace.add_argument("--timeline-out",
+                         help="write timeline-event JSONL here")
+    p_trace.add_argument("--prom-out",
+                         help="write a Prometheus text snapshot here")
+    p_trace.add_argument("--validate", action="store_true",
+                         help="validate exported artifacts against the "
+                         "checked-in schemas")
     p_trace.set_defaults(fn=cmd_trace)
 
     p_profile = sub.add_parser("profile", help="offline compile+profile")

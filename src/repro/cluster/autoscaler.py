@@ -123,6 +123,14 @@ class TargetTrackingAutoscaler:
         self._below_since_ms = None
         return ScaleAction.NONE
 
+    def signal(self) -> dict[str, float]:
+        """The decision signal, for the control-plane timeline."""
+        tail = self.tail_latency()
+        return {
+            "signal_p98_ms": tail if tail is not None else -1.0,
+            "slo_ms": self.config.slo_ms,
+        }
+
 
 @dataclass(frozen=True)
 class HeadroomConfig:
@@ -209,3 +217,11 @@ class HeadroomAutoscaler:
             return ScaleAction.NONE
         self._below_since_ms = None
         return ScaleAction.NONE
+
+    def signal(self) -> dict[str, float]:
+        """The decision signal, for the control-plane timeline."""
+        util = self.current_utilization()
+        return {
+            "signal_utilization": util if util is not None else -1.0,
+            "scale_out_utilization": self.config.scale_out_utilization,
+        }

@@ -168,6 +168,72 @@ class ArloRequestScheduler:
         self.mlq.refresh(decision.instance)
         return decision, start, finish
 
+    def dispatch_traced(
+        self,
+        now_ms: float,
+        length: int,
+        probes: list[tuple[int, float, float, str]],
+    ) -> tuple[DispatchDecision, float, float]:
+        """:meth:`dispatch` with the candidate walk narrated into
+        ``probes`` — one ``(level, P, threshold, verdict)`` tuple per
+        evaluated level, verdicts ``accepted`` / ``rejected`` /
+        ``gated``.
+
+        This is the sampled-request path of the observability layer:
+        only requests the tracer selected pay for it, so it stays a
+        faithful (non-inlined) mirror of :meth:`_walk` — counters and
+        the chosen instance are identical to the fast path.
+        """
+        ideal = self.registry.ideal_index(length)
+        levels = self.mlq.levels
+        num_levels = len(levels)
+        gate = self.gate
+        lam = self._lam
+        alpha = self._alpha
+        max_peek = self._max_peek
+        peeked = 0
+        first_nonempty: RuntimeInstance | None = None
+        first_level = -1
+        chosen: RuntimeInstance | None = None
+        chosen_level = -1
+        level = ideal
+        while level < num_levels:
+            if peeked >= max_peek:
+                break
+            head = levels[level].head()
+            if head is not None:
+                p = head.outstanding / head._capacity
+                if gate is not None and not gate(head):
+                    self.gated += 1
+                    probes.append((level, p, lam, "gated"))
+                    level += 1
+                    continue
+                if first_nonempty is None:
+                    first_nonempty = head
+                    first_level = level
+                peeked += 1
+                if p < lam:
+                    probes.append((level, p, lam, "accepted"))
+                    chosen, chosen_level = head, level
+                    break
+                probes.append((level, p, lam, "rejected"))
+                lam *= alpha
+            level += 1
+        fell_back = chosen is None
+        if fell_back:
+            if first_nonempty is None:
+                raise CapacityError(
+                    f"no deployed runtime can serve a request of length "
+                    f"{length}"
+                )
+            chosen, chosen_level = first_nonempty, first_level
+        decision = self._done(
+            chosen, chosen_level, ideal, peeked, fell_back=fell_back
+        )
+        start, finish = chosen.enqueue(now_ms, length)
+        self.mlq.refresh(chosen)
+        return decision, start, finish
+
     def dispatch_fast(
         self, now_ms: float, length: int
     ) -> tuple[RuntimeInstance, float, float]:

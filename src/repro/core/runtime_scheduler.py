@@ -236,6 +236,22 @@ class RuntimeScheduler:
         )
         return result, plan_replacement(state, current)
 
+    @staticmethod
+    def provenance_of(result: AllocationResult) -> str:
+        """How an allocation was obtained, for the control timeline.
+
+        One of ``hold`` / ``fallback-hold`` (no solve ran),
+        ``cache-hit`` (memoized), ``warm-start`` (B&B seeded from a
+        neighbouring solve), or ``cold`` (full solve from scratch).
+        """
+        if result.solver in ("hold", "fallback-hold"):
+            return result.solver
+        if result.stats.get("cache_hit"):
+            return "cache-hit"
+        if result.stats.get("warm_started"):
+            return "warm-start"
+        return "cold"
+
     def allocation_timeline(self) -> tuple[np.ndarray, np.ndarray]:
         """(times, allocations) from the decision history (Fig. 12 series)."""
         if not self.history:

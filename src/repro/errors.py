@@ -53,6 +53,18 @@ class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class EmptySketchError(SimulationError):
+    """A quantile/stats query hit a sketch holding zero samples.
+
+    Typed so exporters can refuse to serialize an empty summary
+    instead of emitting NaNs into a metrics endpoint.
+    """
+
+
+class SchemaError(ReproError):
+    """An exported artifact does not match its checked-in schema."""
+
+
 class ProfileError(ReproError):
     """A runtime profile is missing or malformed."""
 

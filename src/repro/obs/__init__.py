@@ -1,0 +1,65 @@
+"""Observability: per-request trace spans, control-plane timelines,
+and exporters.
+
+The paper's two schedulers make per-period (Eqs. 1-7) and per-arrival
+(Algorithm 1) decisions that aggregate counters cannot attribute: a
+high p99 may be queueing, demotion, a breaker quarantine, or a retry
+storm, and ``control_stats`` alone cannot say which. This package adds
+the three missing views:
+
+- :mod:`repro.obs.spans` — per-request **trace spans** covering
+  admission → MLQ level walk (every congestion probe ``P`` vs the
+  decayed threshold ``λ·α^k``) → dispatch/gate/demotion → service →
+  retry → completion, behind a sampling-rate flag with near-zero
+  overhead when disabled;
+- :mod:`repro.obs.timeline` — one ordered **control-plane timeline**
+  unifying allocation solves (cache-hit / warm-start / fallback
+  provenance), breaker transitions, autoscaler actions, replacement
+  plans, and injected faults;
+- :mod:`repro.obs.exporters` — JSONL span/timeline dumps, a Prometheus
+  text-format snapshot, and the run summary behind
+  ``python -m repro trace`` (per-level dwell, demotion chains,
+  tail-latency attribution).
+
+Schemas for the exported artifacts live in ``repro/obs/schemas`` and
+are enforced by :mod:`repro.obs.schema` (no external dependency).
+"""
+
+from repro.obs.exporters import (
+    format_summary,
+    prometheus_snapshot,
+    spans_to_jsonl,
+    summarize_spans,
+    timeline_to_jsonl,
+    write_prometheus,
+    write_spans_jsonl,
+    write_timeline_jsonl,
+)
+from repro.obs.schema import (
+    load_schema,
+    validate_instance,
+    validate_jsonl,
+    validate_prometheus_text,
+)
+from repro.obs.spans import ObservabilityConfig, RequestSpan, RequestTracer
+from repro.obs.timeline import ControlTimeline, TimelineEvent
+
+__all__ = [
+    "ControlTimeline",
+    "ObservabilityConfig",
+    "RequestSpan",
+    "RequestTracer",
+    "TimelineEvent",
+    "format_summary",
+    "load_schema",
+    "prometheus_snapshot",
+    "spans_to_jsonl",
+    "summarize_spans",
+    "timeline_to_jsonl",
+    "validate_instance",
+    "validate_jsonl",
+    "validate_prometheus_text",
+    "write_prometheus",
+    "write_spans_jsonl",
+    "write_timeline_jsonl",
+]

@@ -1,0 +1,235 @@
+"""Exporters: JSONL traces, Prometheus text snapshots, run summaries.
+
+Three consumers, three formats:
+
+- **JSONL** — one JSON object per line (span or timeline event), the
+  interchange form for offline analysis; schemas under
+  ``repro/obs/schemas`` pin the shape.
+- **Prometheus text format** — a point-in-time scrape of counters,
+  gauges, and the latency sketch rendered as a ``summary`` metric
+  (exact count/sum plus sketch quantiles), suitable for a textfile
+  collector or a ``/metrics`` endpoint.
+- **Run summary** — the human-facing digest behind
+  ``python -m repro trace``: per-level dwell times, demotion chains
+  (ideal level → chosen level), and tail-latency attribution (how much
+  of the slowest requests' latency is queueing vs service vs retry
+  backoff).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.spans import RequestSpan
+    from repro.obs.timeline import ControlTimeline
+    from repro.sim.metrics import StreamingLatencySummary
+
+#: Quantiles rendered into the Prometheus latency summary.
+PROM_QUANTILES = (0.5, 0.9, 0.98, 0.99)
+
+
+# -- JSONL ----------------------------------------------------------------
+
+def spans_to_jsonl(spans: Iterable["RequestSpan"]) -> str:
+    """One compact JSON object per span, newline-terminated."""
+    return "".join(
+        json.dumps(span.to_dict(), separators=(",", ":")) + "\n"
+        for span in spans
+    )
+
+
+def write_spans_jsonl(path: str | Path, spans: Iterable["RequestSpan"]) -> int:
+    """Write spans as JSONL; returns the number of lines written."""
+    text = spans_to_jsonl(spans)
+    Path(path).write_text(text)
+    return text.count("\n")
+
+
+def timeline_to_jsonl(timeline: "ControlTimeline") -> str:
+    return "".join(
+        json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
+        for event in timeline
+    )
+
+
+def write_timeline_jsonl(path: str | Path, timeline: "ControlTimeline") -> int:
+    text = timeline_to_jsonl(timeline)
+    Path(path).write_text(text)
+    return text.count("\n")
+
+
+# -- Prometheus text format ----------------------------------------------
+
+def _prom_name(key: str) -> str:
+    """Sanitise a stat key into a Prometheus metric-name fragment."""
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in key)
+
+
+def prometheus_snapshot(
+    counters: dict[str, float] | None = None,
+    gauges: dict[str, float] | None = None,
+    sketch: "StreamingLatencySummary | None" = None,
+    prefix: str = "repro",
+    labels: dict[str, str] | None = None,
+) -> str:
+    """Render a Prometheus text-format (version 0.0.4) snapshot.
+
+    ``counters`` become ``<prefix>_<key>_total`` counters, ``gauges``
+    become gauges, and a non-empty ``sketch`` becomes a
+    ``<prefix>_latency_ms`` summary with :data:`PROM_QUANTILES`
+    quantile rows plus exact ``_sum``/``_count``. An empty sketch is
+    omitted entirely — a summary with no observations has no
+    well-defined quantiles, and emitting NaNs would poison downstream
+    rate() math.
+    """
+    label_str = ""
+    if labels:
+        inner = ",".join(
+            f'{_prom_name(k)}="{v}"' for k, v in sorted(labels.items())
+        )
+        label_str = "{" + inner + "}"
+
+    lines: list[str] = []
+    for key, value in sorted((counters or {}).items()):
+        name = f"{prefix}_{_prom_name(key)}_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}{label_str} {value:g}")
+    for key, value in sorted((gauges or {}).items()):
+        name = f"{prefix}_{_prom_name(key)}"
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{label_str} {value:g}")
+
+    if sketch is not None and sketch.count > 0:
+        name = f"{prefix}_latency_ms"
+        lines.append(f"# TYPE {name} summary")
+        base = labels.copy() if labels else {}
+        for q in PROM_QUANTILES:
+            q_labels = ",".join(
+                f'{_prom_name(k)}="{v}"'
+                for k, v in sorted({**base, "quantile": f"{q:g}"}.items())
+            )
+            lines.append(f"{name}{{{q_labels}}} {sketch.quantile(q):g}")
+        lines.append(f"{name}_sum{label_str} {sketch.total_ms:g}")
+        lines.append(f"{name}_count{label_str} {sketch.count}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(path: str | Path, *args, **kwargs) -> str:
+    """:func:`prometheus_snapshot` straight to a file."""
+    text = prometheus_snapshot(*args, **kwargs)
+    Path(path).write_text(text)
+    return text
+
+
+# -- run summary ----------------------------------------------------------
+
+def summarize_spans(
+    spans: list["RequestSpan"], tail_fraction: float = 0.01
+) -> dict:
+    """Digest a span population for the trace CLI.
+
+    Returns per-level dwell times (count / mean / max latency of
+    completed requests dispatched at each level), demotion chains
+    (``"ideal->chosen"`` counts for every demoted or promoted-by-
+    fallback request), and tail-latency attribution: for the slowest
+    ``tail_fraction`` of completed requests, the share of total
+    latency spent queueing vs in service vs waiting out retry backoff.
+    """
+    completed = [s for s in spans if s.final_phase == "complete"]
+    lost = [s for s in spans if s.final_phase == "lost"]
+
+    levels: dict[int, dict] = {}
+    for s in completed:
+        row = levels.setdefault(
+            s.level, {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+        )
+        row["count"] += 1
+        row["total_ms"] += s.latency_ms
+        row["max_ms"] = max(row["max_ms"], s.latency_ms)
+    per_level = {
+        level: {
+            "count": row["count"],
+            "mean_ms": row["total_ms"] / row["count"],
+            "max_ms": row["max_ms"],
+        }
+        for level, row in sorted(levels.items())
+    }
+
+    chains: dict[str, int] = {}
+    for s in completed:
+        if s.level != s.ideal_level and s.ideal_level >= 0:
+            key = f"{s.ideal_level}->{s.level}"
+            chains[key] = chains.get(key, 0) + 1
+
+    attribution = {}
+    if completed:
+        ordered = sorted(completed, key=lambda s: s.latency_ms, reverse=True)
+        n_tail = max(1, int(len(ordered) * tail_fraction))
+        tail = ordered[:n_tail]
+        total = sum(s.latency_ms for s in tail) or 1.0
+        attribution = {
+            "tail_count": n_tail,
+            "threshold_ms": tail[-1].latency_ms,
+            "queue_share": sum(s.queue_ms for s in tail) / total,
+            "service_share": sum(s.service_ms for s in tail) / total,
+            "retry_share": sum(s.retry_wait_ms for s in tail) / total,
+        }
+
+    probes = sum(
+        1 for s in spans for e in s.events if e["phase"] == "probe"
+    )
+    return {
+        "spans": len(spans),
+        "completed": len(completed),
+        "lost": len(lost),
+        "demoted": sum(1 for s in completed if s.demoted),
+        "retries": sum(max(0, s.attempts - 1) for s in completed),
+        "probes": probes,
+        "per_level": per_level,
+        "demotion_chains": dict(sorted(chains.items())),
+        "tail_attribution": attribution,
+    }
+
+
+def format_summary(summary: dict, scheme_name: str = "") -> str:
+    """Human-readable rendering of :func:`summarize_spans` output."""
+    lines = []
+    title = f"trace summary — {scheme_name}" if scheme_name else "trace summary"
+    lines.append(title)
+    lines.append("=" * len(title))
+    lines.append(
+        f"spans: {summary['spans']}  completed: {summary['completed']}  "
+        f"lost: {summary['lost']}  demoted: {summary['demoted']}  "
+        f"retries: {summary['retries']}  probes: {summary['probes']}"
+    )
+    if summary["per_level"]:
+        lines.append("")
+        lines.append("per-level dwell (completed requests):")
+        lines.append(f"  {'level':>5}  {'count':>8}  {'mean_ms':>10}  {'max_ms':>10}")
+        for level, row in summary["per_level"].items():
+            lines.append(
+                f"  {level:>5}  {row['count']:>8}  "
+                f"{row['mean_ms']:>10.2f}  {row['max_ms']:>10.2f}"
+            )
+    if summary["demotion_chains"]:
+        lines.append("")
+        lines.append("demotion chains (ideal->chosen: count):")
+        for chain, count in summary["demotion_chains"].items():
+            lines.append(f"  {chain}: {count}")
+    tail = summary["tail_attribution"]
+    if tail:
+        lines.append("")
+        lines.append(
+            f"tail attribution (slowest {tail['tail_count']} requests, "
+            f">= {tail['threshold_ms']:.2f} ms):"
+        )
+        lines.append(
+            f"  queue {100 * tail['queue_share']:.1f}%  "
+            f"service {100 * tail['service_share']:.1f}%  "
+            f"retry backoff {100 * tail['retry_share']:.1f}%"
+        )
+    return "\n".join(lines)

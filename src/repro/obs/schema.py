@@ -1,0 +1,164 @@
+"""Minimal JSON-schema validation for exported artifacts.
+
+CI installs only numpy/scipy/pytest/hypothesis, so this module
+implements the small JSON-Schema subset the checked-in schemas use —
+``type``, ``required``, ``properties``, ``additionalProperties``
+(boolean form), ``items``, ``enum``, ``minimum`` — rather than
+depending on ``jsonschema``. Schemas live next to this module under
+``repro/obs/schemas/`` and are the contract the CI observability job
+validates exporter output against.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import SchemaError
+
+SCHEMA_DIR = Path(__file__).parent / "schemas"
+
+#: JSON-Schema ``type`` names → Python type checks. ``bool`` is a
+#: subclass of ``int`` in Python, so integer/number must exclude it.
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def load_schema(name: str) -> dict:
+    """Load a checked-in schema by stem (e.g. ``"trace_span"``)."""
+    path = SCHEMA_DIR / f"{name}.schema.json"
+    if not path.exists():
+        raise SchemaError(f"no such schema: {name} (looked in {SCHEMA_DIR})")
+    return json.loads(path.read_text())
+
+
+def _check(instance, schema: dict, path: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](instance) for t in types):
+            errors.append(
+                f"{path or '$'}: expected {expected}, "
+                f"got {type(instance).__name__}"
+            )
+            return
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path or '$'}: {instance!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool) \
+            and instance < schema["minimum"]:
+        errors.append(
+            f"{path or '$'}: {instance} below minimum {schema['minimum']}"
+        )
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path or '$'}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        for key, value in instance.items():
+            if key in props:
+                _check(value, props[key], f"{path}.{key}", errors)
+            elif schema.get("additionalProperties") is False:
+                errors.append(f"{path or '$'}: unexpected key {key!r}")
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            _check(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_instance(instance, schema: dict) -> list[str]:
+    """All violations of ``schema`` by ``instance`` (empty = valid)."""
+    errors: list[str] = []
+    _check(instance, schema, "", errors)
+    return errors
+
+
+def validate_jsonl(path: str | Path, schema: dict,
+                   max_errors: int = 20) -> int:
+    """Validate every line of a JSONL file against ``schema``.
+
+    Returns the number of lines validated; raises :class:`SchemaError`
+    listing up to ``max_errors`` violations otherwise.
+    """
+    all_errors: list[str] = []
+    count = 0
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            count += 1
+            try:
+                instance = json.loads(line)
+            except json.JSONDecodeError as exc:
+                all_errors.append(f"line {lineno}: invalid JSON ({exc})")
+                continue
+            for err in validate_instance(instance, schema):
+                all_errors.append(f"line {lineno}: {err}")
+            if len(all_errors) >= max_errors:
+                break
+    if all_errors:
+        raise SchemaError(
+            f"{path}: {len(all_errors)} violation(s):\n  "
+            + "\n  ".join(all_errors[:max_errors])
+        )
+    return count
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Sanity-check a Prometheus text-format snapshot.
+
+    Enforces the invariants the exporter promises: every sample line
+    parses as ``name[{labels}] value``, every metric name has a
+    preceding ``# TYPE`` declaration, and no value is NaN. Returns the
+    number of sample lines; raises :class:`SchemaError` otherwise.
+    """
+    declared: set[str] = set()
+    samples = 0
+    errors: list[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "summary", "histogram", "untyped"
+            ):
+                errors.append(f"line {lineno}: malformed TYPE declaration")
+            else:
+                declared.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        name = name_part.split("{", 1)[0]
+        if not name or not name_part:
+            errors.append(f"line {lineno}: malformed sample line")
+            continue
+        base = name
+        for suffix in ("_sum", "_count", "_bucket"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                base = name[: -len(suffix)]
+                break
+        if base not in declared:
+            errors.append(f"line {lineno}: sample {name!r} has no TYPE")
+        try:
+            value = float(value_part)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {value_part!r}")
+            continue
+        if value != value:  # NaN
+            errors.append(f"line {lineno}: NaN value for {name!r}")
+        samples += 1
+    if errors:
+        raise SchemaError(
+            "prometheus snapshot invalid:\n  " + "\n  ".join(errors)
+        )
+    return samples

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.instance import RuntimeInstance
 from repro.core.mlq import MultiLevelQueue
+from repro.obs.timeline import ControlTimeline
 from repro.resilience.breaker import BreakerConfig, BreakerState, CircuitBreaker
 from repro.resilience.health import HealthConfig, HealthMonitor
 
@@ -35,6 +36,8 @@ class ResilienceManager:
 
     config: ResilienceConfig
     mlq: MultiLevelQueue
+    #: Observability sink: breaker state transitions land here.
+    timeline: ControlTimeline | None = None
     monitor: HealthMonitor = field(init=False)
     _breakers: dict[int, CircuitBreaker] = field(default_factory=dict)
     #: Counters surviving breaker garbage-collection (control_stats).
@@ -91,6 +94,11 @@ class ResilienceManager:
             if state is BreakerState.CLOSED:
                 self.breaker_recoveries += 1
                 self.monitor.reset(instance.instance_id)
+                if self.timeline is not None:
+                    self.timeline.record(
+                        now_ms, "breaker", "closed",
+                        instance=instance.instance_id,
+                    )
             return None
         unhealthy = self.monitor.observe(instance.instance_id, ratio)
         if unhealthy and (breaker is None or not breaker.is_open):
@@ -127,6 +135,11 @@ class ResilienceManager:
         if breaker is None or not breaker.is_open:
             return False
         breaker.begin_probe()
+        if self.timeline is not None:
+            self.timeline.record(
+                now_ms, "breaker", "half_open",
+                instance=instance.instance_id,
+            )
         if instance.is_active and not self.mlq.contains(instance):
             self.mlq.add(instance)
             return True
@@ -158,4 +171,10 @@ class ResilienceManager:
             self.mlq.remove(instance)
         self.quarantines += 1
         self.breaker_trips += 1
-        return self.breaker_for(instance.instance_id).trip(now_ms)
+        probe_at = self.breaker_for(instance.instance_id).trip(now_ms)
+        if self.timeline is not None:
+            self.timeline.record(
+                now_ms, "breaker", "open",
+                instance=instance.instance_id, probe_at_ms=probe_at,
+            )
+        return probe_at

@@ -25,6 +25,9 @@ from dataclasses import dataclass
 
 from repro.core.arlo import ArloSystem
 from repro.errors import AdmissionError, CapacityError, ConfigurationError
+from repro.obs.exporters import prometheus_snapshot
+from repro.obs.spans import ObservabilityConfig
+from repro.obs.timeline import ControlTimeline
 from repro.resilience.admission import (
     AdmissionConfig,
     AdmissionController,
@@ -110,10 +113,22 @@ class ArloServer:
         arlo: ArloSystem,
         clock=None,
         admission: AdmissionConfig | None = None,
+        observability: ObservabilityConfig | None = None,
     ):
         self.arlo = arlo
         self.clock = clock or VirtualClock()
         self.stats = ServerStats()
+        #: Control timeline + latency sketch, opt-in via an
+        #: :class:`ObservabilityConfig` (both None when disabled — the
+        #: serving hot path pays one ``is not None`` test).
+        self.timeline: ControlTimeline | None = None
+        self._sketch = None
+        if observability is not None:
+            if observability.timeline:
+                self.timeline = ControlTimeline()
+            from repro.sim.metrics import StreamingLatencySummary
+
+            self._sketch = StreamingLatencySummary(slo_ms=arlo.slo_ms)
         #: Sheds by :class:`RejectionReason` value, across both the
         #: deadline controller and the unservable-length mapping.
         self.shed_counts: dict[str, int] = {}
@@ -147,10 +162,17 @@ class ArloServer:
             self.stats.latency_sum_ms += latency
             self.stats.latency_max_ms = max(self.stats.latency_max_ms,
                                             latency)
+            if self._sketch is not None:
+                self._sketch.add(latency)
             self._completed_log.append(ticket)
         if now >= self._next_reschedule_ms:
             self.arlo.reschedule(now)
             self.stats.reschedules += 1
+            if self.timeline is not None:
+                self.timeline.record(
+                    now, "server", "reschedule",
+                    in_flight=self.stats.in_flight,
+                )
             period = self.arlo.runtime_scheduler.config.period_ms
             while self._next_reschedule_ms <= now:
                 self._next_reschedule_ms += period
@@ -158,6 +180,11 @@ class ArloServer:
     def _reject(self, rejection: Rejection) -> None:
         """Count a shed and surface it as a typed error."""
         self.stats.shed += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                self.clock.now_ms(), "server", "shed",
+                reason=rejection.reason.value, length=rejection.length,
+            )
         raise AdmissionError(rejection)
 
     # -- API -----------------------------------------------------------------
@@ -229,6 +256,33 @@ class ArloServer:
                 deadline_waited += wait * 1_000.0
             self._settle()
         return self.stats.in_flight
+
+    def prometheus(self) -> str:
+        """Point-in-time Prometheus text snapshot of the server.
+
+        Counters (submitted/completed/shed/reschedules), gauges
+        (in-flight, queue state), and — when the server was built with
+        an :class:`ObservabilityConfig` — the latency sketch as a
+        ``summary`` metric.
+        """
+        self._settle()
+        counters = {
+            "submitted": float(self.stats.submitted),
+            "completed": float(self.stats.completed),
+            "shed": float(self.stats.shed),
+            "reschedules": float(self.stats.reschedules),
+        }
+        gauges = {
+            "in_flight": float(self.stats.in_flight),
+            "queue_outstanding": float(self.arlo.mlq.total_outstanding()),
+            "queue_instances": float(self.arlo.mlq.total_instances()),
+        }
+        return prometheus_snapshot(
+            counters=counters,
+            gauges=gauges,
+            sketch=self._sketch,
+            prefix="repro_server",
+        )
 
     def snapshot(self) -> dict[str, object]:
         self._settle()

@@ -19,6 +19,7 @@ from repro.cluster.autoscaler import ScaleAction, TargetTrackingAutoscaler
 from repro.cluster.instance import RuntimeInstance
 from repro.cluster.replacement import REPLACEMENT_DURATION_MS, ReplacementPlan
 from repro.errors import SimulationError
+from repro.obs.timeline import ControlTimeline
 from repro.sim.engine import EventQueue
 from repro.sim.events import EventKind
 
@@ -53,6 +54,9 @@ class ControlPlane:
     #: ``(payload_tag, payload)`` — used by the multi-stream simulator
     #: to route shared-queue events back to the owning stream.
     payload_tag: int | None = None
+    #: Observability sink: when set, replacement and autoscaler actions
+    #: are recorded as control-plane timeline events.
+    timeline: "ControlTimeline | None" = None
     #: instance_id -> target runtime (None = scale-in).
     _pending: dict[int, int | None] = field(default_factory=dict)
     #: Instances that crashed; their stale swap events are ignored.
@@ -73,6 +77,11 @@ class ControlPlane:
     # -- replacement -----------------------------------------------------
     def start_plan(self, now_ms: float, plan: ReplacementPlan) -> None:
         """Begin draining plan donors, batch by batch."""
+        if self.timeline is not None and not plan.is_empty:
+            self.timeline.record(
+                now_ms, "replacement", "plan",
+                steps=len(plan), batch_size=plan.batch_size,
+            )
         for batch_no, batch in enumerate(plan.batches()):
             start = now_ms + batch_no * REPLACEMENT_DURATION_MS
             for step in batch:
@@ -134,10 +143,23 @@ class ControlPlane:
         if payload.to_runtime is None:
             self.scheme.cluster.release_gpu(gpu.gpu_id, now_ms)
             self.scale_ins += 1
+            if self.timeline is not None:
+                self.timeline.record(
+                    now_ms, "autoscaler", "scale_in",
+                    instance=payload.instance_id,
+                    gpus=self.scheme.cluster.num_gpus,
+                )
             return None
         new_instance = self.scheme.cluster.deploy(payload.to_runtime, gpu)
         self.scheme.mlq.add(new_instance)
         self.replacements_executed += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                now_ms, "replacement", "swap",
+                instance=payload.instance_id,
+                new_instance=new_instance.instance_id,
+                to_runtime=payload.to_runtime,
+            )
         return new_instance
 
     # -- auto-scaling ------------------------------------------------------
@@ -155,6 +177,12 @@ class ControlPlane:
         self.autoscaler.observe_utilization(self._cluster_utilization())
         action = self.autoscaler.decide(now_ms, self.scheme.cluster.num_gpus)
         if action is ScaleAction.OUT:
+            if self.timeline is not None:
+                self.timeline.record(
+                    now_ms, "autoscaler", "scale_out_requested",
+                    gpus=self.scheme.cluster.num_gpus,
+                    **self.autoscaler.signal(),
+                )
             self.queue.push(
                 now_ms + PROVISION_DELAY_MS,
                 EventKind.SCALE_OUT_READY,
@@ -163,6 +191,13 @@ class ControlPlane:
         elif action is ScaleAction.IN:
             victim = self._scale_in_victim()
             if victim is not None:
+                if self.timeline is not None:
+                    self.timeline.record(
+                        now_ms, "autoscaler", "scale_in_started",
+                        instance=victim.instance_id,
+                        gpus=self.scheme.cluster.num_gpus,
+                        **self.autoscaler.signal(),
+                    )
                 self._try_begin_drain(now_ms, victim.instance_id, None)
 
     def on_scale_out_ready(self, now_ms: float, runtime_index: int) -> RuntimeInstance:
@@ -170,6 +205,13 @@ class ControlPlane:
         instance = self.scheme.cluster.deploy(runtime_index, gpu)
         self.scheme.mlq.add(instance)
         self.scale_outs += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                now_ms, "autoscaler", "scale_out",
+                instance=instance.instance_id,
+                runtime_index=runtime_index,
+                gpus=self.scheme.cluster.num_gpus,
+            )
         return instance
 
     def _scale_in_victim(self) -> RuntimeInstance | None:

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import EmptySketchError, SimulationError
 
 
 @dataclass(frozen=True)
@@ -151,14 +151,27 @@ class StreamingLatencySummary:
         return self.lo_ms * self.growth ** (k - 1) * math.sqrt(self.growth)
 
     def quantile(self, q: float) -> float:
-        """Approximate q-quantile (relative error ≤ √growth − 1)."""
+        """Approximate q-quantile (relative error ≤ √growth − 1).
+
+        The extremes are exact: ``quantile(0.0)`` returns the running
+        minimum and ``quantile(1.0)`` the running maximum rather than
+        the midpoint of whichever bin holds them.
+        """
         if not 0.0 <= q <= 1.0:
             raise SimulationError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
-            raise SimulationError("empty sketch has no quantiles")
+            raise EmptySketchError("empty sketch has no quantiles")
+        if q == 0.0:
+            return self.min_ms
+        if q == 1.0:
+            return self.max_ms
         rank = min(int(math.ceil(q * self.count)), self.count) or 1
         k = int(np.searchsorted(np.cumsum(self.counts), rank))
         return min(max(self._bin_value(k), self.min_ms), self.max_ms)
+
+    def quantiles(self, qs) -> list[float]:
+        """Batch :meth:`quantile` (exporter convenience)."""
+        return [self.quantile(q) for q in qs]
 
     @property
     def mean_ms(self) -> float:
@@ -172,9 +185,14 @@ class StreamingLatencySummary:
 
     def stats(self) -> LatencyStats:
         """Sketch-backed :class:`LatencyStats` (quantiles approximate,
-        moments/extremes/violation-rate exact)."""
+        moments/extremes/violation-rate exact).
+
+        Raises :class:`EmptySketchError` on an empty sketch — the stats
+        of zero samples would otherwise surface as NaN/inf fields that
+        exporters would happily serialize.
+        """
         if self.count == 0:
-            raise SimulationError("no completed requests to summarise")
+            raise EmptySketchError("no completed requests to summarise")
         return LatencyStats(
             count=self.count,
             mean_ms=self.mean_ms,

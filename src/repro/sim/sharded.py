@@ -159,24 +159,28 @@ def merge_shard_summaries(
         for key, value in summary.control_stats.items():
             control[key] = control.get(key, 0) + value
 
+    # Counters merge unconditionally: a shard that sheds everything
+    # (``dispatched == 0`` but ``gated > 0``) must not vanish from the
+    # merged result. Only the rate re-weighting is guarded, per key, by
+    # its own denominator.
     dispatched = sum(s.dispatch_stats.get("dispatched", 0.0) for _, s in pairs)
     dispatch: dict[str, float] = {}
-    if dispatched:
+    if any(s.dispatch_stats for _, s in pairs):
         dispatch = {
             "dispatched": dispatched,
             "gated": sum(s.dispatch_stats.get("gated", 0.0) for _, s in pairs),
-            # Rates re-weighted by each shard's dispatch volume.
-            "demotion_rate": sum(
-                s.dispatch_stats.get("demotion_rate", 0.0)
-                * s.dispatch_stats.get("dispatched", 0.0)
-                for _, s in pairs
-            ) / dispatched,
-            "fallback_rate": sum(
-                s.dispatch_stats.get("fallback_rate", 0.0)
-                * s.dispatch_stats.get("dispatched", 0.0)
-                for _, s in pairs
-            ) / dispatched,
         }
+        for rate_key in ("demotion_rate", "fallback_rate"):
+            # Rates re-weighted by each shard's dispatch volume; a
+            # shard with no dispatches contributes zero weight, and an
+            # all-gated merge reports a rate of 0 rather than dividing
+            # by zero.
+            weighted = sum(
+                s.dispatch_stats.get(rate_key, 0.0)
+                * s.dispatch_stats.get("dispatched", 0.0)
+                for _, s in pairs
+            )
+            dispatch[rate_key] = weighted / dispatched if dispatched else 0.0
 
     first = pairs[0][1]
     return ShardedResult(

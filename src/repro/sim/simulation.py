@@ -49,6 +49,8 @@ from repro.errors import (
     SchedulingError,
     SimulationError,
 )
+from repro.obs.spans import ObservabilityConfig, RequestSpan, RequestTracer
+from repro.obs.timeline import ControlTimeline
 from repro.resilience.manager import ResilienceConfig, ResilienceManager
 from repro.resilience.retry import RetryBudget, RetryPolicy
 from repro.sim.controller import ControlPlane
@@ -104,6 +106,9 @@ class SimulationConfig:
     #: 0 disables). Each entry: time, length, ideal/chosen level,
     #: demoted, fell_back, chosen instance's queue depth.
     trace_decisions: int = 0
+    #: Observability: per-request span sampling and the control-plane
+    #: timeline (None = fully disabled, the zero-overhead default).
+    observability: ObservabilityConfig | None = None
 
     def __post_init__(self) -> None:
         if self.autoscale_check_ms <= 0:
@@ -133,6 +138,10 @@ class SimulationResult:
     #: First N dispatch decisions when SimulationConfig.trace_decisions
     #: is set (Arlo-family schemes).
     decision_log: list[dict] = field(default_factory=list)
+    #: Finished request spans (only when observability sampling is on).
+    spans: list[RequestSpan] = field(default_factory=list)
+    #: Control-plane timeline (only when observability is on).
+    timeline: ControlTimeline | None = None
 
     @property
     def mean_ms(self) -> float:
@@ -164,11 +173,23 @@ def run_simulation(
             autoscaler = HeadroomAutoscaler(config.autoscaler)
         else:
             autoscaler = TargetTrackingAutoscaler(config.autoscaler)
-    control = ControlPlane(scheme=scheme, queue=queue, autoscaler=autoscaler)
+    obs = config.observability
+    tracer: RequestTracer | None = None
+    timeline: ControlTimeline | None = None
+    if obs is not None:
+        if obs.sample_rate > 0:
+            tracer = RequestTracer(obs.sample_rate, obs.max_spans)
+        if obs.timeline:
+            timeline = ControlTimeline()
+    control = ControlPlane(
+        scheme=scheme, queue=queue, autoscaler=autoscaler, timeline=timeline
+    )
 
     manager: ResilienceManager | None = None
     if config.resilience is not None:
-        manager = ResilienceManager(config=config.resilience, mlq=scheme.mlq)
+        manager = ResilienceManager(
+            config=config.resilience, mlq=scheme.mlq, timeline=timeline
+        )
         if isinstance(scheme.dispatcher, ArloDispatcher):
             scheme.dispatcher.scheduler.gate = manager.allow_dispatch
 
@@ -236,6 +257,16 @@ def run_simulation(
         dispatch = dispatcher.scheduler.dispatch_fast
     else:
         dispatch = dispatcher.dispatch_fast
+    # Sampled requests take the narrated Algorithm-1 walk when the
+    # scheme exposes one (Arlo family); baseline dispatchers keep their
+    # normal path and the span records only the dispatch itself.
+    traced_dispatch = (
+        dispatcher.scheduler.dispatch_traced
+        if tracer is not None
+        and not trace_decisions
+        and isinstance(dispatcher, ArloDispatcher)
+        else None
+    )
 
     def flush_observations() -> None:
         """Feed every arrival processed so far into the demand estimator.
@@ -276,10 +307,41 @@ def run_simulation(
         attempt: int = 0,
     ) -> bool:
         nonlocal outstanding, next_token, quarantine_violations
-        try:
-            instance, start, finish = dispatch(now_ms, length)
-        except CapacityError:
-            return False
+        span = (
+            tracer.begin(now_ms, request_id, arrival_ms, length, attempt)
+            if tracer is not None
+            else None
+        )
+        if span is not None and traced_dispatch is not None:
+            probes: list[tuple[int, float, float, str]] = []
+            try:
+                decision, start, finish = traced_dispatch(
+                    now_ms, length, probes
+                )
+            except CapacityError:
+                tracer.on_probes(span, now_ms, probes)
+                tracer.on_defer(span, now_ms)
+                return False
+            instance = decision.instance
+            tracer.on_probes(span, now_ms, probes)
+            tracer.on_dispatch(
+                span, now_ms, level=decision.level,
+                ideal_level=decision.ideal_level,
+                instance=f"i{instance.instance_id}",
+                fallback=decision.fell_back,
+            )
+        else:
+            try:
+                instance, start, finish = dispatch(now_ms, length)
+            except CapacityError:
+                if span is not None:
+                    tracer.on_defer(span, now_ms)
+                return False
+            if span is not None:
+                tracer.on_dispatch(
+                    span, now_ms, level=instance.runtime_index,
+                    ideal_level=-1, instance=f"i{instance.instance_id}",
+                )
         if trace_decisions and len(decision_log) < trace_decisions:
             decision = getattr(dispatcher, "last_decision", None)
             if decision is not None:
@@ -342,6 +404,10 @@ def run_simulation(
             )
             retries_scheduled += 1
             pending_retries += 1
+            if tracer is not None:
+                span = tracer.active.get(request_id)
+                if span is not None:
+                    tracer.on_retry(span, now_ms, attempt + 1, delay)
         elif not admit(now_ms, request_id, arrival_ms, length, attempt):
             deferred.append((request_id, arrival_ms, length, attempt))
 
@@ -512,6 +578,10 @@ def run_simulation(
                             metrics._flush_chunk()
                             lat_buf = metrics._current
                             rt_buf = metrics._current_runtime
+                    if tracer is not None:
+                        tracer.on_complete(
+                            rec.request_id, now, rec.service_ms
+                        )
                     if autoscaler is not None:
                         autoscaler.observe(latency)
                     if manager is not None:
@@ -541,6 +611,15 @@ def run_simulation(
             if runtime_scheduler is not None and work_remaining():
                 flush_observations()
                 _result, plan = runtime_scheduler.step(now, scheme.cluster)
+                if timeline is not None:
+                    timeline.record(
+                        now, "allocation", "solve",
+                        provenance=runtime_scheduler.provenance_of(_result),
+                        solver=_result.solver,
+                        objective=_result.objective,
+                        solve_ms=_result.solve_time_s * 1000.0,
+                        plan_steps=len(plan),
+                    )
                 control.start_plan(now, plan)
                 metrics.sample_allocation(now, scheme.cluster.allocation())
                 queue.push(
@@ -571,6 +650,12 @@ def run_simulation(
                 gpu = scheme.cluster.gpus[payload.gpu_id]
                 recovered = scheme.cluster.deploy(payload.runtime_index, gpu)
                 scheme.mlq.add(recovered)
+                if timeline is not None:
+                    timeline.record(
+                        now, "fault", "recovery",
+                        instance=recovered.instance_id,
+                        runtime_index=payload.runtime_index,
+                    )
                 flush_deferred(now)
 
             elif isinstance(payload, RetryPayload):
@@ -593,6 +678,12 @@ def run_simulation(
                 if victim is not None:
                     victim.slow_factor = payload.factor
                     slowdowns_injected += 1
+                    if timeline is not None:
+                        timeline.record(
+                            now, "fault", "slowdown",
+                            instance=victim.instance_id,
+                            factor=payload.factor,
+                        )
                     if payload.duration_ms is not None:
                         queue.push(
                             now + payload.duration_ms,
@@ -616,6 +707,13 @@ def run_simulation(
                     victim.suspend()
                     blackouts_injected += 1
                     timeouts += len(lost_requests)
+                    if timeline is not None:
+                        timeline.record(
+                            now, "fault", "blackout",
+                            instance=victim.instance_id,
+                            duration_ms=payload.duration_ms,
+                            voided=len(lost_requests),
+                        )
                     void_and_reinject(now, lost_requests)
                     if manager is not None and lost_requests:
                         schedule_probe(
@@ -643,6 +741,11 @@ def run_simulation(
                 if runtime_scheduler is not None:
                     runtime_scheduler.inject_solver_failures(payload.count)
                     solver_faults_injected += payload.count
+                    if timeline is not None:
+                        timeline.record(
+                            now, "fault", "solver_fault",
+                            count=payload.count,
+                        )
 
             elif isinstance(payload, FailureEvent):
                 victim = pick_victim(payload.victim_rank)
@@ -657,6 +760,17 @@ def run_simulation(
                 gpu, lost = scheme.cluster.crash_instance(victim)
                 failures_injected += 1
                 requests_lost += lost
+                if timeline is not None:
+                    timeline.record(
+                        now, "fault", "crash",
+                        instance=victim.instance_id,
+                        voided=len(lost_requests),
+                        recovery_ms=(
+                            payload.recovery_ms
+                            if payload.recovery_ms is not None
+                            else -1.0
+                        ),
+                    )
                 if payload.recovery_ms is not None:
                     queue.push(
                         now + payload.recovery_ms,
@@ -728,4 +842,6 @@ def run_simulation(
         ),
         control_stats=control_stats,
         decision_log=decision_log,
+        spans=tracer.finished if tracer is not None else [],
+        timeline=timeline,
     )

@@ -58,6 +58,25 @@ def test_fig8_smoke():
         assert d["p98_ms"] > 0
 
 
+def test_autoscaling_row_tolerates_results_without_autoscaler():
+    """Regression: Fig. 8 rows used to KeyError on results whose
+    ``control_stats`` carry no ``scale_outs``/``scale_ins`` counters
+    (merged shard summaries, replayed result dicts); they now report
+    zero scaling actions and an empty GPU timeline."""
+    from types import SimpleNamespace
+
+    result = SimpleNamespace(
+        time_weighted_gpus=3.0, p98_ms=42.0, mean_ms=11.0,
+        control_stats={"reschedules": 2},
+        metrics=SimpleNamespace(),  # no gpu_timeline attribute
+    )
+    row = figures.autoscaling_row(result)
+    assert row["scale_outs"] == 0 and row["scale_ins"] == 0
+    assert row["gpu_timeline"] == []
+    assert row["time_weighted_gpus"] == 3.0
+    assert row["p98_ms"] == 42.0
+
+
 def test_fig10_smoke():
     data = figures.fig10(scale=0.04, duration_s=10.0)
     assert set(data) == {"fig10a", "fig10b"}

@@ -1,0 +1,183 @@
+"""Exporters: JSONL artifacts validate against the checked-in schemas,
+the Prometheus snapshot parses, and the summary digests are faithful."""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.obs import (
+    format_summary,
+    load_schema,
+    prometheus_snapshot,
+    spans_to_jsonl,
+    summarize_spans,
+    timeline_to_jsonl,
+    validate_instance,
+    validate_jsonl,
+    validate_prometheus_text,
+    write_spans_jsonl,
+    write_timeline_jsonl,
+)
+from repro.obs.spans import RequestTracer
+from repro.obs.timeline import ControlTimeline
+from repro.sim.metrics import StreamingLatencySummary
+
+
+def _sample_spans(n: int = 20):
+    tracer = RequestTracer(1.0)
+    for rid in range(n):
+        span = tracer.begin(float(rid), rid, float(rid), 64 + rid)
+        tracer.on_probes(span, float(rid), [(1, 0.4, 0.85, "accepted")])
+        tracer.on_dispatch(
+            span, float(rid), level=1 + rid % 2, ideal_level=1,
+            instance=f"i{rid % 3}",
+        )
+        tracer.on_complete(rid, float(rid) + 5.0 + rid % 7, 3.0)
+    return tracer.finished
+
+
+def _sample_timeline():
+    tl = ControlTimeline()
+    tl.record(5.0, "allocation", "solve", provenance="cold", plan_steps=2)
+    tl.record(9.0, "breaker", "open", instance=1, probe_at_ms=19.0)
+    tl.record(19.0, "breaker", "half_open", instance=1)
+    tl.record(25.0, "autoscaler", "scale_out", instance=7, gpus=5)
+    return tl
+
+
+def test_spans_jsonl_validates_against_schema(tmp_path):
+    spans = _sample_spans()
+    path = tmp_path / "spans.jsonl"
+    n = write_spans_jsonl(path, spans)
+    assert n == len(spans)
+    assert validate_jsonl(path, load_schema("trace_span")) == len(spans)
+    first = json.loads(path.read_text().splitlines()[0])
+    assert first["request_id"] == 0
+    assert first["events"][1]["verdict"] == "accepted"
+
+
+def test_timeline_jsonl_validates_against_schema(tmp_path):
+    tl = _sample_timeline()
+    path = tmp_path / "timeline.jsonl"
+    n = write_timeline_jsonl(path, tl)
+    assert n == len(tl)
+    assert validate_jsonl(path, load_schema("timeline_event")) == len(tl)
+
+
+def test_schema_violation_is_reported_with_line_numbers(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    good = json.loads(spans_to_jsonl(_sample_spans(1)).strip())
+    bad = dict(good)
+    bad["final_phase"] = "exploded"
+    path.write_text(
+        json.dumps(good) + "\n" + json.dumps(bad) + "\nnot json\n"
+    )
+    with pytest.raises(SchemaError) as err:
+        validate_jsonl(path, load_schema("trace_span"))
+    assert "line 2" in str(err.value)
+    assert "line 3" in str(err.value)
+
+
+def test_validate_instance_covers_the_mini_schema_subset():
+    schema = {
+        "type": "object",
+        "required": ["a"],
+        "additionalProperties": False,
+        "properties": {
+            "a": {"type": "integer", "minimum": 0},
+            "b": {"type": "array", "items": {"enum": ["x", "y"]}},
+        },
+    }
+    assert validate_instance({"a": 1, "b": ["x"]}, schema) == []
+    errors = validate_instance({"a": -1, "b": ["z"], "c": 0}, schema)
+    assert any("below minimum" in e for e in errors)
+    assert any("not in" in e for e in errors)
+    assert any("unexpected key" in e for e in errors)
+    assert any(
+        "missing required" in e for e in validate_instance({}, schema)
+    )
+    # booleans are not integers/numbers (Python subclassing quirk).
+    assert validate_instance(True, {"type": "integer"})
+    assert validate_instance(True, {"type": "number"})
+    assert validate_instance(True, {"type": "boolean"}) == []
+
+
+def test_prometheus_snapshot_validates_and_carries_quantiles():
+    sketch = StreamingLatencySummary(slo_ms=100.0)
+    for v in (1.0, 5.0, 20.0, 120.0):
+        sketch.add(v)
+    text = prometheus_snapshot(
+        counters={"requests": 4},
+        gauges={"in_flight": 0},
+        sketch=sketch,
+        labels={"scheme": "arlo"},
+    )
+    assert validate_prometheus_text(text) > 0
+    assert "# TYPE repro_requests_total counter" in text
+    assert 'repro_latency_ms{quantile="0.5",scheme="arlo"}' in text
+    assert "repro_latency_ms_sum" in text
+    assert "repro_latency_ms_count{scheme=\"arlo\"} 4" in text
+
+
+def test_prometheus_snapshot_omits_empty_sketch():
+    empty = StreamingLatencySummary(slo_ms=100.0)
+    text = prometheus_snapshot(counters={"requests": 0}, sketch=empty)
+    assert "latency_ms" not in text
+    assert validate_prometheus_text(text) == 1
+    assert "nan" not in text.lower()
+
+
+def test_validate_prometheus_rejects_malformed_text():
+    with pytest.raises(SchemaError):
+        validate_prometheus_text("orphan_metric 1.0\n")
+    with pytest.raises(SchemaError):
+        validate_prometheus_text(
+            "# TYPE m gauge\nm not-a-number\n"
+        )
+    with pytest.raises(SchemaError):
+        validate_prometheus_text("# TYPE m gauge\nm nan\n")
+
+
+def test_summarize_spans_digest():
+    spans = _sample_spans(40)
+    summary = summarize_spans(spans, tail_fraction=0.1)
+    assert summary["spans"] == 40
+    assert summary["completed"] == 40
+    assert summary["demoted"] == sum(1 for s in spans if s.demoted)
+    assert set(summary["per_level"]) == {1, 2}
+    assert summary["demotion_chains"] == {"1->2": 20}
+    tail = summary["tail_attribution"]
+    assert tail["tail_count"] == 4
+    shares = (
+        tail["queue_share"] + tail["service_share"] + tail["retry_share"]
+    )
+    assert shares == pytest.approx(1.0)
+
+    text = format_summary(summary, "arlo")
+    assert "trace summary — arlo" in text
+    assert "demotion chains" in text
+    assert "tail attribution" in text
+
+
+def test_summarize_spans_empty_population():
+    summary = summarize_spans([])
+    assert summary["spans"] == 0
+    assert summary["tail_attribution"] == {}
+    assert "spans: 0" in format_summary(summary)
+
+
+def test_jsonl_strings_are_one_object_per_line():
+    spans = _sample_spans(3)
+    lines = spans_to_jsonl(spans).splitlines()
+    assert len(lines) == 3
+    assert all(json.loads(line) for line in lines)
+    tl_lines = timeline_to_jsonl(_sample_timeline()).splitlines()
+    assert [json.loads(x)["category"] for x in tl_lines] == [
+        "allocation", "breaker", "breaker", "autoscaler"
+    ]
+
+
+def test_load_schema_unknown_name():
+    with pytest.raises(SchemaError):
+        load_schema("no_such_schema")

@@ -1,0 +1,117 @@
+"""Control-plane timeline: ordering, categories, querying, and the
+events the simulator's subsystems actually emit."""
+
+import pytest
+
+from repro.baselines.schemes import build_scheme
+from repro.cluster.autoscaler import AutoscalerConfig
+from repro.core.runtime_scheduler import RuntimeSchedulerConfig
+from repro.obs.spans import ObservabilityConfig
+from repro.obs.timeline import ControlTimeline
+from repro.resilience.manager import ResilienceConfig
+from repro.runtimes.models import bert_large
+from repro.sim.faults import FaultPlan
+from repro.sim.simulation import SimulationConfig, run_simulation
+from repro.units import seconds
+from repro.workload.twitter import generate_twitter_trace
+
+
+def test_record_and_query():
+    tl = ControlTimeline()
+    tl.record(10.0, "allocation", "solve", provenance="cold")
+    tl.record(20.0, "breaker", "open", instance=3)
+    tl.record(30.0, "allocation", "solve", provenance="cache-hit")
+    assert len(tl) == 3
+    assert [e.kind for e in tl.query(category="allocation")] == [
+        "solve", "solve"
+    ]
+    assert tl.query(category="breaker")[0].detail["instance"] == 3
+    assert [e.time_ms for e in tl.query(since_ms=15.0, until_ms=30.0)] == [
+        20.0
+    ]
+    assert tl.counts() == {"allocation/solve": 2, "breaker/open": 1}
+
+
+def test_unknown_category_rejected():
+    with pytest.raises(ValueError):
+        ControlTimeline().record(0.0, "bogus", "kind")
+
+
+def test_simulation_timeline_is_time_ordered_and_complete():
+    """A chaos + resilience + autoscaler run lands every subsystem's
+    actions in one ordered stream."""
+    model = bert_large()
+    trace = generate_twitter_trace(
+        rate_per_s=250.0, duration_ms=seconds(30), pattern="bursty", seed=21
+    )
+    scheme = build_scheme(
+        "arlo", "bert-large", 4,
+        trace_hint=trace.slice_time(0, seconds(2)),
+        runtime_scheduler_config=RuntimeSchedulerConfig(
+            period_ms=seconds(5)
+        ),
+    )
+    config = SimulationConfig(
+        enable_autoscaler=True,
+        autoscaler=AutoscalerConfig(
+            slo_ms=model.slo_ms, min_gpus=4, max_gpus=10,
+            scale_in_period_ms=seconds(10),
+        ),
+        failures=FaultPlan.chaos(
+            seconds(30), crashes=2, slowdowns=2, seed=12,
+            slowdown_factor=6.0, slowdown_ms=seconds(6),
+        ),
+        resilience=ResilienceConfig(),
+        observability=ObservabilityConfig(sample_rate=0.0),
+    )
+    result = run_simulation(scheme, trace, config)
+    tl = result.timeline
+    assert tl is not None and len(tl) > 0
+    times = [e.time_ms for e in tl]
+    assert times == sorted(times)
+
+    counts = tl.counts()
+    assert counts.get("fault/crash", 0) == 2
+    assert counts.get("fault/slowdown", 0) == 2
+    # Periodic allocation solves always fire on this config.
+    assert counts.get("allocation/solve", 0) >= 1
+    # Control counters and timeline events agree where both exist.
+    assert (
+        len(tl.query("autoscaler", "scale_out"))
+        == result.control_stats["scale_outs"]
+    )
+    assert (
+        len(tl.query("breaker", "open"))
+        == result.control_stats["breaker_trips"]
+    )
+    for event in tl.query("allocation"):
+        assert event.detail["provenance"] in (
+            "hold", "fallback-hold", "cache-hit", "warm-start", "cold"
+        )
+
+
+def test_timeline_disabled_leaves_result_field_none():
+    trace = generate_twitter_trace(
+        rate_per_s=100.0, duration_ms=seconds(5), seed=3
+    )
+    scheme = build_scheme(
+        "arlo", "bert-large", 4, trace_hint=trace.slice_time(0, seconds(2))
+    )
+    config = SimulationConfig(
+        observability=ObservabilityConfig(sample_rate=0.5, timeline=False)
+    )
+    result = run_simulation(scheme, trace, config)
+    assert result.timeline is None
+    assert len(result.spans) > 0
+
+
+def test_no_observability_config_is_fully_off():
+    trace = generate_twitter_trace(
+        rate_per_s=100.0, duration_ms=seconds(5), seed=3
+    )
+    scheme = build_scheme(
+        "arlo", "bert-large", 4, trace_hint=trace.slice_time(0, seconds(2))
+    )
+    result = run_simulation(scheme, trace, SimulationConfig())
+    assert result.timeline is None
+    assert result.spans == []

@@ -10,8 +10,10 @@ simulator-produced — with margin below the 1 % contract.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.errors import SimulationError
+from repro.errors import EmptySketchError, SimulationError
 from repro.experiments.runner import ExperimentSpec, run_single
 from repro.sim.metrics import LatencyStats, StreamingLatencySummary
 
@@ -137,3 +139,43 @@ def test_empty_sketch_raises():
         sketch.stats()
     with pytest.raises(SimulationError):
         sketch.add(-1.0)
+
+
+def test_empty_sketch_error_is_typed():
+    """Regression: exporters need to distinguish 'no samples yet' from
+    genuine simulator corruption, so empty-sketch queries raise the
+    :class:`EmptySketchError` subtype."""
+    sketch = StreamingLatencySummary()
+    with pytest.raises(EmptySketchError):
+        sketch.quantile(0.5)
+    with pytest.raises(EmptySketchError):
+        sketch.stats()
+    assert issubclass(EmptySketchError, SimulationError)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=1e6, allow_nan=False,
+                  allow_infinity=False),
+        min_size=1, max_size=200,
+    ),
+    st.integers(min_value=1, max_value=4),
+)
+def test_extreme_quantiles_are_exact(values, num_parts):
+    """Regression: ``quantile(0)``/``quantile(1)`` used to return bin
+    midpoints (off by up to √growth−1); they now return the exact
+    running min/max, and merging preserves that exactness."""
+    sketch = StreamingLatencySummary()
+    for k in range(num_parts):
+        part = StreamingLatencySummary()
+        part.add_array(np.asarray(values[k::num_parts]))
+        if k == 0:
+            sketch = part
+        elif part.count:
+            sketch.merge(part)
+    assert sketch.quantile(0.0) == min(values)
+    assert sketch.quantile(1.0) == max(values)
+    lo, mid, hi = sketch.quantiles([0.0, 0.5, 1.0])
+    assert lo == min(values) and hi == max(values)
+    assert lo <= mid <= hi

@@ -136,6 +136,51 @@ def test_shard_specs_validation():
         assert end == start
 
 
+def _summary(dispatched: float, gated: float, demotion_rate: float = 0.0,
+             latencies=(10.0, 20.0)) -> "ShardSummary":
+    from repro.sim.metrics import StreamingLatencySummary
+    from repro.sim.sharded import ShardSummary
+
+    sketch = StreamingLatencySummary(slo_ms=100.0)
+    for v in latencies:
+        sketch.add(v)
+    return ShardSummary(
+        scheme_name="arlo", sketch=sketch, events_processed=len(latencies),
+        end_ms=1_000.0, time_weighted_gpus=2.0, control_stats={},
+        dispatch_stats={
+            "dispatched": dispatched, "gated": gated,
+            "demotion_rate": demotion_rate, "fallback_rate": 0.0,
+        },
+    )
+
+
+def test_merge_preserves_gated_counts_when_nothing_dispatched():
+    """Regression: an all-gated merge (every shard sheds everything at
+    the dispatcher) used to drop the ``gated`` counter entirely because
+    the whole dispatch dict was gated on ``dispatched > 0``."""
+    merged = merge_shard_summaries([
+        (0.0, _summary(dispatched=0.0, gated=30.0)),
+        (1_000.0, _summary(dispatched=0.0, gated=12.0)),
+    ])
+    assert merged.dispatch_stats["gated"] == 42.0
+    assert merged.dispatch_stats["dispatched"] == 0.0
+    # Rates degrade to 0 instead of dividing by zero.
+    assert merged.dispatch_stats["demotion_rate"] == 0.0
+    assert merged.dispatch_stats["fallback_rate"] == 0.0
+
+
+def test_merge_rate_weights_ignore_gated_only_shards():
+    """A shard with zero dispatches contributes zero weight to the
+    re-weighted rates rather than diluting or poisoning them."""
+    merged = merge_shard_summaries([
+        (0.0, _summary(dispatched=100.0, gated=0.0, demotion_rate=0.3)),
+        (1_000.0, _summary(dispatched=0.0, gated=50.0, demotion_rate=0.9)),
+    ])
+    assert merged.dispatch_stats["dispatched"] == 100.0
+    assert merged.dispatch_stats["gated"] == 50.0
+    assert merged.dispatch_stats["demotion_rate"] == pytest.approx(0.3)
+
+
 def test_fault_plan_window_filters_and_shifts():
     _, plan = _chaos_fixture()
     sub = plan.window(10_000.0, 20_000.0)

@@ -16,6 +16,26 @@ def test_trace_roundtrip(tmp_path, capsys):
     assert "wrote" in capsys.readouterr().out
 
 
+def test_trace_run_mode_summarizes_and_validates(tmp_path, capsys):
+    """``trace`` without ``--output`` runs a traced simulation, prints
+    the span summary, and exports schema-valid artifacts."""
+    spans = tmp_path / "spans.jsonl"
+    timeline = tmp_path / "timeline.jsonl"
+    prom = tmp_path / "metrics.prom"
+    rc = main([
+        "trace", "--rate", "80", "--duration", "4", "--gpus", "3",
+        "--spans-out", str(spans), "--timeline-out", str(timeline),
+        "--prom-out", str(prom), "--validate",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "trace summary" in out
+    assert "tail attribution" in out
+    assert spans.exists() and timeline.exists()
+    assert all(json.loads(line) for line in spans.read_text().splitlines())
+    assert "# TYPE" in prom.read_text()
+
+
 def test_profile_command(tmp_path, capsys):
     out = tmp_path / "profiles.json"
     rc = main(["profile", "--model", "bert-base", "--output", str(out)])
