@@ -12,7 +12,12 @@ Times the three paths this repo's fast control plane optimises:
    over ``run_simulation`` only (setup excluded), reported as
    simulator events/second;
 4. **Simulation at scale** — one sustained ≥1M-request run (100k in
-   ``--quick``), same events/second basis.
+   ``--quick``), same events/second basis;
+5. **Spatial sharding at scale** — the same ≥1M-request workload split
+   into ≥4 request-partition space shards, each an independent event
+   loop; the gated metric divides total events by the *slowest shard's*
+   ``run_simulation`` wall (the data plane's parallel capacity — what
+   the wall clock delivers once each shard owns a core).
 
 Run directly to (re)generate the committed ``BENCH_perf.json``::
 
@@ -23,6 +28,11 @@ or gate a change against a committed baseline (CI does this)::
     PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py --quick \
         --baseline BENCH_perf.json --max-regression 0.25
 
+``--workers N`` / ``--data-plane columnar`` re-point the scale
+benchmarks at a different shard count or event representation, and
+``--profile [N]`` prints a per-section cProfile top-N (by total time)
+instead of gating — a profiling aid, not a measurement mode.
+
 The pytest entry points (``-m perf``) assert the acceptance criterion:
 warm+cached scheduler steps at least 3× faster than cold.
 """
@@ -30,11 +40,14 @@ warm+cached scheduler steps at least 3× faster than cold.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import dataclasses
 import json
 import math
+import os
 import pathlib
 import platform
+import pstats
 import sys
 import time
 
@@ -50,6 +63,7 @@ from repro.core.request_scheduler import ArloRequestScheduler
 from repro.core.runtime_scheduler import RuntimeScheduler, RuntimeSchedulerConfig
 from repro.experiments.runner import ExperimentSpec
 from repro.obs.spans import ObservabilityConfig
+from repro.sim.sharded import run_spatial
 from repro.sim.simulation import run_simulation
 from repro.runtimes.models import get_model
 from repro.runtimes.registry import build_polymorph_set
@@ -291,18 +305,16 @@ def bench_simulation(
     }
 
 
-def bench_simulation_scale(num_requests: int = 1_000_000) -> dict:
-    """Sustained throughput at scale: a single ≥1M-request serving run.
-
-    One pass (the loop is seconds long, so best-of-N buys little), same
-    ``run_simulation``-only basis as :func:`bench_simulation`. The
-    cluster is the perf-e2e workload scaled to hold per-GPU load
-    constant, and the scheduler period is stretched so the control
-    plane fires a handful of times rather than dominating the run.
-    """
+def _scale_spec(
+    num_requests: int, data_plane: str = "pooled"
+) -> ExperimentSpec:
+    """The ≥1M-request scale workload shared by the serial and spatial
+    scale benchmarks: perf-e2e scaled to hold per-GPU load constant,
+    scheduler period stretched so the control plane fires a handful of
+    times rather than dominating the run."""
     rate_per_s = 2_000.0
     duration_s = num_requests / rate_per_s
-    spec = ExperimentSpec(
+    return ExperimentSpec(
         name="perf-scale",
         model="bert-large",
         num_gpus=80,
@@ -310,7 +322,19 @@ def bench_simulation_scale(num_requests: int = 1_000_000) -> dict:
         duration_s=duration_s,
         schemes=("arlo",),
         scheduler_period_s=max(duration_s / 8.0, 5.0),
+        data_plane=data_plane,
     )
+
+
+def bench_simulation_scale(
+    num_requests: int = 1_000_000, data_plane: str = "pooled"
+) -> dict:
+    """Sustained throughput at scale: a single ≥1M-request serving run.
+
+    One pass (the loop is seconds long, so best-of-N buys little), same
+    ``run_simulation``-only basis as :func:`bench_simulation`.
+    """
+    spec = _scale_spec(num_requests, data_plane)
     t0 = time.perf_counter()
     trace = spec.make_trace()
     scheme = spec.make_scheme("arlo", trace)
@@ -320,10 +344,11 @@ def bench_simulation_scale(num_requests: int = 1_000_000) -> dict:
     elapsed = time.perf_counter() - t1
     return {
         "basis": "run_simulation only, single pass",
+        "data_plane": data_plane,
         "requests": len(trace),
         "completed": result.stats.count,
-        "sim_duration_s": duration_s,
-        "rate_per_s": rate_per_s,
+        "sim_duration_s": spec.duration_s,
+        "rate_per_s": spec.rate_per_s,
         "events": result.events_processed,
         "wall_s": elapsed,
         "setup_s": t1 - t0,
@@ -331,32 +356,136 @@ def bench_simulation_scale(num_requests: int = 1_000_000) -> dict:
     }
 
 
-def run_benchmarks(quick: bool = False) -> dict:
-    """All three hot-path benchmarks as one JSON-ready payload."""
+def bench_simulation_scale_spatial(
+    num_requests: int = 1_000_000,
+    workers: int = 4,
+    data_plane: str = "pooled",
+    passes: int = 2,
+) -> dict:
+    """Scale workload as ``workers`` request-partition space shards.
+
+    Each shard is an independent event loop over ``1/workers`` of the
+    arrivals and GPUs. The gated metric is total events divided by the
+    **slowest shard's** ``run_simulation`` wall — the throughput the
+    sharded data plane delivers once each shard owns a core, measured
+    without pool contention. On machines with fewer cores than shards
+    the shards run sequentially inline (a process pool would just
+    time-slice one core and bill the contention to the shard walls);
+    with enough cores they run in the :func:`run_experiments` pool.
+    ``wall_total_s`` records the actual end-to-end wall either way.
+
+    Best-of-``passes`` on the max shard wall: the max of N single-pass
+    walls is biased upward by scheduler jitter (one GC pause in one
+    shard poisons the whole metric), so the pass with the smallest
+    slowest-shard wall is the low-noise estimator — same reasoning as
+    ``_time_best_of``.
+    """
+    spec = _scale_spec(num_requests, data_plane)
+    cpu_count = os.cpu_count() or 1
+    pool_workers = workers if cpu_count >= workers else 1
+    t0 = time.perf_counter()
+    merged = None
+    for _ in range(passes):
+        candidate = run_spatial(spec, "arlo", workers, workers=pool_workers)
+        if merged is None or (
+            max(candidate.shard_walls) < max(merged.shard_walls)
+        ):
+            merged = candidate
+    wall_total = time.perf_counter() - t0
+    max_wall = max(merged.shard_walls)
+    return {
+        "basis": "total events / max per-shard run_simulation wall, "
+                 f"best of {passes} passes (per-shard walls measured "
+                 "inside the shard runs; assumes one core per shard)",
+        "passes": passes,
+        "data_plane": data_plane,
+        "space_partition": spec.space_partition,
+        "shards": workers,
+        "cpu_count": cpu_count,
+        "execution": "pool" if pool_workers > 1 else "sequential-inline",
+        "requests": num_requests,
+        "completed": merged.stats.count,
+        "events": merged.events_processed,
+        "shard_walls_s": merged.shard_walls,
+        "max_shard_wall_s": max_wall,
+        "wall_total_s": wall_total,
+        "events_per_s": merged.events_processed / max_wall,
+    }
+
+
+def _profiled(label: str, fn, top: int):
+    """Run ``fn`` under cProfile, print its top-``top`` rows, return
+    the result. ``top == 0`` runs ``fn`` plain (the measurement mode —
+    profiling overhead would poison every timed number)."""
+    if not top:
+        return fn()
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    print(f"\n=== profile: {label} (top {top} by total time) ===")
+    pstats.Stats(profiler).sort_stats("tottime").print_stats(top)
+    return result
+
+
+def run_benchmarks(
+    quick: bool = False,
+    workers: int = 4,
+    data_plane: str = "pooled",
+    profile_top: int = 0,
+) -> dict:
+    """All hot-path benchmarks as one JSON-ready payload."""
+    scale_requests = 100_000 if quick else 1_000_000
     payload = {
         "schema": "bench_perf/1",
         "quick": quick,
         "python": platform.python_version(),
-        "solve": bench_solve(repeats=3 if quick else 7),
-        "dispatch": bench_dispatch(num_requests=5_000 if quick else 20_000),
-        "simulation": bench_simulation(
-            duration_s=8.0 if quick else 20.0,
-            rate_per_s=150.0 if quick else 200.0,
-            passes=3 if quick else 6,
+        "solve": _profiled(
+            "solve", lambda: bench_solve(repeats=3 if quick else 7),
+            profile_top,
+        ),
+        "dispatch": _profiled(
+            "dispatch",
+            lambda: bench_dispatch(num_requests=5_000 if quick else 20_000),
+            profile_top,
+        ),
+        "simulation": _profiled(
+            "simulation",
+            lambda: bench_simulation(
+                duration_s=8.0 if quick else 20.0,
+                rate_per_s=150.0 if quick else 200.0,
+                passes=3 if quick else 6,
+            ),
+            profile_top,
         ),
         # Same workload with an ObservabilityConfig attached but span
         # sampling off — gates the "near-zero overhead when disabled"
         # contract of the tracing layer (5% tolerance, not the default).
-        "simulation_tracing_off": bench_simulation(
-            duration_s=8.0 if quick else 20.0,
-            rate_per_s=150.0 if quick else 200.0,
-            passes=3 if quick else 6,
-            observability=ObservabilityConfig(
-                sample_rate=0.0, timeline=False
+        "simulation_tracing_off": _profiled(
+            "simulation_tracing_off",
+            lambda: bench_simulation(
+                duration_s=8.0 if quick else 20.0,
+                rate_per_s=150.0 if quick else 200.0,
+                passes=3 if quick else 6,
+                observability=ObservabilityConfig(
+                    sample_rate=0.0, timeline=False
+                ),
             ),
+            profile_top,
         ),
-        "simulation_scale": bench_simulation_scale(
-            num_requests=100_000 if quick else 1_000_000,
+        "simulation_scale": _profiled(
+            "simulation_scale",
+            lambda: bench_simulation_scale(
+                num_requests=scale_requests, data_plane=data_plane,
+            ),
+            profile_top,
+        ),
+        "simulation_scale_spatial": _profiled(
+            "simulation_scale_spatial",
+            lambda: bench_simulation_scale_spatial(
+                num_requests=scale_requests,
+                workers=workers,
+                data_plane=data_plane,
+            ),
+            profile_top,
         ),
     }
     # Disabled-tracing overhead, same machine and workload (>1 means
@@ -387,6 +516,7 @@ _GATED_METRICS = (
     # committed baseline.
     (("simulation_tracing_off", "overhead_vs_plain"), "lower", 0.05),
     (("simulation_scale", "events_per_s"), "higher", None),
+    (("simulation_scale_spatial", "events_per_s"), "higher", None),
 )
 
 
@@ -477,9 +607,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed BENCH_perf.json to gate against")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="fractional tolerance per gated metric")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="space-shard count for the spatial scale "
+                             "benchmark (default 4)")
+    parser.add_argument("--data-plane", choices=("pooled", "columnar"),
+                        default="pooled",
+                        help="event representation for the scale benchmarks")
+    parser.add_argument("--profile", type=int, nargs="?", const=15, default=0,
+                        metavar="N",
+                        help="print a per-section cProfile top-N (default 15) "
+                             "— profiling overhead poisons the timings, so "
+                             "do not combine with --baseline gating")
     args = parser.parse_args(argv)
+    if args.profile and args.baseline is not None:
+        parser.error("--profile distorts timings; drop --baseline")
 
-    payload = run_benchmarks(quick=args.quick)
+    payload = run_benchmarks(
+        quick=args.quick,
+        workers=args.workers,
+        data_plane=args.data_plane,
+        profile_top=args.profile,
+    )
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(payload, indent=2, sort_keys=True))
     print(f"\nwrote {args.output}")

@@ -70,7 +70,64 @@ def cmd_trace(args: argparse.Namespace) -> int:
         path = save_trace(trace, args.output)
         print(f"wrote {trace} to {path}")
         return 0
+    if args.workers > 1:
+        return _cmd_trace_spatial(args)
     return _cmd_trace_run(args)
+
+
+def _cmd_trace_spatial(args: argparse.Namespace) -> int:
+    """``trace --workers N``: serve the trace as N request-partition
+    space shards and print the merged summary.
+
+    The spatial data plane has no span pipeline (each shard is an
+    independent simulation; probe-faithful tracing stays a serial
+    feature), so the observability exports and chaos faults are
+    rejected rather than silently dropped.
+    """
+    from repro.experiments.runner import ExperimentSpec
+    from repro.sim.sharded import run_spatial
+
+    if args.chaos:
+        raise SystemExit("--chaos needs the serial path: faults do not "
+                         "partition spatially (drop --workers)")
+    for flag in ("spans_out", "timeline_out", "prom_out"):
+        if getattr(args, flag):
+            raise SystemExit(f"--{flag.replace('_', '-')} needs the serial "
+                             "path: spatial shards collect no spans "
+                             "(drop --workers)")
+    trace = load_trace(args.trace) if args.trace else None
+    spec = ExperimentSpec(
+        name="cli-trace",
+        model=args.model,
+        num_gpus=args.gpus,
+        rate_per_s=args.rate,
+        duration_s=args.duration,
+        pattern=args.pattern,
+        seed=args.seed,
+        schemes=(args.scheme,),
+        warmup_s=args.warmup,
+        trace_override=trace,
+        space_partition="request",
+        data_plane=args.data_plane,
+    )
+    merged = run_spatial(spec, args.scheme, args.workers)
+    stats = merged.stats
+    print(f"{args.scheme}: {args.workers} request-partition space shards "
+          f"({args.data_plane} data plane)")
+    print(f"  completed {stats.count}  mean {stats.mean_ms:.2f} ms  "
+          f"p99 {stats.p99_ms:.2f} ms  "
+          f"slo_violation {stats.slo_violation_rate:.4f}")
+    print(f"  events {merged.events_processed}  "
+          f"span {merged.end_ms / 1000.0:.1f} s  "
+          f"gpus {merged.time_weighted_gpus:.2f}")
+    walls = ", ".join(f"{w:.3f}" for w in merged.shard_walls)
+    print(f"  shard walls (s): {walls}")
+    for label, source in (("dispatch", merged.dispatch_stats),
+                          ("control", merged.control_stats)):
+        if source:
+            body = "  ".join(f"{k}={v:g}" for k, v in sorted(source.items()))
+            print(f"  {label}: {body}")
+    return 0
 
 
 def _cmd_trace_run(args: argparse.Namespace) -> int:
@@ -98,6 +155,7 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
         warmup_ms=seconds(args.warmup),
         failures=failures,
         observability=ObservabilityConfig(sample_rate=args.sample_rate),
+        data_plane=args.data_plane,
     ))
 
     summary = summarize_spans(result.spans)
@@ -279,6 +337,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--validate", action="store_true",
                          help="validate exported artifacts against the "
                          "checked-in schemas")
+    p_trace.add_argument("--workers", type=int, default=1,
+                         help="run the simulation as this many "
+                         "request-partition space shards and print the "
+                         "merged summary (incompatible with --chaos and "
+                         "the span/timeline/prometheus exports)")
+    p_trace.add_argument("--data-plane", choices=("pooled", "columnar"),
+                         default="pooled",
+                         help="completion-event representation: pooled "
+                         "records (default) or columnar slots")
     p_trace.set_defaults(fn=cmd_trace)
 
     p_profile = sub.add_parser("profile", help="offline compile+profile")

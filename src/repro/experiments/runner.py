@@ -7,6 +7,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
+import numpy as np
+
 from repro.baselines.schemes import Scheme, build_scheme
 from repro.cluster.autoscaler import AutoscalerConfig
 from repro.core.request_scheduler import RequestSchedulerConfig
@@ -68,6 +70,25 @@ class ExperimentSpec:
     #: built from the *full* trace's hint slice so every shard deploys
     #: the same initial allocation as the serial run.
     shard: tuple[int, int] | None = None
+    #: ``(index, count)`` — run only *space* shard ``index`` of
+    #: ``count``: the cluster (not the clock) is partitioned, every
+    #: shard replays its own slice of the arrival stream on unshifted
+    #: timestamps. Set by :func:`repro.sim.sharded.run_spatial`;
+    #: mutually exclusive with ``shard``.
+    space_shard: tuple[int, int] | None = None
+    #: How space shards partition work. ``"request"``: shard ``k``
+    #: keeps requests with ``id % count == k`` and a proportional GPU
+    #: slice — a scaled replica preserving per-GPU load (approximate
+    #: equivalence). ``"level"``: shard ``k`` owns the MLQ levels with
+    #: ``level % count == k``, keeps exactly their requests, and
+    #: retires every foreign-level instance — *exact* (bin-exact
+    #: sketch) for static multi-level schemes while the serial run has
+    #: zero demotions/fallbacks/deferrals (see docs/PERFORMANCE.md).
+    space_partition: str = "request"
+    #: Completion payload representation for the simulator
+    #: (``SimulationConfig.data_plane``): ``"pooled"`` or
+    #: ``"columnar"``.
+    data_plane: str = "pooled"
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1 or self.rate_per_s <= 0 or self.duration_s <= 0:
@@ -79,6 +100,37 @@ class ExperimentSpec:
             if count < 1 or not 0 <= index < count:
                 raise ConfigurationError(
                     "shard must be (index, count) with 0 <= index < count"
+                )
+        if self.space_partition not in ("request", "level"):
+            raise ConfigurationError(
+                f"unknown space partition {self.space_partition!r} "
+                "(expected 'request' or 'level')"
+            )
+        if self.space_shard is not None:
+            if self.shard is not None:
+                raise ConfigurationError(
+                    "time and space shards cannot be combined"
+                )
+            index, count = self.space_shard
+            if count < 1 or not 0 <= index < count:
+                raise ConfigurationError(
+                    "space_shard must be (index, count) with "
+                    "0 <= index < count"
+                )
+            if self.failures is not None:
+                raise ConfigurationError(
+                    "faults do not partition spatially (victim ranking "
+                    "is global) — use time shards for fault plans"
+                )
+            if self.space_partition == "request" and count > self.num_gpus:
+                raise ConfigurationError(
+                    "request-partitioned space shards need at least one "
+                    "GPU each"
+                )
+            if self.space_partition == "level" and self.autoscaler is not None:
+                raise ConfigurationError(
+                    "level-partitioned space shards require a static "
+                    "cluster (no autoscaler)"
                 )
 
     def scaled(self, factor: float) -> "ExperimentSpec":
@@ -119,6 +171,10 @@ class ExperimentSpec:
 
     def make_trace(self) -> Trace:
         trace = self.make_full_trace()
+        if self.space_shard is not None:
+            index, count = self.space_shard
+            mask = space_partition_owners(self, trace, count) == index
+            return Trace(trace.arrival_ms[mask], trace.length[mask])
         if self.shard is None:
             return trace
         start, end = self.shard_window_ms()
@@ -140,16 +196,24 @@ class ExperimentSpec:
         # trace distribution; everything else warms up on a short slice.
         # A shard spec hints on the *full* trace's slice regardless of
         # its window so every shard builds the serial run's allocation.
-        if self.shard is not None:
+        if self.shard is not None or self.space_shard is not None:
             trace = self.make_full_trace()
         if scheme_name == "arlo-global":
             hint = trace
         else:
             hint = trace.slice_time(0, seconds(self.hint_s))
-        return build_scheme(
+        num_gpus = self.num_gpus
+        if self.space_shard is not None and self.space_partition == "request":
+            # Scaled replica: an even GPU slice (remainder spread over
+            # the first shards) under 1/count of the arrivals keeps
+            # per-GPU load — and therefore congestion behaviour —
+            # aligned with the serial run.
+            index, count = self.space_shard
+            num_gpus = num_gpus // count + (1 if index < num_gpus % count else 0)
+        scheme = build_scheme(
             scheme_name,
             self.model,
-            self.num_gpus,
+            num_gpus,
             trace_hint=hint if len(hint) else None,
             registry=self.make_registry(),
             request_scheduler_config=RequestSchedulerConfig(),
@@ -157,6 +221,37 @@ class ExperimentSpec:
                 period_ms=seconds(self.scheduler_period_s)
             ),
         )
+        if self.space_shard is not None and self.space_partition == "level":
+            self._mask_foreign_levels(scheme)
+        return scheme
+
+    def _mask_foreign_levels(self, scheme: Scheme) -> None:
+        """Reduce a full scheme to this shard's owned MLQ levels.
+
+        The scheme is built exactly as the serial run would (same
+        allocation, same instances), then every instance of a foreign
+        level is retired and its GPU released at t=0 — so the shard's
+        owned levels are *identical* to the serial run's, and its GPU
+        integral only counts owned hardware.
+        """
+        index, count = self.space_shard
+        if len(scheme.mlq) < 2:
+            raise ConfigurationError(
+                "level partition needs a multi-level scheme "
+                "(st/dt have a single level)"
+            )
+        if scheme.runtime_scheduler is not None:
+            raise ConfigurationError(
+                "level partition requires a static scheme — a periodic "
+                "Runtime Scheduler would redeploy the foreign levels "
+                "(use e.g. 'arlo-even' or 'arlo-global')"
+            )
+        for inst in list(scheme.cluster.instances.values()):
+            if inst.runtime_index % count != index:
+                if scheme.mlq.contains(inst):
+                    scheme.mlq.remove(inst)
+                gpu = scheme.cluster.retire_instance(inst)
+                scheme.cluster.release_gpu(gpu.gpu_id, 0.0)
 
     def sim_config(self) -> SimulationConfig:
         warmup_ms = seconds(self.warmup_s)
@@ -178,8 +273,34 @@ class ExperimentSpec:
             autoscaler=self.autoscaler,
             warmup_ms=warmup_ms,
             failures=failures,
+            data_plane=self.data_plane,
             **kwargs,
         )
+
+
+def space_partition_owners(
+    spec: ExperimentSpec, trace: Trace, num_shards: int
+) -> np.ndarray:
+    """Space-shard owner of every request in ``trace``.
+
+    ``"request"`` partition: round-robin by request index (every shard
+    sees the full length distribution at ``1/num_shards`` of the
+    rate). ``"level"`` partition: owner is the request's ideal MLQ
+    level modulo ``num_shards``, computed against the same polymorph
+    registry the multi-level schemes deploy. Shared by
+    :meth:`ExperimentSpec.make_trace` (inside each worker) and the
+    spatial driver's empty-shard detection (in the parent), so both
+    sides agree on the split by construction.
+    """
+    if spec.space_partition == "request":
+        return np.arange(len(trace)) % num_shards
+    registry = spec.make_registry()
+    if registry is None:
+        registry = build_polymorph_set(get_model(spec.model))
+    levels = np.searchsorted(
+        registry.bin_edges(), trace.length, side="left"
+    )
+    return levels % num_shards
 
 
 def run_experiment(

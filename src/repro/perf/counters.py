@@ -83,6 +83,15 @@ class CongestionTracker:
         if instance.instance_id in self._counted:
             self.outstanding[instance.runtime_index] += 1
 
+    def on_enqueue_many(self, instance, count: int) -> None:
+        """``count`` requests admitted in one batch dispatch (called
+        after ``outstanding += count``). Exactly ``count`` scalar
+        :meth:`on_enqueue` calls, folded into two adds — the batch
+        dispatcher's aggregate hook."""
+        self.all_outstanding += count
+        if instance.instance_id in self._counted:
+            self.outstanding[instance.runtime_index] += count
+
     def on_complete(self, instance) -> None:
         """One request finished (called after ``outstanding -= 1``)."""
         self.all_outstanding -= 1

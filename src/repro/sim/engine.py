@@ -8,6 +8,12 @@ callers that want named fields; the simulator's hot loop uses
 :meth:`pop_batch` instead, which drains a maximal run of
 same-``(time, kind)`` events in one call and hands back only their
 payloads.
+
+Payloads are opaque to the queue: the pooled data plane schedules
+completion *record objects*, while the columnar data plane
+(``data_plane="columnar"``) schedules bare integer *slots* into a
+:class:`~repro.sim.events.ColumnarCompletionStore` — same heap, same
+ordering, different payload representation.
 """
 
 from __future__ import annotations

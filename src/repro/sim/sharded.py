@@ -1,11 +1,19 @@
-"""Sharded simulation: deterministic time-window shards over a pool.
+"""Sharded simulation: time-window or spatial shards over a pool.
 
 The discrete-event loop is inherently serial — one heap, one clock —
-so the data plane scales *out* instead: the trace is split into
-``num_shards`` equal time windows, each window runs as an independent
-simulation (its own fresh scheme, shard-local clock, and the fault
-sub-plan of its window), and the per-shard summaries are merged with
-an order-independent reduction. Workers come from the same
+so the data plane scales *out* instead, along either axis:
+
+- **time shards** (:func:`run_sharded`): the trace is split into
+  ``num_shards`` equal time windows, each window runs as an
+  independent simulation (its own fresh scheme, shard-local clock,
+  and the fault sub-plan of its window);
+- **space shards** (:func:`run_spatial`): the *cluster* is split —
+  each shard runs its own clock over a pre-partitioned slice of the
+  arrival stream (by request id, or by owned MLQ levels) against its
+  own slice of the hardware, on unshifted timestamps.
+
+Per-shard summaries are merged with an order-independent reduction.
+Workers come from the same
 :func:`repro.experiments.runner.run_experiments` process-pool
 machinery the scenario fleets use; each worker rebuilds its shard
 locally from a picklable :class:`ExperimentSpec`, so only the compact
@@ -50,19 +58,51 @@ result is independent of shard completion order:
 - wall-clock span — max over absolute shard end times;
 - GPU integral — sum of per-shard ``gpu·ms``, renormalised by the
   merged span.
+
+Spatial merges (``mode="space"``) differ only in the time axis: every
+shard's clock starts at 0 and the shards run *concurrently*, so the
+merged span is the max shard end (not a sum of windows) and the GPU
+integral renormalises by that max — shards that finish early
+contribute their full ``gpu·ms`` but hold zero GPUs for the
+remainder.
+
+Spatial equivalence to the serial run
+-------------------------------------
+``space_partition="request"`` (round-robin by request id) is a
+*scaled-replica* approximation: each shard gets ``1/S`` of the
+arrivals and ``≈1/S`` of the GPUs, so per-level queues see the same
+load ratio and the merged latency distribution tracks the serial one
+closely — but it is not bit-exact (integer GPU splits round, and
+intra-level interleavings differ).
+
+``space_partition="level"`` partitions *ownership*: shard ``k`` keeps
+exactly the MLQ levels with ``index % S == k`` (foreign levels are
+retired at t=0) and exactly the requests whose **ideal** level it
+owns. This is *exactly* equivalent — bin-exact sketch, equal event
+counts — whenever the serial run never crosses level boundaries:
+a static scheme (no runtime scheduler, no autoscaler, e.g.
+``arlo-even``) whose serial run reports zero demotions, zero
+fallbacks, and zero deferrals. Under those conditions every request
+is served by its ideal level in both executions, and levels share no
+state. The equivalence tests certify the serial counters before
+asserting bin-exactness.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.experiments.runner import (
     ExperimentSpec,
     SimulationResult,
     run_experiments,
+    space_partition_owners,
 )
+from repro.runtimes.models import get_model
 from repro.sim.metrics import LatencyStats, StreamingLatencySummary
 
 
@@ -80,6 +120,10 @@ class ShardSummary:
     time_weighted_gpus: float
     control_stats: dict[str, float]
     dispatch_stats: dict[str, float]
+    #: Wall-clock seconds the shard's ``run_simulation`` call took.
+    #: Drives the spatial throughput metric (events / max shard wall);
+    #: defaults to 0.0 so hand-built summaries in tests stay valid.
+    wall_s: float = 0.0
 
 
 def summarize_shard(result: SimulationResult) -> ShardSummary:
@@ -99,6 +143,7 @@ def summarize_shard(result: SimulationResult) -> ShardSummary:
         time_weighted_gpus=result.time_weighted_gpus,
         control_stats=dict(result.control_stats),
         dispatch_stats=dict(result.dispatch_stats),
+        wall_s=result.wall_s,
     )
 
 
@@ -116,6 +161,9 @@ class ShardedResult:
     time_weighted_gpus: float
     control_stats: dict[str, float]
     dispatch_stats: dict[str, float]
+    #: Per-shard ``run_simulation`` wall seconds, in merge-input order.
+    #: The spatial throughput metric divides total events by the max.
+    shard_walls: list[float] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
@@ -136,15 +184,33 @@ def shard_specs(spec: ExperimentSpec, num_shards: int) -> list[ExperimentSpec]:
 
 def merge_shard_summaries(
     pairs: list[tuple[float, ShardSummary]],
+    mode: str = "time",
 ) -> ShardedResult:
     """Merge ``(window_start_ms, summary)`` pairs — order-independent.
 
     Every reduction below is commutative and associative (sketch bin
     adds, counter sums, max over absolute end times), so any shard
     completion order produces the identical result.
+
+    ``mode`` selects the time-axis semantics:
+
+    - ``"time"`` — shards are consecutive windows: the merged span is
+      the max *absolute* end (window start + shard-local end), and the
+      GPU integral renormalises by the **sum** of shard spans (the
+      windows tile the timeline).
+    - ``"space"`` — shards run concurrently from t=0 on unshifted
+      timestamps (window starts must all be 0): the merged span is the
+      max shard end, and the GPU integral renormalises by that **max**
+      — a shard holds zero GPUs after it drains.
     """
+    if mode not in ("time", "space"):
+        raise ConfigurationError(f"unknown merge mode {mode!r}")
     if not pairs:
         raise ConfigurationError("nothing to merge")
+    if mode == "space" and any(start != 0.0 for start, _ in pairs):
+        raise ConfigurationError(
+            "spatial shards run on unshifted clocks; window starts must be 0"
+        )
     sketch = copy.deepcopy(pairs[0][1].sketch)
     for _, summary in pairs[1:]:
         sketch.merge(summary.sketch)
@@ -152,7 +218,10 @@ def merge_shard_summaries(
     events = sum(s.events_processed for _, s in pairs)
     end_ms = max(start + s.end_ms for start, s in pairs)
     gpu_ms = sum(s.time_weighted_gpus * s.end_ms for _, s in pairs)
-    span_ms = sum(s.end_ms for _, s in pairs)
+    if mode == "space":
+        span_ms = end_ms
+    else:
+        span_ms = sum(s.end_ms for _, s in pairs)
 
     control: dict[str, float] = {}
     for _, summary in pairs:
@@ -193,6 +262,7 @@ def merge_shard_summaries(
         time_weighted_gpus=gpu_ms / span_ms if span_ms else 0.0,
         control_stats=control,
         dispatch_stats=dispatch,
+        shard_walls=[s.wall_s for _, s in pairs],
     )
 
 
@@ -222,3 +292,76 @@ def run_sharded(
         for shard in specs
     ]
     return merge_shard_summaries(pairs)
+
+
+def space_shard_specs(
+    spec: ExperimentSpec, num_shards: int
+) -> list[ExperimentSpec]:
+    """The per-shard spatial specs of ``spec`` (deterministic, picklable)."""
+    if num_shards < 1:
+        raise ConfigurationError("need at least one shard")
+    if spec.shard is not None or spec.space_shard is not None:
+        raise ConfigurationError("spec is already a shard")
+    return [
+        replace(spec, name=f"{spec.name}#space{k}", space_shard=(k, num_shards))
+        for k in range(num_shards)
+    ]
+
+
+def _empty_summary(scheme_name: str, slo_ms: float) -> ShardSummary:
+    """The summary of a shard that owns no requests.
+
+    A level-partitioned trace can leave a shard empty (every owned
+    level unused); merging needs its neutral element rather than a
+    worker round-trip for a zero-request simulation.
+    """
+    return ShardSummary(
+        scheme_name=scheme_name,
+        sketch=StreamingLatencySummary(slo_ms=slo_ms),
+        events_processed=0,
+        end_ms=0.0,
+        time_weighted_gpus=0.0,
+        control_stats={},
+        dispatch_stats={},
+        wall_s=0.0,
+    )
+
+
+def run_spatial(
+    spec: ExperimentSpec,
+    scheme_name: str,
+    num_shards: int,
+    workers: int = 1,
+) -> ShardedResult:
+    """Run ``spec`` × ``scheme_name`` as ``num_shards`` spatial shards
+    and merge the results (``mode="space"``).
+
+    Each shard re-derives its request slice locally from the
+    deterministic trace seed (only the compact spec crosses the
+    process boundary); shards whose slice is empty are synthesised
+    in-parent instead of shipping a zero-request simulation to a
+    worker. See the module docstring for the equivalence conditions
+    of the two ``space_partition`` modes.
+    """
+    specs = space_shard_specs(spec, num_shards)
+    full = spec.make_trace()
+    owners = space_partition_owners(spec, full, num_shards)
+    counts = np.bincount(owners, minlength=num_shards)
+    live = [s for s, count in zip(specs, counts) if count]
+    out = run_experiments(
+        live,
+        schemes=(scheme_name,),
+        workers=workers,
+        summarize=summarize_shard,
+    )
+    slo_ms = get_model(spec.model).slo_ms
+    pairs = [
+        (
+            0.0,
+            out[shard.name][scheme_name]
+            if counts[k]
+            else _empty_summary(scheme_name, slo_ms),
+        )
+        for k, shard in enumerate(specs)
+    ]
+    return merge_shard_summaries(pairs, mode="space")

@@ -29,9 +29,6 @@ from repro.errors import SolverError
 _EPS = 1e-9
 #: Consecutive degenerate pivots tolerated before switching to Bland's rule.
 _DEGENERATE_STREAK = 12
-#: Phase-1 residuals this small (relative to the RHS scale) are treated as
-#: potential pivot-roundoff artifacts and re-verified with Bland's rule.
-_PHASE1_MARGINAL = 1e-4
 
 
 class LpStatus(enum.Enum):
@@ -195,16 +192,18 @@ def solve_lp(lp: LinearProgram, max_iter: int = 20_000) -> LpResult:
     """Solve a :class:`LinearProgram` with two-phase primal simplex.
 
     The fast Dantzig-rule path can accumulate pivot roundoff on badly
-    scaled problems (big-M rows) and end phase 1 with a tiny spurious
-    artificial residual — a false "infeasible". Such marginal verdicts
-    (residual small relative to the RHS scale) are re-verified with a
-    full solve under Bland's rule, whose pivot path is stable; the
-    retry's verdict is final.
+    scaled problems (big-M rows) and end phase 1 at a spurious nonzero
+    artificial residual — a false "infeasible". The residual is not
+    always roundoff-sized: on degenerate big-M bases the corrupted
+    pivot path can stall far from zero. Every infeasible verdict from
+    the fast path is therefore re-verified with a full solve under
+    Bland's rule, whose pivot path is stable; the retry's verdict is
+    final. A genuinely infeasible program pays one extra phase-1 solve
+    — cheap on this package's problem sizes, and far cheaper than a
+    wrong verdict (branch & bound would prune a feasible subtree).
     """
     result = _solve_lp_once(lp, max_iter, force_bland=False)
-    if result.status is LpStatus.INFEASIBLE and result.extra.get(
-        "phase1_marginal", False
-    ):
+    if result.status is LpStatus.INFEASIBLE:
         retry = _solve_lp_once(lp, max_iter, force_bland=True)
         retry.iterations += result.iterations
         return retry
@@ -249,6 +248,15 @@ def _solve_lp_once(
     a = np.vstack(rows)
     b = np.asarray(rhs, dtype=float)
     sense = np.asarray(senses)
+    # Row equilibration: big-M rows (coefficients orders of magnitude
+    # above the rest) make the pivot arithmetic ill-conditioned — the
+    # source of spurious phase-1 residuals and pivot stalls. Scaling
+    # each row to unit max-coefficient changes neither the feasible
+    # region nor the objective, only the conditioning.
+    row_scale = np.abs(a).max(axis=1)
+    np.maximum(row_scale, 1.0, out=row_scale)
+    a /= row_scale[:, None]
+    b /= row_scale
     # Normalise to b >= 0.
     flip = b < 0
     a[flip] *= -1.0
@@ -305,14 +313,10 @@ def _solve_lp_once(
         if status is LpStatus.ITERATION_LIMIT:
             return LpResult(status, iterations=iterations)
         if tableau[-1, -1] < -1e-7:
-            residual = float(-tableau[-1, -1])
-            marginal = residual <= _PHASE1_MARGINAL * max(
-                1.0, float(np.abs(b).max())
-            )
             return LpResult(
                 LpStatus.INFEASIBLE,
                 iterations=iterations,
-                extra={"phase1_marginal": marginal and not force_bland},
+                extra={"phase1_residual": float(-tableau[-1, -1])},
             )
         # Drive any artificial still in the basis out (degenerate rows).
         for i in range(m):

@@ -1,0 +1,230 @@
+"""Vectorized batch dispatch vs scalar Algorithm 1.
+
+The contract of ``ArloRequestScheduler.dispatch_batch`` is *decision*
+equivalence with the scalar walk, from identical starting state:
+
+- every admitted request lands on its **ideal** level (the slack
+  certificate proves the scalar probe would accept it there);
+- the per-level multiset of member queue depths after the batch equals
+  the scalar run's (water-filling reproduces repeated min-pops), so
+  every future probe sees the same head depth;
+- the counters advance identically (batch admissions are never
+  demotions, fallbacks, or gate rejections by construction);
+- anything the certificate cannot prove is left to the scalar path:
+  the batch returns a shorter prefix (or ``None``) and the caller
+  replays the rest through ``dispatch_fast`` from the updated state.
+
+Request-to-instance *pairing* within a level is explicitly not part of
+the contract (same-profile members are interchangeable), so the tests
+compare levels, depths, and counters — never instance ids.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.cluster.state import ClusterState
+from repro.core.mlq import MultiLevelQueue
+from repro.core.request_scheduler import (
+    ArloRequestScheduler,
+    RequestSchedulerConfig,
+)
+from tests.core.helpers import make_registry
+
+
+def build_scheduler(alloc, capacities=(8, 6, 4, 4), **cfg):
+    registry = make_registry([128, 256, 384, 512], list(capacities))
+    state = ClusterState.bootstrap(registry, list(alloc))
+    mlq = MultiLevelQueue.from_cluster(state)
+    scheduler = ArloRequestScheduler(
+        registry=registry,
+        mlq=mlq,
+        config=RequestSchedulerConfig(**cfg) if cfg else RequestSchedulerConfig(),
+    )
+    return state, mlq, scheduler
+
+
+def level_depths(mlq):
+    """Per-level sorted member queue depths (the multiset that drives
+    every future head probe)."""
+    return [
+        sorted(inst.outstanding for inst in level._members.values())
+        for level in mlq.levels
+    ]
+
+
+def counters(scheduler):
+    return (
+        scheduler.dispatched,
+        scheduler.demotions,
+        scheduler.fallbacks,
+        scheduler.gated,
+    )
+
+
+def run_scalar(scheduler, now_ms, lengths):
+    return [scheduler.dispatch_fast(now_ms, int(l)) for l in lengths]
+
+
+def run_batched(scheduler, now_ms, lengths):
+    """The simulator's batch-then-scalar-tail composition."""
+    triples = scheduler.dispatch_batch(now_ms, [int(l) for l in lengths])
+    if triples is None:
+        triples = []
+    for l in lengths[len(triples):]:
+        triples.append(scheduler.dispatch_fast(now_ms, int(l)))
+    return triples
+
+
+def assert_equivalent(sched_a, sched_b, out_a, out_b):
+    assert [t[0].runtime_index for t in out_a] == [
+        t[0].runtime_index for t in out_b
+    ]
+    assert counters(sched_a) == counters(sched_b)
+    assert level_depths(sched_a.mlq) == level_depths(sched_b.mlq)
+
+
+def test_batch_matches_scalar_on_uncongested_queue():
+    rng = np.random.default_rng(3)
+    lengths = rng.integers(1, 513, size=48)
+    state, _mlq, scalar = build_scheduler([3, 3, 2, 2])
+    batched = copy.deepcopy(scalar)
+
+    out_a = run_scalar(scalar, 0.0, lengths)
+    out_b = run_batched(batched, 0.0, lengths)
+
+    assert batched.batched > 0, "certificate never engaged"
+    assert_equivalent(scalar, batched, out_a, out_b)
+    state.congestion.verify(state.instances.values())
+
+
+def test_batch_prefix_hands_congested_tail_to_scalar():
+    """Preload one level near its threshold: the certificate admits
+    only the slack, and the scalar tail demotes identically."""
+    state, mlq, scalar = build_scheduler([2, 2, 2, 2])
+    # λ=0.85, cap=6 → T=6 (5/6≈0.833 < 0.85 ≤ 6/6): load level 1 to
+    # depth 4+4 so its slack is (6-4)*2 = 4.
+    for inst in state.active_instances(1):
+        for _ in range(4):
+            inst.enqueue(0.0, 200)
+        mlq.refresh(inst)
+    batched = copy.deepcopy(scalar)
+
+    lengths = [200] * 10  # all ideal level 1; 4 fit, 6 must demote
+    out_a = run_scalar(scalar, 0.0, lengths)
+    out_b = run_batched(batched, 0.0, lengths)
+
+    assert batched.batched == 4
+    assert scalar.demotions == 6
+    assert_equivalent(scalar, batched, out_a, out_b)
+
+
+def test_batch_over_multiple_rounds_with_completions():
+    """Decision equivalence must survive batch → complete → batch:
+    completing at each level's head (the min-depth member) keeps the
+    two sides' depth multisets comparable between rounds."""
+    rng = np.random.default_rng(11)
+    state, _mlq, scalar = build_scheduler([3, 3, 2, 2])
+    batched = copy.deepcopy(scalar)
+
+    def complete_heads(scheduler, per_level=2):
+        for level in scheduler.mlq.levels:
+            members = sorted(
+                level._members.values(), key=lambda i: i.outstanding
+            )
+            for inst in members[:per_level]:
+                if inst.outstanding:
+                    inst.complete()
+                    scheduler.mlq.refresh(inst)
+
+    now = 0.0
+    for round_no in range(4):
+        lengths = rng.integers(1, 513, size=32)
+        out_a = run_scalar(scalar, now, lengths)
+        out_b = run_batched(batched, now, np.array(lengths))
+        assert_equivalent(scalar, batched, out_a, out_b)
+        complete_heads(scalar)
+        complete_heads(batched)
+        now += 50.0
+
+    assert batched.batched > 0
+    state.congestion.verify(state.instances.values())
+
+
+def test_batch_refuses_when_gate_set():
+    """A wired circuit breaker disables batching wholesale — gate
+    verdicts are per-instance and stay on the scalar path."""
+    _state, _mlq, scheduler = build_scheduler([2, 2, 2, 2])
+    scheduler.gate = lambda inst: True
+    before = level_depths(scheduler.mlq)
+    assert scheduler.dispatch_batch(0.0, [100] * 8) is None
+    assert level_depths(scheduler.mlq) == before
+    assert scheduler.dispatched == 0
+
+
+def test_batch_refuses_invalid_lengths():
+    _state, _mlq, scheduler = build_scheduler([2, 2, 2, 2])
+    assert scheduler.dispatch_batch(0.0, [100, 0, 100, 100, 100]) is None
+    assert scheduler.dispatch_batch(0.0, [100, 600, 100, 100, 100]) is None
+    assert scheduler.dispatched == 0
+
+
+def test_batch_refuses_tiny_prefix():
+    """Below the fixed-cost break-even (and when the first request's
+    level has no slack at all) the batch declines and leaves state
+    untouched."""
+    state, mlq, scheduler = build_scheduler([1, 1, 1, 1])
+    assert scheduler.dispatch_batch(0.0, [100, 100, 100]) is None
+    inst = state.active_instances(0)[0]
+    for _ in range(8):  # cap 8, λ=0.85 → T=7: depth 8 has zero slack
+        inst.enqueue(0.0, 100)
+    mlq.refresh(inst)
+    assert scheduler.dispatch_batch(0.0, [100] * 8) is None
+    assert scheduler.dispatched == 0
+
+
+def test_batch_refuses_heterogeneous_capacity_level():
+    """Mixed member capacities break the uniform-threshold argument
+    (the min-depth head can reject while slack remains elsewhere), so
+    such a level must end the prefix."""
+    state, _mlq, scheduler = build_scheduler([2, 2, 2, 2])
+    state.active_instances(0)[0]._capacity += 1
+    assert scheduler.dispatch_batch(0.0, [100] * 8) is None
+    assert scheduler.dispatched == 0
+
+
+def test_batch_start_finish_use_scalar_enqueue_arithmetic():
+    """Chained admissions on one member must reproduce the scalar
+    enqueue recurrence bit-for-bit: start = max(now, busy), finish =
+    start + service, finish-to-finish within the chain."""
+    _state, _mlq, scalar = build_scheduler([1, 2, 2, 2])
+    batched = copy.deepcopy(scalar)
+
+    lengths = [100, 100, 100, 100, 100]
+    out_a = run_scalar(scalar, 5.0, lengths)
+    out_b = run_batched(batched, 5.0, lengths)
+    assert batched.batched == len(lengths)
+    # One member at level 0 → pairing is forced, so the (start, finish)
+    # sequence itself must match, not just the multiset.
+    assert [(s, f) for _, s, f in out_a] == [(s, f) for _, s, f in out_b]
+
+
+def test_batch_matches_scalar_across_mixed_levels_under_load():
+    """Randomized steady-state soak: random lengths against partially
+    loaded levels, batch+tail vs scalar, repeated."""
+    rng = np.random.default_rng(29)
+    state, mlq, scalar = build_scheduler([4, 3, 2, 2], lam=0.8)
+    for level_idx in (0, 1):
+        for inst in state.active_instances(level_idx):
+            for _ in range(int(rng.integers(0, 4))):
+                inst.enqueue(0.0, 64)
+            mlq.refresh(inst)
+    batched = copy.deepcopy(scalar)
+
+    for _ in range(6):
+        lengths = rng.integers(1, 513, size=24)
+        out_a = run_scalar(scalar, 0.0, lengths)
+        out_b = run_batched(batched, 0.0, lengths)
+        assert_equivalent(scalar, batched, out_a, out_b)
+    assert batched.batched > 0

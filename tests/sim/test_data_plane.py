@@ -1,0 +1,140 @@
+"""Data-plane configuration contracts: batch dispatch and columnar events.
+
+Three independent switches shape the hot loop, and each must be
+invisible in the results:
+
+- ``batch_dispatch`` vectorizes same-timestamp arrival runs through
+  the slack-certificate batch path. Decisions (levels, counters) must
+  match the scalar walk exactly; latency pairing within a level may
+  differ (interchangeable members), so moments agree approximately.
+- Faults and tracing *disable* batching (gate verdicts and
+  probe-faithful spans are scalar-path features), so those runs must
+  be bit-exact regardless of the flag.
+- ``data_plane="columnar"`` swaps completion records for
+  struct-of-arrays slots. Pure representation change: bit-exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.schemes import build_scheme
+from repro.obs.spans import ObservabilityConfig
+from repro.sim.faults import FaultPlan
+from repro.sim.simulation import SimulationConfig, run_simulation
+from repro.workload.trace import Trace
+from repro.workload.twitter import generate_twitter_trace
+
+
+def quantized_trace(rate_per_s=400.0, duration_ms=20_000.0, seed=23,
+                    grid_ms=10.0):
+    """Arrivals snapped to a grid so same-timestamp runs exist — the
+    precondition for the batch path to engage at all."""
+    t = generate_twitter_trace(
+        rate_per_s=rate_per_s, duration_ms=duration_ms, seed=seed
+    )
+    return Trace(np.floor(t.arrival_ms / grid_ms) * grid_ms, t.length)
+
+
+def run_pair(trace, base_config, **overrides):
+    """The same trace under two configs, fresh scheme each (runs
+    mutate the scheme)."""
+    import dataclasses
+
+    results = []
+    for extra in ({}, overrides):
+        scheme = build_scheme("arlo-even", "bert-base", 8)
+        config = dataclasses.replace(base_config, **extra)
+        result = run_simulation(scheme, trace, config)
+        result.metrics._sync_sketch()
+        results.append(result)
+    return results
+
+
+def assert_bit_exact(a, b):
+    assert np.array_equal(a.metrics.sketch.counts, b.metrics.sketch.counts)
+    assert a.metrics.sketch.total_ms == b.metrics.sketch.total_ms
+    assert a.events_processed == b.events_processed
+    assert a.control_stats == b.control_stats
+    assert a.dispatch_stats == b.dispatch_stats
+
+
+def test_batch_dispatch_matches_scalar_decisions_end_to_end():
+    """Same trace, batch on vs off: identical decision counters and
+    population, means within pairing tolerance."""
+    trace = quantized_trace()
+    on, off = run_pair(
+        trace, SimulationConfig(batch_dispatch=True), batch_dispatch=False
+    )
+    assert on.dispatch_stats["batched"] > 0, "batch path never engaged"
+    assert off.dispatch_stats["batched"] == 0
+    for key in ("dispatched", "gated", "demotion_rate", "fallback_rate"):
+        assert on.dispatch_stats[key] == off.dispatch_stats[key], key
+    assert on.stats.count == off.stats.count
+    assert on.events_processed == off.events_processed
+    assert on.metrics.deferred_requests == off.metrics.deferred_requests
+    # Pairing within a level differs (block chains vs interleaved
+    # min-pops over interchangeable members), so the latency multiset
+    # is only approximately equal.
+    assert on.stats.mean_ms == pytest.approx(off.stats.mean_ms, rel=5e-3)
+    assert on.stats.p99_ms == pytest.approx(off.stats.p99_ms, rel=0.05)
+
+
+def test_batch_flag_is_inert_under_faults():
+    """A fault plan turns batching off wholesale (victim ranking
+    reads per-instance depths that batch pairing would perturb) —
+    chaos runs are bit-exact whatever the flag."""
+    trace = quantized_trace(seed=31)
+    plan = FaultPlan.chaos(20_000.0, seed=9)
+    on, off = run_pair(
+        trace,
+        SimulationConfig(batch_dispatch=True, failures=plan),
+        batch_dispatch=False,
+    )
+    assert on.dispatch_stats["batched"] == 0
+    assert_bit_exact(on, off)
+
+
+def test_batch_flag_is_inert_under_tracing():
+    """Probe-faithful spans require the scalar walk; a live tracer
+    disables batching, and span totals still reconcile bit-exactly
+    with the metrics sketch."""
+    trace = quantized_trace(seed=37, duration_ms=10_000.0)
+    config = SimulationConfig(
+        batch_dispatch=True,
+        observability=ObservabilityConfig(sample_rate=1.0),
+    )
+    on, off = run_pair(trace, config, batch_dispatch=False)
+    assert on.dispatch_stats["batched"] == 0
+    assert_bit_exact(on, off)
+    span_total = sum(s.latency_ms for s in on.spans)
+    assert span_total == pytest.approx(on.metrics.sketch.total_ms, rel=1e-9)
+
+
+def test_columnar_matches_pooled_bit_exact_under_chaos():
+    """The columnar store is a representation change only — crashes,
+    retries, and stale-token discards included."""
+    trace = quantized_trace(seed=41)
+    plan = FaultPlan.chaos(20_000.0, seed=13)
+    pooled, columnar = run_pair(
+        trace,
+        SimulationConfig(failures=plan, data_plane="pooled"),
+        data_plane="columnar",
+    )
+    assert_bit_exact(pooled, columnar)
+
+
+def test_columnar_matches_pooled_with_batch_engaged():
+    """Columnar slots and batch admission compose: same decisions,
+    same bits, both representations."""
+    trace = quantized_trace(seed=43)
+    pooled, columnar = run_pair(
+        trace,
+        SimulationConfig(batch_dispatch=True, data_plane="pooled"),
+        data_plane="columnar",
+    )
+    assert pooled.dispatch_stats["batched"] > 0
+    assert (
+        pooled.dispatch_stats["batched"]
+        == columnar.dispatch_stats["batched"]
+    )
+    assert_bit_exact(pooled, columnar)

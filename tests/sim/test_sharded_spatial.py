@@ -1,0 +1,224 @@
+"""Spatial (space-shard) equivalence and merge semantics.
+
+Two partition modes with different contracts:
+
+- ``level``: shard k owns the MLQ levels with ``index % S == k`` and
+  exactly the requests whose *ideal* level it owns. When the serial
+  run never crosses level boundaries (static scheme, zero demotions /
+  fallbacks / deferrals — certified inside the tests before anything
+  is compared), the merged run is **bin-exact**: levels share no state
+  and every request is served by its ideal level in both executions.
+- ``request``: round-robin arrivals over scaled GPU replicas — a
+  load-preserving approximation, exact in counts, approximate in
+  latency moments.
+
+Plus the ``mode="space"`` merge reductions: max-end span, max-end GPU
+renormalisation, empty-shard neutral element, order independence.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentSpec, run_single
+from repro.sim.faults import FaultPlan, FailureEvent
+from repro.sim.metrics import StreamingLatencySummary
+from repro.sim.sharded import (
+    ShardSummary,
+    merge_shard_summaries,
+    run_spatial,
+    space_shard_specs,
+)
+
+
+def _spec(**overrides):
+    base = dict(
+        name="spatial-eq", model="bert-base", num_gpus=8, rate_per_s=150.0,
+        duration_s=20.0, schemes=("arlo-even",), seed=11, retry=None,
+        space_partition="level",
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def level_serial():
+    spec = _spec()
+    _, result = run_single(spec, "arlo-even")
+    result.metrics._sync_sketch()
+    # Certify the equivalence preconditions on the *serial* run: a
+    # static scheme that never crosses level boundaries. If load
+    # tuning ever breaks this, the bin-exact assertion below would be
+    # vacuous rather than wrong — fail loudly instead.
+    assert result.dispatch_stats["demotion_rate"] == 0.0
+    assert result.dispatch_stats["fallback_rate"] == 0.0
+    assert result.metrics.deferred_requests == 0
+    return spec, result
+
+
+@pytest.mark.parametrize("num_shards", [2, 4])
+def test_level_partition_bin_exact_vs_serial(level_serial, num_shards):
+    spec, serial = level_serial
+    merged = run_spatial(spec, "arlo-even", num_shards)
+    sketch = serial.metrics.sketch
+
+    assert np.array_equal(merged.sketch.counts, sketch.counts)
+    assert merged.sketch.total_ms == sketch.total_ms
+    assert merged.sketch.min_ms == sketch.min_ms
+    assert merged.sketch.max_ms == sketch.max_ms
+    assert merged.sketch.violations == sketch.violations
+    assert merged.stats.count == serial.stats.count
+    assert merged.events_processed == serial.events_processed
+    assert merged.end_ms == serial.end_ms
+    assert merged.dispatch_stats["dispatched"] == (
+        serial.dispatch_stats["dispatched"]
+    )
+    assert merged.dispatch_stats["demotion_rate"] == 0.0
+    # Foreign levels are retired at t=0 (vs idling to the end in the
+    # serial cluster) and early-draining shards hold zero GPUs for the
+    # remainder, so the GPU integral agrees only approximately.
+    assert merged.time_weighted_gpus == pytest.approx(
+        serial.time_weighted_gpus, rel=0.02
+    )
+    assert len(merged.shard_walls) == num_shards
+    assert all(w >= 0.0 for w in merged.shard_walls)
+
+
+def test_level_partition_synthesizes_empty_shards():
+    """3 levels over 4 shards: shard 3 owns nothing and must merge as
+    the neutral element, not round-trip a zero-request simulation."""
+    spec = _spec(num_runtimes=3, num_gpus=6)
+    _, serial = run_single(spec, "arlo-even")
+    serial.metrics._sync_sketch()
+    assert serial.dispatch_stats["demotion_rate"] == 0.0
+    assert serial.dispatch_stats["fallback_rate"] == 0.0
+
+    merged = run_spatial(spec, "arlo-even", 4)
+    assert np.array_equal(merged.sketch.counts, serial.metrics.sketch.counts)
+    assert merged.stats.count == serial.stats.count
+    assert merged.num_shards == 4
+    assert merged.shard_walls.count(0.0) >= 1  # the empty shard
+
+
+def test_request_partition_approximates_serial():
+    """Scaled replicas: exact population, approximate moments."""
+    spec = _spec(space_partition="request", schemes=("arlo",))
+    _, serial = run_single(spec, "arlo")
+    merged = run_spatial(spec, "arlo", 4)
+    assert merged.stats.count == serial.stats.count
+    assert merged.stats.mean_ms == pytest.approx(
+        serial.stats.mean_ms, rel=0.5
+    )
+    assert merged.stats.p99_ms == pytest.approx(serial.stats.p99_ms, rel=0.5)
+
+
+def test_space_shard_spec_validation():
+    spec = _spec()
+    with pytest.raises(ConfigurationError):
+        space_shard_specs(spec, 0)
+    shards = space_shard_specs(spec, 3)
+    assert [s.space_shard for s in shards] == [(0, 3), (1, 3), (2, 3)]
+    with pytest.raises(ConfigurationError):
+        space_shard_specs(shards[0], 2)  # already a shard
+    # Faults do not partition spatially: victim ranking is global.
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(
+            shards[0],
+            failures=FaultPlan(events=[FailureEvent(time_ms=1_000.0)]),
+        )
+    # Request mode needs at least one GPU per shard.
+    with pytest.raises(ConfigurationError):
+        _spec(space_partition="request", num_gpus=2, space_shard=(0, 4))
+    with pytest.raises(ConfigurationError):
+        _spec(space_partition="diagonal")
+
+
+def test_level_partition_rejects_single_level_schemes():
+    """st/dt have one level — nothing to partition ownership over."""
+    spec = _spec(schemes=("st",), space_shard=(0, 2))
+    with pytest.raises(ConfigurationError):
+        spec.make_scheme("st", spec.make_trace())
+
+
+# ---------------------------------------------------------------------------
+# mode="space" merge reductions
+# ---------------------------------------------------------------------------
+
+def _summary(dispatched: float, gated: float = 0.0, end_ms: float = 1_000.0,
+             gpus: float = 2.0, latencies=(10.0, 20.0),
+             wall_s: float = 0.5) -> ShardSummary:
+    sketch = StreamingLatencySummary(slo_ms=100.0)
+    for v in latencies:
+        sketch.add(v)
+    return ShardSummary(
+        scheme_name="arlo", sketch=sketch, events_processed=len(latencies),
+        end_ms=end_ms, time_weighted_gpus=gpus, control_stats={},
+        dispatch_stats={
+            "dispatched": dispatched, "gated": gated,
+            "demotion_rate": 0.0, "fallback_rate": 0.0,
+        },
+        wall_s=wall_s,
+    )
+
+
+def _empty() -> ShardSummary:
+    return ShardSummary(
+        scheme_name="arlo", sketch=StreamingLatencySummary(slo_ms=100.0),
+        events_processed=0, end_ms=0.0, time_weighted_gpus=0.0,
+        control_stats={}, dispatch_stats={},
+    )
+
+
+def test_space_merge_four_shards_with_empty_and_gated_only():
+    """≥4 shards including the two degenerate kinds: an empty shard
+    (neutral element everywhere) and a shed-everything shard (counters
+    kept, zero rate weight)."""
+    pairs = [
+        (0.0, _summary(dispatched=100.0, end_ms=2_000.0, gpus=4.0)),
+        (0.0, _summary(dispatched=50.0, end_ms=1_000.0, gpus=2.0)),
+        (0.0, _empty()),
+        (0.0, _summary(dispatched=0.0, gated=30.0, end_ms=500.0, gpus=1.0,
+                       latencies=())),
+    ]
+    merged = merge_shard_summaries(pairs, mode="space")
+    assert merged.num_shards == 4
+    assert merged.events_processed == 4
+    # Concurrent clocks: span is the max shard end, not the sum.
+    assert merged.end_ms == 2_000.0
+    # GPU integral renormalised by the max-end span: (4·2000 + 2·1000
+    # + 0 + 1·500) / 2000.
+    assert merged.time_weighted_gpus == pytest.approx(10_500.0 / 2_000.0)
+    assert merged.dispatch_stats["dispatched"] == 150.0
+    assert merged.dispatch_stats["gated"] == 30.0
+    assert merged.dispatch_stats["demotion_rate"] == 0.0
+    assert merged.shard_walls == [0.5, 0.5, 0.0, 0.5]
+
+    # Order independence: every reduction is commutative/associative.
+    backward = merge_shard_summaries(list(reversed(pairs)), mode="space")
+    assert np.array_equal(backward.sketch.counts, merged.sketch.counts)
+    assert backward.end_ms == merged.end_ms
+    assert backward.time_weighted_gpus == merged.time_weighted_gpus
+    assert backward.dispatch_stats == merged.dispatch_stats
+
+
+def test_space_merge_rejects_shifted_windows_and_unknown_modes():
+    pairs = [(0.0, _summary(10.0)), (1_000.0, _summary(10.0))]
+    with pytest.raises(ConfigurationError):
+        merge_shard_summaries(pairs, mode="space")
+    with pytest.raises(ConfigurationError):
+        merge_shard_summaries([(0.0, _summary(10.0))], mode="spacetime")
+
+
+def test_time_merge_unchanged_by_mode_parameter():
+    """The default mode must reproduce the historical time-window
+    semantics: span-sum GPU renormalisation, absolute end times."""
+    pairs = [
+        (0.0, _summary(10.0, end_ms=1_000.0, gpus=4.0)),
+        (1_000.0, _summary(10.0, end_ms=1_000.0, gpus=2.0)),
+    ]
+    merged = merge_shard_summaries(pairs, mode="time")
+    assert merged.end_ms == 2_000.0
+    assert merged.time_weighted_gpus == pytest.approx(3.0)
+    assert merged.shard_walls == [0.5, 0.5]

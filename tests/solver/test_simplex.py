@@ -174,3 +174,59 @@ def test_marginal_phase1_residual_is_not_infeasible():
     result = solve_milp_encoding(problem, relax=True)
     assert np.array_equal(result.allocation, [0, 3])
     assert result.objective == pytest.approx(42.975)
+
+
+def test_large_phase1_residual_is_not_infeasible():
+    # Regression: the spurious phase-1 residual is not always at
+    # roundoff scale — on one node LP of this allocation MILP the
+    # corrupted Dantzig pivot path stalls at a residual far above any
+    # "marginal" threshold, so residual size cannot distinguish the
+    # artifact from true infeasibility. Every fast-path infeasible
+    # verdict must be re-verified under Bland's rule; before that, the
+    # cold solve below pruned the subtree holding the optimum and
+    # terminated "infeasible". Found by Hypothesis in
+    # test_milp_warm_start_preserves_objective.
+    from repro.core.allocation import AllocationProblem, solve_dp, solve_milp_encoding
+
+    problem = AllocationProblem(
+        num_gpus=5,
+        demand=np.array(
+            [0.5366601177964526, 0.5366601177964526, 5.5021848901640915]
+        ),
+        capacity=np.array([2, 1, 1]),
+        service_ms=np.array([1.0, 1.0, 3.903292184850587]),
+        overhead_ms=0.8,
+    )
+    cold = solve_milp_encoding(problem, relax=True)
+    dp = solve_dp(problem, relax=True)
+    assert cold.objective == pytest.approx(dp.objective, rel=1e-6)
+    warm = solve_milp_encoding(problem, relax=True, warm_start=cold.allocation)
+    assert warm.objective == pytest.approx(cold.objective)
+
+
+def test_ill_conditioned_big_m_milp_terminates_quickly():
+    # Regression: without row equilibration the big-M rows of this
+    # allocation MILP leave the pivot arithmetic so ill-conditioned
+    # that node LPs stall at the simplex iteration cap and the branch
+    # & bound grinds toward its node limit — minutes of wall clock
+    # before a wrong terminal status. Equilibrated, it solves in a
+    # handful of nodes. Found by Hypothesis in
+    # test_milp_warm_start_preserves_objective.
+    import time
+
+    from repro.core.allocation import AllocationProblem, solve_dp, solve_milp_encoding
+
+    problem = AllocationProblem(
+        num_gpus=3,
+        demand=np.array([0.3, 4.283189425907477, 4.329266080347185]),
+        capacity=np.array([2, 2, 2]),
+        service_ms=np.array(
+            [2.8038841589068304, 4.42134732560782, 7.999999999999999]
+        ),
+        overhead_ms=0.8,
+    )
+    start = time.perf_counter()
+    cold = solve_milp_encoding(problem, relax=True)
+    assert time.perf_counter() - start < 30.0
+    dp = solve_dp(problem, relax=True)
+    assert cold.objective == pytest.approx(dp.objective, rel=1e-6)
