@@ -18,6 +18,11 @@ Times the three paths this repo's fast control plane optimises:
    loop; the gated metric divides total events by the *slowest shard's*
    ``run_simulation`` wall (the data plane's parallel capacity — what
    the wall clock delivers once each shard owns a core).
+6. **Anytime control plane** — a 1000-GPU, 1 s-period scheduler loop
+   over drifting demand with a 50 ms solve deadline and the demand
+   forecaster pre-solving period boundaries; gates the deadline-hit
+   rate (must stay 1.0), p99 solve latency, and the forecast-driven
+   boundary cache-hit rate.
 
 Run directly to (re)generate the committed ``BENCH_perf.json``::
 
@@ -383,6 +388,14 @@ def bench_simulation_scale_spatial(
     spec = _scale_spec(num_requests, data_plane)
     cpu_count = os.cpu_count() or 1
     pool_workers = workers if cpu_count >= workers else 1
+    if pool_workers == 1:
+        print(
+            f"WARNING: only {cpu_count} cores for {workers} shards — "
+            "spatial shards run sequentially inline; events/s is NOT "
+            "comparable to a multi-core pool run (the baseline gate "
+            "skips this metric when execution modes differ)",
+            file=sys.stderr,
+        )
     t0 = time.perf_counter()
     merged = None
     for _ in range(passes):
@@ -410,6 +423,110 @@ def bench_simulation_scale_spatial(
         "max_shard_wall_s": max_wall,
         "wall_total_s": wall_total,
         "events_per_s": merged.events_processed / max_wall,
+    }
+
+
+def bench_control_anytime(
+    periods: int = 120,
+    num_gpus: int = 1000,
+    num_runtimes: int = 8,
+    deadline_ms: float = 50.0,
+    rate_per_s: float = 2_000.0,
+    seed: int = 11,
+) -> dict:
+    """Deadline-bounded solver ladder + forecast pre-solve at scale.
+
+    A 1000-GPU Runtime Scheduler stepped through ``periods`` 1 s
+    decision periods of *drifting* demand: the per-runtime traffic mix
+    follows an AR(1) random walk in log-space, so consecutive periods
+    are similar but never identical — exact cache hits are rare and
+    the forecaster + tolerance lookup have to earn the boundary hits.
+    ``cache_tolerance`` is 0.04 here (vs the 0.02 default): at bench
+    drift levels the realized demand lands within 4 % relative L1 of
+    the forecast essentially always, and the entry is re-checked for
+    feasibility and re-scored on the live problem either way.
+
+    Gated metrics: p99/max wall-clock per-period decide latency, the
+    deadline-hit rate (acceptance: 1.0 — a feasible allocation within
+    the deadline on *every* period), and the period-boundary cache-hit
+    rate with forecasting on (acceptance: ≥ 0.7).
+    """
+    model = get_model("bert-large")
+    registry = build_polymorph_set(
+        model,
+        max_lengths=polymorph_lengths_for_count(model.max_length, num_runtimes),
+    )
+    period_ms = 1 * SECOND
+    config = RuntimeSchedulerConfig(
+        period_ms=period_ms,
+        enable_cache=True,
+        warm_start=True,
+        solver_ladder=True,
+        solve_deadline_ms=deadline_ms,
+        cache_tolerance=0.04,
+        forecast=True,
+        # Demand follows a random walk here, where heavier smoothing
+        # only adds lag — a high alpha tracks the level with one-step
+        # error close to the innovation size.
+        forecast_alpha=0.7,
+    )
+    estimator = DemandEstimator(
+        bins=LengthBins.from_registry(registry),
+        slo_ms=model.slo_ms,
+        window_ms=period_ms,
+    )
+    scheduler = RuntimeScheduler(
+        registry=registry, estimator=estimator, config=config
+    )
+    cluster = ClusterState.bootstrap(
+        registry, even_allocation(num_runtimes, num_gpus)
+    )
+    rng = np.random.default_rng(seed)
+    # AR(1) drift on the log of the per-runtime mix: smooth but
+    # persistent distribution shift, Twitter-diurnal in miniature.
+    log_mix = rng.normal(0.0, 0.8, size=num_runtimes)
+    per_period = rate_per_s * (period_ms / SECOND)
+    max_lengths = np.array([p.max_length for p in registry], dtype=np.int64)
+    t0 = time.perf_counter()
+    for k in range(periods):
+        log_mix = 0.97 * log_mix + rng.normal(0.0, 0.03, size=num_runtimes)
+        mix = np.exp(log_mix)
+        mix /= mix.sum()
+        counts = np.maximum(1, (mix * per_period).astype(int))
+        now_ms = (k + 1) * period_ms
+        times, lengths = [], []
+        for b, count in enumerate(counts):
+            times.append(rng.uniform(now_ms - period_ms, now_ms, size=count))
+            lengths.append(np.full(count, max_lengths[b], dtype=np.int64))
+        order = np.argsort(np.concatenate(times), kind="stable")
+        estimator.observe_batch(
+            np.concatenate(times)[order], np.concatenate(lengths)[order]
+        )
+        result, _ = scheduler.step(now_ms, cluster)
+        assert result.allocation.sum() == num_gpus
+    wall_s = time.perf_counter() - t0
+    stats = scheduler.anytime_stats()
+    history = np.asarray(scheduler.solve_ms_history, dtype=np.float64)
+    return {
+        "workload": f"{num_gpus} gpus, {num_runtimes} runtimes, "
+                    f"{periods} x {period_ms / SECOND:.0f}s periods, "
+                    f"drifting mix @ {rate_per_s:.0f} req/s",
+        "deadline_ms": deadline_ms,
+        "cache_tolerance": config.cache_tolerance,
+        "periods": stats["periods"],
+        "solve_p99_ms": float(np.percentile(history, 99)),
+        "solve_max_ms": float(history.max()),
+        "solve_mean_ms": float(history.mean()),
+        "deadline_hit_rate": stats["deadline_hit_rate"],
+        "boundary_hit_rate": stats["boundary_hit_rate"],
+        "exact_hits": stats["boundary_exact_hits"],
+        "approx_hits": stats["boundary_approx_hits"],
+        "forecast_hits": stats["boundary_forecast_hits"],
+        "solves": stats["solves"],
+        "presolves": stats["presolves"],
+        "presolve_covered": stats["presolve_covered"],
+        "forecast_mean_rel_error": stats["forecast"]["mean_rel_error"],
+        "wall_s": wall_s,
     }
 
 
@@ -487,6 +604,11 @@ def run_benchmarks(
             ),
             profile_top,
         ),
+        "control_anytime": _profiled(
+            "control_anytime",
+            lambda: bench_control_anytime(periods=60 if quick else 120),
+            profile_top,
+        ),
     }
     # Disabled-tracing overhead, same machine and workload (>1 means
     # the observability plumbing slowed the plain event loop down).
@@ -517,6 +639,16 @@ _GATED_METRICS = (
     (("simulation_tracing_off", "overhead_vs_plain"), "lower", 0.05),
     (("simulation_scale", "events_per_s"), "higher", None),
     (("simulation_scale_spatial", "events_per_s"), "higher", None),
+    # p99 decide latency is a coarse canary, not the guarantee: most
+    # boundaries are sub-ms cache hits, so the p99 lands on one of a
+    # handful of real solves (3-6 ms, run-to-run jitter near 2x). The
+    # wide tolerance still catches a drift toward the 50 ms deadline;
+    # the zero-tolerance deadline_hit_rate below is the hard contract.
+    (("control_anytime", "solve_p99_ms"), "lower", 2.0),
+    # Hard acceptance: a feasible allocation within the deadline on
+    # EVERY period — no tolerance, any miss vs a 1.0 baseline fails.
+    (("control_anytime", "deadline_hit_rate"), "higher", 0.0),
+    (("control_anytime", "boundary_hit_rate"), "higher", None),
 )
 
 
@@ -527,6 +659,15 @@ def _dig(payload: dict, path: tuple[str, ...]) -> float | None:
             return None
         node = node[key]
     return float(node)
+
+
+def _dig_str(payload: dict, path: tuple[str, ...]) -> str | None:
+    node = payload
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return str(node)
 
 
 def compare_to_baseline(
@@ -540,7 +681,14 @@ def compare_to_baseline(
     not hard-fail the gate).
     """
     failures = []
+    cur_exec = _dig_str(current, ("simulation_scale_spatial", "execution"))
+    base_exec = _dig_str(baseline, ("simulation_scale_spatial", "execution"))
     for path, direction, tolerance in _GATED_METRICS:
+        if path[0] == "simulation_scale_spatial" and cur_exec != base_exec:
+            # Pool (one core per shard) and sequential-inline (one core
+            # total) walls measure different things; comparing them
+            # would flag a phantom 4x regression on a smaller machine.
+            continue
         cur, base = _dig(current, path), _dig(baseline, path)
         if cur is None or base is None or base <= 0:
             continue
@@ -583,6 +731,16 @@ def test_tracing_disabled_overhead():
         f"tracing-disabled run {overhead:.3f}x slower than plain "
         f"({off['events_per_s']:.0f} vs {plain['events_per_s']:.0f} ev/s)"
     )
+
+
+@pytest.mark.perf
+def test_anytime_deadline_and_boundary_hits():
+    """Acceptance: 1000-GPU / 1 s-period ladder holds a feasible
+    allocation within the 50 ms deadline on EVERY period, and the
+    forecaster covers ≥70 % of period boundaries from cache."""
+    result = bench_control_anytime(periods=60)
+    assert result["deadline_hit_rate"] == 1.0, result
+    assert result["boundary_hit_rate"] >= 0.7, result
 
 
 @pytest.mark.perf

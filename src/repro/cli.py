@@ -147,7 +147,8 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
     trace = _trace_from_args(args)
     hint = trace.slice_time(0, min(seconds(5), trace.duration_ms / 4))
     scheme = build_scheme(args.scheme, args.model, args.gpus,
-                          trace_hint=hint if len(hint) else None)
+                          trace_hint=hint if len(hint) else None,
+                          runtime_scheduler_config=_runtime_cfg_from_args(args))
     failures = None
     if args.chaos:
         failures = FaultPlan.chaos(trace.duration_ms, seed=args.seed)
@@ -217,6 +218,23 @@ def _trace_from_args(args: argparse.Namespace):
     if getattr(args, "trace", None):
         return load_trace(args.trace)
     return _make_trace(args)
+
+
+def _runtime_cfg_from_args(args: argparse.Namespace):
+    """Anytime-control-plane config from CLI flags, or None for defaults.
+
+    Returning None (the default) keeps the scheme factory on its own
+    defaults, so flows that never pass --solver-ladder are untouched.
+    """
+    if not getattr(args, "solver_ladder", False):
+        return None
+    from repro.core.runtime_scheduler import RuntimeSchedulerConfig
+
+    return RuntimeSchedulerConfig(
+        solver_ladder=True,
+        solve_deadline_ms=args.solve_deadline_ms,
+        forecast=args.forecast,
+    )
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -290,6 +308,13 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     axes = payload.pop("sweep", {})
     if "schemes" in payload:
         payload["schemes"] = tuple(payload["schemes"])
+    # CLI flags override the JSON spec so scenario sweeps can flip the
+    # anytime path without editing spec files.
+    if args.solver_ladder:
+        payload["solver_ladder"] = True
+        payload["solve_deadline_ms"] = args.solve_deadline_ms
+        if args.forecast:
+            payload["forecast"] = True
     spec = ExperimentSpec(**payload)
     specs = expand_grid(spec, **axes)
     results = run_sweep(specs, workers=args.workers)
@@ -300,6 +325,19 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         pathlib.Path(args.output).write_text(json.dumps(results, indent=2))
         print(f"saved results to {args.output}", file=sys.stderr)
     return 0
+
+
+def _add_anytime_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--solver-ladder", action="store_true",
+                   help="run the control plane through the anytime solver "
+                   "ladder (greedy -> local -> dp -> milp) under a "
+                   "wall-clock deadline")
+    p.add_argument("--solve-deadline-ms", type=float, default=50.0,
+                   help="per-period wall-clock solve deadline for "
+                   "--solver-ladder (default 50)")
+    p.add_argument("--forecast", action="store_true",
+                   help="with --solver-ladder: forecast next-period demand "
+                   "and pre-solve it into the allocation cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -346,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
                          default="pooled",
                          help="completion-event representation: pooled "
                          "records (default) or columnar slots")
+    _add_anytime_args(p_trace)
     p_trace.set_defaults(fn=cmd_trace)
 
     p_profile = sub.add_parser("profile", help="offline compile+profile")
@@ -390,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON spec file ('-' = stdin)")
     p_exp.add_argument("--workers", type=int, default=1)
     p_exp.add_argument("--output", help="also write results JSON here")
+    _add_anytime_args(p_exp)
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_solve = sub.add_parser("solve", help="solve one Eqs. 1-7 instance")

@@ -16,9 +16,13 @@ subject to the demotion-cascade semantics:
     B_i = C_i / N_i                                          (Eq. 6)
     N_I ≥ 1                                                  (Eq. 7)
 
-The paper feeds this to GUROBI. We provide four interchangeable
+The paper feeds this to GUROBI. We provide five interchangeable
 solvers:
 
+``greedy``
+    O(I) first-fit: cascade-aware instance counts plus a proportional
+    spread of leftover GPUs. The bottom rung of the anytime ladder
+    (:mod:`repro.perf.anytime`) — always finishes, never optimal.
 ``dp``
     Exact dynamic program over (runtime index, GPUs used) states with
     Pareto-label pruning on (cost so far, carried-over demand ``R``).
@@ -43,12 +47,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError, InfeasibleError, SolverError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    InfeasibleError,
+    SolverError,
+)
 from repro.runtimes.profiler import RuntimeProfile
 from repro.solver.model import LinExpr, Model
 from repro.solver.piecewise import tangent_lines
 
 _EPS = 1e-9
+
+
+class _BudgetExpired(Exception):
+    """Internal control-flow signal: a solver's wall-clock budget ran out."""
 
 
 @dataclass(frozen=True)
@@ -231,6 +244,7 @@ def _dp_labels(
     problem: AllocationProblem,
     lb: np.ndarray,
     upper_bound: float = float("inf"),
+    expires_at: float | None = None,
 ):
     """Pareto-label DP over (runtime, gpus-used) with (cost, carry) labels.
 
@@ -239,8 +253,13 @@ def _dp_labels(
     improve on it (step costs are non-negative) and are pruned. The
     returned optimum is unaffected — every path whose final cost is
     ≤ the bound survives intact.
+
+    ``expires_at`` is an absolute ``time.perf_counter()`` deadline; the
+    clock is polled every 128 label expansions (µs-granular at 1000-GPU
+    scale) and :class:`_BudgetExpired` raised on expiry.
     """
     G, I = problem.num_gpus, problem.num_runtimes
+    ticks = 0
     # Suffix lower-bound sums: GPUs that *must* remain for runtimes > i.
     suffix = np.concatenate([np.cumsum(lb[::-1])[::-1][1:], [0]])
     # labels[g] = list of (cost, carry, alloc_tuple) Pareto-optimal prefixes.
@@ -257,6 +276,13 @@ def _dp_labels(
             for cost, carry, alloc in frontier:
                 arrive = carry + problem.demand[i]
                 for n in range(int(lb[i]), max_n + 1):
+                    ticks += 1
+                    if (
+                        expires_at is not None
+                        and not ticks & 127
+                        and time.perf_counter() >= expires_at
+                    ):
+                        raise _BudgetExpired
                     cap = n * float(problem.capacity[i])
                     if is_last:
                         if used + n != G:
@@ -273,9 +299,13 @@ def _dp_labels(
                         continue  # cannot beat the warm-start incumbent
                     entry = (total, new_carry, alloc + (n,))
                     new_labels.setdefault(used + n, []).append(entry)
-        # Pareto-prune each bucket on (cost, carry).
+        # Pareto-prune each bucket on (cost, carry). The sorts are the
+        # other place a stage spends real time (O(E log E) over every
+        # surviving label), so the deadline is polled per bucket too.
         labels = {}
         for used, entries in new_labels.items():
+            if expires_at is not None and time.perf_counter() >= expires_at:
+                raise _BudgetExpired
             entries.sort(key=lambda e: (e[0], e[1]))
             pruned: list[tuple[float, float, tuple[int, ...]]] = []
             best_carry = float("inf")
@@ -291,6 +321,7 @@ def solve_dp(
     problem: AllocationProblem,
     relax: bool = False,
     warm_start: np.ndarray | None = None,
+    budget_s: float | None = None,
 ) -> AllocationResult:
     """Exact solver. Optimal because, for fixed GPUs-used, a prefix with
     both lower cost and lower carried demand can never be beaten by the
@@ -302,12 +333,32 @@ def solve_dp(
     prefixes are dropped, so every optimal path survives). When several
     allocations tie at the optimum the reported one may differ — the
     bound changes which tied representative survives Pareto filtering.
+
+    ``budget_s`` bounds the wall clock. The DP holds no usable partial
+    solution mid-sweep, so on expiry it falls back to the warm-start
+    incumbent (returned with ``stats["interrupted"] = True``) or raises
+    :class:`DeadlineExceeded` when none was supplied.
     """
     start = time.perf_counter()
+    expires_at = None if budget_s is None else start + budget_s
     lb = problem.lower_bounds(relax=relax)
     warm = _warm_allocation(problem, warm_start, relax)
     upper = problem.evaluate(warm) if warm is not None else float("inf")
-    labels = _dp_labels(problem, lb, upper_bound=upper)
+    try:
+        labels = _dp_labels(problem, lb, upper_bound=upper, expires_at=expires_at)
+    except _BudgetExpired:
+        if warm is None:
+            raise DeadlineExceeded(
+                f"DP budget {budget_s * 1e3:.1f} ms expired with no incumbent"
+            ) from None
+        return AllocationResult(
+            allocation=warm.copy(),
+            objective=upper,
+            solver="dp",
+            solve_time_s=time.perf_counter() - start,
+            relaxed=relax,
+            stats={"warm_started": True, "interrupted": True},
+        )
     final = labels.get(problem.num_gpus, [])
     if not final:
         raise InfeasibleError("no feasible allocation found by the DP")
@@ -330,20 +381,35 @@ def solve_bruteforce(
     problem: AllocationProblem,
     relax: bool = False,
     warm_start: np.ndarray | None = None,
+    budget_s: float | None = None,
 ) -> AllocationResult:
     """Enumerate every feasible allocation. Exponential — tests only.
 
     ``warm_start`` is accepted for interface uniformity and ignored
-    (exhaustive enumeration has nothing to prune).
+    (exhaustive enumeration has nothing to prune). ``budget_s`` bounds
+    the wall clock: on expiry the best allocation enumerated so far is
+    returned with ``stats["interrupted"] = True`` (or
+    :class:`DeadlineExceeded` if none was feasible yet).
     """
     start = time.perf_counter()
+    expires_at = None if budget_s is None else start + budget_s
     lb = problem.lower_bounds(relax=relax)
     G, I = problem.num_gpus, problem.num_runtimes
     spare = G - int(lb.sum())
     best_cost, best_alloc = float("inf"), None
     checked = 0
+    ticks = 0
+    interrupted = False
     # Distribute `spare` extra GPUs over I runtimes (stars and bars).
     for extra in itertools.product(range(spare + 1), repeat=I):
+        ticks += 1
+        if (
+            expires_at is not None
+            and not ticks & 511
+            and time.perf_counter() >= expires_at
+        ):
+            interrupted = True
+            break
         if sum(extra) != spare:
             continue
         alloc = lb + np.asarray(extra, dtype=np.int64)
@@ -352,14 +418,98 @@ def solve_bruteforce(
         if cost < best_cost:
             best_cost, best_alloc = cost, alloc
     if best_alloc is None:
+        if interrupted:
+            raise DeadlineExceeded(
+                f"brute-force budget {budget_s * 1e3:.1f} ms expired "
+                "before any feasible allocation was enumerated"
+            )
         raise InfeasibleError("no feasible allocation exists")
+    stats = {"allocations_checked": checked}
+    if interrupted:
+        stats["interrupted"] = True
     return AllocationResult(
         allocation=best_alloc,
         objective=best_cost,
         solver="brute",
         solve_time_s=time.perf_counter() - start,
         relaxed=relax,
-        stats={"allocations_checked": checked},
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Greedy first-fit (anytime-ladder bottom rung)
+# ---------------------------------------------------------------------------
+
+def _spread_spare(problem: AllocationProblem, alloc: np.ndarray, spare: int) -> None:
+    """Distribute ``spare`` GPUs over runtimes proportional to demand, O(I).
+
+    Mutates ``alloc`` in place; fractional remainders are resolved by
+    largest-remainder rounding so exactly ``spare`` GPUs are placed.
+    """
+    if spare <= 0:
+        return
+    I = problem.num_runtimes
+    total = float(problem.demand.sum())
+    weights = problem.demand / total if total > _EPS else np.full(I, 1.0 / I)
+    extra = np.floor(weights * spare).astype(np.int64)
+    left = spare - int(extra.sum())
+    if left > 0:
+        order = np.argsort(-(weights * spare - extra), kind="stable")
+        extra[order[:left]] += 1
+    alloc += extra
+
+
+def solve_greedy(
+    problem: AllocationProblem,
+    relax: bool = False,
+    warm_start: np.ndarray | None = None,
+    budget_s: float | None = None,
+) -> AllocationResult:
+    """First-fit heuristic — the bottom rung of the anytime ladder.
+
+    Walks runtimes shortest→longest giving each just enough instances
+    (beyond its Eq. 3 bound) to absorb the demand arriving at it under
+    the Eq. 4 cascade, then spreads leftover GPUs proportional to
+    demand. O(I) — finishes in microseconds at any pool size, so it is
+    the rung that guarantees the anytime ladder always holds a feasible
+    allocation no matter how tight the deadline. ``budget_s`` is
+    accepted for ladder-interface uniformity and never needed.
+
+    A feasible ``warm_start`` is kept instead when it scores better —
+    the greedy rung must never degrade an allocation already held.
+    """
+    start = time.perf_counter()
+    lb = problem.lower_bounds(relax=relax)
+    G, I = problem.num_gpus, problem.num_runtimes
+    alloc = lb.copy()
+    spare = G - int(alloc.sum())
+    carry = 0.0
+    for i in range(I):
+        arrive = carry + float(problem.demand[i])
+        unit = float(problem.capacity[i])
+        cap = float(alloc[i]) * unit
+        if arrive > cap + _EPS and spare > 0:
+            need = min(spare, int(np.ceil((arrive - cap) / unit - _EPS)))
+            alloc[i] += need
+            spare -= need
+            cap += need * unit
+        carry = max(arrive - cap, 0.0)
+    _spread_spare(problem, alloc, spare)
+    objective = problem.evaluate(alloc)
+    warm = _warm_allocation(problem, warm_start, relax)
+    warm_used = False
+    if warm is not None:
+        warm_obj = problem.evaluate(warm)
+        if warm_obj < objective:
+            alloc, objective, warm_used = warm.copy(), warm_obj, True
+    return AllocationResult(
+        allocation=alloc,
+        objective=objective,
+        solver="greedy",
+        solve_time_s=time.perf_counter() - start,
+        relaxed=relax,
+        stats={"warm_started": warm_used},
     )
 
 
@@ -372,6 +522,7 @@ def solve_local_search(
     relax: bool = False,
     max_rounds: int = 10_000,
     warm_start: np.ndarray | None = None,
+    budget_s: float | None = None,
 ) -> AllocationResult:
     """Greedy seed + steepest-descent single-GPU moves.
 
@@ -387,11 +538,19 @@ def solve_local_search(
     from the given allocation. Starting from a previous *optimum*, the
     result can only match or improve on that allocation's cost; with no
     usable warm start the cold path runs unchanged.
+
+    ``budget_s`` bounds the wall clock. Expiry during seeding completes
+    the allocation instantly with a proportional spread of the unplaced
+    GPUs (feasibility is never sacrificed); expiry during descent keeps
+    the current (always-feasible) allocation. Either way the result
+    carries ``stats["interrupted"] = True``.
     """
     start = time.perf_counter()
+    expires_at = None if budget_s is None else start + budget_s
     lb = problem.lower_bounds(relax=relax)
     G, I = problem.num_gpus, problem.num_runtimes
     warm = _warm_allocation(problem, warm_start, relax)
+    interrupted = False
     if warm is not None:
         alloc = warm.copy()
         current = problem.evaluate(alloc)
@@ -400,7 +559,12 @@ def solve_local_search(
         spare = G - int(alloc.sum())
         current = problem.evaluate(alloc)
         # Greedy seeding by best marginal gain.
-        for _ in range(spare):
+        for placed in range(spare):
+            if expires_at is not None and time.perf_counter() >= expires_at:
+                _spread_spare(problem, alloc, spare - placed)
+                current = problem.evaluate(alloc)
+                interrupted = True
+                break
             best_i, best_cost = -1, float("inf")
             for i in range(I):
                 alloc[i] += 1
@@ -412,7 +576,7 @@ def solve_local_search(
             current = best_cost
     # Steepest-descent pairwise moves.
     rounds = 0
-    improved = True
+    improved = not interrupted
     while improved and rounds < max_rounds:
         improved = False
         rounds += 1
@@ -420,6 +584,9 @@ def solve_local_search(
         for src in range(I):
             headroom = int(alloc[src] - lb[src])
             for k in (1, 2, 3):
+                if expires_at is not None and time.perf_counter() >= expires_at:
+                    interrupted = True
+                    break
                 if headroom < k:
                     break
                 alloc[src] -= k
@@ -432,19 +599,24 @@ def solve_local_search(
                         best_move, best_cost = (src, dst, k), cost
                     alloc[dst] -= k
                 alloc[src] += k
+            if interrupted:
+                break
         if best_move is not None:
             src, dst, k = best_move
             alloc[src] -= k
             alloc[dst] += k
             current = best_cost
-            improved = True
+            improved = not interrupted
+    stats = {"rounds": rounds, "warm_started": warm is not None}
+    if interrupted:
+        stats["interrupted"] = True
     return AllocationResult(
         allocation=alloc,
         objective=current,
         solver="local",
         solve_time_s=time.perf_counter() - start,
         relaxed=relax,
-        stats={"rounds": rounds, "warm_started": warm is not None},
+        stats=stats,
     )
 
 
@@ -479,6 +651,7 @@ def solve_milp_encoding(
     tangents_per_choice: int = 6,
     max_nodes: int = 200_000,
     warm_start: np.ndarray | None = None,
+    budget_s: float | None = None,
 ) -> AllocationResult:
     """Eqs. 1–7 as a MILP on the in-house branch & bound.
 
@@ -494,6 +667,12 @@ def solve_milp_encoding(
     A feasible ``warm_start`` allocation is lifted to a full MILP point
     (selection binaries, cascade flows, epigraph costs) that seeds the
     branch & bound incumbent, tightening pruning from the first node.
+
+    When the branch & bound stops early — node cap or ``budget_s``
+    wall-clock deadline — the best incumbent found is returned with
+    ``stats["interrupted"] = True`` instead of raising; only a stop
+    with *no* incumbent raises (:class:`DeadlineExceeded` when the
+    deadline caused it, :class:`SolverError` otherwise).
     """
     start = time.perf_counter()
     lb = problem.lower_bounds(relax=relax)
@@ -586,31 +765,44 @@ def solve_milp_encoding(
         if warm_vals is not None:
             warm_vals[cost[i]] = warm_cost
     m.minimize(LinExpr.sum(cost))
-    sol = m.solve(max_nodes=max_nodes, warm_values=warm_vals)
-    if not sol.is_optimal:
+    # Model build time counts against the budget: hand B&B the remainder.
+    deadline_s = None
+    if budget_s is not None:
+        deadline_s = max(budget_s - (time.perf_counter() - start), 1e-4)
+    sol = m.solve(max_nodes=max_nodes, warm_values=warm_vals, deadline_s=deadline_s)
+    interrupted = bool(sol.extra.get("interrupted", False))
+    if sol.x is None:
+        if interrupted and budget_s is not None:
+            raise DeadlineExceeded(
+                f"MILP budget {budget_s * 1e3:.1f} ms expired with no incumbent"
+            )
         raise SolverError(f"MILP encoding terminated with status {sol.status}")
     alloc = np.array(
         [sum(n for n in choices[i] if round(sol[y[i][n]]) == 1) for i in range(I)],
         dtype=np.int64,
     )
+    stats = {
+        "lower_bound": sol.objective,
+        "nodes": sol.nodes_explored,
+        "lp_iterations": int(sol.extra.get("lp_iterations", 0)),
+        "warm_started": bool(sol.extra.get("warm_started", False)),
+    }
+    if interrupted:
+        stats["interrupted"] = True
     return AllocationResult(
         allocation=alloc,
         objective=problem.evaluate(alloc),
         solver="milp",
         solve_time_s=time.perf_counter() - start,
         relaxed=relax,
-        stats={
-            "lower_bound": sol.objective,
-            "nodes": sol.nodes_explored,
-            "lp_iterations": int(sol.extra.get("lp_iterations", 0)),
-            "warm_started": bool(sol.extra.get("warm_started", False)),
-        },
+        stats=stats,
     )
 
 
 _SOLVERS = {
     "dp": solve_dp,
     "brute": solve_bruteforce,
+    "greedy": solve_greedy,
     "local": solve_local_search,
     "milp": solve_milp_encoding,
 }
@@ -624,6 +816,7 @@ def solve_allocation(
     method: str = "auto",
     relax: bool = False,
     warm_start: np.ndarray | None = None,
+    budget_s: float | None = None,
 ) -> AllocationResult:
     """Solve Eqs. 1–7 with the requested (or size-appropriate) solver.
 
@@ -631,6 +824,12 @@ def solve_allocation(
     period's) used to seed bounds/incumbents; infeasible warm starts
     are validated away, and exact solvers return results identical to
     a cold solve.
+
+    ``budget_s`` is an optional wall-clock budget: a solver that runs
+    out returns its best incumbent with ``stats["interrupted"] = True``
+    when it holds one, and raises :class:`DeadlineExceeded` otherwise.
+    (See :func:`repro.perf.anytime.solve_anytime` for the deadline-
+    driven ladder that composes the solvers.)
     """
     if method == "auto":
         method = "dp" if problem.num_gpus <= _DP_SCALE_LIMIT else "local"
@@ -640,4 +839,4 @@ def solve_allocation(
         raise ConfigurationError(
             f"unknown solver {method!r}; options: auto, {sorted(_SOLVERS)}"
         ) from None
-    return solver(problem, relax=relax, warm_start=warm_start)
+    return solver(problem, relax=relax, warm_start=warm_start, budget_s=budget_s)

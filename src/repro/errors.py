@@ -28,6 +28,15 @@ class UnboundedError(SolverError):
     """The LP relaxation is unbounded."""
 
 
+class DeadlineExceeded(SolverError):
+    """A budgeted solve ran out of wall-clock budget with no incumbent.
+
+    Raised only when a deadline expires *before any feasible allocation
+    exists*; a budgeted solver that already holds an incumbent returns
+    it (flagged ``interrupted``) instead of raising.
+    """
+
+
 class SchedulingError(ReproError):
     """A scheduling component was asked to do something impossible."""
 

@@ -89,6 +89,14 @@ class ExperimentSpec:
     #: (``SimulationConfig.data_plane``): ``"pooled"`` or
     #: ``"columnar"``.
     data_plane: str = "pooled"
+    #: Solve allocations through the deadline-bounded anytime ladder
+    #: (:mod:`repro.perf.anytime`) instead of a single solver.
+    solver_ladder: bool = False
+    #: Wall-clock budget per ladder solve, milliseconds.
+    solve_deadline_ms: float = 50.0
+    #: Forecast next-period demand and pre-solve it into the allocation
+    #: cache (requires ``solver_ladder``).
+    forecast: bool = False
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1 or self.rate_per_s <= 0 or self.duration_s <= 0:
@@ -218,7 +226,10 @@ class ExperimentSpec:
             registry=self.make_registry(),
             request_scheduler_config=RequestSchedulerConfig(),
             runtime_scheduler_config=RuntimeSchedulerConfig(
-                period_ms=seconds(self.scheduler_period_s)
+                period_ms=seconds(self.scheduler_period_s),
+                solver_ladder=self.solver_ladder,
+                solve_deadline_ms=self.solve_deadline_ms,
+                forecast=self.forecast,
             ),
         )
         if self.space_shard is not None and self.space_partition == "level":

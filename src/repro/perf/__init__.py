@@ -10,15 +10,27 @@ solve times); this package keeps it near-constant in practice:
   updated per arrival (never rebuilt per period).
 - :mod:`repro.perf.counters` — O(1) outstanding/capacity congestion
   aggregates maintained through instance lifecycle transitions.
+- :mod:`repro.perf.anytime` — deadline-bounded solver policy ladder
+  (greedy → local → DP → MILP) that always holds a feasible allocation
+  and upgrades it while wall-clock budget remains.
+- :mod:`repro.perf.forecast` — Holt–Winters demand forecaster feeding
+  forecast-driven pre-solves into the allocation cache.
 """
 
+from repro.perf.anytime import DEFAULT_LADDER, LadderRung, RUNGS, solve_anytime
 from repro.perf.cache import AllocationCache, CachedAllocation
 from repro.perf.counters import CongestionTracker
+from repro.perf.forecast import DemandForecaster
 from repro.perf.incremental import IncrementalHistogram
 
 __all__ = [
     "AllocationCache",
     "CachedAllocation",
     "CongestionTracker",
+    "DEFAULT_LADDER",
+    "DemandForecaster",
     "IncrementalHistogram",
+    "LadderRung",
+    "RUNGS",
+    "solve_anytime",
 ]

@@ -157,6 +157,66 @@ class AllocationCache:
             return None
         return best.result.allocation.copy()
 
+    def nearest_within(
+        self,
+        now_ms: float,
+        num_gpus: int,
+        fingerprint: str,
+        demand: np.ndarray,
+        tolerance: float,
+        method: str | None = None,
+        record: bool = True,
+    ) -> CachedAllocation | None:
+        """Approximate hit: the live entry whose demand is within a
+        *relative* L1 distance of the query.
+
+        Distance is ``‖d_entry − d‖₁ / max(‖d‖₁, 1)`` — scale-free, so
+        one tolerance works across traffic levels. Same-budget /
+        same-fingerprint filtering as :meth:`nearest` (optionally also
+        same solver ``method``), and the closest qualifying entry wins.
+        The returned entry's allocation was optimal for a *nearby*
+        demand, not this one: callers must re-check feasibility and
+        re-evaluate the objective against the live problem before use
+        (the anytime scheduler does both). Counts as a hit/miss and
+        refreshes LRU order like :meth:`lookup`; pass ``record=False``
+        for a side-effect-free probe (the pre-solve path asks "is this
+        forecast already covered?" without skewing hit-rate accounting).
+        """
+        query = canonical_demand(demand)
+        denom = max(float(np.abs(query).sum()), 1.0)
+        best: CachedAllocation | None = None
+        best_dist = float("inf")
+        for entry in self._entries.values():
+            if entry.num_gpus != num_gpus or entry.fingerprint != fingerprint:
+                continue
+            if method is not None and entry.key[2] != method:
+                continue
+            if now_ms - entry.stored_at_ms > self.ttl_ms:
+                continue
+            if entry.demand.shape != query.shape:
+                continue
+            dist = float(np.abs(entry.demand - query).sum()) / denom
+            if dist <= tolerance and dist < best_dist:
+                best, best_dist = entry, dist
+        if best is None:
+            if record:
+                self.misses += 1
+            return None
+        if record:
+            self._entries.move_to_end(best.key)
+            self.hits += 1
+        return best
+
+    def contains(self, now_ms: float, key: tuple) -> bool:
+        """Non-mutating membership probe honouring TTL.
+
+        Unlike :meth:`lookup` this touches no counters and no LRU
+        order — the pre-solve path uses it to decide whether a forecast
+        is already covered without polluting hit-rate accounting.
+        """
+        entry = self._entries.get(key)
+        return entry is not None and now_ms - entry.stored_at_ms <= self.ttl_ms
+
     def store(
         self,
         now_ms: float,

@@ -1,0 +1,146 @@
+"""Per-period demand forecasting for forecast-driven solve-ahead.
+
+The control plane observes one demand vector ``Q`` (per-runtime
+arrivals within an SLO window, from
+:class:`repro.core.demand.DemandEstimator`'s sliding
+:class:`~repro.perf.incremental.IncrementalHistogram`) per scheduler
+period. :class:`DemandForecaster` layers a vector-valued Holt–Winters
+additive model on that series — an EWMA **level** per histogram bin
+plus an optional additive **seasonal** component with a fixed period —
+and predicts the next period's vector so the scheduler can pre-solve
+the forecast allocation into the :class:`~repro.perf.cache.
+AllocationCache` during idle time (the Shockwave ``future_nrounds``
+pattern applied to Arlo's Eq. 1–7).
+
+No trend term: demand levels in the drifting traces are mean-reverting
+AR(1) walks, where a trend extrapolates noise. Seasonality is optional
+(``season_length=0`` disables it) and additive, matching the additive
+per-bin composition of the histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_EPS = 1e-9
+
+
+class DemandForecaster:
+    """Holt–Winters (level + optional additive seasonal) per-bin forecast.
+
+    Parameters
+    ----------
+    num_bins:
+        Dimension of the demand vector (number of runtime levels).
+    alpha:
+        EWMA smoothing factor for the level, in (0, 1]. Higher tracks
+        drift faster; lower smooths arrival noise harder.
+    season_length:
+        Periods per seasonal cycle; 0 disables the seasonal component.
+    gamma:
+        Seasonal smoothing factor, in (0, 1]. Ignored when
+        ``season_length == 0``.
+    """
+
+    def __init__(
+        self,
+        num_bins: int,
+        alpha: float = 0.35,
+        season_length: int = 0,
+        gamma: float = 0.25,
+    ) -> None:
+        if num_bins < 1:
+            raise ConfigurationError("num_bins must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        if season_length < 0:
+            raise ConfigurationError("season_length cannot be negative")
+        if season_length and not 0.0 < gamma <= 1.0:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+        self.num_bins = int(num_bins)
+        self.alpha = float(alpha)
+        self.season_length = int(season_length)
+        self.gamma = float(gamma)
+        self._level: np.ndarray | None = None
+        self._seasonal = (
+            np.zeros((self.season_length, self.num_bins))
+            if self.season_length
+            else None
+        )
+        self._phase = 0  # index of the *next* observation's seasonal slot
+        self._pending: np.ndarray | None = None  # prediction awaiting truth
+        self._observations = 0
+        self._error_sum = 0.0
+        self._error_count = 0
+        self._last_error: float | None = None
+
+    # -- update ---------------------------------------------------------------
+    def observe(self, demand: np.ndarray) -> None:
+        """Fold one period's realized demand vector into the model.
+
+        Scores the outstanding prediction (if any) against the realized
+        vector before updating, so :meth:`error_stats` always reflects
+        honest one-step-ahead errors.
+        """
+        y = np.asarray(demand, dtype=float)
+        if y.shape != (self.num_bins,):
+            raise ConfigurationError(
+                f"expected demand shape ({self.num_bins},), got {y.shape}"
+            )
+        if self._pending is not None:
+            denom = max(float(np.abs(y).sum()), _EPS)
+            err = float(np.abs(y - self._pending).sum()) / denom
+            self._error_sum += err
+            self._error_count += 1
+            self._last_error = err
+        if self._seasonal is not None:
+            slot = self._phase % self.season_length
+            seasonal = self._seasonal[slot]
+            if self._level is None:
+                self._level = y - seasonal  # seasonal starts at 0 ⇒ level = y
+            else:
+                self._level = (
+                    self.alpha * (y - seasonal) + (1.0 - self.alpha) * self._level
+                )
+            self._seasonal[slot] = (
+                self.gamma * (y - self._level) + (1.0 - self.gamma) * seasonal
+            )
+        else:
+            if self._level is None:
+                self._level = y.copy()
+            else:
+                self._level = self.alpha * y + (1.0 - self.alpha) * self._level
+        self._phase += 1
+        self._observations += 1
+        self._pending = self.predict()
+
+    # -- query ----------------------------------------------------------------
+    def predict(self) -> np.ndarray | None:
+        """Forecast the next period's demand vector (clipped at 0).
+
+        None until the first observation — predicting from nothing
+        would pre-solve garbage into the cache.
+        """
+        if self._level is None:
+            return None
+        forecast = self._level
+        if self._seasonal is not None:
+            forecast = forecast + self._seasonal[self._phase % self.season_length]
+        return np.maximum(forecast, 0.0)
+
+    @property
+    def observations(self) -> int:
+        return self._observations
+
+    def error_stats(self) -> dict:
+        """One-step-ahead relative-L1 forecast error summary."""
+        return {
+            "observations": self._observations,
+            "scored_predictions": self._error_count,
+            "mean_rel_error": (
+                self._error_sum / self._error_count if self._error_count else None
+            ),
+            "last_rel_error": self._last_error,
+        }

@@ -781,6 +781,13 @@ def run_simulation(
                 flush_observations()
                 _result, plan = runtime_scheduler.step(now, scheme.cluster)
                 if timeline is not None:
+                    solve_detail = {}
+                    if _result.solver == "anytime" or "rung" in _result.stats:
+                        solve_detail = {
+                            "rung": _result.stats.get("rung"),
+                            "deadline_ms": _result.stats.get("deadline_ms"),
+                            "deadline_hit": _result.stats.get("deadline_hit"),
+                        }
                     timeline.record(
                         now, "allocation", "solve",
                         provenance=runtime_scheduler.provenance_of(_result),
@@ -788,7 +795,17 @@ def run_simulation(
                         objective=_result.objective,
                         solve_ms=_result.solve_time_s * 1000.0,
                         plan_steps=len(plan),
+                        **solve_detail,
                     )
+                    presolve = runtime_scheduler.last_presolve
+                    if presolve is not None:
+                        timeline.record(
+                            now, "allocation", "presolve",
+                            provenance="forecast",
+                            outcome=presolve.get("outcome"),
+                            rung=presolve.get("rung"),
+                            solve_ms=presolve.get("elapsed_ms"),
+                        )
                 control.start_plan(now, plan)
                 metrics.sample_allocation(now, scheme.cluster.allocation())
                 queue.push(
@@ -995,6 +1012,21 @@ def run_simulation(
             else 0
         ),
     }
+    if runtime_scheduler is not None and runtime_scheduler.config.solver_ladder:
+        # Anytime-ladder counters: plain ints so shard merges stay a sum.
+        anytime = runtime_scheduler.anytime_stats()
+        control_stats.update({
+            "anytime_periods": anytime.get("periods", 0),
+            "anytime_exact_hits": anytime.get("boundary_exact_hits", 0),
+            "anytime_approx_hits": anytime.get("boundary_approx_hits", 0),
+            "anytime_forecast_hits": anytime.get("boundary_forecast_hits", 0),
+            "anytime_solves": anytime.get("solves", 0),
+            "anytime_deadline_hits": anytime.get("deadline_hits", 0),
+            "anytime_deadline_misses": anytime.get("deadline_misses", 0),
+            "anytime_presolves": anytime.get("presolves", 0),
+            "anytime_presolve_covered": anytime.get("presolve_covered", 0),
+            "anytime_presolve_failures": anytime.get("presolve_failures", 0),
+        })
     return SimulationResult(
         scheme_name=scheme.name,
         stats=metrics.stats(),

@@ -13,6 +13,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +37,9 @@ class MilpResult:
     lp_iterations: int = 0
     #: True when a caller-supplied warm start seeded the incumbent.
     warm_started: bool = False
+    #: True when the search stopped early (node cap or deadline) while
+    #: still holding unexplored subtrees; ``x`` is the best incumbent.
+    interrupted: bool = False
     extra: dict = field(default_factory=dict)
 
     @property
@@ -91,6 +95,7 @@ def solve_milp(
     max_nodes: int = 50_000,
     gap_tol: float = 1e-6,
     warm_x: np.ndarray | None = None,
+    deadline_s: float | None = None,
 ) -> MilpResult:
     """Solve ``lp`` with integrality imposed where ``integer_mask`` is True.
 
@@ -111,10 +116,16 @@ def solve_milp(
         the first node; when infeasible it is silently ignored. The
         returned objective is identical to a cold solve's — a seeded
         incumbent is only ever *replaced* by strictly better solutions.
+    deadline_s:
+        Optional wall-clock budget in seconds, measured from entry.
+        When it expires the search stops and the best incumbent so far
+        is returned with ``interrupted=True`` (status ITERATION_LIMIT),
+        exactly like hitting ``max_nodes``.
     """
     integer_mask = np.asarray(integer_mask, dtype=bool)
     if integer_mask.shape != (lp.num_vars,):
         raise SolverError("integer_mask must have one entry per variable")
+    expires_at = None if deadline_s is None else time.perf_counter() + deadline_s
 
     root = solve_lp(lp)
     lp_iterations = root.iterations
@@ -140,7 +151,11 @@ def solve_milp(
     nodes = 0
     best_bound = root.objective
 
+    timed_out = False
     while heap and nodes < max_nodes:
+        if expires_at is not None and time.perf_counter() >= expires_at:
+            timed_out = True
+            break
         bound, _, lb, ub = heapq.heappop(heap)
         best_bound = bound
         if incumbent_x is not None and (
@@ -179,11 +194,14 @@ def solve_milp(
     if incumbent_x is None:
         status = LpStatus.ITERATION_LIMIT if heap else LpStatus.INFEASIBLE
         return MilpResult(status, nodes_explored=nodes, best_bound=best_bound,
-                          lp_iterations=lp_iterations)
-    if heap and nodes >= max_nodes:
+                          lp_iterations=lp_iterations,
+                          interrupted=status is LpStatus.ITERATION_LIMIT)
+    if heap and (nodes >= max_nodes or timed_out):
         status = LpStatus.ITERATION_LIMIT
+        interrupted = True
     else:
         status = LpStatus.OPTIMAL
+        interrupted = False
         best_bound = min(best_bound, incumbent_obj)
     return MilpResult(
         status,
@@ -193,4 +211,5 @@ def solve_milp(
         best_bound=best_bound,
         lp_iterations=lp_iterations,
         warm_started=warm_started,
+        interrupted=interrupted,
     )

@@ -266,12 +266,15 @@ class Model:
         self,
         max_nodes: int = 50_000,
         warm_values: dict[Var, float] | None = None,
+        deadline_s: float | None = None,
     ) -> Solution:
         """Solve; dispatches to pure LP when no integer variables exist.
 
         ``warm_values`` maps variables to a candidate solution (missing
         variables default to their lower bound); if the point is
-        feasible it seeds the branch & bound incumbent.
+        feasible it seeds the branch & bound incumbent. ``deadline_s``
+        bounds the branch & bound wall clock; on expiry the best
+        incumbent is returned with ``extra["interrupted"] = True``.
         """
         lp, int_mask, const = self._build()
         if not int_mask.any():
@@ -288,7 +291,7 @@ class Model:
             for var, value in warm_values.items():
                 warm_x[var.index] = float(value)
         mres: MilpResult = solve_milp(
-            lp, int_mask, max_nodes=max_nodes, warm_x=warm_x
+            lp, int_mask, max_nodes=max_nodes, warm_x=warm_x, deadline_s=deadline_s
         )
         return Solution(
             status=mres.status.value,
@@ -298,5 +301,6 @@ class Model:
             extra={
                 "lp_iterations": mres.lp_iterations,
                 "warm_started": mres.warm_started,
+                "interrupted": mres.interrupted,
             },
         )

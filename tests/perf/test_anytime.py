@@ -1,0 +1,138 @@
+"""Anytime ladder contracts: monotone climb, exactness, feasibility.
+
+The ladder's promises (docstring of :func:`solve_anytime`), stated as
+properties over random Eq. 1–7 instances:
+
+- **Monotone** — each *accepted* rung strictly improves the incumbent,
+  so accepted objectives read in climb order are non-increasing;
+- **Exact when allowed** — whenever the deadline lets the DP rung
+  finish uninterrupted, the final objective equals the exact DP
+  optimum (the ladder never trades correctness for speed it has);
+- **Feasible-first** — even a microscopic deadline yields a feasible
+  allocation (the bootstrap rung runs regardless of budget).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    AllocationProblem,
+    solve_dp,
+    solve_greedy,
+)
+from repro.errors import ConfigurationError
+from repro.perf.anytime import DEFAULT_LADDER, RUNGS, resolve_ladder, solve_anytime
+
+_OBJ_TOL = 1e-6
+
+#: Long enough for every rung to finish on the tiny instances below, so
+#: the exactness property is about the algorithm, not the clock.
+_GENEROUS_S = 5.0
+
+
+@st.composite
+def problems(draw, max_runtimes=4, max_gpus=8):
+    n = draw(st.integers(min_value=2, max_value=max_runtimes))
+    num_gpus = draw(st.integers(min_value=n, max_value=max_gpus))
+    demand = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    capacity = draw(
+        st.lists(st.integers(min_value=1, max_value=4), min_size=n, max_size=n)
+    )
+    service = np.sort(
+        draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=8.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    return AllocationProblem(
+        num_gpus=num_gpus,
+        demand=np.asarray(demand, dtype=float),
+        capacity=np.asarray(capacity, dtype=np.int64),
+        service_ms=service,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_ladder_monotone_and_exact_when_dp_finishes(data):
+    problem = data.draw(problems())
+    result = solve_anytime(problem, deadline_s=_GENEROUS_S, relax=True)
+
+    # Monotone climb: accepted objectives are non-increasing in order.
+    accepted = [
+        r["objective"] for r in result.stats["rungs"] if r["accepted"]
+    ]
+    assert accepted, result.stats
+    assert all(
+        later <= earlier + _OBJ_TOL
+        for earlier, later in zip(accepted, accepted[1:])
+    ), result.stats["rungs"]
+    assert abs(result.objective - accepted[-1]) <= _OBJ_TOL
+
+    # Exactness: when the dp rung ran to completion, the final
+    # incumbent matches the exact DP optimum.
+    dp_runs = [
+        r for r in result.stats["rungs"]
+        if r["name"] == "dp" and not r["interrupted"] and r["objective"] is not None
+    ]
+    if dp_runs:
+        exact = solve_dp(problem, relax=True)
+        assert abs(result.objective - exact.objective) <= _OBJ_TOL
+
+    # The incumbent is always feasible and fully spends the budget.
+    assert problem.is_feasible(result.allocation, relaxed=True)
+    assert int(result.allocation.sum()) == problem.num_gpus
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_tiny_deadline_still_feasible(data):
+    problem = data.draw(problems())
+    # 1 ms: only the bootstrap rung is guaranteed to run — it must
+    # still hand back a feasible allocation.
+    result = solve_anytime(problem, deadline_s=1e-3, relax=True)
+    assert problem.is_feasible(result.allocation, relaxed=True)
+    assert int(result.allocation.sum()) == problem.num_gpus
+    assert result.stats["rung"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_greedy_feasible_and_dominated_by_dp(data):
+    problem = data.draw(problems())
+    greedy = solve_greedy(problem, relax=True)
+    assert problem.is_feasible(greedy.allocation, relaxed=True)
+    assert int(greedy.allocation.sum()) == problem.num_gpus
+    exact = solve_dp(problem, relax=True)
+    assert greedy.objective >= exact.objective - _OBJ_TOL
+
+
+def test_resolve_ladder_validates():
+    assert resolve_ladder(None) == tuple(RUNGS[n] for n in DEFAULT_LADDER)
+    assert [r.name for r in resolve_ladder(("greedy", "dp"))] == ["greedy", "dp"]
+    with pytest.raises(ConfigurationError):
+        resolve_ladder(("greedy", "simulated-annealing"))
+    # Empty falls back to the default ladder, same as None.
+    assert resolve_ladder(()) == resolve_ladder(None)
+
+
+def test_zero_deadline_rejected():
+    problem = AllocationProblem(
+        num_gpus=4,
+        demand=np.array([1.0, 1.0]),
+        capacity=np.array([2, 2], dtype=np.int64),
+        service_ms=np.array([1.0, 2.0]),
+    )
+    with pytest.raises(ConfigurationError):
+        solve_anytime(problem, deadline_s=0.0)

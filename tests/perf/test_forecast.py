@@ -1,0 +1,177 @@
+"""Forecaster accuracy and the pre-solve → boundary cache contract.
+
+Two acceptance properties from the anytime control plane:
+
+- on a drifting Twitter-like demand series the one-step-ahead
+  relative-L1 error stays within a bound set by the drift magnitude
+  (and the seasonal variant learns a planted diurnal cycle);
+- a cache entry the forecaster *pre-solved* is byte-identical to the
+  allocation an on-demand solve of the same demand vector produces —
+  pre-solving moves work off the boundary without changing results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.allocators import even_allocation
+from repro.cluster.state import ClusterState
+from repro.core.allocation import AllocationProblem
+from repro.core.bins import LengthBins
+from repro.core.demand import DemandEstimator
+from repro.core.runtime_scheduler import RuntimeScheduler, RuntimeSchedulerConfig
+from repro.errors import ConfigurationError
+from repro.perf.anytime import solve_anytime
+from repro.perf.cache import AllocationCache, profile_fingerprint
+from repro.perf.forecast import DemandForecaster
+from repro.runtimes.models import get_model
+from repro.runtimes.registry import build_polymorph_set
+from repro.runtimes.staircase import polymorph_lengths_for_count
+from repro.units import SECOND
+
+
+def _drifting_series(periods, num_bins, innovation=0.03, seed=0):
+    """AR(1) log-mix drift, the Twitter-like traffic shape the bench
+    and the drifting experiment traces use."""
+    rng = np.random.default_rng(seed)
+    log_mix = rng.normal(0.0, 0.8, size=num_bins)
+    out = []
+    for _ in range(periods):
+        log_mix = 0.97 * log_mix + rng.normal(0.0, innovation, size=num_bins)
+        mix = np.exp(log_mix)
+        out.append(2000.0 * mix / mix.sum())
+    return out
+
+
+def test_ewma_tracks_drifting_series_with_bounded_error():
+    series = _drifting_series(periods=200, num_bins=8, innovation=0.03)
+    fc = DemandForecaster(num_bins=8, alpha=0.7)
+    for demand in series:
+        fc.observe(demand)
+    stats = fc.error_stats()
+    assert stats["scored_predictions"] == len(series) - 1
+    # A 3 % per-period innovation admits roughly 3 % one-step error for
+    # a well-tuned tracker; 8 % leaves slack for the burn-in periods.
+    assert stats["mean_rel_error"] < 0.08, stats
+
+
+def test_seasonal_component_learns_planted_cycle():
+    # Constant level + strong period-6 additive cycle: the seasonal
+    # forecaster must beat the plain EWMA by a wide margin.
+    period = 6
+    cycle = np.array([1.0, 2.0, 4.0, 2.0, 1.0, 0.5])
+    series = [
+        np.full(4, 100.0) + 40.0 * cycle[k % period]
+        for k in range(period * 30)
+    ]
+    plain = DemandForecaster(num_bins=4, alpha=0.35)
+    seasonal = DemandForecaster(
+        num_bins=4, alpha=0.35, season_length=period, gamma=0.4
+    )
+    for demand in series:
+        plain.observe(demand)
+        seasonal.observe(demand)
+    plain_err = plain.error_stats()["mean_rel_error"]
+    seasonal_err = seasonal.error_stats()["mean_rel_error"]
+    assert seasonal_err < plain_err / 2, (plain_err, seasonal_err)
+    assert seasonal_err < 0.05, seasonal_err
+
+
+def test_predict_none_before_first_observation():
+    fc = DemandForecaster(num_bins=3)
+    assert fc.predict() is None
+    fc.observe(np.array([1.0, 2.0, 3.0]))
+    assert fc.predict() is not None
+
+
+def test_forecaster_validates_configuration():
+    with pytest.raises(ConfigurationError):
+        DemandForecaster(num_bins=0)
+    with pytest.raises(ConfigurationError):
+        DemandForecaster(num_bins=2, alpha=0.0)
+    with pytest.raises(ConfigurationError):
+        DemandForecaster(num_bins=2, season_length=4, gamma=1.5)
+    with pytest.raises(ConfigurationError):
+        DemandForecaster(num_bins=2).observe(np.zeros(3))
+
+
+def _ladder_scheduler(num_runtimes=4, num_gpus=8):
+    model = get_model("bert-base")
+    registry = build_polymorph_set(
+        model,
+        max_lengths=polymorph_lengths_for_count(model.max_length, num_runtimes),
+    )
+    config = RuntimeSchedulerConfig(
+        period_ms=1 * SECOND,
+        enable_cache=True,
+        warm_start=True,
+        solver_ladder=True,
+        # Generous: every rung finishes on this tiny instance, so the
+        # solve is deterministic (the dp rung ends the climb exactly).
+        solve_deadline_ms=2_000.0,
+        forecast=True,
+    )
+    estimator = DemandEstimator(
+        bins=LengthBins.from_registry(registry),
+        slo_ms=model.slo_ms,
+        window_ms=config.period_ms,
+    )
+    scheduler = RuntimeScheduler(
+        registry=registry, estimator=estimator, config=config
+    )
+    cluster = ClusterState.bootstrap(
+        registry, even_allocation(num_runtimes, num_gpus)
+    )
+    return scheduler, cluster, registry, model
+
+
+def _feed(estimator, registry, now_ms, window_ms, counts, seed):
+    rng = np.random.default_rng(seed)
+    times, lengths = [], []
+    for b, count in enumerate(counts):
+        times.append(rng.uniform(now_ms - window_ms, now_ms, size=count))
+        lengths.append(np.full(count, registry[b].max_length, dtype=np.int64))
+    order = np.argsort(np.concatenate(times), kind="stable")
+    estimator.observe_batch(
+        np.concatenate(times)[order], np.concatenate(lengths)[order]
+    )
+
+
+def test_presolved_entry_byte_identical_to_on_demand_solve():
+    scheduler, cluster, registry, model = _ladder_scheduler()
+    period = 1 * SECOND
+    # Two periods of traffic so the forecaster has a prediction and the
+    # scheduler has warm history, then a pre-solve.
+    for k, counts in enumerate(((40, 25, 10, 5), (42, 24, 11, 6))):
+        now = (k + 1) * period
+        _feed(scheduler.estimator, registry, now, period, counts, seed=k)
+        scheduler.step(now, cluster)
+
+    # step() runs the idle-time pre-solve itself after planning.
+    detail = scheduler.last_presolve
+    assert detail is not None and detail["outcome"] == "stored", detail
+    num_gpus = int(cluster.allocation().sum())
+
+    # Dig the stored entry back out under the exact forecast key.
+    predicted = scheduler.forecaster.predict()
+    problem = AllocationProblem.from_profiles(
+        num_gpus=num_gpus, demand=predicted, profiles=list(registry)
+    )
+    fingerprint = profile_fingerprint(
+        problem.capacity, problem.service_ms, problem.overhead_ms
+    )
+    key = AllocationCache.key_for(predicted, num_gpus, fingerprint, "anytime", False)
+    entry = scheduler.cache.lookup(2 * period + 100.0, key)
+    assert entry is not None
+    assert entry.result.stats.get("presolved") is True
+
+    # On-demand solve of the *same* demand vector, same warm seed the
+    # pre-solve used (the previous period's allocation): allocations
+    # must match byte for byte.
+    warm = scheduler.history[-1][2]
+    direct = solve_anytime(problem, deadline_s=2.0, warm_start=warm)
+    assert (
+        entry.result.allocation.tobytes() == direct.allocation.tobytes()
+    ), (entry.result.allocation, direct.allocation)
+    assert abs(entry.result.objective - direct.objective) <= 1e-9
+
+    assert scheduler._anytime["presolves"] == 1

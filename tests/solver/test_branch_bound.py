@@ -117,3 +117,62 @@ def test_matches_scipy_milp(problem):
         assert np.all(lp.a_ub @ ours.x <= lp.b_ub + 1e-6)
         frac = np.abs(ours.x[mask] - np.round(ours.x[mask]))
         assert np.all(frac <= 1e-6)
+
+
+def test_node_cap_returns_best_incumbent_interrupted():
+    """Exhausting the node budget mid-search must return the best
+    incumbent found so far flagged ``interrupted``, never raise — the
+    anytime ladder depends on budgeted solves degrading gracefully."""
+    # Near-degenerate knapsack (value ≈ weight): weak LP bounds force a
+    # deep tree, so node caps genuinely cut the search short.
+    rng = np.random.default_rng(7)
+    n = 16
+    w = rng.integers(10, 30, size=n).astype(float)
+    v = w + rng.integers(0, 3, size=n).astype(float)
+    lp = LinearProgram(
+        c=-v, a_ub=w[None, :], b_ub=np.array([w.sum() / 2]), ub=np.ones(n)
+    )
+    mask = np.ones(n, dtype=bool)
+
+    full = solve_milp(lp, mask)
+    assert full.is_optimal and not full.interrupted
+    assert full.nodes_explored > 2
+
+    # Sweep caps below the full tree: every capped run must come back
+    # without raising, and at least one holds an interrupted incumbent.
+    capped = None
+    for cap in range(1, full.nodes_explored):
+        res = solve_milp(lp, mask, max_nodes=cap)
+        assert not res.is_optimal or res.x is not None
+        if res.x is not None and res.interrupted:
+            capped = res
+            break
+    assert capped is not None, "no cap produced an interrupted incumbent"
+    assert capped.status is LpStatus.ITERATION_LIMIT
+    # The incumbent is feasible and integral, merely not proven optimal.
+    assert np.all(lp.a_ub @ capped.x <= lp.b_ub + 1e-6)
+    assert np.all(np.abs(capped.x[mask] - np.round(capped.x[mask])) <= 1e-6)
+    assert capped.objective >= full.objective - 1e-9
+
+
+def test_deadline_returns_incumbent_interrupted():
+    """An already-expired deadline still yields the root incumbent when
+    one exists (the first dive finds it before the clock check trips)."""
+    lp = LinearProgram(
+        c=np.array([-5.0, -4.0, -3.0]),
+        a_ub=np.array([[2.0, 3.0, 1.0]]),
+        b_ub=np.array([5.0]),
+        ub=np.ones(3),
+    )
+    mask = np.array([True, True, True])
+    res = solve_milp(lp, mask, deadline_s=0.0)
+    # Depending on where the clock trips, either we finished the tiny
+    # tree (optimal) or we hold an interrupted incumbent — never a
+    # crash, never a None x with a feasible problem and zero progress
+    # flagged optimal.
+    if res.x is not None:
+        assert np.all(lp.a_ub @ res.x <= lp.b_ub + 1e-6)
+        if res.interrupted:
+            assert res.status is LpStatus.ITERATION_LIMIT
+    else:
+        assert res.interrupted
