@@ -426,6 +426,62 @@ def bench_simulation_scale_spatial(
     }
 
 
+def bench_generative(
+    num_requests: int = 100_000,
+    rate_per_s: float = 1_000.0,
+    num_gpus: int = 64,
+    passes: int = 2,
+) -> dict:
+    """Generative data plane throughput: prefill + continuous-batched
+    decode, reported as simulator events/second.
+
+    Same ``run_simulation``-only basis as :func:`bench_simulation`
+    (trace generated once, scheme rebuilt outside the timed region).
+    The event count includes ``DECODE_STEP`` events, so the metric
+    gates the decode loop's step coalescing and ``DecodeTask`` pooling
+    — a regression in either shows up directly as fewer events/s.
+    """
+    spec = ExperimentSpec(
+        name="perf-generative",
+        model="bert-large",
+        num_gpus=num_gpus,
+        rate_per_s=rate_per_s,
+        duration_s=num_requests / rate_per_s,
+        schemes=("arlo",),
+        scheduler_period_s=max(num_requests / rate_per_s / 8.0, 5.0),
+        generative=True,
+    )
+    trace = spec.make_trace()
+    best = math.inf
+    result = None
+    for _ in range(passes):
+        scheme = spec.make_scheme("arlo", trace)
+        config = spec.sim_config()
+        t0 = time.perf_counter()
+        candidate = run_simulation(scheme, trace, config)
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best, result = elapsed, candidate
+    return {
+        "basis": "run_simulation only, scheme rebuilt per pass, "
+                 f"best of {passes}",
+        "requests": len(trace),
+        "completed": result.stats.count,
+        "num_gpus": num_gpus,
+        "rate_per_s": rate_per_s,
+        "decode_steps": result.control_stats["decode_steps"],
+        "step_events": result.control_stats["step_events"],
+        "batch_joins": result.control_stats["batch_joins"],
+        "ttft_p98_ms": result.dispatch_stats.get("ttft_p98_ms"),
+        "events": result.events_processed,
+        "wall_s": best,
+        "events_per_s": result.events_processed / best,
+        "decode_steps_per_s": (
+            result.control_stats["decode_steps"] / best
+        ),
+    }
+
+
 def bench_control_anytime(
     periods: int = 120,
     num_gpus: int = 1000,
@@ -604,6 +660,13 @@ def run_benchmarks(
             ),
             profile_top,
         ),
+        "generative": _profiled(
+            "generative",
+            lambda: bench_generative(
+                num_requests=20_000 if quick else 100_000,
+            ),
+            profile_top,
+        ),
         "control_anytime": _profiled(
             "control_anytime",
             lambda: bench_control_anytime(periods=60 if quick else 120),
@@ -639,6 +702,10 @@ _GATED_METRICS = (
     (("simulation_tracing_off", "overhead_vs_plain"), "lower", 0.05),
     (("simulation_scale", "events_per_s"), "higher", None),
     (("simulation_scale_spatial", "events_per_s"), "higher", None),
+    # Generative data plane: prefill + continuous-batched decode. The
+    # event count includes DECODE_STEP events, so step coalescing and
+    # DecodeTask pooling regressions both surface here.
+    (("generative", "events_per_s"), "higher", None),
     # p99 decide latency is a coarse canary, not the guarantee: most
     # boundaries are sub-ms cache hits, so the p99 lands on one of a
     # handful of real solves (3-6 ms, run-to-run jitter near 2x). The

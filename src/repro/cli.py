@@ -49,7 +49,48 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_generative_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--generative", action="store_true",
+                        help="prefill+decode workload: sample per-request "
+                        "decode lengths and serve through the decode event "
+                        "loop with continuous batching")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="decode batch size cap per instance "
+                        "(--generative only)")
+    parser.add_argument("--chunk-steps", type=int, default=1,
+                        help="decode steps advanced per DECODE_STEP event "
+                        "(--generative only)")
+    parser.add_argument("--gang", action="store_true",
+                        help="gang-schedule decode batches instead of "
+                        "continuous batching (--generative only)")
+    parser.add_argument("--decode-median", type=int, default=64,
+                        help="median sampled decode length "
+                        "(--generative only)")
+    parser.add_argument("--decode-p98", type=int, default=256,
+                        help="p98 sampled decode length (--generative only)")
+
+
 def _make_trace(args: argparse.Namespace):
+    if getattr(args, "generative", False):
+        from repro.workload.generative import (
+            GenerativeTraceConfig,
+            generate_generative_trace,
+        )
+        from repro.workload.lengths import LogNormalLengths
+
+        return generate_generative_trace(
+            GenerativeTraceConfig(
+                rate_per_s=args.rate,
+                duration_ms=seconds(args.duration),
+                pattern=args.pattern,
+                seed=args.seed,
+                decode_lengths=LogNormalLengths.from_quantiles(
+                    median=args.decode_median,
+                    p98=args.decode_p98,
+                    max_length=max(2 * args.decode_p98, args.decode_p98 + 1),
+                ),
+            )
+        )
     return generate_twitter_trace(
         TwitterTraceConfig(
             rate_per_s=args.rate,
@@ -57,6 +98,19 @@ def _make_trace(args: argparse.Namespace):
             pattern=args.pattern,
             seed=args.seed,
         )
+    )
+
+
+def _generative_config_from_args(args: argparse.Namespace):
+    """``SimulationConfig.generative`` value from CLI flags (or None)."""
+    if not getattr(args, "generative", False):
+        return None
+    from repro.sim.generative import GenerativeConfig
+
+    return GenerativeConfig(
+        max_batch=args.max_batch,
+        continuous_batching=not args.gang,
+        chunk_steps=args.chunk_steps,
     )
 
 
@@ -71,6 +125,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"wrote {trace} to {path}")
         return 0
     if args.workers > 1:
+        if args.generative:
+            raise SystemExit("--generative needs the serial path: decode "
+                             "batches do not partition spatially "
+                             "(drop --workers)")
         return _cmd_trace_spatial(args)
     return _cmd_trace_run(args)
 
@@ -157,7 +215,18 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
         failures=failures,
         observability=ObservabilityConfig(sample_rate=args.sample_rate),
         data_plane=args.data_plane,
+        generative=_generative_config_from_args(args),
     ))
+    if args.generative:
+        cs = result.control_stats
+        print(f"generative: decode_steps {cs['decode_steps']}  "
+              f"step_events {cs['step_events']}  "
+              f"batch_joins {cs['batch_joins']}")
+        ds = result.dispatch_stats
+        if "ttft_mean_ms" in ds:
+            print(f"  ttft mean {ds['ttft_mean_ms']:.2f} ms  "
+                  f"p50 {ds['ttft_p50_ms']:.2f} ms  "
+                  f"p98 {ds['ttft_p98_ms']:.2f} ms")
 
     summary = summarize_spans(result.spans)
     print(format_summary(summary, scheme_name=result.scheme_name))
@@ -353,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run a traced simulation and summarise its spans/timeline",
     )
     _add_trace_args(p_trace)
+    _add_generative_args(p_trace)
     p_trace.add_argument("--output",
                         help="write the generated trace .npz here "
                         "(omit to run the observability summarizer)")

@@ -97,6 +97,19 @@ class ExperimentSpec:
     #: Forecast next-period demand and pre-solve it into the allocation
     #: cache (requires ``solver_ladder``).
     forecast: bool = False
+    #: Generative (prefill + decode) workload: sample per-request decode
+    #: lengths and serve through the decode event loop with continuous
+    #: batching (Arlo-family schemes only).
+    generative: bool = False
+    #: Decode batch cap per instance (``generative`` only).
+    max_batch: int = 8
+    #: False = gang-scheduled batches (``generative`` only).
+    continuous_batching: bool = True
+    #: Decode steps advanced per DECODE_STEP event (``generative`` only).
+    chunk_steps: int = 1
+    #: Sampled decode-length quantiles (``generative`` only).
+    decode_median: int = 64
+    decode_p98: int = 256
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1 or self.rate_per_s <= 0 or self.duration_s <= 0:
@@ -140,6 +153,16 @@ class ExperimentSpec:
                     "level-partitioned space shards require a static "
                     "cluster (no autoscaler)"
                 )
+        if self.generative:
+            if self.shard is not None or self.space_shard is not None:
+                raise ConfigurationError(
+                    "generative runs do not shard: decode batches span "
+                    "shard boundaries"
+                )
+            if self.autoscaler is not None:
+                raise ConfigurationError(
+                    "generative runs do not support the autoscaler yet"
+                )
 
     def scaled(self, factor: float) -> "ExperimentSpec":
         """Proportionally shrink rate and GPUs (constant per-GPU load)."""
@@ -154,7 +177,37 @@ class ExperimentSpec:
     def make_full_trace(self) -> Trace:
         """The whole trace, ignoring any shard window."""
         if self.trace_override is not None:
+            if self.generative:
+                from repro.workload.generative import (
+                    GenerativeTrace,
+                    attach_decode_lengths,
+                )
+
+                if isinstance(self.trace_override, GenerativeTrace):
+                    return self.trace_override
+                return attach_decode_lengths(
+                    self.trace_override,
+                    self._decode_lengths(),
+                    seed=self.seed,
+                )
             return self.trace_override
+        if self.generative:
+            from repro.workload.generative import (
+                GenerativeTraceConfig,
+                generate_generative_trace,
+            )
+
+            return generate_generative_trace(
+                GenerativeTraceConfig(
+                    rate_per_s=self.rate_per_s,
+                    duration_ms=seconds(self.duration_s),
+                    pattern=self.pattern,
+                    seed=self.seed,
+                    drift_scale=self.trace_drift_scale,
+                    drift_window_ms=seconds(self.trace_drift_window_s),
+                    decode_lengths=self._decode_lengths(),
+                )
+            )
         return generate_twitter_trace(
             TwitterTraceConfig(
                 rate_per_s=self.rate_per_s,
@@ -164,6 +217,15 @@ class ExperimentSpec:
                 drift_scale=self.trace_drift_scale,
                 drift_window_ms=seconds(self.trace_drift_window_s),
             )
+        )
+
+    def _decode_lengths(self):
+        from repro.workload.lengths import LogNormalLengths
+
+        return LogNormalLengths.from_quantiles(
+            median=self.decode_median,
+            p98=self.decode_p98,
+            max_length=max(2 * self.decode_p98, self.decode_p98 + 1),
         )
 
     def shard_window_ms(self) -> tuple[float, float]:
@@ -279,6 +341,14 @@ class ExperimentSpec:
         kwargs = {}
         if self.retry != "default":
             kwargs["retry"] = self.retry
+        if self.generative:
+            from repro.sim.generative import GenerativeConfig
+
+            kwargs["generative"] = GenerativeConfig(
+                max_batch=self.max_batch,
+                continuous_batching=self.continuous_batching,
+                chunk_steps=self.chunk_steps,
+            )
         return SimulationConfig(
             enable_autoscaler=self.autoscaler is not None,
             autoscaler=self.autoscaler,

@@ -7,28 +7,40 @@ import pathlib
 import numpy as np
 
 from repro.errors import TraceError
+from repro.workload.generative import GenerativeTrace
 from repro.workload.trace import Trace
 
 _FORMAT_VERSION = 1
 
 
 def save_trace(trace: Trace, path: str | pathlib.Path) -> pathlib.Path:
-    """Write a trace to ``path`` (``.npz`` appended if missing)."""
+    """Write a trace to ``path`` (``.npz`` appended if missing).
+
+    Generative traces add a ``decode_len`` column; the archive stays a
+    valid v1 trace (extra keys are optional), so discriminative readers
+    of older snapshots are unaffected.
+    """
     path = pathlib.Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
-        path,
-        version=np.int64(_FORMAT_VERSION),
-        arrival_ms=trace.arrival_ms,
-        length=trace.length,
-    )
+    payload = {
+        "version": np.int64(_FORMAT_VERSION),
+        "arrival_ms": trace.arrival_ms,
+        "length": trace.length,
+    }
+    if isinstance(trace, GenerativeTrace):
+        payload["decode_len"] = trace.decode_len
+    np.savez_compressed(path, **payload)
     return path
 
 
 def load_trace(path: str | pathlib.Path) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace`.
+
+    Archives carrying a ``decode_len`` column come back as
+    :class:`~repro.workload.generative.GenerativeTrace`.
+    """
     path = pathlib.Path(path)
     if not path.exists():
         raise TraceError(f"no trace file at {path}")
@@ -41,5 +53,11 @@ def load_trace(path: str | pathlib.Path) -> Trace:
             raise TraceError(
                 f"trace format v{version} unsupported (expected "
                 f"v{_FORMAT_VERSION})"
+            )
+        if "decode_len" in data.files:
+            return GenerativeTrace(
+                data["arrival_ms"].copy(),
+                data["length"].copy(),
+                data["decode_len"].copy(),
             )
         return Trace(data["arrival_ms"].copy(), data["length"].copy())

@@ -68,8 +68,11 @@ class RequestSpan:
       ``fallback``, ``instance``
     - ``defer`` — no extras (dispatch failed; request queued)
     - ``retry`` — ``attempt``, ``delay_ms`` (backoff before re-entry)
+    - ``first_token`` — ``ttft_ms``, ``batch_size`` (generative data
+      plane: the request's first decode step finished)
     - ``lost`` — ``reason``
-    - ``complete`` — ``latency_ms``, ``service_ms``
+    - ``complete`` — ``latency_ms``, ``service_ms``, plus
+      ``decode_steps`` on the generative path
     """
 
     __slots__ = (
@@ -237,6 +240,15 @@ class RequestTracer:
             "attempt": attempt, "delay_ms": delay_ms,
         })
 
+    @staticmethod
+    def on_first_token(span: RequestSpan, now_ms: float, ttft_ms: float,
+                       batch_size: int) -> None:
+        """Generative data plane: the request produced its first token."""
+        span.events.append({
+            "phase": "first_token", "t_ms": now_ms,
+            "ttft_ms": ttft_ms, "batch_size": batch_size,
+        })
+
     def on_lost(self, request_id: int, now_ms: float, reason: str) -> None:
         span = self.active.pop(request_id, None)
         if span is None:
@@ -248,17 +260,21 @@ class RequestTracer:
         self._finish(span)
 
     def on_complete(self, request_id: int, now_ms: float,
-                    service_ms: float) -> None:
+                    service_ms: float,
+                    decode_steps: int | None = None) -> None:
         span = self.active.pop(request_id, None)
         if span is None:
             return
         span.final_phase = "complete"
         span.latency_ms = now_ms - span.arrival_ms
         span.service_ms = service_ms
-        span.events.append({
+        event = {
             "phase": "complete", "t_ms": now_ms,
             "latency_ms": span.latency_ms, "service_ms": service_ms,
-        })
+        }
+        if decode_steps is not None:
+            event["decode_steps"] = decode_steps
+        span.events.append(event)
         self._finish(span)
 
     # -- accounting -------------------------------------------------------

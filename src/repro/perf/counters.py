@@ -46,6 +46,13 @@ class CongestionTracker:
     #: Outstanding over *all* live instances (active + draining), the
     #: quantity ``ClusterState.total_outstanding`` reports.
     all_outstanding: int = field(default=0, init=False)
+    #: Requests currently inside a decode batch per level, over *all*
+    #: live instances (like ``all_outstanding``, not gated on active
+    #: membership — a draining donor keeps decoding its batch). Always
+    #: zero on the discriminative path; the generative event loop
+    #: maintains it so congestion probes and the allocation reports can
+    #: split a level's outstanding into queued-vs-decoding phases.
+    decoding: list[int] = field(init=False)
     _counted: set = field(default_factory=set, repr=False)
 
     def __post_init__(self) -> None:
@@ -54,6 +61,7 @@ class CongestionTracker:
         self.outstanding = [0] * self.num_levels
         self.capacity = [0] * self.num_levels
         self.active = [0] * self.num_levels
+        self.decoding = [0] * self.num_levels
 
     # -- lifecycle transitions ------------------------------------------------
     def activate(self, instance) -> None:
@@ -107,6 +115,19 @@ class CongestionTracker:
         """
         self.all_outstanding -= outstanding_lost
 
+    # -- decode-phase accounting (generative data plane) -----------------------
+    def on_decode_start(self, instance) -> None:
+        """One request joined an instance's decode batch."""
+        self.decoding[instance.runtime_index] += 1
+
+    def on_decode_end(self, instance) -> None:
+        """One request finished (or left) its decode batch."""
+        self.decoding[instance.runtime_index] -= 1
+
+    def on_decode_loss(self, instance, count: int) -> None:
+        """``count`` in-batch requests voided by a crash/blackout."""
+        self.decoding[instance.runtime_index] -= count
+
     # -- O(1) queries ----------------------------------------------------------
     def allocation(self) -> np.ndarray:
         """Active instance counts per level (the ILP's ``N`` vector)."""
@@ -132,6 +153,13 @@ class CongestionTracker:
         if cap == 0:
             return float("inf") if self.outstanding[level] else 0.0
         return int(self.outstanding[level]) / cap
+
+    def level_decode_occupancy(self, level: int) -> int:
+        """Requests currently decoding at one level (all live instances)."""
+        return self.decoding[level]
+
+    def total_decoding(self) -> int:
+        return sum(self.decoding)
 
     # -- certification ---------------------------------------------------------
     def verify(self, instances) -> None:

@@ -90,7 +90,15 @@ class DemandForecaster:
                 f"expected demand shape ({self.num_bins},), got {y.shape}"
             )
         if self._pending is not None:
-            denom = max(float(np.abs(y).sum()), _EPS)
+            # Symmetric denominator: score against the larger of the
+            # realized and predicted L1 masses so an idle period (y ≈ 0)
+            # with a tiny forecast reads as a small error instead of
+            # dividing the miss by ~EPS and blowing up mean_rel_error.
+            denom = max(
+                float(np.abs(y).sum()),
+                float(np.abs(self._pending).sum()),
+                _EPS,
+            )
             err = float(np.abs(y - self._pending).sum()) / denom
             self._error_sum += err
             self._error_count += 1

@@ -68,7 +68,15 @@ class RetryPolicy:
         return float(delay)
 
     def budget_for(self, n_requests: int) -> int:
-        """Total backoff retries allowed for a trace of ``n_requests``."""
+        """Total backoff retries allowed for a trace of ``n_requests``.
+
+        ``budget_fraction == 0`` means retries are disabled and the
+        budget is 0 — lost work falls straight back to immediate
+        capacity-driven re-admission. For positive fractions the budget
+        is floored at 32 so small traces still get a usable allowance.
+        """
+        if self.budget_fraction == 0.0:
+            return 0
         return max(32, int(self.budget_fraction * n_requests))
 
 

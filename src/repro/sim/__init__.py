@@ -19,6 +19,7 @@ from repro.sim.faults import (
     SlowdownEvent,
     SolverFaultEvent,
 )
+from repro.sim.generative import GenerativeConfig, run_generative_simulation
 from repro.sim.metrics import LatencyStats, MetricsCollector
 from repro.sim.replay import replay_trace
 from repro.sim.simulation import SimulationConfig, SimulationResult, run_simulation
@@ -30,6 +31,7 @@ __all__ = [
     "FailureEvent",
     "FailurePlan",
     "FaultPlan",
+    "GenerativeConfig",
     "LatencyStats",
     "MetricsCollector",
     "SimulationConfig",
@@ -37,5 +39,6 @@ __all__ = [
     "SlowdownEvent",
     "SolverFaultEvent",
     "replay_trace",
+    "run_generative_simulation",
     "run_simulation",
 ]

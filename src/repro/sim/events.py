@@ -19,7 +19,12 @@ from typing import Any
 class EventKind(enum.IntEnum):
     """Ordered so same-timestamp events resolve deterministically:
     completions free capacity before new arrivals claim it, and control
-    actions run before the traffic they affect."""
+    actions run before the traffic they affect. ARRIVAL never enters
+    the heap (both main loops stream arrivals off the trace arrays with
+    a strict ``<`` bypass, so every same-time heap event wins the tie);
+    DECODE_STEP sits past it only because renumbering the existing
+    kinds would change heap tie-breaks and break bit-exactness of the
+    discriminative path."""
 
     COMPLETION = 0
     REPLACEMENT_READY = 1
@@ -30,6 +35,9 @@ class EventKind(enum.IntEnum):
     #: Multi-stream pool coordination (repro.multistream.simulation).
     COORDINATE = 6
     ARRIVAL = 7
+    #: One decode-batch step boundary of the generative data plane
+    #: (repro.sim.generative).
+    DECODE_STEP = 8
 
 
 @dataclass(frozen=True, order=True, slots=True)
@@ -213,6 +221,66 @@ class ColumnarCompletionStore:
             "slots": len(self.request_id),
             "free": len(self._free),
         }
+
+
+class DecodeTask:
+    """Mutable, pooled per-request state of the generative data plane.
+
+    One task tracks a prefill+decode request from placement to its
+    final decode step: the generative event loop keeps tasks on
+    per-instance waiting queues and active batches, advancing
+    ``steps_done`` at every batch step boundary. Pooled exactly like
+    :class:`CompletionRecord` — the generative simulator allocates one
+    task per dispatch attempt, so the free list keeps steady-state
+    allocation at zero.
+    """
+
+    __slots__ = ("request_id", "arrival_ms", "prefill_len", "decode_len",
+                 "steps_done", "attempt", "service_ms", "awaiting_first")
+
+    #: Lifetime count of real allocations (pool misses).
+    total_allocated = 0
+
+    def __init__(self) -> None:
+        DecodeTask.total_allocated += 1
+
+
+#: Process-wide free list (single-threaded by construction, like the
+#: completion pool).
+DECODE_TASK_POOL: list[DecodeTask] = []
+
+
+def acquire_decode_task(
+    request_id: int,
+    arrival_ms: float,
+    prefill_len: int,
+    decode_len: int,
+    attempt: int,
+) -> DecodeTask:
+    """Take a task off the free list (or allocate) and fill it."""
+    task = DECODE_TASK_POOL.pop() if DECODE_TASK_POOL else DecodeTask()
+    task.request_id = request_id
+    task.arrival_ms = arrival_ms
+    task.prefill_len = prefill_len
+    task.decode_len = decode_len
+    task.steps_done = 0
+    task.attempt = attempt
+    task.service_ms = 0.0
+    task.awaiting_first = True
+    return task
+
+
+def release_decode_task(task: DecodeTask) -> None:
+    """Return a task to the free list."""
+    DECODE_TASK_POOL.append(task)
+
+
+def decode_task_pool_stats() -> dict[str, int]:
+    """Pool telemetry for benchmarks and pooling tests."""
+    return {
+        "free": len(DECODE_TASK_POOL),
+        "total_allocated": DecodeTask.total_allocated,
+    }
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,759 @@
+"""Generative (prefill + decode) serving on the discrete-event core.
+
+The discriminative simulator models a request as one indivisible
+service interval. Generative LLM serving is different in kind: a
+request *prefills* its prompt once, then emits tokens over many decode
+*steps*, and instances run those steps as a batch whose membership can
+change at every step boundary (continuous batching). This module adds
+that data plane on top of the same pooled event queue, the same
+length-aware Algorithm-1 placement, and the same control plane:
+
+- **Placement** stays Arlo's Algorithm 1 over *prefill* length: the
+  candidate walk (`ArloRequestScheduler._walk`) picks a staircase tier
+  whose ``max_length`` fits the prompt, probing congestion
+  ``P = outstanding / capacity``. ``outstanding`` counts a generative
+  request from admission to its *final decode step*, so probes see
+  decode occupancy, not just queued prefills; the congestion tracker
+  additionally splits per-level occupancy into queued vs decoding
+  (``CongestionTracker.decoding``).
+- **Decode loop**: each instance owns a waiting queue and an active
+  batch. Requests join at step boundaries only (while a step is in
+  flight the batch is immutable). One ``DECODE_STEP`` event covers
+  ``k`` steps (``chunk_steps`` slicing) of the whole batch; its
+  duration is batch-size-dependent, derived from the runtime profile::
+
+      step(k, b) = (pending_prefill + k * (overhead + per_seq * b))
+                   * slow_factor
+
+  where ``per_seq = service_table_ms[1] - overhead_ms`` (so a lone
+  request's single step costs exactly ``service_table_ms[1]``) and
+  ``pending_prefill`` is the summed prefill cost of members that
+  joined since the last step. With ``continuous_batching=False`` the
+  batch is gang-scheduled: new requests wait until the active batch
+  fully drains.
+- **Faults** reuse the discriminative taxonomy. A crash or blackout
+  voids the instance's waiting queue and active batch; the in-flight
+  step event is invalidated by bumping the per-instance ``token``
+  (completions are computed at step-fire time and never scheduled
+  ahead, so no attempt tokens or in-flight FIFOs are needed). Lost
+  requests re-enter through the same retry policy/budget; a
+  re-dispatched request restarts decoding from step zero.
+
+Observability: sampled spans record ``admit``/``dispatch``/``defer``/
+``retry`` as usual, plus a ``first_token`` event (TTFT and the batch
+size that produced it) and ``decode_steps`` on ``complete``. The
+Algorithm-1 probe narration is not emitted on this path — the walk is
+shared with the fast dispatch and stays allocation-free.
+
+Determinism: the loop is single-threaded over the same deterministic
+event queue; two runs of the same (trace, scheme, config) are
+bit-identical. The discriminative path is untouched — `run_simulation`
+delegates here only when ``SimulationConfig.generative`` is set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop
+from time import perf_counter
+
+from repro.baselines.dispatchers import ArloDispatcher
+from repro.baselines.schemes import Scheme
+from repro.cluster.instance import InstanceStatus, RuntimeInstance
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.obs.spans import RequestTracer
+from repro.obs.timeline import ControlTimeline
+from repro.resilience.retry import RetryBudget
+from repro.sim.controller import ControlPlane
+from repro.sim.engine import EventQueue
+from repro.sim.events import (
+    BlackoutEndPayload,
+    EventKind,
+    RecoveryPayload,
+    RetryPayload,
+    SlowdownEndPayload,
+    acquire_decode_task,
+    release_decode_task,
+)
+from repro.sim.faults import (
+    BlackoutEvent,
+    FailureEvent,
+    SlowdownEvent,
+    SolverFaultEvent,
+)
+from repro.sim.metrics import MetricsCollector, StreamingLatencySummary
+from repro.workload.generative import GenerativeTrace
+
+
+@dataclass(frozen=True)
+class GenerativeConfig:
+    """Decode-loop knobs, attached to ``SimulationConfig.generative``.
+
+    ``max_batch`` caps an instance's active decode batch. ``chunk_steps``
+    sets the step-slice granularity: one DECODE_STEP event advances the
+    batch by up to ``chunk_steps`` token steps (clamped to the nearest
+    member completion, so membership changes are never skipped over).
+    ``continuous_batching=False`` gang-schedules instead: waiting
+    requests join only when the active batch has fully drained.
+    """
+
+    max_batch: int = 8
+    continuous_batching: bool = True
+    chunk_steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if self.chunk_steps < 1:
+            raise ConfigurationError("chunk_steps must be >= 1")
+
+
+class _DecodeState:
+    """Per-instance decode loop state.
+
+    Invariant: while ``stepping`` is True the active batch is immutable
+    — admissions land in ``waiting`` and join at the next step boundary
+    (``_refill``). ``token`` invalidates the in-flight DECODE_STEP
+    event on crash/blackout (the event's payload carries the token it
+    was scheduled under).
+    """
+
+    __slots__ = ("instance", "waiting", "active", "token", "stepping",
+                 "pending_prefill_ms", "step_k", "step_dur", "table",
+                 "overhead_ms", "per_seq_ms")
+
+    def __init__(self, instance: RuntimeInstance):
+        self.instance = instance
+        self.waiting: deque = deque()
+        self.active: list = []
+        self.token = 0
+        self.stepping = False
+        #: Prefill cost of members joined since the last step fired;
+        #: folded into the next step's duration, then zeroed.
+        self.pending_prefill_ms = 0.0
+        self.step_k = 0
+        self.step_dur = 0.0
+        table = instance._service_table
+        self.table = table
+        overhead = instance.profile.overhead_ms
+        self.overhead_ms = overhead
+        # Per-token decode cost: calibrated so a batch of one advancing
+        # one step costs exactly the profiled length-1 service time.
+        self.per_seq_ms = table[1] - overhead
+
+
+def run_generative_simulation(
+    scheme: Scheme,
+    trace: GenerativeTrace,
+    config,
+) -> "SimulationResult":
+    """Serve a prefill+decode trace with continuous batching.
+
+    ``config`` is a :class:`~repro.sim.simulation.SimulationConfig`
+    whose ``generative`` field is set; `run_simulation` delegates here
+    so callers never invoke this directly.
+    """
+    # Deferred import: simulation.py lazily imports this module, so a
+    # top-level back-import would be circular.
+    from repro.sim.simulation import SimulationResult
+
+    wall_start = perf_counter()
+    if not isinstance(trace, GenerativeTrace):
+        raise ConfigurationError(
+            "generative simulation needs a GenerativeTrace "
+            "(attach decode lengths with attach_decode_lengths)"
+        )
+    if not len(trace):
+        raise SimulationError("cannot simulate an empty trace")
+    if not isinstance(scheme.dispatcher, ArloDispatcher):
+        raise ConfigurationError(
+            "the generative data plane requires Algorithm-1 placement "
+            f"(Arlo-family scheme), got {scheme.name!r}"
+        )
+    if config.enable_autoscaler:
+        raise ConfigurationError(
+            "generative simulation does not support the autoscaler yet"
+        )
+    if config.resilience is not None:
+        raise ConfigurationError(
+            "generative simulation does not support the resilience "
+            "manager yet (retry policy and fault plans are supported)"
+        )
+    gen: GenerativeConfig = config.generative
+    max_batch = gen.max_batch
+    continuous = gen.continuous_batching
+    chunk_steps = gen.chunk_steps
+
+    queue = EventQueue()
+    metrics = MetricsCollector(slo_ms=scheme.slo_ms)
+    obs = config.observability
+    tracer: RequestTracer | None = None
+    timeline: ControlTimeline | None = None
+    if obs is not None:
+        if obs.sample_rate > 0:
+            tracer = RequestTracer(obs.sample_rate, obs.max_spans)
+        if obs.timeline:
+            timeline = ControlTimeline()
+    control = ControlPlane(scheme=scheme, queue=queue, timeline=timeline)
+
+    retry_policy = config.retry
+    retry_rng = retry_policy.rng() if retry_policy is not None else None
+    retry_budget = (
+        RetryBudget(retry_policy.budget_for(len(trace)))
+        if retry_policy is not None
+        else None
+    )
+
+    arrivals_np = trace.arrival_ms
+    prefill_np = trace.length
+    arrivals_ms = arrivals_np.tolist()
+    prefills = prefill_np.tolist()
+    decode_lens = trace.decode_len.tolist()
+    n_requests = len(trace)
+    next_arrival = 0
+    observed_upto = 0
+    #: (request_id, retries already consumed) — prefill/decode lengths
+    #: are recovered from the trace arrays by id.
+    deferred: list[tuple[int, int]] = []
+    outstanding = 0
+    completed = 0
+    last_gpu_count = scheme.cluster.num_gpus
+    metrics.sample_gpus(0.0, last_gpu_count)
+    failures_injected = 0
+    requests_lost = 0
+    slowdowns_injected = 0
+    blackouts_injected = 0
+    solver_faults_injected = 0
+    timeouts = 0
+    retries_scheduled = 0
+    pending_retries = 0
+    decode_steps_total = 0
+    step_events = 0
+    batch_joins = 0
+
+    dispatcher = scheme.dispatcher
+    scheduler = dispatcher.scheduler
+    walk = scheduler._walk
+    mlq = scheme.mlq
+    estimator = scheme.demand_estimator
+    runtime_scheduler = scheme.runtime_scheduler
+    warmup_ms = config.warmup_ms
+    max_events = config.max_events
+    ttft = StreamingLatencySummary()
+
+    #: instance_id -> _DecodeState; created on first placement, popped
+    #: on crash/blackout (resumed instances get a fresh state).
+    states: dict[int, _DecodeState] = {}
+
+    DECODE_STEP = EventKind.DECODE_STEP
+
+    def flush_observations() -> None:
+        nonlocal observed_upto
+        if estimator is not None and observed_upto < next_arrival:
+            estimator.observe_batch(
+                arrivals_np[observed_upto:next_arrival],
+                prefill_np[observed_upto:next_arrival],
+            )
+            observed_upto = next_arrival
+
+    def work_remaining() -> bool:
+        return (
+            next_arrival + 1 < n_requests
+            or outstanding > 0
+            or bool(deferred)
+            or pending_retries > 0
+            or control.has_pending_work
+        )
+
+    def schedule_step(state: _DecodeState, now_ms: float) -> None:
+        """Launch the next batch step (active is non-empty)."""
+        nonlocal step_events
+        inst = state.instance
+        active = state.active
+        b = len(active)
+        k = chunk_steps
+        if k > 1:
+            # Clamp to the nearest member completion so batch
+            # membership can change at the boundary it occurs on.
+            remaining = min(t.decode_len - t.steps_done for t in active)
+            if remaining < k:
+                k = remaining
+        dur = (
+            state.pending_prefill_ms
+            + k * (state.overhead_ms + state.per_seq_ms * b)
+        ) * inst.slow_factor
+        state.pending_prefill_ms = 0.0
+        state.step_k = k
+        state.step_dur = dur
+        state.stepping = True
+        step_events += 1
+        queue.push(now_ms + dur, DECODE_STEP, (state, state.token))
+
+    def refill(state: _DecodeState) -> None:
+        """Join waiting requests into the active batch (step boundary)."""
+        nonlocal batch_joins
+        waiting = state.waiting
+        if not waiting:
+            return
+        active = state.active
+        if active and not continuous:
+            return  # gang scheduling: wait for the batch to drain
+        running = bool(active)
+        inst = state.instance
+        tracker = inst.tracker
+        table = state.table
+        while waiting and len(active) < max_batch:
+            task = waiting.popleft()
+            active.append(task)
+            state.pending_prefill_ms += table[task.prefill_len]
+            if tracker is not None:
+                tracker.on_decode_start(inst)
+            if running:
+                batch_joins += 1
+
+    def admit(
+        now_ms: float, request_id: int, attempt: int = 0
+    ) -> bool:
+        nonlocal outstanding
+        prefill = prefills[request_id]
+        arrival = arrivals_ms[request_id]
+        span = (
+            tracer.begin(now_ms, request_id, arrival, prefill, attempt)
+            if tracer is not None
+            else None
+        )
+        try:
+            head, level, ideal, _peeked, fell_back = walk(prefill)
+        except CapacityError:
+            if span is not None:
+                tracer.on_defer(span, now_ms)
+            return False
+        scheduler.dispatched += 1
+        if level > ideal:
+            scheduler.demotions += 1
+        if fell_back:
+            scheduler.fallbacks += 1
+        # Manual enqueue: no busy_until_ms service interval — the decode
+        # loop owns timing. `outstanding` still counts the request until
+        # its final decode step so congestion probes see decode load.
+        head.outstanding += 1
+        head._epoch += 1
+        tracker = head.tracker
+        if tracker is not None:
+            tracker.on_enqueue(head)
+        mlq.refresh(head)
+        if span is not None:
+            tracer.on_dispatch(
+                span, now_ms, level=level, ideal_level=ideal,
+                instance=f"i{head.instance_id}", fallback=fell_back,
+            )
+        outstanding += 1
+        state = states.get(head.instance_id)
+        if state is None:
+            state = states[head.instance_id] = _DecodeState(head)
+        state.waiting.append(
+            acquire_decode_task(
+                request_id, arrival, prefill, decode_lens[request_id],
+                attempt,
+            )
+        )
+        if not state.stepping:
+            refill(state)
+            if state.active:
+                schedule_step(state, now_ms)
+        return True
+
+    def reinject(now_ms: float, request_id: int, attempt: int) -> None:
+        nonlocal retries_scheduled, pending_retries
+        if (
+            retry_policy is not None
+            and attempt < retry_policy.max_attempts
+            and retry_budget.try_consume()
+        ):
+            delay = retry_policy.delay_ms(attempt, retry_rng)
+            queue.push(
+                now_ms + delay,
+                EventKind.INSTANCE_FAILURE,
+                RetryPayload(request_id, arrivals_ms[request_id],
+                             prefills[request_id], attempt + 1),
+            )
+            retries_scheduled += 1
+            pending_retries += 1
+            if tracer is not None:
+                span = tracer.active.get(request_id)
+                if span is not None:
+                    tracer.on_retry(span, now_ms, attempt + 1, delay)
+        elif not admit(now_ms, request_id, attempt):
+            deferred.append((request_id, attempt))
+
+    def flush_deferred(now_ms: float) -> None:
+        if not deferred:
+            return
+        still: list[tuple[int, int]] = []
+        for request_id, attempt in deferred:
+            if not admit(now_ms, request_id, attempt):
+                still.append((request_id, attempt))
+        deferred[:] = still
+
+    def sample_gpus(now_ms: float) -> None:
+        nonlocal last_gpu_count
+        count = scheme.cluster.num_gpus
+        if count != last_gpu_count:
+            metrics.sample_gpus(now_ms, count)
+            last_gpu_count = count
+
+    def pick_victim(rank: int) -> RuntimeInstance | None:
+        active = scheme.cluster.active_instances()
+        if not active:
+            return None
+        ordered = sorted(active, key=lambda i: (-i.outstanding,
+                                                i.instance_id))
+        return ordered[min(rank, len(ordered) - 1)]
+
+    def void_instance(victim: RuntimeInstance) -> list:
+        """Detach the victim's decode state; returns its live tasks.
+
+        Must run *before* ``crash_instance``/``suspend`` so the decode
+        occupancy counters are reconciled while the tracker still
+        counts the instance.
+        """
+        state = states.pop(victim.instance_id, None)
+        if state is None:
+            return []
+        if victim.tracker is not None and state.active:
+            victim.tracker.on_decode_loss(victim, len(state.active))
+        tasks = list(state.active)
+        tasks.extend(state.waiting)
+        state.token += 1  # voids the in-flight DECODE_STEP, if any
+        state.active.clear()
+        state.waiting.clear()
+        state.stepping = False
+        return tasks
+
+    def reinject_tasks(now_ms: float, tasks: list) -> None:
+        nonlocal outstanding
+        outstanding -= len(tasks)
+        for task in tasks:
+            reinject(now_ms, task.request_id, task.attempt)
+            release_decode_task(task)
+
+    if runtime_scheduler is not None:
+        queue.push(runtime_scheduler.config.period_ms, EventKind.RESCHEDULE)
+    if config.failures is not None:
+        for fault in config.failures.sorted_events():
+            queue.push(fault.time_ms, EventKind.INSTANCE_FAILURE, fault)
+
+    heap = queue._heap
+    INF = float("inf")
+    RESCHEDULE = EventKind.RESCHEDULE
+    REPLACEMENT_READY = EventKind.REPLACEMENT_READY
+    SCALE_OUT_READY = EventKind.SCALE_OUT_READY
+    INSTANCE_FAILURE = EventKind.INSTANCE_FAILURE
+
+    popped = queue._popped
+    while True:
+        if max_events and popped + next_arrival >= max_events:
+            raise SimulationError(
+                f"event cap {max_events} hit with work remaining"
+            )
+        heap_time = heap[0][0] if heap else INF
+
+        if next_arrival < n_requests and arrivals_ms[next_arrival] < heap_time:
+            now = arrivals_ms[next_arrival]
+            request_id = next_arrival
+            next_arrival = request_id + 1
+            queue._now = now
+            if not admit(now, request_id):
+                deferred.append((request_id, 0))
+                metrics.deferred_requests += 1
+            continue
+        if not heap:
+            break
+
+        entry = heappop(heap)
+        now = entry[0]
+        kind = entry[1]
+        queue._now = now
+        popped += 1
+
+        if kind is DECODE_STEP:
+            state, token = entry[3]
+            if token != state.token:
+                continue  # voided by a crash/blackout
+            state.stepping = False
+            inst = state.instance
+            k = state.step_k
+            dur = state.step_dur
+            active = state.active
+            decode_steps_total += k * len(active)
+            batch_size = len(active)
+            survivors: list = []
+            for task in active:
+                task.steps_done += k
+                task.service_ms += dur
+                if task.awaiting_first:
+                    task.awaiting_first = False
+                    first_ms = now - task.arrival_ms
+                    if task.arrival_ms >= warmup_ms:
+                        ttft.add(first_ms)
+                    if tracer is not None:
+                        span = tracer.active.get(task.request_id)
+                        if span is not None:
+                            tracer.on_first_token(span, now, first_ms,
+                                                  batch_size)
+                if task.steps_done < task.decode_len:
+                    survivors.append(task)
+                    continue
+                # --- final decode step: the request completes ---
+                out = inst.outstanding - 1
+                if out < 0:
+                    raise SchedulingError(
+                        f"instance {inst.instance_id} completed with "
+                        f"empty queue"
+                    )
+                inst.outstanding = out
+                inst.served += 1
+                inst._epoch += 1
+                tracker = inst.tracker
+                if tracker is not None:
+                    tracker.on_complete(inst)
+                    tracker.on_decode_end(inst)
+                mlq.refresh(inst)
+                outstanding -= 1
+                completed += 1
+                if task.arrival_ms >= warmup_ms:
+                    metrics.record(now - task.arrival_ms,
+                                   inst.runtime_index)
+                if tracer is not None:
+                    tracer.on_complete(task.request_id, now,
+                                       task.service_ms,
+                                       decode_steps=task.decode_len)
+                if control._pending:
+                    control.on_completion(now, inst)
+                release_decode_task(task)
+            state.active = survivors
+            if deferred:
+                flush_deferred(now)
+            if inst.status is not InstanceStatus.RETIRED:
+                refill(state)
+                if state.active:
+                    schedule_step(state, now)
+
+        elif kind is RESCHEDULE:
+            if runtime_scheduler is not None and work_remaining():
+                flush_observations()
+                _result, plan = runtime_scheduler.step(now, scheme.cluster)
+                if timeline is not None:
+                    timeline.record(
+                        now, "allocation", "solve",
+                        provenance=runtime_scheduler.provenance_of(_result),
+                        solver=_result.solver,
+                        objective=_result.objective,
+                        solve_ms=_result.solve_time_s * 1000.0,
+                        plan_steps=len(plan),
+                    )
+                control.start_plan(now, plan)
+                metrics.sample_allocation(now, scheme.cluster.allocation())
+                queue.push(
+                    now + runtime_scheduler.config.period_ms,
+                    EventKind.RESCHEDULE,
+                )
+
+        elif kind is REPLACEMENT_READY:
+            control.on_replacement_event(now, entry[3])
+            sample_gpus(now)
+            flush_deferred(now)
+
+        elif kind is SCALE_OUT_READY:
+            control.on_scale_out_ready(now, entry[3])
+            sample_gpus(now)
+            flush_deferred(now)
+
+        elif kind is INSTANCE_FAILURE:
+            payload = entry[3]
+
+            if isinstance(payload, RecoveryPayload):
+                gpu = scheme.cluster.gpus[payload.gpu_id]
+                recovered = scheme.cluster.deploy(payload.runtime_index, gpu)
+                mlq.add(recovered)
+                if timeline is not None:
+                    timeline.record(
+                        now, "fault", "recovery",
+                        instance=recovered.instance_id,
+                        runtime_index=payload.runtime_index,
+                    )
+                flush_deferred(now)
+
+            elif isinstance(payload, RetryPayload):
+                pending_retries -= 1
+                if not admit(now, payload.request_id, payload.attempt):
+                    deferred.append((payload.request_id, payload.attempt))
+
+            elif isinstance(payload, SlowdownEvent):
+                victim = pick_victim(payload.victim_rank)
+                if victim is not None:
+                    victim.slow_factor = payload.factor
+                    slowdowns_injected += 1
+                    if timeline is not None:
+                        timeline.record(
+                            now, "fault", "slowdown",
+                            instance=victim.instance_id,
+                            factor=payload.factor,
+                        )
+                    if payload.duration_ms is not None:
+                        queue.push(
+                            now + payload.duration_ms,
+                            EventKind.INSTANCE_FAILURE,
+                            SlowdownEndPayload(victim.instance_id),
+                        )
+
+            elif isinstance(payload, SlowdownEndPayload):
+                inst = scheme.cluster.instances.get(payload.instance_id)
+                if inst is not None:
+                    inst.slow_factor = 1.0
+
+            elif isinstance(payload, BlackoutEvent):
+                victim = pick_victim(payload.victim_rank)
+                if victim is not None:
+                    lost_tasks = void_instance(victim)
+                    if mlq.contains(victim):
+                        mlq.remove(victim)
+                    victim.suspend()
+                    blackouts_injected += 1
+                    timeouts += len(lost_tasks)
+                    if timeline is not None:
+                        timeline.record(
+                            now, "fault", "blackout",
+                            instance=victim.instance_id,
+                            duration_ms=payload.duration_ms,
+                            voided=len(lost_tasks),
+                        )
+                    reinject_tasks(now, lost_tasks)
+                    queue.push(
+                        now + payload.duration_ms,
+                        EventKind.INSTANCE_FAILURE,
+                        BlackoutEndPayload(victim.instance_id),
+                    )
+
+            elif isinstance(payload, BlackoutEndPayload):
+                inst = scheme.cluster.instances.get(payload.instance_id)
+                if inst is not None and inst.status is InstanceStatus.SUSPENDED:
+                    inst.resume()
+                    if not mlq.contains(inst):
+                        mlq.add(inst)
+                    flush_deferred(now)
+
+            elif isinstance(payload, SolverFaultEvent):
+                if runtime_scheduler is not None:
+                    runtime_scheduler.inject_solver_failures(payload.count)
+                    solver_faults_injected += payload.count
+                    if timeline is not None:
+                        timeline.record(
+                            now, "fault", "solver_fault",
+                            count=payload.count,
+                        )
+
+            elif isinstance(payload, FailureEvent):
+                victim = pick_victim(payload.victim_rank)
+                if victim is None:
+                    continue
+                lost_tasks = void_instance(victim)
+                if mlq.contains(victim):
+                    mlq.remove(victim)
+                control.note_failure(victim.instance_id)
+                gpu, lost = scheme.cluster.crash_instance(victim)
+                failures_injected += 1
+                requests_lost += lost
+                if timeline is not None:
+                    timeline.record(
+                        now, "fault", "crash",
+                        instance=victim.instance_id,
+                        voided=len(lost_tasks),
+                        recovery_ms=(
+                            payload.recovery_ms
+                            if payload.recovery_ms is not None
+                            else -1.0
+                        ),
+                    )
+                if payload.recovery_ms is not None:
+                    queue.push(
+                        now + payload.recovery_ms,
+                        EventKind.INSTANCE_FAILURE,
+                        RecoveryPayload(gpu_id=gpu.gpu_id,
+                                        runtime_index=victim.runtime_index),
+                    )
+                else:
+                    scheme.cluster.release_gpu(gpu.gpu_id, now)
+                    sample_gpus(now)
+                reinject_tasks(now, lost_tasks)
+
+            else:
+                raise SimulationError(
+                    f"unhandled fault payload {payload!r}"
+                )
+
+        else:  # pragma: no cover - the enum is closed on this path
+            raise SimulationError(f"unhandled event kind {kind}")
+
+    queue._popped = popped
+    flush_observations()
+    if completed != n_requests:
+        raise SimulationError(
+            f"simulation ended with {n_requests - completed} unserved "
+            f"requests"
+        )
+
+    end_ms = queue.now_ms
+    control_stats = {
+        "replacements": control.replacements_executed,
+        "scale_outs": control.scale_outs,
+        "scale_ins": control.scale_ins,
+        "deferred": metrics.deferred_requests,
+        "failures": failures_injected,
+        "requests_lost": requests_lost,
+        "slowdowns": slowdowns_injected,
+        "blackouts": blackouts_injected,
+        "timeouts": timeouts,
+        "retries": retries_scheduled,
+        "retry_budget_exhausted": (
+            retry_budget.exhausted_events if retry_budget is not None else 0
+        ),
+        "quarantines": 0,
+        "breaker_trips": 0,
+        "breaker_recoveries": 0,
+        "quarantine_violations": 0,
+        "solver_faults_injected": solver_faults_injected,
+        "solver_fallbacks": (
+            runtime_scheduler.solver_fallbacks
+            if runtime_scheduler is not None
+            else 0
+        ),
+        # Generative counters: plain ints so shard merges stay a sum.
+        "decode_steps": decode_steps_total,
+        "step_events": step_events,
+        "batch_joins": batch_joins,
+    }
+    dispatch_stats = scheduler.stats()
+    if ttft.count:
+        dispatch_stats["ttft_mean_ms"] = ttft.mean_ms
+        dispatch_stats["ttft_p50_ms"] = ttft.quantile(0.50)
+        dispatch_stats["ttft_p98_ms"] = ttft.quantile(0.98)
+    return SimulationResult(
+        scheme_name=scheme.name,
+        stats=metrics.stats(),
+        metrics=metrics,
+        end_ms=end_ms,
+        events_processed=queue.events_processed + next_arrival,
+        time_weighted_gpus=metrics.time_weighted_gpus(end_ms),
+        dispatch_stats=dispatch_stats,
+        control_stats=control_stats,
+        spans=tracer.finished if tracer is not None else [],
+        timeline=timeline,
+        wall_s=perf_counter() - wall_start,
+    )

@@ -116,6 +116,13 @@ class SimulationConfig:
     #: (struct-of-arrays slots — roughly half the per-event memory at
     #: parity throughput). Results are bit-identical either way.
     data_plane: str = "pooled"
+    #: Generative (prefill + decode) data plane. None (the default)
+    #: keeps the discriminative single-interval model bit-exactly;
+    #: a :class:`~repro.sim.generative.GenerativeConfig` routes the run
+    #: through the decode event loop with continuous batching (the
+    #: trace must then be a GenerativeTrace). String annotation + lazy
+    #: import keep the discriminative import graph unchanged.
+    generative: "object | None" = None
     #: Vectorised Algorithm 1 over same-timestamp arrival runs
     #: (Arlo-family schemes). Decision-equivalent to the scalar walk —
     #: it only engages when a slack certificate proves every request
@@ -188,6 +195,10 @@ def run_simulation(
     if not len(trace):
         raise SimulationError("cannot simulate an empty trace")
     config = config or SimulationConfig()
+    if config.generative is not None:
+        from repro.sim.generative import run_generative_simulation
+
+        return run_generative_simulation(scheme, trace, config)
 
     queue = EventQueue()
     metrics = MetricsCollector(slo_ms=scheme.slo_ms)

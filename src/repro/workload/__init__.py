@@ -15,6 +15,13 @@ from repro.workload.arrivals import (
     PoissonArrivals,
     RateProfile,
 )
+from repro.workload.generative import (
+    GenerativeRequest,
+    GenerativeTrace,
+    GenerativeTraceConfig,
+    attach_decode_lengths,
+    generate_generative_trace,
+)
 from repro.workload.generator import WorkloadSpec, generate_trace
 from repro.workload.lengths import (
     EmpiricalLengths,
@@ -40,6 +47,9 @@ from repro.workload.twitter import (
 __all__ = [
     "ArrivalProcess",
     "EmpiricalLengths",
+    "GenerativeRequest",
+    "GenerativeTrace",
+    "GenerativeTraceConfig",
     "LengthDistribution",
     "LogNormalLengths",
     "MMPPArrivals",
@@ -52,8 +62,10 @@ __all__ = [
     "Trace",
     "TwitterTraceConfig",
     "WorkloadSpec",
+    "attach_decode_lengths",
     "empirical_cdf",
     "fit_lognormal_quantiles",
+    "generate_generative_trace",
     "generate_trace",
     "generate_twitter_trace",
     "lengths_in_windows",

@@ -1,0 +1,235 @@
+"""Generative (prefill + decode) request traces.
+
+Arlo's staircase runtimes target discriminative BERT-style requests:
+one length, one forward pass. Autoregressive serving adds a second
+length dimension — every request carries a *prefill* length (the
+prompt, known on arrival) and a *decode* length (tokens generated one
+step at a time, unknown to the scheduler until the request finishes).
+:class:`GenerativeTrace` extends :class:`~repro.workload.trace.Trace`
+with a per-request ``decode_len`` column while keeping ``length`` as
+the prefill length, so every existing length-keyed component (demand
+estimation, staircase tier walk, Eq. 1–7 allocation) reads the prompt
+dimension unchanged.
+
+Generation is deterministic: one seed drives the prefill trace (the
+same Twitter-like generator the discriminative path uses) and a
+fixed-derivation child stream draws the decode lengths, so traces are
+golden-hashable exactly like the discriminative ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TraceError
+from repro.units import MINUTE, SECOND
+from repro.workload.lengths import LengthDistribution, LogNormalLengths
+from repro.workload.trace import Trace
+from repro.workload.twitter import TwitterTraceConfig, generate_twitter_trace
+
+#: Default decode-length quantiles: a chat-style mix with a median
+#: answer of 64 tokens, a long tail to 256 at p98 and a hard generation
+#: cap of 512 (mirrors the shape reported for ShareGPT-like workloads).
+DEFAULT_DECODE_MEDIAN = 64
+DEFAULT_DECODE_P98 = 256
+DEFAULT_DECODE_MAX = 512
+
+#: Fixed label mixed into the seed for the decode-length stream, so the
+#: prefill trace of seed ``s`` is byte-identical whether or not decode
+#: lengths are attached.
+_DECODE_STREAM = 0x6D
+
+
+@dataclass(frozen=True)
+class GenerativeRequest:
+    """One prefill+decode request (materialised from a trace row)."""
+
+    request_id: int
+    arrival_ms: float
+    prefill_len: int
+    decode_len: int
+
+    def __post_init__(self) -> None:
+        if self.prefill_len <= 0:
+            raise TraceError(
+                f"request {self.request_id} has prefill {self.prefill_len}"
+            )
+        if self.decode_len <= 0:
+            raise TraceError(
+                f"request {self.request_id} has decode {self.decode_len}"
+            )
+        if self.arrival_ms < 0:
+            raise TraceError(f"request {self.request_id} arrives before t=0")
+
+
+class GenerativeTrace(Trace):
+    """An immutable, time-sorted prefill+decode request trace.
+
+    ``length`` holds the prefill length (so discriminative consumers —
+    estimators, the staircase walk — see the prompt dimension without
+    modification); ``decode_len`` holds the number of decode steps each
+    request performs before completing.
+    """
+
+    __slots__ = ("decode_len",)
+
+    def __init__(
+        self,
+        arrival_ms: np.ndarray,
+        length: np.ndarray,
+        decode_len: np.ndarray,
+    ):
+        super().__init__(arrival_ms, length)
+        decode_len = np.asarray(decode_len, dtype=np.int64)
+        if decode_len.shape != self.length.shape:
+            raise TraceError("decode_len must align with the arrival array")
+        if decode_len.size and np.any(decode_len <= 0):
+            raise TraceError("decode lengths must be positive")
+        decode_len.setflags(write=False)
+        self.decode_len = decode_len
+
+    # -- basic protocol ---------------------------------------------------
+    def __iter__(self) -> Iterator[GenerativeRequest]:
+        for i in range(len(self)):
+            yield GenerativeRequest(
+                i,
+                float(self.arrival_ms[i]),
+                int(self.length[i]),
+                int(self.decode_len[i]),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        if not len(self):
+            return "GenerativeTrace(empty)"
+        return (
+            f"GenerativeTrace({len(self)} requests over "
+            f"{self.duration_ms / SECOND:.1f}s, "
+            f"median prefill {int(np.median(self.length))}, "
+            f"median decode {int(np.median(self.decode_len))})"
+        )
+
+    # -- derived quantities ------------------------------------------------
+    @property
+    def prefill_len(self) -> np.ndarray:
+        """Alias for ``length`` under its generative name."""
+        return self.length
+
+    @property
+    def total_decode_steps(self) -> int:
+        """Sum of decode lengths — the conservation target for the
+        generative event loop (every admitted request must complete
+        exactly its ``decode_len`` steps)."""
+        return int(self.decode_len.sum())
+
+    # -- transformations ----------------------------------------------------
+    def slice_time(self, start_ms: float, end_ms: float) -> "GenerativeTrace":
+        """Sub-trace with arrivals in ``[start_ms, end_ms)``, re-zeroed."""
+        if end_ms < start_ms:
+            raise TraceError("slice end before start")
+        lo = int(np.searchsorted(self.arrival_ms, start_ms, side="left"))
+        hi = int(np.searchsorted(self.arrival_ms, end_ms, side="left"))
+        return GenerativeTrace(
+            self.arrival_ms[lo:hi] - start_ms,
+            self.length[lo:hi],
+            self.decode_len[lo:hi],
+        )
+
+    def shift(self, offset_ms: float) -> "GenerativeTrace":
+        """Trace with all arrivals moved by ``offset_ms`` (≥ 0 result)."""
+        if len(self) and self.arrival_ms[0] + offset_ms < 0:
+            raise TraceError("shift would move arrivals before t=0")
+        return GenerativeTrace(
+            self.arrival_ms + offset_ms, self.length, self.decode_len
+        )
+
+    def scale_lengths(self, factor: float, max_length: int) -> "GenerativeTrace":
+        """Recalibrated trace: *prefill* lengths scaled and clipped;
+        decode lengths are generation budgets and are left alone."""
+        if factor <= 0:
+            raise TraceError("scale factor must be positive")
+        scaled = np.clip(
+            np.round(self.length * factor).astype(np.int64), 1, max_length
+        )
+        return GenerativeTrace(self.arrival_ms, scaled, self.decode_len)
+
+
+@dataclass(frozen=True)
+class GenerativeTraceConfig:
+    """Parameters of a synthetic prefill+decode trace.
+
+    The prefill dimension reuses the Twitter-like generator (length
+    quantiles, per-window drift, stable/bursty arrival patterns); the
+    decode dimension samples per-request generation lengths from its
+    own distribution.
+    """
+
+    rate_per_s: float = 1_000.0
+    duration_ms: float = 10 * MINUTE
+    pattern: str = "stable"  # "stable" (Poisson) | "bursty" (MMPP)
+    seed: int = 0
+    recalibrate_to_512: bool = True
+    drift_scale: float = 0.08
+    drift_window_ms: float = MINUTE
+    decode_lengths: LengthDistribution = field(
+        default_factory=lambda: LogNormalLengths.from_quantiles(
+            median=DEFAULT_DECODE_MEDIAN,
+            p98=DEFAULT_DECODE_P98,
+            max_length=DEFAULT_DECODE_MAX,
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ConfigurationError("rate must be positive")
+        if self.duration_ms <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.pattern not in ("stable", "bursty"):
+            raise ConfigurationError("pattern must be 'stable' or 'bursty'")
+
+    def twitter_config(self) -> TwitterTraceConfig:
+        """The prefill-side config (shared with the discriminative path)."""
+        return TwitterTraceConfig(
+            rate_per_s=self.rate_per_s,
+            duration_ms=self.duration_ms,
+            pattern=self.pattern,
+            recalibrate_to_512=self.recalibrate_to_512,
+            drift_scale=self.drift_scale,
+            drift_window_ms=self.drift_window_ms,
+            seed=self.seed,
+        )
+
+
+def generate_generative_trace(
+    config: GenerativeTraceConfig | None = None, **kwargs
+) -> GenerativeTrace:
+    """Generate a synthetic prefill+decode trace.
+
+    Deterministic in ``config.seed``: the prefill trace is exactly the
+    Twitter-like trace of the same seed, and decode lengths come from a
+    child stream seeded as ``[seed, _DECODE_STREAM]`` — attaching the
+    decode dimension never perturbs the prefill golden hashes.
+    """
+    if config is None:
+        config = GenerativeTraceConfig(**kwargs)
+    elif kwargs:
+        raise ConfigurationError("pass either a config or kwargs, not both")
+    prefill = generate_twitter_trace(config.twitter_config())
+    decode_rng = np.random.default_rng([config.seed, _DECODE_STREAM])
+    decode = config.decode_lengths.sample(decode_rng, len(prefill))
+    return GenerativeTrace(prefill.arrival_ms, prefill.length, decode)
+
+
+def attach_decode_lengths(
+    trace: Trace,
+    decode_lengths: LengthDistribution,
+    seed: int = 0,
+) -> GenerativeTrace:
+    """Promote a discriminative trace to a generative one by sampling a
+    decode length for every request (deterministic in ``seed``)."""
+    rng = np.random.default_rng([seed, _DECODE_STREAM])
+    return GenerativeTrace(
+        trace.arrival_ms, trace.length, decode_lengths.sample(rng, len(trace))
+    )

@@ -76,6 +76,31 @@ def test_seasonal_component_learns_planted_cycle():
     assert seasonal_err < 0.05, seasonal_err
 
 
+def test_idle_periods_do_not_inflate_relative_error():
+    # Regression: the relative-error denominator used only the realized
+    # vector's L1 mass, so an idle period (y ≈ 0) divided the miss by
+    # EPS and one quiet second could blow mean_rel_error into the 1e9
+    # range even when the forecast was tiny too. With the symmetric
+    # max(|y|, |pending|, EPS) denominator, the worst any single period
+    # can score is 1.0 (predicted something, saw nothing — or the
+    # reverse).
+    fc = DemandForecaster(num_bins=4, alpha=0.5)
+    for _ in range(5):
+        fc.observe(np.full(4, 50.0))
+    for _ in range(20):  # traffic goes fully idle
+        fc.observe(np.zeros(4))
+        assert fc.error_stats()["last_rel_error"] <= 1.0 + 1e-12
+    stats = fc.error_stats()
+    assert stats["mean_rel_error"] <= 1.0 + 1e-12, stats
+
+    # Fully-idle series (zero forecast, zero realization) scores zero
+    # error rather than 0/EPS noise.
+    quiet = DemandForecaster(num_bins=2, alpha=0.5)
+    for _ in range(10):
+        quiet.observe(np.zeros(2))
+    assert quiet.error_stats()["mean_rel_error"] == 0.0
+
+
 def test_predict_none_before_first_observation():
     fc = DemandForecaster(num_bins=3)
     assert fc.predict() is None

@@ -58,6 +58,21 @@ def test_budget_scales_with_trace_size():
     assert policy.budget_for(10) == 32
 
 
+def test_zero_budget_fraction_means_zero_retries():
+    # Regression: the 32-retry floor used to apply even with retries
+    # disabled, so budget_fraction=0 still granted a 32-retry budget.
+    policy = RetryPolicy(budget_fraction=0.0)
+    assert policy.budget_for(0) == 0
+    assert policy.budget_for(10) == 0
+    assert policy.budget_for(1_000_000) == 0
+    # A zero-limit budget refuses every consume attempt.
+    budget = RetryBudget(limit=policy.budget_for(1_000))
+    assert not budget.try_consume()
+    assert budget.used == 0
+    # Tiny positive fractions keep the floor.
+    assert RetryPolicy(budget_fraction=0.001).budget_for(10) == 32
+
+
 def test_budget_consumption_and_exhaustion():
     budget = RetryBudget(limit=2)
     assert budget.try_consume()

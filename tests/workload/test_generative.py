@@ -1,0 +1,155 @@
+"""Generative workload model: decode-length sampling and persistence.
+
+The bit-exactness guarantee lives here: a generative trace's prefill
+side (arrivals + lengths) must be byte-identical to the discriminative
+Twitter trace of the same seed — attaching decode lengths draws from a
+dedicated child stream and never perturbs the prefill draws. The pinned
+hashes make any change to the decode sampler a loud failure.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.io.traces import load_trace, save_trace
+from repro.workload.generative import (
+    GenerativeRequest,
+    GenerativeTrace,
+    GenerativeTraceConfig,
+    attach_decode_lengths,
+    generate_generative_trace,
+)
+from repro.workload.lengths import LogNormalLengths
+from repro.workload.trace import Trace
+from repro.workload.twitter import generate_twitter_trace
+
+
+def _digest(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()[:16]
+
+
+@pytest.mark.parametrize(
+    "pattern,count,decode_hash",
+    [
+        ("bursty", 44711, "3edebec552a9342e"),
+        ("stable", 36038, "2223c68441fd6297"),
+    ],
+)
+def test_generative_trace_pinned(pattern, count, decode_hash):
+    trace = generate_generative_trace(
+        GenerativeTraceConfig(
+            rate_per_s=300.0, duration_ms=120_000.0, pattern=pattern,
+            seed=42,
+        )
+    )
+    assert len(trace) == count
+    assert _digest(trace.decode_len) == decode_hash
+
+
+def test_prefill_side_bit_identical_to_twitter():
+    """Same seed, with or without decode lengths: identical prefills.
+
+    This is the generative path's bit-exactness guarantee at the
+    workload layer — the decode stream is a separate child seed, so the
+    prefill hashes equal the discriminative golden hashes exactly.
+    """
+    gen = generate_generative_trace(
+        GenerativeTraceConfig(
+            rate_per_s=300.0, duration_ms=120_000.0, pattern="bursty",
+            seed=42,
+        )
+    )
+    tw = generate_twitter_trace(
+        rate_per_s=300.0, duration_ms=120_000.0, pattern="bursty", seed=42
+    )
+    assert np.array_equal(gen.arrival_ms, tw.arrival_ms)
+    assert np.array_equal(gen.length, tw.length)
+    # The same hashes test_golden_traces.py pins for the twitter trace.
+    assert _digest(gen.arrival_ms) == "416f81966102d1f6"
+    assert _digest(gen.length) == "45ea214960ad516b"
+
+
+def test_attach_decode_lengths_deterministic():
+    tw = generate_twitter_trace(
+        rate_per_s=200.0, duration_ms=30_000.0, pattern="stable", seed=5
+    )
+    dist = LogNormalLengths.from_quantiles(median=64, p98=256,
+                                           max_length=512)
+    a = attach_decode_lengths(tw, dist, seed=5)
+    b = attach_decode_lengths(tw, dist, seed=5)
+    c = attach_decode_lengths(tw, dist, seed=6)
+    assert isinstance(a, GenerativeTrace)
+    assert np.array_equal(a.decode_len, b.decode_len)
+    assert not np.array_equal(a.decode_len, c.decode_len)
+    assert np.array_equal(a.length, tw.length)
+
+
+def test_decode_length_quantiles_roughly_calibrated():
+    trace = generate_generative_trace(
+        GenerativeTraceConfig(rate_per_s=500.0, duration_ms=60_000.0,
+                              seed=1)
+    )
+    dec = trace.decode_len
+    assert dec.min() >= 1
+    assert dec.max() <= 512
+    assert np.median(dec) == pytest.approx(64, rel=0.15)
+    assert np.percentile(dec, 98) == pytest.approx(256, rel=0.15)
+    assert trace.total_decode_steps == int(dec.sum())
+
+
+def test_iteration_yields_generative_requests():
+    trace = generate_generative_trace(
+        GenerativeTraceConfig(rate_per_s=100.0, duration_ms=5_000.0, seed=2)
+    )
+    first = next(iter(trace))
+    assert isinstance(first, GenerativeRequest)
+    assert first.request_id == 0
+    assert first.prefill_len == trace.length[0]
+    assert first.decode_len == trace.decode_len[0]
+
+
+def test_slicing_and_shift_preserve_decode_alignment():
+    trace = generate_generative_trace(
+        GenerativeTraceConfig(rate_per_s=200.0, duration_ms=20_000.0, seed=3)
+    )
+    window = trace.slice_time(5_000.0, 15_000.0)
+    assert isinstance(window, GenerativeTrace)
+    mask = (trace.arrival_ms >= 5_000.0) & (trace.arrival_ms < 15_000.0)
+    assert np.array_equal(window.decode_len, trace.decode_len[mask])
+    shifted = window.shift(1_000.0)
+    assert isinstance(shifted, GenerativeTrace)
+    assert np.array_equal(shifted.decode_len, window.decode_len)
+    scaled = trace.scale_lengths(1.5, max_length=512)
+    assert isinstance(scaled, GenerativeTrace)
+    # Only prefill scales; decode lengths are sampled, not padded.
+    assert np.array_equal(scaled.decode_len, trace.decode_len)
+
+
+def test_npz_roundtrip_preserves_generative_type(tmp_path):
+    trace = generate_generative_trace(
+        GenerativeTraceConfig(rate_per_s=150.0, duration_ms=10_000.0, seed=4)
+    )
+    path = save_trace(trace, tmp_path / "gen")
+    loaded = load_trace(path)
+    assert isinstance(loaded, GenerativeTrace)
+    assert np.array_equal(loaded.arrival_ms, trace.arrival_ms)
+    assert np.array_equal(loaded.length, trace.length)
+    assert np.array_equal(loaded.decode_len, trace.decode_len)
+    # Plain traces still round-trip as plain traces.
+    tw = Trace(trace.arrival_ms.copy(), trace.length.copy())
+    plain = load_trace(save_trace(tw, tmp_path / "plain"))
+    assert type(plain) is Trace
+
+
+def test_misaligned_decode_lengths_rejected():
+    tw = generate_twitter_trace(
+        rate_per_s=100.0, duration_ms=5_000.0, pattern="stable", seed=0
+    )
+    with pytest.raises(TraceError):
+        GenerativeTrace(tw.arrival_ms, tw.length,
+                        np.ones(len(tw) + 1, dtype=np.int64))
+    with pytest.raises(TraceError):
+        GenerativeTrace(tw.arrival_ms, tw.length,
+                        np.zeros(len(tw), dtype=np.int64))
