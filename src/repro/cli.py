@@ -68,6 +68,17 @@ def _add_generative_args(parser: argparse.ArgumentParser) -> None:
                         "(--generative only)")
     parser.add_argument("--decode-p98", type=int, default=256,
                         help="p98 sampled decode length (--generative only)")
+    parser.add_argument("--disagg", action="store_true",
+                        help="disaggregated prefill/decode pools: prompts "
+                        "run on a prefill pool, the KV cache transfers to "
+                        "a decode pool, roles rebalance adaptively "
+                        "(--generative only)")
+    parser.add_argument("--transfer-ms-per-token", type=float, default=0.02,
+                        help="KV transfer cost per prompt token "
+                        "(--disagg only)")
+    parser.add_argument("--prefill-fraction", type=float, default=0.5,
+                        help="initial prefill-pool share of instances "
+                        "(--disagg only)")
 
 
 def _make_trace(args: argparse.Namespace):
@@ -104,13 +115,25 @@ def _make_trace(args: argparse.Namespace):
 def _generative_config_from_args(args: argparse.Namespace):
     """``SimulationConfig.generative`` value from CLI flags (or None)."""
     if not getattr(args, "generative", False):
+        if getattr(args, "disagg", False):
+            raise SystemExit("--disagg requires --generative (the pools "
+                             "serve a prefill+decode workload)")
         return None
     from repro.sim.generative import GenerativeConfig
 
+    disagg = None
+    if getattr(args, "disagg", False):
+        from repro.sim.disagg import DisaggConfig
+
+        disagg = DisaggConfig(
+            transfer_ms_per_token=args.transfer_ms_per_token,
+            prefill_fraction=args.prefill_fraction,
+        )
     return GenerativeConfig(
         max_batch=args.max_batch,
         continuous_batching=not args.gang,
         chunk_steps=args.chunk_steps,
+        disagg=disagg,
     )
 
 
@@ -227,6 +250,15 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
             print(f"  ttft mean {ds['ttft_mean_ms']:.2f} ms  "
                   f"p50 {ds['ttft_p50_ms']:.2f} ms  "
                   f"p98 {ds['ttft_p98_ms']:.2f} ms")
+        if "tpot_mean_ms" in ds:
+            print(f"  tpot mean {ds['tpot_mean_ms']:.2f} ms  "
+                  f"p50 {ds['tpot_p50_ms']:.2f} ms  "
+                  f"p98 {ds['tpot_p98_ms']:.2f} ms")
+        if args.disagg:
+            print(f"  disagg: kv_transfers {cs['kv_transfers']}  "
+                  f"pool_flips {cs['pool_flips']}  "
+                  f"pools {ds['prefill_pool_size']:.0f}p/"
+                  f"{ds['decode_pool_size']:.0f}d")
 
     summary = summarize_spans(result.spans)
     print(format_summary(summary, scheme_name=result.scheme_name))

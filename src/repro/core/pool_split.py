@@ -1,0 +1,178 @@
+"""Coupled prefill/decode pool allocation — Eqs. 1–7 over two pools.
+
+The disaggregated data plane (``repro.sim.disagg``) runs two instance
+pools on one GPU budget: a *prefill* pool placed by Algorithm 1 over
+the usual staircase runtimes, and a *decode* pool running the
+continuous-batching step loop. Arrow (arxiv 2505.11916) frames the
+sizing question: how many GPUs go to each pool this period, given the
+observed prompt-length demand (TTFT pressure) and the decode occupancy
+(token-throughput pressure)?
+
+This module solves that outer split as a one-dimensional scan coupled
+to the existing Eqs. 1–7 inner solve:
+
+    minimize over g_d in [min_decode, G - min_prefill]:
+
+        f(g_d) = P(G - g_d) + w · occ / (g_d · s)
+
+where ``P(g_p)`` is the Eq. 1 objective of the best prefill allocation
+on ``g_p`` GPUs (solved by the deterministic greedy rung — the scan
+must stay wall-clock-free so two runs of the same period pick the same
+split), ``occ`` is the decode-pool occupancy signal (sequences waiting,
+decoding, or in KV transit), ``s`` the decode slots per GPU
+(``max_batch``), and ``w`` a latency-equivalent weight converting
+slot pressure into the objective's ms·requests units.
+
+**Monotone rebalancing.** ``f`` has decreasing differences in
+``(g_d, occ)``: for ``g_d' > g_d`` the difference
+``f(g_d') − f(g_d)`` shrinks as ``occ`` grows (the prefill term is
+constant in ``occ`` and ``w·occ·(1/g_d' − 1/g_d)`` is decreasing). By
+Topkis' monotone selection theorem the *smallest* argmin is
+non-decreasing in ``occ`` — more decode pressure never yields a
+smaller decode pool. The scan takes the smallest argmin (strict
+improvement while scanning ``g_d`` upward), and a property test pins
+the monotonicity.
+
+The chosen split's prefill allocation can then be *refined* by the
+anytime solver ladder (``RuntimeScheduler.decide_pool_split``) without
+touching the split itself, so refinement never breaks determinism of
+the outer loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.allocation import (
+    AllocationProblem,
+    solve_greedy,
+)
+from repro.errors import ConfigurationError, InfeasibleError
+
+
+@dataclass(frozen=True)
+class PoolSplitConfig:
+    """Knobs of the coupled prefill/decode split.
+
+    ``decode_weight_ms`` converts decode occupancy-per-slot into the
+    Eq. 1 objective's ms·requests units; larger values shift GPUs
+    toward the decode pool sooner. ``min_prefill``/``min_decode`` keep
+    both pools alive (the disagg loop needs at least one instance on
+    each side; the prefill side additionally needs top-runtime coverage
+    for Eq. 7, which the inner problem enforces).
+    """
+
+    min_prefill: int = 1
+    min_decode: int = 1
+    decode_weight_ms: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.min_prefill < 1 or self.min_decode < 1:
+            raise ConfigurationError(
+                "both pools need at least one GPU (min_prefill/min_decode)"
+            )
+        if self.decode_weight_ms < 0:
+            raise ConfigurationError("decode_weight_ms cannot be negative")
+
+
+@dataclass(frozen=True)
+class PoolSplit:
+    """A solved split: how the GPU budget divides across the pools.
+
+    ``prefill_allocation`` is the Eq. 1–7 allocation of the prefill
+    pool's ``prefill_gpus`` budget (feasible for the sub-problem with
+    ``num_gpus = prefill_gpus``; ``relaxed`` records whether the Eq. 3
+    bounds had to be trimmed). ``decode_pressure_ms`` is the decode
+    term of the chosen candidate's score.
+    """
+
+    total_gpus: int
+    prefill_gpus: int
+    decode_gpus: int
+    prefill_allocation: np.ndarray
+    prefill_objective: float
+    decode_pressure_ms: float
+    relaxed: bool
+    solver: str
+    candidates: int
+
+    @property
+    def score(self) -> float:
+        return self.prefill_objective + self.decode_pressure_ms
+
+
+def solve_pool_split(
+    problem: AllocationProblem,
+    *,
+    decode_occupancy: float,
+    decode_slots_per_gpu: float,
+    config: PoolSplitConfig | None = None,
+) -> PoolSplit:
+    """Solve the coupled split for one decision period.
+
+    ``problem`` carries the prefill-side demand over the *total* GPU
+    budget (``problem.num_gpus``); ``decode_occupancy`` is the live
+    decode-pool pressure signal (sequences waiting + decoding + in KV
+    transit); ``decode_slots_per_gpu`` is the decode batch capacity
+    per instance (``max_batch``).
+
+    Deterministic by construction: every inner solve is the greedy
+    rung (no wall-clock budget), the scan order is fixed, and ties
+    keep the smallest decode pool. Raises
+    :class:`~repro.errors.InfeasibleError` when no candidate split
+    admits even a relaxed prefill allocation.
+    """
+    config = config or PoolSplitConfig()
+    total = problem.num_gpus
+    if total < config.min_prefill + config.min_decode:
+        raise InfeasibleError(
+            f"{total} GPUs cannot satisfy min_prefill="
+            f"{config.min_prefill} + min_decode={config.min_decode}"
+        )
+    if decode_occupancy < 0:
+        raise ConfigurationError("decode occupancy cannot be negative")
+    if decode_slots_per_gpu <= 0:
+        raise ConfigurationError("decode slots per GPU must be positive")
+
+    best: PoolSplit | None = None
+    candidates = 0
+    for g_d in range(config.min_decode, total - config.min_prefill + 1):
+        g_p = total - g_d
+        sub = replace(problem, num_gpus=g_p)
+        relaxed = False
+        try:
+            inner = solve_greedy(sub)
+        except InfeasibleError:
+            try:
+                inner = solve_greedy(sub, relax=True)
+                relaxed = True
+            except InfeasibleError:
+                continue  # too few prefill GPUs even relaxed
+        candidates += 1
+        pressure = (
+            config.decode_weight_ms
+            * decode_occupancy
+            / (g_d * decode_slots_per_gpu)
+        )
+        candidate = PoolSplit(
+            total_gpus=total,
+            prefill_gpus=g_p,
+            decode_gpus=g_d,
+            prefill_allocation=inner.allocation,
+            prefill_objective=inner.objective,
+            decode_pressure_ms=pressure,
+            relaxed=relaxed,
+            solver="greedy-scan",
+            candidates=0,
+        )
+        # Strict improvement while scanning g_d upward keeps the
+        # *smallest* argmin — the monotone-selection tie-break.
+        if best is None or candidate.score < best.score:
+            best = candidate
+    if best is None:
+        raise InfeasibleError(
+            f"no feasible prefill allocation at any split of {total} GPUs"
+        )
+    return replace(best, candidates=candidates)

@@ -23,6 +23,7 @@ from repro.cluster.replacement import ReplacementPlan, plan_replacement
 from repro.cluster.state import ClusterState
 from repro.core.allocation import AllocationProblem, AllocationResult, solve_allocation
 from repro.core.demand import DemandEstimator
+from repro.core.pool_split import PoolSplit, PoolSplitConfig, solve_pool_split
 from repro.errors import ConfigurationError, InfeasibleError, SolverError
 from repro.perf.anytime import resolve_ladder, solve_anytime
 from repro.perf.cache import AllocationCache, profile_fingerprint
@@ -350,6 +351,94 @@ class RuntimeScheduler:
         self.history.append((now_ms, demand, result.allocation.copy()))
         self.solve_ms_history.append((time.perf_counter() - t0) * 1e3)
         return result
+
+    def decide_pool_split(
+        self,
+        now_ms: float,
+        total_gpus: int,
+        *,
+        decode_occupancy: float,
+        decode_slots_per_gpu: float,
+        split_config: PoolSplitConfig | None = None,
+    ) -> tuple[PoolSplit, str] | None:
+        """Solve the coupled prefill/decode allocation for one period.
+
+        The disaggregated data plane's generalization of :meth:`decide`
+        (Arrow, arxiv 2505.11916): split the GPU budget across the two
+        pools, then allocate the prefill pool's share over the runtime
+        staircase. The outer split is the deterministic greedy scan of
+        :func:`repro.core.pool_split.solve_pool_split` driven by the
+        prompt-demand estimate plus the live decode-occupancy signal;
+        when the demand forecaster is on, the split is planned against
+        the *predicted* next-period demand (the split takes effect over
+        the coming period, so chasing the forecast beats lagging the
+        estimate — same solve-ahead idea as :meth:`presolve_forecast`).
+
+        With ``solver_ladder=True`` the chosen split's prefill
+        allocation is refined by the deadline-bounded anytime ladder,
+        warm-started from the scan's allocation; refinement never
+        changes the split itself, so the outer loop stays
+        wall-clock-free and bit-deterministic.
+
+        Returns ``(split, provenance)``, or ``None`` before any demand
+        has been observed (the caller holds the current pool roles —
+        the same zero-demand hold as :meth:`step`). Injected solver
+        failures raise :class:`SolverError` exactly as :meth:`decide`
+        does, so chaos plans exercise the disagg hold path too.
+        """
+        if self._forced_failures > 0:
+            self._forced_failures -= 1
+            raise SolverError("injected solver failure (fault plan)")
+        if self.estimator.observed == 0:
+            return None
+        demand = self.estimator.demand(now_ms)
+        provenance = "greedy-scan"
+        plan_demand = demand
+        if self.forecaster is not None:
+            self.forecaster.observe(demand)
+            predicted = self.forecaster.predict()
+            if predicted is not None:
+                plan_demand = predicted
+                provenance = "greedy-scan+forecast"
+        problem = AllocationProblem.from_profiles(
+            num_gpus=total_gpus, demand=plan_demand,
+            profiles=list(self.registry),
+        )
+        split = solve_pool_split(
+            problem,
+            decode_occupancy=decode_occupancy,
+            decode_slots_per_gpu=decode_slots_per_gpu,
+            config=split_config,
+        )
+        if self.config.solver_ladder:
+            sub = replace(problem, num_gpus=split.prefill_gpus)
+            try:
+                refined = solve_anytime(
+                    sub,
+                    deadline_s=self.config.solve_deadline_ms / 1e3,
+                    ladder=self.config.ladder_rungs,
+                    relax=split.relaxed,
+                    warm_start=split.prefill_allocation,
+                )
+            except (SolverError, InfeasibleError):
+                refined = None
+            if (
+                refined is not None
+                and refined.objective <= split.prefill_objective
+                and sub.is_feasible(refined.allocation,
+                                    relaxed=split.relaxed)
+            ):
+                split = replace(
+                    split,
+                    prefill_allocation=refined.allocation,
+                    prefill_objective=refined.objective,
+                    solver="greedy-scan+anytime",
+                )
+                provenance += f"+anytime-{refined.stats.get('rung', '?')}"
+        self.history.append(
+            (now_ms, plan_demand, split.prefill_allocation.copy())
+        )
+        return split, provenance
 
     def presolve_forecast(self, now_ms: float, num_gpus: int) -> dict | None:
         """Pre-solve the forecast next-period demand into the cache.

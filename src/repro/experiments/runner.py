@@ -110,6 +110,14 @@ class ExperimentSpec:
     #: Sampled decode-length quantiles (``generative`` only).
     decode_median: int = 64
     decode_p98: int = 256
+    #: Disaggregated prefill/decode pools (``generative`` only): run
+    #: the two-pool loop with KV handoff and adaptive rebalancing.
+    disagg: bool = False
+    #: KV-cache transfer cost per prompt token (``disagg`` only).
+    transfer_ms_per_token: float = 0.02
+    #: Initial share of instances assigned to the prefill pool
+    #: (``disagg`` only); the rebalancer adjusts from there.
+    prefill_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1 or self.rate_per_s <= 0 or self.duration_s <= 0:
@@ -162,6 +170,34 @@ class ExperimentSpec:
             if self.autoscaler is not None:
                 raise ConfigurationError(
                     "generative runs do not support the autoscaler yet"
+                )
+            # Validate the decode knobs at spec construction so a bad
+            # sweep fails before any trace is generated — the same
+            # checks GenerativeConfig repeats at simulation time.
+            if self.max_batch < 1:
+                raise ConfigurationError("max_batch must be >= 1")
+            if self.chunk_steps < 1:
+                raise ConfigurationError("chunk_steps must be >= 1")
+            if self.decode_median < 1:
+                raise ConfigurationError("decode_median must be >= 1")
+            if self.decode_p98 < self.decode_median:
+                raise ConfigurationError(
+                    "decode_p98 must be >= decode_median (quantiles "
+                    "cannot invert)"
+                )
+        if self.disagg:
+            if not self.generative:
+                raise ConfigurationError(
+                    "disagg requires generative=True (the pools serve "
+                    "a prefill+decode workload)"
+                )
+            if self.transfer_ms_per_token < 0:
+                raise ConfigurationError(
+                    "transfer_ms_per_token cannot be negative"
+                )
+            if not 0.0 < self.prefill_fraction < 1.0:
+                raise ConfigurationError(
+                    "prefill_fraction must be strictly between 0 and 1"
                 )
 
     def scaled(self, factor: float) -> "ExperimentSpec":
@@ -344,10 +380,19 @@ class ExperimentSpec:
         if self.generative:
             from repro.sim.generative import GenerativeConfig
 
+            disagg_cfg = None
+            if self.disagg:
+                from repro.sim.disagg import DisaggConfig
+
+                disagg_cfg = DisaggConfig(
+                    transfer_ms_per_token=self.transfer_ms_per_token,
+                    prefill_fraction=self.prefill_fraction,
+                )
             kwargs["generative"] = GenerativeConfig(
                 max_batch=self.max_batch,
                 continuous_batching=self.continuous_batching,
                 chunk_steps=self.chunk_steps,
+                disagg=disagg_cfg,
             )
         return SimulationConfig(
             enable_autoscaler=self.autoscaler is not None,

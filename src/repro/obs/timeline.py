@@ -25,6 +25,7 @@ CATEGORIES = (
     "breaker",
     "fault",
     "server",
+    "pool",
 )
 
 

@@ -1,54 +1,52 @@
-"""Generative (prefill + decode) serving on the discrete-event core.
+"""Disaggregated prefill/decode instance pools with adaptive rebalancing.
 
-The discriminative simulator models a request as one indivisible
-service interval. Generative LLM serving is different in kind: a
-request *prefills* its prompt once, then emits tokens over many decode
-*steps*, and instances run those steps as a batch whose membership can
-change at every step boundary (continuous batching). This module adds
-that data plane on top of the same pooled event queue, the same
-length-aware Algorithm-1 placement, and the same control plane:
+The co-located generative loop (:mod:`repro.sim.generative`) folds a
+request's prompt pass into its decode instance's next step. Production
+LLM serving increasingly *disaggregates* instead (Arrow, arxiv
+2505.11916): a **prefill pool** runs prompt passes as ordinary batch-1
+service intervals placed by Algorithm 1, a **decode pool** runs the
+continuous-batching step loop, and the KV cache produced by prefill is
+*transferred* between the pools at a configurable per-token cost. The
+two pools decouple the TTFT tail (prefill queueing) from token
+throughput (decode batching) — at the price of the handoff and of
+having to size the pools.
 
-- **Placement** stays Arlo's Algorithm 1 over *prefill* length: the
-  candidate walk (`ArloRequestScheduler._walk`) picks a staircase tier
-  whose ``max_length`` fits the prompt, probing congestion
-  ``P = outstanding / capacity``. ``outstanding`` counts a generative
-  request from admission to its *final decode step*, so probes see
-  decode occupancy, not just queued prefills; the congestion tracker
-  additionally splits per-level occupancy into queued vs decoding
-  (``CongestionTracker.decoding``).
-- **Decode loop**: each instance owns a waiting queue and an active
-  batch. Requests join at step boundaries only (while a step is in
-  flight the batch is immutable). One ``DECODE_STEP`` event covers
-  ``k`` steps (``chunk_steps`` slicing) of the whole batch; its
-  duration is batch-size-dependent, derived from the runtime profile::
+The loop here models that end to end on the same pooled event store:
 
-      step(k, b) = (pending_prefill + k * (overhead + per_seq * b))
-                   * slow_factor
+- **Prefill**: arrivals walk Algorithm 1 (`ArloRequestScheduler`) over
+  a prefill-pool-only multi-level queue; the chosen instance serves the
+  prompt as a real ``busy_until``-chained interval, completing with a
+  ``PREFILL_DONE`` event.
+- **Handoff**: prefill completion starts a ``KV_TRANSFER`` event to
+  the least-loaded live decode instance, lasting
+  ``transfer_ms_per_token × prefill_len``. The request counts against
+  the decode instance's ``outstanding`` from transfer start, so target
+  choice sees in-flight handoffs.
+- **Decode**: the transferred request joins the target's waiting queue
+  and decodes through the same continuous-batching step machinery as
+  the co-located loop (``_DecodeState``; batch-size-dependent step
+  latency; ``chunk_steps``; gang mode) — minus the prefill fold-in,
+  which the prefill pool already paid.
+- **Rebalancing**: each Runtime Scheduler period solves the coupled
+  split (:meth:`RuntimeScheduler.decide_pool_split` — greedy scan over
+  the prompt-demand estimate + decode-occupancy pressure, optionally
+  anytime-refined) and *flips* up to ``max_flips_per_period`` idle
+  instances between roles toward the target, preserving top-runtime
+  coverage in the prefill pool. Splits and flips are recorded in the
+  control timeline under the ``pool`` category.
+- **Faults** are role-aware: crashing or blacking out a prefill
+  instance voids its queued prompts; a decode victim voids its batch,
+  waiting queue *and* in-flight KV transfers (``kv_token`` bump).
+  Either way the lost requests re-enter through the budgeted retry
+  path and redo prefill from scratch — conservation still holds
+  (``decode_steps >= trace.total_decode_steps``, equality without
+  faults). A recovered GPU rejoins with its victim's role.
 
-  where ``per_seq = service_table_ms[1] - overhead_ms`` (so a lone
-  request's single step costs exactly ``service_table_ms[1]``) and
-  ``pending_prefill`` is the summed prefill cost of members that
-  joined since the last step. With ``continuous_batching=False`` the
-  batch is gang-scheduled: new requests wait until the active batch
-  fully drains.
-- **Faults** reuse the discriminative taxonomy. A crash or blackout
-  voids the instance's waiting queue and active batch; the in-flight
-  step event is invalidated by bumping the per-instance ``token``
-  (completions are computed at step-fire time and never scheduled
-  ahead, so no attempt tokens or in-flight FIFOs are needed). Lost
-  requests re-enter through the same retry policy/budget; a
-  re-dispatched request restarts decoding from step zero.
-
-Observability: sampled spans record ``admit``/``dispatch``/``defer``/
-``retry`` as usual, plus a ``first_token`` event (TTFT and the batch
-size that produced it) and ``decode_steps`` on ``complete``. The
-Algorithm-1 probe narration is not emitted on this path — the walk is
-shared with the fast dispatch and stays allocation-free.
-
-Determinism: the loop is single-threaded over the same deterministic
-event queue; two runs of the same (trace, scheme, config) are
-bit-identical. The discriminative path is untouched — `run_simulation`
-delegates here only when ``SimulationConfig.generative`` is set.
+Determinism matches the co-located loop: single-threaded over the
+deterministic event queue, no wall-clock reads in any decision
+(the split scan is greedy; anytime refinement cannot change the
+split), so two runs of the same (trace, scheme, config) produce
+byte-identical stats.
 """
 
 from __future__ import annotations
@@ -61,16 +59,19 @@ from time import perf_counter
 from repro.baselines.dispatchers import ArloDispatcher
 from repro.baselines.schemes import Scheme
 from repro.cluster.instance import InstanceStatus, RuntimeInstance
+from repro.core.mlq import MultiLevelQueue
+from repro.core.pool_split import PoolSplitConfig
+from repro.core.request_scheduler import ArloRequestScheduler
 from repro.errors import (
     CapacityError,
     ConfigurationError,
     SchedulingError,
     SimulationError,
+    SolverError,
 )
 from repro.obs.spans import RequestTracer
 from repro.obs.timeline import ControlTimeline
 from repro.resilience.retry import RetryBudget
-from repro.sim.controller import ControlPlane
 from repro.sim.engine import EventQueue
 from repro.sim.events import (
     BlackoutEndPayload,
@@ -87,113 +88,108 @@ from repro.sim.faults import (
     SlowdownEvent,
     SolverFaultEvent,
 )
+from repro.sim.generative import _DecodeState
 from repro.sim.metrics import MetricsCollector, StreamingLatencySummary
 from repro.workload.generative import GenerativeTrace
 
+PREFILL = "prefill"
+DECODE = "decode"
+
 
 @dataclass(frozen=True)
-class GenerativeConfig:
-    """Decode-loop knobs, attached to ``SimulationConfig.generative``.
+class DisaggConfig:
+    """Disaggregated-pool knobs, attached to ``GenerativeConfig.disagg``.
 
-    ``max_batch`` caps an instance's active decode batch. ``chunk_steps``
-    sets the step-slice granularity: one DECODE_STEP event advances the
-    batch by up to ``chunk_steps`` token steps (clamped to the nearest
-    member completion, so membership changes are never skipped over).
-    ``continuous_batching=False`` gang-schedules instead: waiting
-    requests join only when the active batch has fully drained.
+    ``transfer_ms_per_token`` prices the KV handoff (cache size grows
+    with the prompt, so so does the transfer). ``prefill_fraction``
+    sets the initial role partition; the rebalancer moves it from
+    there. ``decode_weight_ms`` converts decode occupancy-per-slot
+    into the split objective's ms·requests units (see
+    :mod:`repro.core.pool_split`).
     """
 
-    max_batch: int = 8
-    continuous_batching: bool = True
-    chunk_steps: int = 1
-    #: When set (a :class:`repro.sim.disagg.DisaggConfig`), the run is
-    #: routed to the disaggregated prefill/decode pool loop instead of
-    #: the co-located loop here. Loosely typed to keep this module free
-    #: of a circular import (disagg builds on _DecodeState below).
-    disagg: "object | None" = None
+    transfer_ms_per_token: float = 0.02
+    prefill_fraction: float = 0.5
+    rebalance: bool = True
+    max_flips_per_period: int = 1
+    min_prefill: int = 1
+    min_decode: int = 1
+    decode_weight_ms: float = 2000.0
 
     def __post_init__(self) -> None:
-        if self.max_batch < 1:
-            raise ConfigurationError("max_batch must be >= 1")
-        if self.chunk_steps < 1:
-            raise ConfigurationError("chunk_steps must be >= 1")
+        if self.transfer_ms_per_token < 0:
+            raise ConfigurationError(
+                "transfer_ms_per_token cannot be negative"
+            )
+        if not 0.0 < self.prefill_fraction < 1.0:
+            raise ConfigurationError(
+                "prefill_fraction must be strictly between 0 and 1"
+            )
+        if self.max_flips_per_period < 0:
+            raise ConfigurationError(
+                "max_flips_per_period cannot be negative"
+            )
+        if self.min_prefill < 1 or self.min_decode < 1:
+            raise ConfigurationError(
+                "both pools need at least one instance"
+            )
+        if self.decode_weight_ms < 0:
+            raise ConfigurationError("decode_weight_ms cannot be negative")
+
+    def split_config(self) -> PoolSplitConfig:
+        return PoolSplitConfig(
+            min_prefill=self.min_prefill,
+            min_decode=self.min_decode,
+            decode_weight_ms=self.decode_weight_ms,
+        )
 
 
-class _DecodeState:
-    """Per-instance decode loop state.
-
-    Invariant: while ``stepping`` is True the active batch is immutable
-    — admissions land in ``waiting`` and join at the next step boundary
-    (``_refill``). ``token`` invalidates the in-flight DECODE_STEP
-    event on crash/blackout (the event's payload carries the token it
-    was scheduled under).
-    """
-
-    __slots__ = ("instance", "waiting", "active", "token", "stepping",
-                 "pending_prefill_ms", "step_k", "step_dur", "table",
-                 "overhead_ms", "per_seq_ms")
-
-    def __init__(self, instance: RuntimeInstance):
-        self.instance = instance
-        self.waiting: deque = deque()
-        self.active: list = []
-        self.token = 0
-        self.stepping = False
-        #: Prefill cost of members joined since the last step fired;
-        #: folded into the next step's duration, then zeroed.
-        self.pending_prefill_ms = 0.0
-        self.step_k = 0
-        self.step_dur = 0.0
-        table = instance._service_table
-        self.table = table
-        overhead = instance.profile.overhead_ms
-        self.overhead_ms = overhead
-        # Per-token decode cost: calibrated so a batch of one advancing
-        # one step costs exactly the profiled length-1 service time.
-        self.per_seq_ms = table[1] - overhead
-
-
-def run_generative_simulation(
+def run_disagg_simulation(
     scheme: Scheme,
     trace: GenerativeTrace,
     config,
 ) -> "SimulationResult":
-    """Serve a prefill+decode trace with continuous batching.
+    """Serve a prefill+decode trace on disaggregated instance pools.
 
     ``config`` is a :class:`~repro.sim.simulation.SimulationConfig`
-    whose ``generative`` field is set; `run_simulation` delegates here
+    whose ``generative.disagg`` is set; `run_simulation` delegates here
     so callers never invoke this directly.
     """
-    # Deferred import: simulation.py lazily imports this module, so a
-    # top-level back-import would be circular.
     from repro.sim.simulation import SimulationResult
 
     wall_start = perf_counter()
     if not isinstance(trace, GenerativeTrace):
         raise ConfigurationError(
-            "generative simulation needs a GenerativeTrace "
+            "disaggregated simulation needs a GenerativeTrace "
             "(attach decode lengths with attach_decode_lengths)"
         )
     if not len(trace):
         raise SimulationError("cannot simulate an empty trace")
     if not isinstance(scheme.dispatcher, ArloDispatcher):
         raise ConfigurationError(
-            "the generative data plane requires Algorithm-1 placement "
+            "the disaggregated data plane requires Algorithm-1 placement "
             f"(Arlo-family scheme), got {scheme.name!r}"
         )
     if config.enable_autoscaler:
         raise ConfigurationError(
-            "generative simulation does not support the autoscaler yet"
+            "disaggregated simulation does not support the autoscaler yet"
         )
     if config.resilience is not None:
         raise ConfigurationError(
-            "generative simulation does not support the resilience "
+            "disaggregated simulation does not support the resilience "
             "manager yet (retry policy and fault plans are supported)"
         )
-    gen: GenerativeConfig = config.generative
+    gen = config.generative
+    disagg: DisaggConfig = gen.disagg
+    if not isinstance(disagg, DisaggConfig):
+        raise ConfigurationError(
+            "GenerativeConfig.disagg must be a DisaggConfig, got "
+            f"{type(disagg).__name__}"
+        )
     max_batch = gen.max_batch
     continuous = gen.continuous_batching
     chunk_steps = gen.chunk_steps
+    transfer_per_token = disagg.transfer_ms_per_token
 
     queue = EventQueue()
     metrics = MetricsCollector(slo_ms=scheme.slo_ms)
@@ -205,7 +201,6 @@ def run_generative_simulation(
             tracer = RequestTracer(obs.sample_rate, obs.max_spans)
         if obs.timeline:
             timeline = ControlTimeline()
-    control = ControlPlane(scheme=scheme, queue=queue, timeline=timeline)
 
     retry_policy = config.retry
     retry_rng = retry_policy.rng() if retry_policy is not None else None
@@ -223,8 +218,6 @@ def run_generative_simulation(
     n_requests = len(trace)
     next_arrival = 0
     observed_upto = 0
-    #: (request_id, retries already consumed) — prefill/decode lengths
-    #: are recovered from the trace arrays by id.
     deferred: list[tuple[int, int]] = []
     outstanding = 0
     completed = 0
@@ -241,11 +234,13 @@ def run_generative_simulation(
     decode_steps_total = 0
     step_events = 0
     batch_joins = 0
+    kv_transfers = 0
+    kv_transfers_voided = 0
+    pool_flips = 0
+    prefill_completions = 0
 
-    dispatcher = scheme.dispatcher
-    scheduler = dispatcher.scheduler
-    walk = scheduler._walk
-    mlq = scheme.mlq
+    registry = scheme.registry
+    top_level = len(registry) - 1
     estimator = scheme.demand_estimator
     runtime_scheduler = scheme.runtime_scheduler
     warmup_ms = config.warmup_ms
@@ -253,11 +248,67 @@ def run_generative_simulation(
     ttft = StreamingLatencySummary()
     tpot = StreamingLatencySummary()
 
-    #: instance_id -> _DecodeState; created on first placement, popped
-    #: on crash/blackout (resumed instances get a fresh state).
+    # ------------------------------------------------------------------
+    # Initial role partition. Shortest runtimes decode (their step
+    # tables are cheapest per token); the tail of the (runtime_index,
+    # instance_id) ordering stays prefill, which always keeps the
+    # Eq. 7 top-runtime instance on the prefill side so every prompt
+    # length remains placeable.
+    # ------------------------------------------------------------------
+    all_active = sorted(
+        scheme.cluster.active_instances(),
+        key=lambda i: (i.runtime_index, i.instance_id),
+    )
+    n_instances = len(all_active)
+    if n_instances < disagg.min_prefill + disagg.min_decode:
+        raise ConfigurationError(
+            f"{n_instances} instances cannot satisfy min_prefill="
+            f"{disagg.min_prefill} + min_decode={disagg.min_decode}"
+        )
+    n_decode = int(round((1.0 - disagg.prefill_fraction) * n_instances))
+    n_decode = max(disagg.min_decode,
+                   min(n_decode, n_instances - disagg.min_prefill))
+    decode_pool: dict[int, RuntimeInstance] = {
+        inst.instance_id: inst for inst in all_active[:n_decode]
+    }
+    prefill_pool: dict[int, RuntimeInstance] = {
+        inst.instance_id: inst for inst in all_active[n_decode:]
+    }
+    roles: dict[int, str] = {}
+    for iid in prefill_pool:
+        roles[iid] = PREFILL
+    for iid in decode_pool:
+        roles[iid] = DECODE
+
+    prefill_mlq = MultiLevelQueue(len(registry))
+    for inst in prefill_pool.values():
+        prefill_mlq.add(inst)
+    prefill_sched = ArloRequestScheduler(
+        registry=registry,
+        mlq=prefill_mlq,
+        config=scheme.dispatcher.scheduler.config,
+    )
+    if timeline is not None:
+        timeline.record(
+            0.0, "pool", "partition",
+            prefill=len(prefill_pool), decode=len(decode_pool),
+        )
+
+    #: instance_id -> _DecodeState for decode-pool instances.
     states: dict[int, _DecodeState] = {}
+    #: instance_id -> FIFO of DecodeTasks in prefill (service order).
+    prefill_inflight: dict[int, deque] = {}
+    #: instance_id -> tasks whose KV transfer is in flight to it.
+    kv_inflight: dict[int, list] = {}
+    #: Per-instance tokens voiding in-flight PREFILL_DONE/KV_TRANSFER.
+    prefill_token: dict[int, int] = {}
+    kv_token: dict[int, int] = {}
+    #: gpu_id -> role a recovered instance should rejoin with.
+    pending_role: dict[int, str] = {}
 
     DECODE_STEP = EventKind.DECODE_STEP
+    PREFILL_DONE = EventKind.PREFILL_DONE
+    KV_TRANSFER = EventKind.KV_TRANSFER
 
     def flush_observations() -> None:
         nonlocal observed_upto
@@ -274,27 +325,21 @@ def run_generative_simulation(
             or outstanding > 0
             or bool(deferred)
             or pending_retries > 0
-            or control.has_pending_work
         )
 
     def schedule_step(state: _DecodeState, now_ms: float) -> None:
-        """Launch the next batch step (active is non-empty)."""
         nonlocal step_events
         inst = state.instance
         active = state.active
         b = len(active)
         k = chunk_steps
         if k > 1:
-            # Clamp to the nearest member completion so batch
-            # membership can change at the boundary it occurs on.
             remaining = min(t.decode_len - t.steps_done for t in active)
             if remaining < k:
                 k = remaining
-        dur = (
-            state.pending_prefill_ms
-            + k * (state.overhead_ms + state.per_seq_ms * b)
-        ) * inst.slow_factor
-        state.pending_prefill_ms = 0.0
+        # No pending_prefill fold-in: the prefill pool already paid the
+        # prompt pass; the handoff priced the KV movement.
+        dur = k * (state.overhead_ms + state.per_seq_ms * b) * inst.slow_factor
         state.step_k = k
         state.step_dur = dur
         state.stepping = True
@@ -302,30 +347,60 @@ def run_generative_simulation(
         queue.push(now_ms + dur, DECODE_STEP, (state, state.token))
 
     def refill(state: _DecodeState) -> None:
-        """Join waiting requests into the active batch (step boundary)."""
         nonlocal batch_joins
         waiting = state.waiting
         if not waiting:
             return
         active = state.active
         if active and not continuous:
-            return  # gang scheduling: wait for the batch to drain
+            return  # gang scheduling
         running = bool(active)
         inst = state.instance
         tracker = inst.tracker
-        table = state.table
         while waiting and len(active) < max_batch:
             task = waiting.popleft()
             active.append(task)
-            state.pending_prefill_ms += table[task.prefill_len]
             if tracker is not None:
                 tracker.on_decode_start(inst)
             if running:
                 batch_joins += 1
 
-    def admit(
-        now_ms: float, request_id: int, attempt: int = 0
-    ) -> bool:
+    def pick_decode_target(exclude_id: int = -1) -> RuntimeInstance | None:
+        """Least-loaded live decode instance (ties: smallest id)."""
+        best = None
+        for inst in decode_pool.values():
+            if inst.status is not InstanceStatus.ACTIVE:
+                continue
+            if inst.instance_id == exclude_id:
+                continue
+            if best is None or (inst.outstanding, inst.instance_id) < (
+                best.outstanding, best.instance_id
+            ):
+                best = inst
+        return best
+
+    def start_transfer(now_ms: float, task) -> bool:
+        """Launch the KV handoff for a finished prefill. False when the
+        decode pool has no live instance (the caller reinjects)."""
+        nonlocal outstanding, kv_transfers
+        target = pick_decode_target()
+        if target is None:
+            return False
+        tid = target.instance_id
+        target.outstanding += 1
+        target._epoch += 1
+        if target.tracker is not None:
+            target.tracker.on_enqueue(target)
+        kv_inflight.setdefault(tid, []).append(task)
+        kv_transfers += 1
+        queue.push(
+            now_ms + transfer_per_token * task.prefill_len,
+            KV_TRANSFER,
+            (target, kv_token.get(tid, 0), task),
+        )
+        return True
+
+    def admit(now_ms: float, request_id: int, attempt: int = 0) -> bool:
         nonlocal outstanding
         prefill = prefills[request_id]
         arrival = arrivals_ms[request_id]
@@ -335,44 +410,28 @@ def run_generative_simulation(
             else None
         )
         try:
-            head, level, ideal, _peeked, fell_back = walk(prefill)
+            decision, _start, finish = prefill_sched.dispatch(now_ms, prefill)
         except CapacityError:
             if span is not None:
                 tracer.on_defer(span, now_ms)
             return False
-        scheduler.dispatched += 1
-        if level > ideal:
-            scheduler.demotions += 1
-        if fell_back:
-            scheduler.fallbacks += 1
-        # Manual enqueue: no busy_until_ms service interval — the decode
-        # loop owns timing. `outstanding` still counts the request until
-        # its final decode step so congestion probes see decode load.
-        head.outstanding += 1
-        head._epoch += 1
-        tracker = head.tracker
-        if tracker is not None:
-            tracker.on_enqueue(head)
-        mlq.refresh(head)
+        head = decision.instance
         if span is not None:
             tracer.on_dispatch(
-                span, now_ms, level=level, ideal_level=ideal,
-                instance=f"i{head.instance_id}", fallback=fell_back,
+                span, now_ms, level=decision.level,
+                ideal_level=decision.ideal_level,
+                instance=f"i{head.instance_id}",
+                fallback=decision.fell_back,
             )
         outstanding += 1
-        state = states.get(head.instance_id)
-        if state is None:
-            state = states[head.instance_id] = _DecodeState(head)
-        state.waiting.append(
-            acquire_decode_task(
-                request_id, arrival, prefill, decode_lens[request_id],
-                attempt,
-            )
+        task = acquire_decode_task(
+            request_id, arrival, prefill, decode_lens[request_id], attempt
         )
-        if not state.stepping:
-            refill(state)
-            if state.active:
-                schedule_step(state, now_ms)
+        prefill_inflight.setdefault(head.instance_id, deque()).append(task)
+        queue.push(
+            finish, PREFILL_DONE,
+            (head, prefill_token.get(head.instance_id, 0), task),
+        )
         return True
 
     def reinject(now_ms: float, request_id: int, attempt: int) -> None:
@@ -423,23 +482,36 @@ def run_generative_simulation(
         return ordered[min(rank, len(ordered) - 1)]
 
     def void_instance(victim: RuntimeInstance) -> list:
-        """Detach the victim's decode state; returns its live tasks.
+        """Void a victim's live work (role-aware); returns its tasks.
 
         Must run *before* ``crash_instance``/``suspend`` so the decode
-        occupancy counters are reconciled while the tracker still
-        counts the instance.
+        occupancy counters reconcile while the tracker still counts
+        the instance. Prefill victims lose their queued prompts;
+        decode victims lose waiting + active batches *and* in-flight
+        KV transfers (token bumps void the scheduled events).
         """
-        state = states.pop(victim.instance_id, None)
-        if state is None:
-            return []
-        if victim.tracker is not None and state.active:
-            victim.tracker.on_decode_loss(victim, len(state.active))
-        tasks = list(state.active)
-        tasks.extend(state.waiting)
-        state.token += 1  # voids the in-flight DECODE_STEP, if any
-        state.active.clear()
-        state.waiting.clear()
-        state.stepping = False
+        nonlocal kv_transfers_voided
+        vid = victim.instance_id
+        if roles.get(vid) == PREFILL:
+            prefill_token[vid] = prefill_token.get(vid, 0) + 1
+            fifo = prefill_inflight.pop(vid, None)
+            return list(fifo) if fifo else []
+        tasks: list = []
+        state = states.pop(vid, None)
+        if state is not None:
+            if victim.tracker is not None and state.active:
+                victim.tracker.on_decode_loss(victim, len(state.active))
+            tasks.extend(state.active)
+            tasks.extend(state.waiting)
+            state.token += 1
+            state.active.clear()
+            state.waiting.clear()
+            state.stepping = False
+        kv_token[vid] = kv_token.get(vid, 0) + 1
+        transfers = kv_inflight.pop(vid, None)
+        if transfers:
+            kv_transfers_voided += len(transfers)
+            tasks.extend(transfers)
         return tasks
 
     def reinject_tasks(now_ms: float, tasks: list) -> None:
@@ -448,6 +520,125 @@ def run_generative_simulation(
         for task in tasks:
             reinject(now_ms, task.request_id, task.attempt)
             release_decode_task(task)
+
+    def drop_from_pools(vid: int) -> None:
+        prefill_pool.pop(vid, None)
+        decode_pool.pop(vid, None)
+        roles.pop(vid, None)
+
+    def rebalance(now_ms: float) -> None:
+        """One period of the coupled split + adaptive role migration."""
+        nonlocal pool_flips
+        if runtime_scheduler is None:
+            return
+        flush_observations()
+        total = len(prefill_pool) + len(decode_pool)
+        if total < disagg.min_prefill + disagg.min_decode:
+            return
+        decode_occ = sum(
+            inst.outstanding for inst in decode_pool.values()
+        )
+        try:
+            outcome = runtime_scheduler.decide_pool_split(
+                now_ms, total,
+                decode_occupancy=float(decode_occ),
+                decode_slots_per_gpu=float(max_batch),
+                split_config=disagg.split_config(),
+            )
+        except SolverError:
+            runtime_scheduler.solver_fallbacks += 1
+            if timeline is not None:
+                timeline.record(now_ms, "pool", "hold",
+                                reason="solver-failure")
+            return
+        if outcome is None:
+            return  # no demand observed yet: hold the current roles
+        split, provenance = outcome
+        if timeline is not None:
+            timeline.record(
+                now_ms, "pool", "split",
+                prefill_gpus=split.prefill_gpus,
+                decode_gpus=split.decode_gpus,
+                current_prefill=len(prefill_pool),
+                current_decode=len(decode_pool),
+                decode_occupancy=decode_occ,
+                objective=split.prefill_objective,
+                provenance=provenance,
+            )
+        if not disagg.rebalance:
+            return
+        delta = split.decode_gpus - len(decode_pool)
+        budget = disagg.max_flips_per_period
+        if delta > 0:
+            # Prefill → decode: flip idle prompt servers, shortest
+            # runtimes first, never the last top-runtime cover.
+            top_cover = sum(
+                1 for inst in prefill_pool.values()
+                if inst.runtime_index == top_level
+                and inst.status is InstanceStatus.ACTIVE
+            )
+            candidates = sorted(
+                (
+                    inst for inst in prefill_pool.values()
+                    if inst.status is InstanceStatus.ACTIVE
+                    and inst.outstanding == 0
+                ),
+                key=lambda i: (i.runtime_index, i.instance_id),
+            )
+            for inst in candidates:
+                if delta <= 0 or budget <= 0:
+                    break
+                if len(prefill_pool) <= disagg.min_prefill:
+                    break
+                if inst.runtime_index == top_level and top_cover <= 1:
+                    continue
+                if inst.runtime_index == top_level:
+                    top_cover -= 1
+                if prefill_mlq.contains(inst):
+                    prefill_mlq.remove(inst)
+                vid = inst.instance_id
+                del prefill_pool[vid]
+                decode_pool[vid] = inst
+                roles[vid] = DECODE
+                pool_flips += 1
+                delta -= 1
+                budget -= 1
+                if timeline is not None:
+                    timeline.record(
+                        now_ms, "pool", "flip", instance=vid,
+                        from_role=PREFILL, to_role=DECODE,
+                    )
+        elif delta < 0:
+            # Decode → prefill: idle decoders only (no batch, no
+            # waiting queue, no in-flight transfer), longest first.
+            candidates = sorted(
+                (
+                    inst for inst in decode_pool.values()
+                    if inst.status is InstanceStatus.ACTIVE
+                    and inst.outstanding == 0
+                ),
+                key=lambda i: (-i.runtime_index, i.instance_id),
+            )
+            for inst in candidates:
+                if delta >= 0 or budget <= 0:
+                    break
+                if len(decode_pool) <= disagg.min_decode:
+                    break
+                vid = inst.instance_id
+                states.pop(vid, None)
+                del decode_pool[vid]
+                prefill_pool[vid] = inst
+                roles[vid] = PREFILL
+                prefill_mlq.add(inst)
+                pool_flips += 1
+                delta += 1
+                budget -= 1
+                if timeline is not None:
+                    timeline.record(
+                        now_ms, "pool", "flip", instance=vid,
+                        from_role=DECODE, to_role=PREFILL,
+                    )
+            flush_deferred(now_ms)
 
     if runtime_scheduler is not None:
         queue.push(runtime_scheduler.config.period_ms, EventKind.RESCHEDULE)
@@ -458,8 +649,6 @@ def run_generative_simulation(
     heap = queue._heap
     INF = float("inf")
     RESCHEDULE = EventKind.RESCHEDULE
-    REPLACEMENT_READY = EventKind.REPLACEMENT_READY
-    SCALE_OUT_READY = EventKind.SCALE_OUT_READY
     INSTANCE_FAILURE = EventKind.INSTANCE_FAILURE
 
     popped = queue._popped
@@ -530,60 +719,67 @@ def run_generative_simulation(
                 if tracker is not None:
                     tracker.on_complete(inst)
                     tracker.on_decode_end(inst)
-                mlq.refresh(inst)
                 outstanding -= 1
                 completed += 1
                 if task.arrival_ms >= warmup_ms:
                     metrics.record(now - task.arrival_ms,
                                    inst.runtime_index)
-                    # Time-per-output-token: total step time the request
-                    # sat in, amortised over its tokens (steps are
-                    # batch-shared, so this is the *experienced* TPOT).
                     tpot.add(task.service_ms / task.decode_len)
                 if tracer is not None:
                     tracer.on_complete(task.request_id, now,
                                        task.service_ms,
                                        decode_steps=task.decode_len)
-                if control._pending:
-                    control.on_completion(now, inst)
                 release_decode_task(task)
             state.active = survivors
+            if inst.status is not InstanceStatus.RETIRED:
+                refill(state)
+                if state.active:
+                    schedule_step(state, now)
+
+        elif kind is PREFILL_DONE:
+            inst, token, task = entry[3]
+            iid = inst.instance_id
+            if token != prefill_token.get(iid, 0):
+                continue  # voided: the task was already reinjected
+            fifo = prefill_inflight[iid]
+            head_task = fifo.popleft()
+            if head_task is not task:  # pragma: no cover - FIFO invariant
+                raise SchedulingError(
+                    f"prefill completion order broke on instance {iid}"
+                )
+            inst.complete()
+            prefill_mlq.refresh(inst)
+            prefill_completions += 1
+            if not start_transfer(now, task):
+                # Decode pool momentarily empty (crashed away): the
+                # request redoes prefill through the retry path.
+                reinject_tasks(now, [task])
             if deferred:
                 flush_deferred(now)
-            if inst.status is not InstanceStatus.RETIRED:
+
+        elif kind is KV_TRANSFER:
+            target, token, task = entry[3]
+            tid = target.instance_id
+            if token != kv_token.get(tid, 0):
+                continue  # voided: the task was already reinjected
+            kv_inflight[tid].remove(task)
+            state = states.get(tid)
+            if state is None:
+                state = states[tid] = _DecodeState(target)
+            state.waiting.append(task)
+            if not state.stepping:
                 refill(state)
                 if state.active:
                     schedule_step(state, now)
 
         elif kind is RESCHEDULE:
             if runtime_scheduler is not None and work_remaining():
-                flush_observations()
-                _result, plan = runtime_scheduler.step(now, scheme.cluster)
-                if timeline is not None:
-                    timeline.record(
-                        now, "allocation", "solve",
-                        provenance=runtime_scheduler.provenance_of(_result),
-                        solver=_result.solver,
-                        objective=_result.objective,
-                        solve_ms=_result.solve_time_s * 1000.0,
-                        plan_steps=len(plan),
-                    )
-                control.start_plan(now, plan)
+                rebalance(now)
                 metrics.sample_allocation(now, scheme.cluster.allocation())
                 queue.push(
                     now + runtime_scheduler.config.period_ms,
                     EventKind.RESCHEDULE,
                 )
-
-        elif kind is REPLACEMENT_READY:
-            control.on_replacement_event(now, entry[3])
-            sample_gpus(now)
-            flush_deferred(now)
-
-        elif kind is SCALE_OUT_READY:
-            control.on_scale_out_ready(now, entry[3])
-            sample_gpus(now)
-            flush_deferred(now)
 
         elif kind is INSTANCE_FAILURE:
             payload = entry[3]
@@ -591,12 +787,19 @@ def run_generative_simulation(
             if isinstance(payload, RecoveryPayload):
                 gpu = scheme.cluster.gpus[payload.gpu_id]
                 recovered = scheme.cluster.deploy(payload.runtime_index, gpu)
-                mlq.add(recovered)
+                role = pending_role.pop(payload.gpu_id, PREFILL)
+                roles[recovered.instance_id] = role
+                if role == PREFILL:
+                    prefill_pool[recovered.instance_id] = recovered
+                    prefill_mlq.add(recovered)
+                else:
+                    decode_pool[recovered.instance_id] = recovered
                 if timeline is not None:
                     timeline.record(
                         now, "fault", "recovery",
                         instance=recovered.instance_id,
                         runtime_index=payload.runtime_index,
+                        role=role,
                     )
                 flush_deferred(now)
 
@@ -632,8 +835,8 @@ def run_generative_simulation(
                 victim = pick_victim(payload.victim_rank)
                 if victim is not None:
                     lost_tasks = void_instance(victim)
-                    if mlq.contains(victim):
-                        mlq.remove(victim)
+                    if prefill_mlq.contains(victim):
+                        prefill_mlq.remove(victim)
                     victim.suspend()
                     blackouts_injected += 1
                     timeouts += len(lost_tasks)
@@ -641,6 +844,7 @@ def run_generative_simulation(
                         timeline.record(
                             now, "fault", "blackout",
                             instance=victim.instance_id,
+                            role=roles.get(victim.instance_id),
                             duration_ms=payload.duration_ms,
                             voided=len(lost_tasks),
                         )
@@ -655,8 +859,11 @@ def run_generative_simulation(
                 inst = scheme.cluster.instances.get(payload.instance_id)
                 if inst is not None and inst.status is InstanceStatus.SUSPENDED:
                     inst.resume()
-                    if not mlq.contains(inst):
-                        mlq.add(inst)
+                    if (
+                        roles.get(inst.instance_id) == PREFILL
+                        and not prefill_mlq.contains(inst)
+                    ):
+                        prefill_mlq.add(inst)
                     flush_deferred(now)
 
             elif isinstance(payload, SolverFaultEvent):
@@ -673,17 +880,19 @@ def run_generative_simulation(
                 victim = pick_victim(payload.victim_rank)
                 if victim is None:
                     continue
+                role = roles.get(victim.instance_id, PREFILL)
                 lost_tasks = void_instance(victim)
-                if mlq.contains(victim):
-                    mlq.remove(victim)
-                control.note_failure(victim.instance_id)
+                if prefill_mlq.contains(victim):
+                    prefill_mlq.remove(victim)
                 gpu, lost = scheme.cluster.crash_instance(victim)
+                drop_from_pools(victim.instance_id)
                 failures_injected += 1
                 requests_lost += lost
                 if timeline is not None:
                     timeline.record(
                         now, "fault", "crash",
                         instance=victim.instance_id,
+                        role=role,
                         voided=len(lost_tasks),
                         recovery_ms=(
                             payload.recovery_ms
@@ -692,6 +901,7 @@ def run_generative_simulation(
                         ),
                     )
                 if payload.recovery_ms is not None:
+                    pending_role[gpu.gpu_id] = role
                     queue.push(
                         now + payload.recovery_ms,
                         EventKind.INSTANCE_FAILURE,
@@ -721,9 +931,9 @@ def run_generative_simulation(
 
     end_ms = queue.now_ms
     control_stats = {
-        "replacements": control.replacements_executed,
-        "scale_outs": control.scale_outs,
-        "scale_ins": control.scale_ins,
+        "replacements": 0,
+        "scale_outs": 0,
+        "scale_ins": 0,
         "deferred": metrics.deferred_requests,
         "failures": failures_injected,
         "requests_lost": requests_lost,
@@ -744,12 +954,18 @@ def run_generative_simulation(
             if runtime_scheduler is not None
             else 0
         ),
-        # Generative counters: plain ints so shard merges stay a sum.
+        # Generative + disagg counters: plain ints so shard merges sum.
         "decode_steps": decode_steps_total,
         "step_events": step_events,
         "batch_joins": batch_joins,
+        "prefill_completions": prefill_completions,
+        "kv_transfers": kv_transfers,
+        "kv_transfers_voided": kv_transfers_voided,
+        "pool_flips": pool_flips,
     }
-    dispatch_stats = scheduler.stats()
+    dispatch_stats = prefill_sched.stats()
+    dispatch_stats["prefill_pool_size"] = len(prefill_pool)
+    dispatch_stats["decode_pool_size"] = len(decode_pool)
     if ttft.count:
         dispatch_stats["ttft_mean_ms"] = ttft.mean_ms
         dispatch_stats["ttft_p50_ms"] = ttft.quantile(0.50)

@@ -38,6 +38,12 @@ class EventKind(enum.IntEnum):
     #: One decode-batch step boundary of the generative data plane
     #: (repro.sim.generative).
     DECODE_STEP = 8
+    #: A prefill-pool instance finished a request's prompt pass
+    #: (repro.sim.disagg); the KV handoff to the decode pool follows.
+    PREFILL_DONE = 9
+    #: KV-cache transfer between the prefill and decode pools landed
+    #: (repro.sim.disagg).
+    KV_TRANSFER = 10
 
 
 @dataclass(frozen=True, order=True, slots=True)

@@ -196,6 +196,10 @@ def run_simulation(
         raise SimulationError("cannot simulate an empty trace")
     config = config or SimulationConfig()
     if config.generative is not None:
+        if getattr(config.generative, "disagg", None) is not None:
+            from repro.sim.disagg import run_disagg_simulation
+
+            return run_disagg_simulation(scheme, trace, config)
         from repro.sim.generative import run_generative_simulation
 
         return run_generative_simulation(scheme, trace, config)

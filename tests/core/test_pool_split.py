@@ -1,0 +1,143 @@
+"""Property-based verification of the coupled prefill/decode split.
+
+Three invariants carry the disaggregated control plane:
+
+1. **Budget partition** — the chosen split always sums to the GPU
+   budget with both pools at or above their floors.
+2. **Inner feasibility** — the prefill side of every split satisfies
+   Eqs. 1–7 on its own sub-budget (``is_feasible`` under the recorded
+   relaxation), so the Algorithm-1 walk over the prefill pool keeps
+   its Eq. 7 coverage guarantee.
+3. **Monotone rebalancing** — the decode pool never *shrinks* as
+   decode-occupancy pressure grows (Topkis' monotone selection over
+   the scan's decreasing differences; see the module docstring of
+   :mod:`repro.core.pool_split`).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import AllocationProblem
+from repro.core.pool_split import PoolSplitConfig, solve_pool_split
+from repro.errors import ConfigurationError, InfeasibleError
+
+
+def make_problem(num_gpus, demand):
+    """Fabricated staircase: capacities fall, service times rise."""
+    n = len(demand)
+    return AllocationProblem(
+        num_gpus=num_gpus,
+        demand=np.asarray(demand, dtype=float),
+        capacity=np.linspace(90, 40, n).astype(np.int64),
+        service_ms=np.linspace(5.0, 11.0, n),
+    )
+
+
+@st.composite
+def scenario(draw):
+    n_runtimes = draw(st.integers(2, 6))
+    total = draw(st.integers(2, 24))
+    demand = draw(
+        st.lists(st.floats(0.0, 300.0), min_size=n_runtimes,
+                 max_size=n_runtimes)
+    )
+    occ = draw(st.floats(0.0, 500.0))
+    slots = draw(st.integers(1, 16))
+    weight = draw(st.floats(0.0, 5000.0))
+    return total, demand, occ, slots, weight
+
+
+@settings(max_examples=100, deadline=None)
+@given(scenario())
+def test_split_partitions_budget_and_inner_allocation_is_feasible(params):
+    total, demand, occ, slots, weight = params
+    problem = make_problem(total, demand)
+    config = PoolSplitConfig(decode_weight_ms=weight)
+    try:
+        split = solve_pool_split(
+            problem, decode_occupancy=occ,
+            decode_slots_per_gpu=float(slots), config=config,
+        )
+    except InfeasibleError:
+        return  # legal outcome: e.g. total < min_prefill + min_decode
+    # (1) The split is a partition of the budget above both floors.
+    assert split.prefill_gpus + split.decode_gpus == total == split.total_gpus
+    assert split.prefill_gpus >= config.min_prefill
+    assert split.decode_gpus >= config.min_decode
+    # (2) The prefill allocation satisfies Eqs. 2, 3, 7 on its
+    # sub-budget (under the relaxation the solver recorded).
+    sub = replace(problem, num_gpus=split.prefill_gpus)
+    assert sub.is_feasible(split.prefill_allocation, relaxed=split.relaxed)
+    assert split.prefill_allocation[-1] >= 1  # Eq. 7 explicitly
+    # The recorded objective matches an independent evaluation.
+    assert split.prefill_objective == sub.evaluate(split.prefill_allocation)
+
+
+@settings(max_examples=100, deadline=None)
+@given(scenario(), st.floats(0.0, 500.0))
+def test_decode_pool_monotone_in_occupancy_pressure(params, extra_occ):
+    total, demand, occ, slots, weight = params
+    problem = make_problem(total, demand)
+    config = PoolSplitConfig(decode_weight_ms=weight)
+    try:
+        low = solve_pool_split(
+            problem, decode_occupancy=occ,
+            decode_slots_per_gpu=float(slots), config=config,
+        )
+    except InfeasibleError:
+        return
+    high = solve_pool_split(
+        problem, decode_occupancy=occ + extra_occ,
+        decode_slots_per_gpu=float(slots), config=config,
+    )
+    assert high.decode_gpus >= low.decode_gpus
+
+
+def test_split_is_deterministic():
+    problem = make_problem(12, [80.0, 40.0, 20.0, 10.0])
+    kwargs = dict(decode_occupancy=37.0, decode_slots_per_gpu=8.0)
+    a = solve_pool_split(problem, **kwargs)
+    b = solve_pool_split(problem, **kwargs)
+    assert a.decode_gpus == b.decode_gpus
+    assert a.prefill_objective == b.prefill_objective
+    assert np.array_equal(a.prefill_allocation, b.prefill_allocation)
+
+
+def test_zero_pressure_keeps_decode_pool_minimal():
+    # With no decode occupancy the scan's decode term vanishes, and
+    # more prefill GPUs never worsen the Eq. 1 objective — so the
+    # smallest-argmin tie-break must keep decode at its floor.
+    problem = make_problem(10, [60.0, 30.0, 15.0, 5.0])
+    split = solve_pool_split(
+        problem, decode_occupancy=0.0, decode_slots_per_gpu=8.0
+    )
+    assert split.decode_gpus == 1
+    assert split.decode_pressure_ms == 0.0
+
+
+def test_budget_below_floors_is_infeasible():
+    problem = make_problem(1, [10.0, 5.0])
+    with pytest.raises(InfeasibleError):
+        solve_pool_split(
+            problem, decode_occupancy=0.0, decode_slots_per_gpu=8.0
+        )
+
+
+def test_invalid_signals_are_rejected():
+    problem = make_problem(8, [10.0, 5.0])
+    with pytest.raises(ConfigurationError):
+        solve_pool_split(
+            problem, decode_occupancy=-1.0, decode_slots_per_gpu=8.0
+        )
+    with pytest.raises(ConfigurationError):
+        solve_pool_split(
+            problem, decode_occupancy=1.0, decode_slots_per_gpu=0.0
+        )
+    with pytest.raises(ConfigurationError):
+        PoolSplitConfig(min_prefill=0)
+    with pytest.raises(ConfigurationError):
+        PoolSplitConfig(decode_weight_ms=-1.0)

@@ -1,0 +1,80 @@
+"""Golden regression: the co-located generative path is bit-exact.
+
+The disaggregated pools PR touches ``repro.sim.generative`` (TPOT
+accounting, the ``GenerativeConfig.disagg`` field); these pins prove
+the co-located path (``SimulationConfig.generative`` without disagg)
+still produces byte-for-byte the PR 7 baseline results. The digests
+were computed at the PR 7 head, same style as
+``tests/workload/test_golden_traces.py``: sha256 over the ``repr`` of
+the pinned field tuple, floats in ``float.hex()`` form so the pin is
+exact, not approximate.
+
+If one of these fails, the generative event loop's float stream or
+event ordering changed — that is a correctness regression unless the
+change is deliberate (in which case recompute the digests *and say so
+in the commit*).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.baselines.schemes import build_scheme
+from repro.core.runtime_scheduler import RuntimeSchedulerConfig
+from repro.sim.generative import GenerativeConfig
+from repro.sim.simulation import SimulationConfig, run_simulation
+from repro.units import seconds
+from repro.workload.generative import (
+    GenerativeTraceConfig,
+    generate_generative_trace,
+)
+
+pytestmark = pytest.mark.generative
+
+
+def _golden_fields(seed: int, gen: GenerativeConfig) -> tuple:
+    trace = generate_generative_trace(
+        GenerativeTraceConfig(
+            rate_per_s=250, duration_ms=seconds(5),
+            pattern="bursty", seed=seed,
+        )
+    )
+    scheme = build_scheme(
+        "arlo", "bert-base", 4,
+        trace_hint=trace.slice_time(0, seconds(2)),
+        runtime_scheduler_config=RuntimeSchedulerConfig(
+            period_ms=seconds(60)
+        ),
+    )
+    result = run_simulation(scheme, trace, SimulationConfig(generative=gen))
+    return (
+        result.stats.count,
+        result.stats.mean_ms.hex(),
+        result.p98_ms.hex(),
+        result.control_stats["decode_steps"],
+        result.control_stats["step_events"],
+        result.control_stats["batch_joins"],
+        result.dispatch_stats["ttft_mean_ms"].hex(),
+        result.dispatch_stats["ttft_p50_ms"].hex(),
+        result.dispatch_stats["ttft_p98_ms"].hex(),
+    )
+
+
+def _digest(fields: tuple) -> str:
+    return hashlib.sha256(repr(fields).encode()).hexdigest()[:16]
+
+
+#: (seed, config kwargs) -> PR 7 baseline digest. Three configurations
+#: cover the three decode-loop regimes: continuous batching, chunked
+#: small-batch, and gang scheduling.
+GOLDEN = {
+    (11, ()): "9b0077e5659ff532",
+    (21, (("max_batch", 4), ("chunk_steps", 2))): "de30e7b09d2798f7",
+    (7, (("continuous_batching", False),)): "0ae823fc1f0e673d",
+}
+
+
+@pytest.mark.parametrize("seed,kwargs", sorted(GOLDEN, key=repr))
+def test_colocated_generative_matches_pr7_baseline(seed, kwargs):
+    fields = _golden_fields(seed, GenerativeConfig(**dict(kwargs)))
+    assert _digest(fields) == GOLDEN[(seed, kwargs)], fields
